@@ -1,0 +1,270 @@
+package gmorph_test
+
+// Benchmark harness: one testing.B benchmark per figure/table of the
+// paper's evaluation, each running the corresponding experiment at reduced
+// scale and reporting the headline quantity as a custom metric. Run the
+// full paper-shaped sweep with `go run ./cmd/experiments -scale full`.
+//
+// Mapping (see DESIGN.md section 5 and EXPERIMENTS.md):
+//
+//	BenchmarkFigure1  — random-fusion speedup/accuracy scatter (Section 2.1)
+//	BenchmarkFigure2  — fine-tune time of elite-derived vs original-derived
+//	BenchmarkFigure3  — init sensitivity of fixed architectures
+//	BenchmarkFigure7  — headline speedups per benchmark/threshold/variant
+//	BenchmarkFigure8  — search convergence incl. random sampling baseline
+//	BenchmarkTable3   — reference vs fused engine on original vs GMorph
+//	BenchmarkTable4   — MTL baselines vs GMorph
+//	BenchmarkTable5   — search-time savings from predictive filtering
+//
+// Plus microbenchmarks of the substrate hot paths.
+
+import (
+	"testing"
+
+	gmorph "repro"
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/estimator"
+	"repro/internal/tensor"
+)
+
+// benchScale is the miniature scale used inside testing.B; each benchmark
+// does meaningful work in seconds, not hours.
+func benchScale() bench.Scale {
+	sc := bench.Tiny()
+	sc.Rounds = 4
+	sc.Epochs = 4
+	sc.PretrainEpochs = 4
+	sc.Train, sc.Test = 48, 24
+	return sc
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	sc := benchScale()
+	sc.Epochs = 2
+	spec, err := bench.SpecByID("B4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFigure1(spec, sc, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) == 0 {
+			b.Fatal("no points")
+		}
+		var bestSimilar float64
+		for _, p := range points {
+			if p.Similar && p.Speedup > bestSimilar {
+				bestSimilar = p.Speedup
+			}
+		}
+		b.ReportMetric(bestSimilar, "best-similar-speedup-x")
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFigure2(sc, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(points)), "accepted-candidates")
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	sc := benchScale()
+	sc.Epochs = 3
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFigure3(sc, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Spread of accuracy drops across initializations (the figure's
+		// point: same architecture, different outcomes).
+		lo, hi := res.Drops[0][0], res.Drops[0][0]
+		for _, ds := range res.Drops {
+			for _, d := range ds {
+				if d < lo {
+					lo = d
+				}
+				if d > hi {
+					hi = d
+				}
+			}
+		}
+		b.ReportMetric(hi-lo, "drop-spread")
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFigure7([]string{"B1"}, []float64{0.05},
+			[]string{bench.VariantPlain, bench.VariantPR}, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range rows[0].Outcomes {
+			if o.Variant == bench.VariantPlain {
+				b.ReportMetric(o.Speedup, "speedup-x")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	sc := benchScale()
+	sc.Rounds = 3
+	for i := 0; i < b.N; i++ {
+		curves, err := bench.RunFigure8(sc, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(curves) != 4 {
+			b.Fatalf("curves = %d, want 4 variants", len(curves))
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable3([]string{"B1"}, 0.05, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].FusedSpeedup, "fused-engine-speedup-x")
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable4([]string{"B1"}, 0.05, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].GMorphSpeedup, "gmorph-speedup-x")
+		b.ReportMetric(rows[0].AllSharedSpeedup, "allshared-speedup-x")
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFigure7([]string{"B1"}, []float64{0.05},
+			[]string{bench.VariantPlain, bench.VariantP, bench.VariantPR}, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t5 := bench.Table5FromFig7(rows)
+		b.ReportMetric(t5[0].Savings[bench.VariantPR], "pr-time-saving-frac")
+	}
+}
+
+// --- substrate microbenchmarks ---------------------------------------------
+
+func BenchmarkInferenceOriginalB1(b *testing.B) {
+	sc := benchScale()
+	spec, _ := bench.SpecByID("B1")
+	w, err := bench.Build(spec, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(4, 3, sc.ImgSize, sc.ImgSize)
+	tensor.NewRNG(1).FillNormal(x, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Teacher.Forward(x, false)
+	}
+}
+
+func BenchmarkInferenceFusedEngineB1(b *testing.B) {
+	sc := benchScale()
+	spec, _ := bench.SpecByID("B1")
+	w, err := bench.Build(spec, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.Compile(w.Teacher)
+	x := tensor.New(4, 3, sc.ImgSize, sc.ImgSize)
+	tensor.NewRNG(1).FillNormal(x, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Forward(x)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.New(128, 128)
+	y := tensor.New(128, 128)
+	out := tensor.New(128, 128)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(y, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(out, x, y)
+	}
+}
+
+func BenchmarkConvForward(b *testing.B) {
+	rng := gmorph.NewRNG(1)
+	m := gmorph.NewModel(gmorph.Shape{3, 32, 32})
+	if err := gmorph.AddBranch(m, rng, gmorph.ZooConfig{WidthScale: 2}, gmorph.VGG11, "t", 0, 4); err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(4, 3, 32, 32)
+	tensor.NewRNG(2).FillNormal(x, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x, false)
+	}
+}
+
+func BenchmarkLatencyEstimator(b *testing.B) {
+	sc := benchScale()
+	spec, _ := bench.SpecByID("B1")
+	w, err := bench.Build(spec, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		estimator.Latency(w.Teacher, estimator.LatencyOptions{Batch: 2, Warmup: 1, Runs: 3})
+	}
+}
+
+// --- ablation benches (design choices from DESIGN.md) ------------------------
+
+func BenchmarkAblationPairsPerPass(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunAblationPairsPerPass(sc, 0.05, []int{1, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.Found {
+				b.ReportMetric(p.Speedup, p.Setting+"-speedup-x")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationEliteCapacity(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunAblationEliteCapacity(sc, 0.05, []int{1, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 2 {
+			b.Fatal("expected 2 ablation points")
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package gmorph
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+)
+
+// BranchBuilder assembles a custom task branch block by block, for models
+// that are not in the built-in zoo. Each Add* call appends one abstract
+// graph node; Head finishes the branch.
+//
+//	b := gmorph.NewBranch(model, rng, "depth", 0)
+//	b.ConvBlock(16, true, true).ConvBlock(32, true, true).Head(1)
+//	if err := b.Err(); err != nil { ... }
+//
+// Builders are not safe for concurrent use.
+type BranchBuilder struct {
+	m      *Model
+	rng    *RNG
+	name   string
+	taskID int
+
+	cur    *Node
+	shape  graph.Shape
+	domain graph.Domain
+	opID   int
+	done   bool
+	err    error
+}
+
+// NewBranch starts a branch for the named task. The branch consumes the
+// model's input shape.
+func NewBranch(m *Model, rng *RNG, taskName string, taskID int) *BranchBuilder {
+	b := &BranchBuilder{
+		m: m, rng: rng, name: taskName, taskID: taskID,
+		cur: m.Root, shape: m.Root.InputShape.Clone(), domain: graph.DomainRaw,
+	}
+	if _, exists := m.Heads[taskID]; exists {
+		b.err = fmt.Errorf("gmorph: task %d already has a branch", taskID)
+	}
+	return b
+}
+
+// Err returns the first error encountered while building.
+func (b *BranchBuilder) Err() error { return b.err }
+
+func (b *BranchBuilder) add(opType string, layer nn.Layer) *BranchBuilder {
+	if b.err != nil {
+		return b
+	}
+	if b.done {
+		b.err = errors.New("gmorph: branch already finished with Head")
+		return b
+	}
+	n := graph.NewBlockNode(b.taskID, b.opID, opType, b.shape, b.domain, layer)
+	b.m.AddChild(b.cur, n)
+	b.cur = n
+	b.shape = graph.Shape(layer.OutShape(b.shape))
+	b.opID++
+	if b.domain == graph.DomainRaw {
+		b.domain = graph.DomainSpatial
+		if len(b.shape) == 2 {
+			b.domain = graph.DomainTokens
+		}
+	}
+	return b
+}
+
+// ConvBlock appends a 3x3 convolution block (conv + optional BatchNorm +
+// ReLU + optional 2x2 max pool). The input must be a [C,H,W] feature map.
+func (b *BranchBuilder) ConvBlock(outChannels int, batchNorm, pool bool) *BranchBuilder {
+	if b.err == nil && len(b.shape) != 3 {
+		b.err = fmt.Errorf("gmorph: ConvBlock needs [C,H,W] input, have %v", b.shape)
+		return b
+	}
+	return b.add("ConvBlock", nn.NewConvBlock(b.rng, b.shape[0], outChannels, batchNorm, pool))
+}
+
+// ResidualBlock appends a ResNet basic block with the given output channels
+// and stride.
+func (b *BranchBuilder) ResidualBlock(outChannels, stride int) *BranchBuilder {
+	if b.err == nil && len(b.shape) != 3 {
+		b.err = fmt.Errorf("gmorph: ResidualBlock needs [C,H,W] input, have %v", b.shape)
+		return b
+	}
+	return b.add("ResidualBlock", nn.NewResidualBlock(b.rng, b.shape[0], outChannels, stride))
+}
+
+// PatchEmbed appends a ViT patch-embedding stem converting the image into
+// tokens of dimension dim.
+func (b *BranchBuilder) PatchEmbed(patch, dim int) *BranchBuilder {
+	if b.err == nil {
+		if len(b.shape) != 3 || b.shape[1]%patch != 0 || b.shape[2]%patch != 0 {
+			b.err = fmt.Errorf("gmorph: PatchEmbed(p=%d) incompatible with input %v", patch, b.shape)
+			return b
+		}
+	} else {
+		return b
+	}
+	tokens := (b.shape[1] / patch) * (b.shape[2] / patch)
+	nb := b.add("PatchEmbed", nn.NewPatchEmbed(b.rng, b.shape[0], patch, dim, tokens))
+	nb.domain = graph.DomainTokens
+	return nb
+}
+
+// Embedding appends a token-embedding stem for [T] token-id inputs.
+func (b *BranchBuilder) Embedding(vocab, dim int) *BranchBuilder {
+	if b.err == nil && len(b.shape) != 1 {
+		b.err = fmt.Errorf("gmorph: Embedding needs [T] token input, have %v", b.shape)
+		return b
+	}
+	if b.err != nil {
+		return b
+	}
+	nb := b.add("Embedding", nn.NewEmbedding(b.rng, vocab, dim, b.shape[0]))
+	nb.domain = graph.DomainTokens
+	return nb
+}
+
+// TransformerBlock appends a pre-norm encoder block over [T,D] tokens.
+func (b *BranchBuilder) TransformerBlock(heads, mlpDim int) *BranchBuilder {
+	if b.err == nil && len(b.shape) != 2 {
+		b.err = fmt.Errorf("gmorph: TransformerBlock needs [T,D] tokens, have %v", b.shape)
+		return b
+	}
+	if b.err != nil {
+		return b
+	}
+	return b.add("TransformerBlock", nn.NewTransformerBlock(b.rng, b.shape[1], heads, mlpDim))
+}
+
+// Head finishes the branch with a pooling + linear classifier over the
+// given number of classes and registers the task.
+func (b *BranchBuilder) Head(classes int) *BranchBuilder {
+	if b.err != nil {
+		return b
+	}
+	if b.done {
+		b.err = errors.New("gmorph: branch already finished with Head")
+		return b
+	}
+	var layer nn.Layer
+	switch len(b.shape) {
+	case 3:
+		layer = nn.NewSequential(fmt.Sprintf("head-%s", b.name),
+			nn.NewGlobalAvgPool(), nn.NewLinear(b.rng, b.shape[0], classes))
+	case 2:
+		layer = nn.NewSequential(fmt.Sprintf("head-%s", b.name),
+			nn.NewTokenMeanPool(), nn.NewLinear(b.rng, b.shape[1], classes))
+	default:
+		b.err = fmt.Errorf("gmorph: cannot attach a head to features %v", b.shape)
+		return b
+	}
+	n := graph.NewBlockNode(b.taskID, b.opID, "Head", b.shape, b.domain, layer)
+	b.m.AddChild(b.cur, n)
+	b.m.TaskNames[b.taskID] = b.name
+	b.m.RefreshCapacities()
+	b.done = true
+	return b
+}

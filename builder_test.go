@@ -1,0 +1,148 @@
+package gmorph_test
+
+import (
+	"strings"
+	"testing"
+
+	gmorph "repro"
+)
+
+func TestBranchBuilderConvNet(t *testing.T) {
+	m := gmorph.NewModel(gmorph.Shape{3, 16, 16})
+	rng := gmorph.NewRNG(1)
+	b := gmorph.NewBranch(m, rng, "depth", 0).
+		ConvBlock(8, true, true).
+		ConvBlock(16, true, true).
+		Head(5)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TaskNames[0] != "depth" {
+		t.Fatal("task name not registered")
+	}
+	x := gmorph.NewTensor(2, 3, 16, 16)
+	out := m.Forward(x, false)
+	if out[0].Dim(1) != 5 {
+		t.Fatalf("output shape %v", out[0].Shape())
+	}
+}
+
+func TestBranchBuilderResNetAndTransformer(t *testing.T) {
+	m := gmorph.NewModel(gmorph.Shape{3, 16, 16})
+	rng := gmorph.NewRNG(2)
+	if err := gmorph.NewBranch(m, rng, "cnn", 0).
+		ConvBlock(8, true, false).
+		ResidualBlock(16, 2).
+		Head(3).Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gmorph.NewBranch(m, rng, "vit", 1).
+		PatchEmbed(8, 24).
+		TransformerBlock(4, 48).
+		Head(2).Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := gmorph.NewTensor(1, 3, 16, 16)
+	out := m.Forward(x, false)
+	if len(out) != 2 {
+		t.Fatalf("outputs = %d", len(out))
+	}
+}
+
+func TestBranchBuilderTokenModel(t *testing.T) {
+	m := gmorph.NewModel(gmorph.Shape{10})
+	rng := gmorph.NewRNG(3)
+	if err := gmorph.NewBranch(m, rng, "lm", 0).
+		Embedding(32, 16).
+		TransformerBlock(4, 32).
+		TransformerBlock(4, 32).
+		Head(2).Err(); err != nil {
+		t.Fatal(err)
+	}
+	ids := gmorph.NewTensor(2, 10)
+	for i := range ids.Data() {
+		ids.Data()[i] = float32(i % 32)
+	}
+	out := m.Forward(ids, false)
+	if out[0].Dim(1) != 2 {
+		t.Fatalf("output shape %v", out[0].Shape())
+	}
+}
+
+func TestBranchBuilderErrors(t *testing.T) {
+	m := gmorph.NewModel(gmorph.Shape{3, 16, 16})
+	rng := gmorph.NewRNG(4)
+
+	// Duplicate task id.
+	if err := gmorph.NewBranch(m, rng, "a", 0).ConvBlock(4, false, false).Head(2).Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gmorph.NewBranch(m, rng, "b", 0).ConvBlock(4, false, false).Head(2).Err(); err == nil {
+		t.Fatal("duplicate task id accepted")
+	}
+
+	// Wrong domain op.
+	if err := gmorph.NewBranch(m, rng, "c", 1).TransformerBlock(2, 8).Err(); err == nil {
+		t.Fatal("transformer on image input accepted")
+	}
+
+	// Ops after Head.
+	b := gmorph.NewBranch(m, rng, "d", 2).ConvBlock(4, false, false).Head(2)
+	if err := b.ConvBlock(4, false, false).Err(); err == nil {
+		t.Fatal("block after head accepted")
+	}
+
+	// Embedding on image input.
+	if err := gmorph.NewBranch(m, rng, "e", 3).Embedding(16, 8).Err(); err == nil {
+		t.Fatal("embedding on image input accepted")
+	}
+
+	// Bad patch size.
+	if err := gmorph.NewBranch(m, rng, "f", 4).PatchEmbed(5, 8).Err(); err == nil {
+		t.Fatal("bad patch size accepted")
+	}
+	// Error messages are descriptive.
+	err := gmorph.NewBranch(m, rng, "g", 5).PatchEmbed(5, 8).Err()
+	if err == nil || !strings.Contains(err.Error(), "PatchEmbed") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// Custom-built branches must participate in fusion like zoo branches.
+func TestBranchBuilderFusion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ds := gmorph.NewFaceDataset(64, 32, 16, 61, "gender", "ethnicity")
+	m := gmorph.NewModel(gmorph.Shape{3, 16, 16})
+	rng := gmorph.NewRNG(62)
+	if err := gmorph.NewBranch(m, rng, "gender", 0).
+		ConvBlock(6, true, true).ConvBlock(12, true, true).ConvBlock(12, true, false).Head(2).Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gmorph.NewBranch(m, rng, "ethnicity", 1).
+		ConvBlock(8, true, true).ResidualBlock(12, 2).Head(3).Err(); err != nil {
+		t.Fatal(err)
+	}
+	gmorph.Pretrain(m, ds, 8, 0.004, 63)
+	res, err := gmorph.Fuse(m, ds, gmorph.Config{
+		AccuracyDrop:   0.10,
+		Rounds:         6,
+		FineTuneEpochs: 8,
+		LearningRate:   0.003,
+		EvalEvery:      2,
+		Seed:           64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found && gmorph.FLOPs(res.Model) >= gmorph.FLOPs(m) {
+		t.Fatal("fusion of custom branches did not reduce cost")
+	}
+}

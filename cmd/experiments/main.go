@@ -1,0 +1,301 @@
+// Command experiments regenerates the paper's figures and tables on the
+// simulated substrate. Each experiment writes a CSV (for plotting) and/or a
+// formatted text table to the results directory and to stdout.
+//
+// Usage:
+//
+//	experiments -exp fig7 -scale small -out results/
+//	experiments -exp all  -scale tiny
+//
+// Experiments: fig1, fig2, fig3, fig7 (also yields tables 7-9 and table 5),
+// fig8, table3, table4, all.
+//
+// Scales: tiny (seconds per experiment), small (minutes), full (hours; the
+// paper-shaped 200-round sweep).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	exp := flag.String("exp", "all", "experiment to run: fig1|fig2|fig3|fig7|fig8|table3|table4|all")
+	scaleName := flag.String("scale", "tiny", "run scale: tiny|small|full")
+	outDir := flag.String("out", "results", "output directory for CSVs and tables")
+	benches := flag.String("benches", "", "comma-separated benchmark ids (default depends on scale)")
+	seed := flag.Uint64("seed", 0, "override the scale's RNG seed")
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scaleName {
+	case "tiny":
+		sc = bench.Tiny()
+	case "small":
+		sc = bench.Small()
+	case "full":
+		sc = bench.Full()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	ids := defaultBenches(*scaleName)
+	if *benches != "" {
+		ids = strings.Split(*benches, ",")
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		log.Printf("=== %s (scale %s) ===", name, *scaleName)
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	run("fig1", func() error { return runFig1(sc, *outDir, *scaleName) })
+	run("fig2", func() error { return runFig2(sc, *outDir, *scaleName) })
+	run("fig3", func() error { return runFig3(sc, *outDir, *scaleName) })
+	run("fig7", func() error { return runFig7(sc, *outDir, ids, *scaleName) })
+	run("fig8", func() error { return runFig8(sc, *outDir) })
+	run("table3", func() error { return runTable3(sc, *outDir, ids) })
+	run("table4", func() error { return runTable4(sc, *outDir, ids) })
+	run("ablation", func() error { return runAblation(sc, *outDir) })
+	run("serving", func() error { return runServing(sc, *outDir, ids) })
+	run("fig9", func() error { return runFig9(sc, *outDir) })
+}
+
+func runServing(sc bench.Scale, out string, ids []string) error {
+	rows, err := bench.RunServing(ids, 0.05, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatServing(rows))
+	return writeFile(out, "serving.txt", func(f *os.File) error {
+		_, err := f.WriteString(bench.FormatServing(rows))
+		return err
+	})
+}
+
+func runFig9(sc bench.Scale, out string) error {
+	orig, fused, err := bench.BestModelDOT("B5", 0.05, sc)
+	if err != nil {
+		return err
+	}
+	if err := writeFile(out, "fig9_original.dot", func(f *os.File) error {
+		_, err := f.WriteString(orig)
+		return err
+	}); err != nil {
+		return err
+	}
+	return writeFile(out, "fig9_fused.dot", func(f *os.File) error {
+		_, err := f.WriteString(fused)
+		return err
+	})
+}
+
+// defaultBenches keeps tiny runs quick while small/full cover everything.
+func defaultBenches(scale string) []string {
+	if scale == "tiny" {
+		return []string{"B1", "B4"}
+	}
+	return []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7"}
+}
+
+// drops picks accuracy-drop thresholds: the paper's 0/1/2% at full scale;
+// looser at reduced scales where synthetic-metric noise is larger.
+func drops(scale string) []float64 {
+	if scale == "full" {
+		return []float64{0, 0.01, 0.02}
+	}
+	return []float64{0, 0.02, 0.05}
+}
+
+func writeFile(dir, name string, body func(f *os.File) error) error {
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := body(f); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", path)
+	return nil
+}
+
+func runFig1(sc bench.Scale, out, scale string) error {
+	samples := 4
+	if scale == "small" {
+		samples = 25
+	}
+	if scale == "full" {
+		samples = 200
+	}
+	for _, id := range []string{"B2", "B4"} { // 3xVGG16 and ResNet18+34
+		spec, err := bench.SpecByID(id)
+		if err != nil {
+			return err
+		}
+		points, err := bench.RunFigure1(spec, sc, samples)
+		if err != nil {
+			return err
+		}
+		var sim, diff int
+		for _, p := range points {
+			if p.Similar {
+				sim++
+			} else {
+				diff++
+			}
+		}
+		fmt.Printf("fig1 %s: %d similar-shape and %d different-shape fusions\n", id, sim, diff)
+		if err := writeFile(out, "fig1_"+id+".csv", func(f *os.File) error {
+			return bench.WriteFig1CSV(f, points)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig2(sc bench.Scale, out, scale string) error {
+	for _, drop := range []float64{0.02, 0.05} {
+		points, err := bench.RunFigure2(sc, drop)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fig2 drop=%.2f: %d accepted candidates\n", drop, len(points))
+		name := fmt.Sprintf("fig2_drop%.0f.csv", drop*100)
+		if err := writeFile(out, name, func(f *os.File) error {
+			return bench.WriteFig2CSV(f, points)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig3(sc bench.Scale, out, scale string) error {
+	inits := 6
+	if scale == "small" {
+		inits = 30
+	}
+	if scale == "full" {
+		inits = 120
+	}
+	res, err := bench.RunFigure3(sc, inits)
+	if err != nil {
+		return err
+	}
+	for ai, ds := range res.Drops {
+		lo, hi := ds[0], ds[0]
+		for _, d := range ds {
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		fmt.Printf("fig3 architecture %d: %d inits, drop range [%.3f, %.3f]\n", ai+1, len(ds), lo, hi)
+	}
+	return writeFile(out, "fig3.csv", func(f *os.File) error {
+		return bench.WriteFig3CSV(f, res)
+	})
+}
+
+func runFig7(sc bench.Scale, out string, ids []string, scale string) error {
+	variants := []string{bench.VariantPlain, bench.VariantP, bench.VariantPR}
+	rows, err := bench.RunFigure7(ids, drops(scale), variants, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatFig7(rows))
+	if err := writeFile(out, "fig7_tables789.csv", func(f *os.File) error {
+		return bench.WriteFig7CSV(f, rows)
+	}); err != nil {
+		return err
+	}
+	t5 := bench.Table5FromFig7(rows)
+	fmt.Print(bench.FormatTable5(t5))
+	return writeFile(out, "table5.txt", func(f *os.File) error {
+		_, err := f.WriteString(bench.FormatTable5(t5))
+		return err
+	})
+}
+
+func runFig8(sc bench.Scale, out string) error {
+	curves, err := bench.RunFigure8(sc, 0.02)
+	if err != nil {
+		return err
+	}
+	for _, c := range curves {
+		final := 0.0
+		if n := len(c.LatencyMS); n > 0 {
+			final = c.LatencyMS[n-1]
+		}
+		fmt.Printf("fig8 %-16s rounds=%d final best latency %.3fms\n", c.Variant, len(c.Seconds), final)
+	}
+	return writeFile(out, "fig8.csv", func(f *os.File) error {
+		return bench.WriteFig8CSV(f, curves)
+	})
+}
+
+func runTable3(sc bench.Scale, out string, ids []string) error {
+	rows, err := bench.RunTable3(ids, 0.02, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatTable3(rows))
+	return writeFile(out, "table3.txt", func(f *os.File) error {
+		_, err := f.WriteString(bench.FormatTable3(rows))
+		return err
+	})
+}
+
+func runAblation(sc bench.Scale, out string) error {
+	pairs, err := bench.RunAblationPairsPerPass(sc, 0.02, []int{1, 2, 4})
+	if err != nil {
+		return err
+	}
+	elites, err := bench.RunAblationEliteCapacity(sc, 0.02, []int{1, 4, 16})
+	if err != nil {
+		return err
+	}
+	body := bench.FormatAblation("pairs-per-pass sweep (B1)", pairs) +
+		bench.FormatAblation("elite-capacity sweep (B1)", elites)
+	fmt.Print(body)
+	return writeFile(out, "ablation.txt", func(f *os.File) error {
+		_, err := f.WriteString(body)
+		return err
+	})
+}
+
+func runTable4(sc bench.Scale, out string, ids []string) error {
+	rows, err := bench.RunTable4(ids, 0.02, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatTable4(rows))
+	return writeFile(out, "table4.txt", func(f *os.File) error {
+		_, err := f.WriteString(bench.FormatTable4(rows))
+		return err
+	})
+}

@@ -1,0 +1,219 @@
+// Command gmorph runs a GMorph model-fusion search from a JSON
+// configuration, mirroring the paper's framework input: a set of teacher
+// models plus an optimization config (metric, accuracy threshold,
+// fine-tuning hyperparameters, search budget).
+//
+// Usage:
+//
+//	gmorph -config fusion.json [-out fused.gmck] [-v]
+//
+// Example configuration:
+//
+//	{
+//	  "benchmark": "B1",          // a built-in benchmark (B1..B7), or
+//	  "teachers": "teachers.gmck",// a checkpoint from cmd/modelzoo
+//	  "dataset": {"family": "face", "train": 256, "test": 128,
+//	              "size": 32, "seqlen": 16, "seed": 1,
+//	              "tasks": ["age","gender","ethnicity"]},
+//	  "accuracy_drop": 0.01,
+//	  "rounds": 50,
+//	  "finetune_epochs": 12,
+//	  "learning_rate": 0.002,
+//	  "batch_size": 16,
+//	  "eval_every": 2,
+//	  "early_termination": true,
+//	  "rule_filter": true,
+//	  "width_scale": 2,
+//	  "pretrain_epochs": 10,
+//	  "seed": 1
+//	}
+//
+// When "benchmark" is set, the teachers are built and pre-trained from the
+// built-in benchmark spec; otherwise "teachers" must point at a checkpoint
+// and "dataset" describes the stream it was trained on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	gmorph "repro"
+	"repro/internal/bench"
+	"repro/internal/data"
+	"repro/internal/parser"
+)
+
+type datasetConfig struct {
+	Family string   `json:"family"`
+	Train  int      `json:"train"`
+	Test   int      `json:"test"`
+	Size   int      `json:"size"`
+	SeqLen int      `json:"seqlen"`
+	Seed   uint64   `json:"seed"`
+	Tasks  []string `json:"tasks"`
+}
+
+type fileConfig struct {
+	Benchmark        string         `json:"benchmark"`
+	Teachers         string         `json:"teachers"`
+	Dataset          *datasetConfig `json:"dataset"`
+	AccuracyDrop     float64        `json:"accuracy_drop"`
+	Rounds           int            `json:"rounds"`
+	FineTuneEpochs   int            `json:"finetune_epochs"`
+	LearningRate     float32        `json:"learning_rate"`
+	BatchSize        int            `json:"batch_size"`
+	EvalEvery        int            `json:"eval_every"`
+	EarlyTermination bool           `json:"early_termination"`
+	RuleFilter       bool           `json:"rule_filter"`
+	RandomPolicy     bool           `json:"random_policy"`
+	OptimizeFLOPs    bool           `json:"optimize_flops"`
+	WidthScale       int            `json:"width_scale"`
+	PretrainEpochs   int            `json:"pretrain_epochs"`
+	Seed             uint64         `json:"seed"`
+}
+
+func buildDataset(dc *datasetConfig) (*data.Dataset, error) {
+	if dc == nil {
+		return nil, fmt.Errorf("config: dataset section required")
+	}
+	switch dc.Family {
+	case "face":
+		return data.NewFace(data.FaceConfig{
+			Train: dc.Train, Test: dc.Test, Size: dc.Size,
+			Noise: 0.08, Seed: dc.Seed, Tasks: dc.Tasks,
+		}), nil
+	case "scene":
+		return data.NewScene(data.SceneConfig{
+			Train: dc.Train, Test: dc.Test, Size: dc.Size,
+			ObjectClasses: 6, MaxObjects: 3, Noise: 0.05, Seed: dc.Seed,
+		}), nil
+	case "text":
+		return data.NewText(data.TextConfig{
+			Train: dc.Train, Test: dc.Test, SeqLen: dc.SeqLen, Vocab: 40, Seed: dc.Seed,
+		}), nil
+	}
+	return nil, fmt.Errorf("config: unknown dataset family %q", dc.Family)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gmorph: ")
+	configPath := flag.String("config", "", "path to the JSON fusion config (required)")
+	outPath := flag.String("out", "fused.gmck", "where to write the fused model checkpoint")
+	stateDir := flag.String("state", "", "optional directory for resumable search state")
+	verbose := flag.Bool("v", false, "log every search round")
+	flag.Parse()
+	if *configPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*configPath)
+	if err != nil {
+		log.Fatalf("reading config: %v", err)
+	}
+	var fc fileConfig
+	if err := json.Unmarshal(raw, &fc); err != nil {
+		log.Fatalf("parsing config: %v", err)
+	}
+
+	var teachers *gmorph.Model
+	var ds *gmorph.Dataset
+	switch {
+	case fc.Benchmark != "":
+		spec, err := bench.SpecByID(fc.Benchmark)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc := bench.Small()
+		if fc.WidthScale > 0 {
+			sc.WidthScale = fc.WidthScale
+		}
+		if fc.PretrainEpochs > 0 {
+			sc.PretrainEpochs = fc.PretrainEpochs
+		}
+		if fc.Seed != 0 {
+			sc.Seed = fc.Seed
+		}
+		if fc.Dataset != nil {
+			if fc.Dataset.Train > 0 {
+				sc.Train = fc.Dataset.Train
+			}
+			if fc.Dataset.Test > 0 {
+				sc.Test = fc.Dataset.Test
+			}
+			if fc.Dataset.Size > 0 {
+				sc.ImgSize = fc.Dataset.Size
+			}
+			if fc.Dataset.SeqLen > 0 {
+				sc.SeqLen = fc.Dataset.SeqLen
+			}
+		}
+		log.Printf("building benchmark %s (%s) and pre-training teachers...", spec.ID, spec.App)
+		w, err := bench.Build(spec, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		teachers, ds = w.Teacher, w.Dataset
+		for id, a := range w.TeacherAcc {
+			log.Printf("teacher %-10s metric %.4f", w.Dataset.Tasks[id].Name, a)
+		}
+	case fc.Teachers != "":
+		teachers, err = parser.LoadFile(fc.Teachers)
+		if err != nil {
+			log.Fatalf("loading teachers: %v", err)
+		}
+		ds, err = buildDataset(fc.Dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("config: either benchmark or teachers must be set")
+	}
+
+	cfg := gmorph.Config{
+		AccuracyDrop:     fc.AccuracyDrop,
+		Rounds:           fc.Rounds,
+		FineTuneEpochs:   fc.FineTuneEpochs,
+		LearningRate:     fc.LearningRate,
+		BatchSize:        fc.BatchSize,
+		EvalEvery:        fc.EvalEvery,
+		EarlyTermination: fc.EarlyTermination,
+		RuleFilter:       fc.RuleFilter,
+		RandomPolicy:     fc.RandomPolicy,
+		OptimizeFLOPs:    fc.OptimizeFLOPs,
+		Seed:             fc.Seed,
+		StateDir:         *stateDir,
+	}
+	if *verbose {
+		cfg.OnRound = func(tr gmorph.Trace) {
+			log.Printf("round %3d: met=%v skipped=%v terminated=%v fromElite=%v best=%v",
+				tr.Iteration, tr.Met, tr.Skipped, tr.Terminated, tr.FromElite, tr.BestLatency)
+		}
+	}
+
+	log.Printf("searching (%d rounds, drop <= %.2f%%)...", max(cfg.Rounds, 1), fc.AccuracyDrop*100)
+	res, err := gmorph.Fuse(teachers, ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		log.Printf("no candidate met the accuracy targets; keeping the original models")
+	} else {
+		log.Printf("fused model: %.2fx speedup (%.3fms -> %.3fms), search %.1fs",
+			res.Speedup,
+			float64(res.OriginalLatency.Microseconds())/1000,
+			float64(res.FusedLatency.Microseconds())/1000,
+			res.SearchTime.Seconds())
+		for id, a := range res.Accuracy {
+			log.Printf("task %-10s metric %.4f (target %.4f)", ds.Tasks[id].Name, a, res.Targets[id])
+		}
+	}
+	if err := gmorph.Save(*outPath, res.Model); err != nil {
+		log.Fatalf("saving checkpoint: %v", err)
+	}
+	log.Printf("wrote %s", *outPath)
+}

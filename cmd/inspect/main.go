@@ -1,0 +1,75 @@
+// Command inspect prints a report on a saved model checkpoint: the task
+// list, the block tree, capacity and FLOPs statistics, and optionally a
+// Graphviz DOT rendering of the architecture.
+//
+// Usage:
+//
+//	inspect -model fused.gmck [-dot fused.dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/parser"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("inspect: ")
+	modelPath := flag.String("model", "", "checkpoint to inspect (required)")
+	dotPath := flag.String("dot", "", "optional path to write a Graphviz DOT rendering")
+	flag.Parse()
+	if *modelPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := parser.LoadFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint: %s\n", *modelPath)
+	fmt.Printf("input shape: %v\n", g.Root.InputShape)
+	fmt.Printf("tasks (%d):\n", len(g.Heads))
+	for _, id := range g.Tasks() {
+		name := g.TaskNames[id]
+		if name == "" {
+			name = fmt.Sprintf("task-%d", id)
+		}
+		head := g.Heads[id]
+		fmt.Printf("  %d: %-12s head input %v, path length %d blocks\n",
+			id, name, head.InputShape, len(g.Path(head)))
+	}
+
+	g.RefreshCapacities()
+	p := g.Capacity()
+	fmt.Printf("blocks: %d (of which shared: %d params %d)\n", g.NodeCount(), sharedNodes(g), p.Shared)
+	fmt.Printf("parameters: %d total\n", p.Total)
+	for _, id := range g.Tasks() {
+		fmt.Printf("  task %d: total %d, task-specific %d\n", id, p.TaskTotal[id], p.TaskSpecific[id])
+	}
+	fmt.Printf("FLOPs/sample: %d\n", g.FLOPs())
+	fmt.Println("\nblock tree:")
+	fmt.Print(g.String())
+
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(g.ToDOT(*modelPath)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *dotPath)
+	}
+}
+
+func sharedNodes(g *graph.Graph) int {
+	var n int
+	for _, nd := range g.Nodes() {
+		if len(g.TaskSet(nd)) > 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,68 @@
+// Command modelzoo builds and pre-trains the teacher models of a built-in
+// benchmark, then saves the multi-DNN graph as a checkpoint for use with
+// cmd/gmorph. It stands in for downloading pre-trained checkpoints in the
+// paper's artifact.
+//
+// Usage:
+//
+//	modelzoo -bench B1 -out teachers_b1.gmck -scale small
+package main
+
+import (
+	"flag"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/parser"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("modelzoo: ")
+	id := flag.String("bench", "B1", "benchmark id (B1..B7)")
+	out := flag.String("out", "teachers.gmck", "output checkpoint path")
+	scaleName := flag.String("scale", "small", "tiny|small|full")
+	seed := flag.Uint64("seed", 0, "override RNG seed")
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scaleName {
+	case "tiny":
+		sc = bench.Tiny()
+	case "small":
+		sc = bench.Small()
+	case "full":
+		sc = bench.Full()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	spec, err := bench.SpecByID(*id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("building %s (%s): %d tasks", spec.ID, spec.App, len(spec.Tasks))
+	w, err := bench.Build(spec, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for tid, acc := range w.TeacherAcc {
+		log.Printf("teacher %-10s (%s) metric %.4f",
+			w.Dataset.Tasks[tid].Name, spec.Tasks[tid].Arch, acc)
+	}
+	if err := parser.SaveFile(*out, w.Teacher); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d nodes, %d params)", *out, w.Teacher.NodeCount(), countParams(w))
+}
+
+func countParams(w *bench.Workload) int64 {
+	var n int64
+	for _, p := range w.Teacher.Params() {
+		n += int64(p.Value.Size())
+	}
+	return n
+}

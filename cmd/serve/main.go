@@ -1,0 +1,52 @@
+// Command serve exposes a saved (fused) model checkpoint over HTTP — the
+// paper's model-serving deployment scenario.
+//
+// Usage:
+//
+//	serve -model fused.gmck -addr :8080 -pool 2
+//
+// Then:
+//
+//	curl -s localhost:8080/v1/model
+//	curl -s -X POST localhost:8080/v1/infer -d '{"input":[...]}'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/parser"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	modelPath := flag.String("model", "", "model checkpoint to serve (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	pool := flag.Int("pool", 2, "number of compiled engine instances")
+	flag.Parse()
+	if *modelPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := parser.LoadFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %s: %d tasks, %d blocks, input %v",
+		*modelPath, len(g.Heads), g.NodeCount(), g.Root.InputShape)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(g, *pool).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

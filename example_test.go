@@ -1,0 +1,42 @@
+package gmorph_test
+
+import (
+	"fmt"
+
+	gmorph "repro"
+)
+
+// ExampleFuse demonstrates the end-to-end fusion flow on two small zoo
+// models. (Not executed during tests — fusion timing is machine-dependent;
+// see examples/quickstart for a runnable version.)
+func ExampleFuse() {
+	ds := gmorph.NewFaceDataset(128, 64, 32, 7, "gender", "ethnicity")
+	rng := gmorph.NewRNG(42)
+	teachers := gmorph.NewModel(gmorph.Shape{3, 32, 32})
+	zoo := gmorph.ZooConfig{WidthScale: 4}
+	_ = gmorph.AddBranch(teachers, rng, zoo, gmorph.VGG11, "gender", 0, 2)
+	_ = gmorph.AddBranch(teachers, rng, zoo, gmorph.VGG11, "ethnicity", 1, 3)
+	gmorph.Pretrain(teachers, ds, 10, 0.004, 1)
+
+	res, err := gmorph.Fuse(teachers, ds, gmorph.Config{
+		AccuracyDrop:   0.05,
+		Rounds:         10,
+		FineTuneEpochs: 10,
+	})
+	if err == nil && res.Found {
+		fmt.Printf("speedup %.1fx\n", res.Speedup)
+	}
+}
+
+// ExampleNewBranch shows how to fuse custom (non-zoo) architectures.
+func ExampleNewBranch() {
+	m := gmorph.NewModel(gmorph.Shape{3, 16, 16})
+	rng := gmorph.NewRNG(1)
+	b := gmorph.NewBranch(m, rng, "depth", 0).
+		ConvBlock(16, true, true).
+		ResidualBlock(32, 2).
+		Head(5)
+	if err := b.Err(); err != nil {
+		fmt.Println(err)
+	}
+}

@@ -1,0 +1,57 @@
+// General Language Understanding (benchmark B7 from the paper): a
+// BERT-Large grammaticality model (CoLA, scored with Matthews correlation)
+// and a BERT-Base sentiment model (SST-2, scored with accuracy) read the
+// same token stream. The two transformers differ in depth and hidden size;
+// GMorph shares encoder blocks across them via token-space Rescale
+// adapters.
+//
+// Run with:
+//
+//	go run ./examples/glue
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gmorph "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds := gmorph.NewTextDataset(160, 80, 12, 51)
+	rng := gmorph.NewRNG(52)
+	teachers := gmorph.NewModel(gmorph.Shape{12})
+	zoo := gmorph.ZooConfig{Vocab: 40}
+	must(gmorph.AddBranch(teachers, rng, zoo, gmorph.BERTLarge, "cola", 0, 2))
+	must(gmorph.AddBranch(teachers, rng, zoo, gmorph.BERTBase, "sst", 1, 2))
+
+	teacherAcc := gmorph.Pretrain(teachers, ds, 12, 0.002, 53)
+	fmt.Printf("teachers: cola MCC %.3f, sst acc %.3f | latency %v\n",
+		teacherAcc[0], teacherAcc[1], gmorph.Latency(teachers))
+
+	res, err := gmorph.Fuse(teachers, ds, gmorph.Config{
+		AccuracyDrop:     0.08, // MCC is noisier than accuracy at tiny scale
+		Rounds:           10,
+		FineTuneEpochs:   8,
+		LearningRate:     0.002,
+		EvalEvery:        2,
+		EarlyTermination: true,
+		Seed:             54,
+	})
+	must(err)
+	if !res.Found {
+		fmt.Println("gmorph: no candidate met the targets at this tiny scale")
+		return
+	}
+	fmt.Printf("gmorph fused: cola %.3f sst %.3f | %.2fx speedup, search %.1fs\n",
+		res.Accuracy[0], res.Accuracy[1], res.Speedup, res.SearchTime.Seconds())
+	fmt.Printf("blocks: %d -> %d\n", teachers.NodeCount(), res.Model.NodeCount())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: fuse two small VGG-11 classifiers that watch the same face
+// stream into one multi-task model, then verify accuracy and speedup.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gmorph "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A shared input stream with two prediction tasks.
+	ds := gmorph.NewFaceDataset(128, 64, 32, 7, "gender", "ethnicity")
+
+	// 2. Two independently pre-trained task-specific DNNs (the "teachers").
+	rng := gmorph.NewRNG(42)
+	teachers := gmorph.NewModel(gmorph.Shape{3, 32, 32})
+	zoo := gmorph.ZooConfig{WidthScale: 4}
+	must(gmorph.AddBranch(teachers, rng, zoo, gmorph.VGG11, "gender", 0, 2))
+	must(gmorph.AddBranch(teachers, rng, zoo, gmorph.VGG11, "ethnicity", 1, 3))
+	acc := gmorph.Pretrain(teachers, ds, 10, 0.004, 1)
+	fmt.Printf("teachers: gender %.3f, ethnicity %.3f, latency %v\n",
+		acc[0], acc[1], gmorph.Latency(teachers))
+
+	// 3. Fuse: search for a multi-task model within a 5%-drop budget.
+	res, err := gmorph.Fuse(teachers, ds, gmorph.Config{
+		AccuracyDrop:   0.05,
+		Rounds:         10,
+		FineTuneEpochs: 10,
+		LearningRate:   0.003,
+		EvalEvery:      2,
+		Seed:           3,
+	})
+	must(err)
+
+	if !res.Found {
+		fmt.Println("no fusion met the accuracy targets; keeping the originals")
+		return
+	}
+	fmt.Printf("fused:    gender %.3f, ethnicity %.3f, latency %v (%.2fx speedup)\n",
+		res.Accuracy[0], res.Accuracy[1], res.FusedLatency, res.Speedup)
+	fmt.Printf("FLOPs: %d -> %d\n", gmorph.FLOPs(teachers), gmorph.FLOPs(res.Model))
+
+	// 4. Persist the fused model.
+	must(gmorph.Save("fused_quickstart.gmck", res.Model))
+	fmt.Println("saved fused model to fused_quickstart.gmck")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

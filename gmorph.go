@@ -1,0 +1,367 @@
+// Package gmorph is a pure-Go reproduction of "GMorph: Accelerating
+// Multi-DNN Inference via Model Fusion" (Yang et al., EuroSys 2024).
+//
+// GMorph fuses multiple separately pre-trained, possibly heterogeneous
+// task-specific DNNs that consume the same input stream into one efficient
+// multi-task model, preserving each task's accuracy. It works by mutating
+// an abstract graph of the models — re-routing computation blocks so tasks
+// share intermediate features — and searching the mutation space with a
+// simulated-annealing policy, filtering non-promising candidates before
+// and during distillation-based fine-tuning.
+//
+// The package exposes the end-to-end flow:
+//
+//	ds := gmorph.NewFaceDataset(...)            // or your own Dataset
+//	teachers := gmorph.NewModel(inputShape)     // build + pretrain branches
+//	...
+//	result, err := gmorph.Fuse(teachers, ds, gmorph.Config{
+//	    AccuracyDrop: 0.01,
+//	    Rounds:       50,
+//	})
+//	fused := result.Model                        // trained multi-task model
+//
+// Everything — tensors, autodiff layers, the model zoo, the search, the
+// execution engines — is implemented in this repository with only the Go
+// standard library.
+package gmorph
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/distill"
+	"repro/internal/engine"
+	"repro/internal/estimator"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/mtl"
+	"repro/internal/parser"
+	"repro/internal/tensor"
+)
+
+// Re-exported building blocks. Aliases keep the public API surface small
+// while the implementation lives in internal packages.
+type (
+	// Model is a (multi-task) model represented as an abstract graph.
+	Model = graph.Graph
+	// Node is one computation block of a Model.
+	Node = graph.Node
+	// Shape is a per-sample feature shape.
+	Shape = graph.Shape
+	// Dataset is a multi-task dataset over one input stream.
+	Dataset = data.Dataset
+	// Tensor is a dense float32 tensor.
+	Tensor = tensor.Tensor
+	// RNG is the deterministic random generator used across the library.
+	RNG = tensor.RNG
+	// Elite is a trained fusion candidate that met the accuracy targets.
+	Elite = core.Elite
+	// Trace records one search round.
+	Trace = core.Trace
+	// Engine runs inference for a Model.
+	Engine = engine.Engine
+)
+
+// Model zoo architecture names.
+const (
+	VGG11     = models.VGG11
+	VGG13     = models.VGG13
+	VGG16     = models.VGG16
+	ResNet18  = models.ResNet18
+	ResNet34  = models.ResNet34
+	ViTBase   = models.ViTBase
+	ViTLarge  = models.ViTLarge
+	BERTBase  = models.BERTBase
+	BERTLarge = models.BERTLarge
+)
+
+// NewRNG returns a deterministic random generator.
+func NewRNG(seed uint64) *RNG { return tensor.NewRNG(seed) }
+
+// NewModel creates an empty model whose branches share an input of the
+// given per-sample shape (e.g. Shape{3, 32, 32} for RGB images or
+// Shape{16} for token ids).
+func NewModel(inputShape Shape) *Model {
+	return graph.New(inputShape, graph.DomainRaw)
+}
+
+// ZooConfig scales the built-in model zoo.
+type ZooConfig struct {
+	// WidthScale divides reference channel widths (1 = widest).
+	WidthScale int
+	// Vocab sizes BERT embeddings (default 40).
+	Vocab int
+	// OpGranularity traces each basic operator (Conv2d, BatchNorm, ReLU,
+	// MaxPool) as its own graph node instead of one node per block,
+	// enlarging the mutation search space (VGG family only).
+	OpGranularity bool
+}
+
+// AddBranch appends a task branch with the named zoo architecture to the
+// model and names the task.
+func AddBranch(m *Model, rng *RNG, zoo ZooConfig, arch, taskName string, taskID, classes int) error {
+	cfg := models.Config{WidthScale: zoo.WidthScale, Vocab: zoo.Vocab}
+	if zoo.OpGranularity {
+		cfg.Granularity = models.GranularityOp
+	}
+	if _, err := models.AddBranch(m, rng, cfg, arch, taskID, classes); err != nil {
+		return err
+	}
+	m.TaskNames[taskID] = taskName
+	m.RefreshCapacities()
+	return nil
+}
+
+// NewFaceDataset generates the synthetic face stream (age / gender /
+// ethnicity / emotion tasks). See data.FaceConfig for semantics.
+func NewFaceDataset(train, test, size int, seed uint64, tasks ...string) *Dataset {
+	if len(tasks) == 0 {
+		tasks = nil
+	}
+	return data.NewFace(data.FaceConfig{
+		Train: train, Test: test, Size: size, Noise: 0.08, Seed: seed, Tasks: tasks,
+	})
+}
+
+// NewSceneDataset generates the synthetic scene stream (multi-label object
+// presence + salient-object counting).
+func NewSceneDataset(train, test, size int, seed uint64) *Dataset {
+	return data.NewScene(data.SceneConfig{
+		Train: train, Test: test, Size: size,
+		ObjectClasses: 6, MaxObjects: 3, Noise: 0.05, Seed: seed,
+	})
+}
+
+// NewTextDataset generates the synthetic token stream (CoLA-style
+// grammaticality + SST-style sentiment).
+func NewTextDataset(train, test, seqLen int, seed uint64) *Dataset {
+	return data.NewText(data.TextConfig{Train: train, Test: test, SeqLen: seqLen, Vocab: 40, Seed: seed})
+}
+
+// Pretrain trains the model's branches on the dataset's task labels,
+// standing in for loading pre-trained checkpoints. It returns each task's
+// test metric.
+func Pretrain(m *Model, ds *Dataset, epochs int, lr float32, seed uint64) map[int]float64 {
+	return bench.Pretrain(m, ds, epochs, lr, seed)
+}
+
+// Config controls a fusion search, mirroring the paper's configuration
+// file: optimization metric, accuracy threshold, fine-tuning
+// hyperparameters, and search budget.
+type Config struct {
+	// AccuracyDrop is the tolerated per-task metric drop (0, 0.01, ...).
+	AccuracyDrop float64
+	// Rounds is the number of graph mutation iterations (default 50).
+	Rounds int
+	// FineTuneEpochs bounds each candidate's fine-tuning (default 10).
+	FineTuneEpochs int
+	// LearningRate for distillation fine-tuning (default 1e-3).
+	LearningRate float32
+	// BatchSize for fine-tuning minibatches (default 16).
+	BatchSize int
+	// EvalEvery epochs between test metric measurements (default 1).
+	EvalEvery int
+	// OptimizeFLOPs switches the objective from latency to FLOPs.
+	OptimizeFLOPs bool
+	// EarlyTermination enables learning-curve-based cancellation (the
+	// paper's "GMorph w P").
+	EarlyTermination bool
+	// RuleFilter additionally enables capacity-rule skipping ("w P+R").
+	RuleFilter bool
+	// RandomPolicy replaces simulated annealing with the random-sampling
+	// baseline.
+	RandomPolicy bool
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// TimeBudget optionally bounds the search wall-clock.
+	TimeBudget time.Duration
+	// Teachers optionally overrides the per-task accuracy targets; when
+	// nil they are measured from the input model before searching.
+	Targets map[int]float64
+	// OnRound observes each search round.
+	OnRound func(Trace)
+	// StateDir, when set, makes the search resumable: existing state in
+	// the directory seeds the elite list and iteration counter, and the
+	// final state is written back after the search.
+	StateDir string
+}
+
+// Result is the outcome of Fuse.
+type Result struct {
+	// Model is the best trained multi-task model (the original when no
+	// candidate met the targets — check Found).
+	Model *Model
+	// Found reports whether any candidate met the accuracy targets.
+	Found bool
+	// Speedup is original latency / fused latency (1 when !Found).
+	Speedup float64
+	// OriginalLatency and FusedLatency are measured inference times.
+	OriginalLatency, FusedLatency time.Duration
+	// Accuracy is the fused model's per-task test metric.
+	Accuracy map[int]float64
+	// Targets are the per-task accuracy thresholds used.
+	Targets map[int]float64
+	// SearchTime is the total search wall-clock.
+	SearchTime time.Duration
+	// Elites are all accepted candidates.
+	Elites []*Elite
+	// Traces are the per-round search records.
+	Traces []Trace
+}
+
+// ErrNoTasks reports a model with no task branches.
+var ErrNoTasks = errors.New("gmorph: model has no task branches")
+
+// Fuse searches for an efficient multi-task fusion of the model's task
+// branches, fine-tuning candidates against the input model's outputs
+// (knowledge distillation — no task labels are used beyond measuring the
+// test metric against the dataset).
+func Fuse(teachers *Model, ds *Dataset, cfg Config) (*Result, error) {
+	if len(teachers.Heads) == 0 {
+		return nil, ErrNoTasks
+	}
+	if err := teachers.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 50
+	}
+	if cfg.FineTuneEpochs == 0 {
+		cfg.FineTuneEpochs = 10
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 1e-3
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.EvalEvery == 0 {
+		cfg.EvalEvery = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+
+	targets := cfg.Targets
+	if targets == nil {
+		eval := &distill.Evaluator{Dataset: ds}
+		measured := eval.Measure(teachers)
+		targets = make(map[int]float64, len(measured))
+		for id, a := range measured {
+			targets[id] = a - cfg.AccuracyDrop
+		}
+	}
+
+	outs := distill.ComputeTeacherOutputs(teachers, ds.Train.X, 64)
+	acc := estimator.NewAccuracyEstimator(ds, targets, outs, ds.Train.X, estimator.AccuracyOptions{
+		FineTune: distill.Config{
+			LR: cfg.LearningRate, Epochs: cfg.FineTuneEpochs,
+			Batch: cfg.BatchSize, EvalEvery: cfg.EvalEvery, Seed: cfg.Seed,
+		},
+		UseEarlyTermination: cfg.EarlyTermination || cfg.RuleFilter,
+		UseRuleFilter:       cfg.RuleFilter,
+		Slack:               0.02,
+	})
+
+	coreCfg := core.Config{
+		Rounds:     cfg.Rounds,
+		Seed:       cfg.Seed,
+		TimeBudget: cfg.TimeBudget,
+		OnRound:    cfg.OnRound,
+	}
+	if cfg.OptimizeFLOPs {
+		coreCfg.Metric = core.OptimizeFLOPs
+	}
+	if cfg.RandomPolicy {
+		coreCfg.Policy = core.RandomPolicy{}
+	}
+	if cfg.StateDir != "" {
+		if elites, iter, err := core.LoadState(cfg.StateDir); err == nil {
+			coreCfg.InitialElites = elites
+			coreCfg.StartIteration = iter
+		}
+	}
+
+	res := core.NewOptimizer(teachers, acc, coreCfg).Run()
+	if cfg.StateDir != "" {
+		last := coreCfg.StartIteration + cfg.Rounds
+		if err := core.SaveState(cfg.StateDir, res, last); err != nil {
+			return nil, err
+		}
+	}
+	out := &Result{
+		Model:      teachers,
+		Targets:    targets,
+		SearchTime: res.SearchTime,
+		Elites:     res.Elites,
+		Traces:     res.Traces,
+		Speedup:    1,
+	}
+	out.OriginalLatency = estimator.Latency(teachers, estimator.LatencyOptions{})
+	if res.Best != nil {
+		out.Model = res.Best.Graph
+		out.Found = true
+		out.FusedLatency = res.Best.Latency
+		out.Accuracy = res.Best.Accuracy
+		out.Speedup = float64(out.OriginalLatency) / float64(res.Best.Latency)
+	} else {
+		out.FusedLatency = out.OriginalLatency
+	}
+	return out, nil
+}
+
+// Evaluate measures a model's per-task test metric on the dataset.
+func Evaluate(m *Model, ds *Dataset) map[int]float64 {
+	eval := &distill.Evaluator{Dataset: ds}
+	return eval.Measure(m)
+}
+
+// Latency measures a model's inference wall-clock on a synthetic batch.
+func Latency(m *Model) time.Duration {
+	return estimator.Latency(m, estimator.LatencyOptions{})
+}
+
+// FLOPs returns a model's analytic per-sample floating point operations.
+func FLOPs(m *Model) int64 { return m.FLOPs() }
+
+// Save writes a trained model checkpoint to path.
+func Save(path string, m *Model) error { return parser.SaveFile(path, m) }
+
+// Load reads a model checkpoint from path.
+func Load(path string) (*Model, error) { return parser.LoadFile(path) }
+
+// CompileFused compiles a trained model into the fused inference engine
+// (conv+BN folding, fused activations, concurrent branches).
+func CompileFused(m *Model) Engine { return engine.Compile(m) }
+
+// ReferenceEngine wraps a model in the eager executor.
+func ReferenceEngine(m *Model) Engine { return engine.NewReference(m) }
+
+// MeasureEngine times an engine on a synthetic batch of the given
+// per-sample input shape, returning a trimmed-mean latency.
+func MeasureEngine(e Engine, inputShape Shape, batch int) time.Duration {
+	return engine.Measure(e, inputShape, batch, 1, 5)
+}
+
+// NewTensor allocates a zero tensor with the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// AllShared builds the all-shared MTL baseline over the model's common
+// prefix.
+func AllShared(m *Model) (*Model, error) { return mtl.AllShared(m) }
+
+// TreeMTLRecommend returns the TreeMTL recommendation (cheapest
+// tree-structured sharing configuration over the common prefix).
+func TreeMTLRecommend(m *Model) (*Model, error) {
+	recs, err := mtl.TreeMTL(m)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, errors.New("gmorph: no TreeMTL recommendations")
+	}
+	return recs[0].Graph, nil
+}

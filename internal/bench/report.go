@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteFig1CSV emits Figure 1 points as CSV (speedup, drop, similar).
+func WriteFig1CSV(w io.Writer, points []Fig1Point) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"speedup", "accuracy_drop", "similar_shape"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{f(p.Speedup), f(p.Drop), fmt.Sprint(p.Similar)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFig2CSV emits Figure 2 points.
+func WriteFig2CSV(w io.Writer, points []Fig2Point) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"speedup", "finetune_seconds", "from_elite"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{f(p.Speedup), f(p.FineTuneSeconds), fmt.Sprint(p.FromElite)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFig3CSV emits Figure 3 drops, one row per initialization.
+func WriteFig3CSV(w io.Writer, res *Fig3Result) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"architecture", "accuracy_drop"}); err != nil {
+		return err
+	}
+	for ai, drops := range res.Drops {
+		for _, d := range drops {
+			if err := cw.Write([]string{fmt.Sprint(ai + 1), f(d)}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FormatFig7 renders Figure 7 rows (and Tables 7-9) as an aligned text
+// table: per benchmark/threshold the original latency, each variant's
+// latency and speedup.
+func FormatFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s (drop < %.0f%%): original %.2fms\n", r.Bench, r.Drop*100, r.OriginalMS)
+		for _, o := range r.Outcomes {
+			status := ""
+			if !o.Found {
+				status = "  [no candidate met targets]"
+			}
+			fmt.Fprintf(&b, "  %-16s latency %.2fms  speedup %.2fx  search %.1fs  (eval %d, skip %d, term %d)%s\n",
+				o.Variant, o.LatencyMS, o.Speedup, o.SearchSeconds, o.Evaluated, o.Skipped, o.Terminated, status)
+		}
+	}
+	return b.String()
+}
+
+// WriteFig7CSV emits the grid as CSV.
+func WriteFig7CSV(w io.Writer, rows []Fig7Row) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	header := []string{"bench", "drop", "original_ms", "variant", "latency_ms", "speedup", "search_s", "evaluated", "skipped", "terminated", "found"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, o := range r.Outcomes {
+			rec := []string{
+				r.Bench, f(r.Drop), f(r.OriginalMS), o.Variant,
+				f(o.LatencyMS), f(o.Speedup), f(o.SearchSeconds),
+				fmt.Sprint(o.Evaluated), fmt.Sprint(o.Skipped), fmt.Sprint(o.Terminated), fmt.Sprint(o.Found),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFig8CSV emits the convergence curves.
+func WriteFig8CSV(w io.Writer, curves []Fig8Curve) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"variant", "seconds", "best_latency_ms"}); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		for i := range c.Seconds {
+			if err := cw.Write([]string{c.Variant, f(c.Seconds[i]), f(c.LatencyMS[i])}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FormatTable3 renders the engine comparison.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %12s %12s %8s %12s %12s %8s\n",
+		"Bench", "Ref Orig", "Ref GMorph", "Speedup", "Fused Orig", "Fused GM", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s %10.2fms %10.2fms %7.2fx %10.2fms %10.2fms %7.2fx\n",
+			r.Bench, r.RefOriginalMS, r.RefGMorphMS, r.RefSpeedup,
+			r.FusedOriginalMS, r.FusedGMorphMS, r.FusedSpeedup)
+	}
+	return b.String()
+}
+
+// FormatTable4 renders the MTL comparison.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-22s %-22s %-22s\n", "Bench", "All-shared", "TreeMTL", "GMorph")
+	for _, r := range rows {
+		cell := func(drop, sp float64, ok bool) string {
+			if !ok {
+				return "-"
+			}
+			return fmt.Sprintf("drop %.2f%% / %.2fx", drop*100, sp)
+		}
+		fmt.Fprintf(&b, "%-5s %-22s %-22s %-22s\n", r.Bench,
+			cell(r.AllSharedDrop, r.AllSharedSpeedup, r.Applicable),
+			cell(r.TreeMTLDrop, r.TreeMTLSpeedup, r.Applicable),
+			cell(r.GMorphDrop, r.GMorphSpeedup, true))
+	}
+	return b.String()
+}
+
+// FormatTable5 renders search times and savings.
+func FormatTable5(rows []Table5Row) string {
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s (drop < %.0f%%):", r.Bench, r.Drop*100)
+		variants := make([]string, 0, len(r.Seconds))
+		for v := range r.Seconds {
+			variants = append(variants, v)
+		}
+		sort.Strings(variants)
+		for _, v := range variants {
+			fmt.Fprintf(&b, "  %s %.1fs (%.0f%% saved)", v, r.Seconds[v], r.Savings[v]*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }

@@ -1,0 +1,329 @@
+// Package core implements GMorph's primary contribution: the graph
+// mutation optimization loop of Algorithm 1 together with the simulated
+// annealing-based search-space sampling policy (Section 4.3.1). Each
+// iteration samples a base abstract graph (an elite candidate with
+// probability p, the original multi-DNN graph otherwise), mutates a random
+// set of input-shareable node pairs, fine-tunes the result with
+// distillation (subject to predictive filtering), and keeps candidates that
+// meet the task-accuracy targets as elites for later exploitation.
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/estimator"
+	"repro/internal/graph"
+	"repro/internal/mutation"
+	"repro/internal/tensor"
+)
+
+// Policy selects the base graph for each mutation round.
+type Policy interface {
+	// PickBase returns the base graph for the next round given the
+	// original graph and the current elites.
+	PickBase(original *graph.Graph, elites []*Elite, rng *tensor.RNG) *graph.Graph
+	// Observe feeds back the outcome of the round (accuracy drop of the
+	// trained candidate; met indicates target satisfaction).
+	Observe(iter int, drop float64, met bool, numElites int)
+}
+
+// SAPolicy is the paper's simulated-annealing sampling policy. The
+// probability of exploiting an elite is
+//
+//	p = (1 - exp(-(1-Δ)/(T_c·T_i))) · sqrt(N_c/N_i)
+//
+// with the temperature schedule T_c = T_i·α^iter. Early rounds explore from
+// the original graph; as the temperature drops and elites accumulate, the
+// policy shifts to mutating promising candidates.
+type SAPolicy struct {
+	// InitialTemp is T_i (paper default 90).
+	InitialTemp float64
+	// Alpha is the cooling constant (paper default 0.99).
+	Alpha float64
+	// MaxElites is N_i, the elite list capacity (paper default 16).
+	MaxElites int
+
+	p float64
+}
+
+// NewSAPolicy returns the policy with the paper's defaults.
+func NewSAPolicy() *SAPolicy {
+	return &SAPolicy{InitialTemp: 90, Alpha: 0.99, MaxElites: 16}
+}
+
+// PickBase implements Policy.
+func (s *SAPolicy) PickBase(original *graph.Graph, elites []*Elite, rng *tensor.RNG) *graph.Graph {
+	if len(elites) > 0 && rng.Float64() < s.p {
+		return elites[rng.Intn(len(elites))].Graph
+	}
+	return original
+}
+
+// Observe implements Policy, updating p with the paper's formula.
+func (s *SAPolicy) Observe(iter int, drop float64, met bool, numElites int) {
+	tc := s.InitialTemp * math.Pow(s.Alpha, float64(iter))
+	if drop < 0 {
+		drop = 0
+	}
+	if drop > 1 {
+		drop = 1
+	}
+	nc := float64(numElites)
+	ni := float64(s.MaxElites)
+	if nc > ni {
+		nc = ni
+	}
+	s.p = (1 - math.Exp(-(1-drop)/(tc*s.InitialTemp))) * math.Sqrt(nc/ni)
+}
+
+// P exposes the current exploitation probability (for tests and logs).
+func (s *SAPolicy) P() float64 { return s.p }
+
+// RandomPolicy is the baseline from Section 6.4: every round mutates the
+// original multi-DNN graph, never exploiting previous candidates.
+type RandomPolicy struct{}
+
+// PickBase implements Policy.
+func (RandomPolicy) PickBase(original *graph.Graph, elites []*Elite, rng *tensor.RNG) *graph.Graph {
+	return original
+}
+
+// Observe implements Policy.
+func (RandomPolicy) Observe(int, float64, bool, int) {}
+
+// Elite is a trained candidate that met the accuracy targets.
+type Elite struct {
+	Graph *graph.Graph
+	// Latency is the measured inference latency.
+	Latency time.Duration
+	// FLOPs is the analytic per-sample cost.
+	FLOPs int64
+	// Accuracy is the per-task test metric after fine-tuning.
+	Accuracy map[int]float64
+	// FromElite records whether the candidate was mutated from another
+	// elite (true) or from the original graph (false).
+	FromElite bool
+	// FineTuneTime is the wall-clock spent training the candidate.
+	FineTuneTime time.Duration
+	// Iteration is the round that produced the candidate.
+	Iteration int
+}
+
+// Metric selects the optimization objective.
+type Metric int
+
+// Objectives.
+const (
+	// OptimizeLatency minimizes measured inference time (paper default).
+	OptimizeLatency Metric = iota
+	// OptimizeFLOPs minimizes the analytic operation count.
+	OptimizeFLOPs
+)
+
+// Config parameterizes the optimization loop.
+type Config struct {
+	// Rounds is N, the number of mutation iterations (paper: 200).
+	Rounds int
+	// MaxPairsPerPass bounds how many node pairs one mutation pass applies
+	// (1-2 in the paper's examples; default 2).
+	MaxPairsPerPass int
+	// Metric is the objective (default latency).
+	Metric Metric
+	// Policy is the sampling policy (default the SA policy).
+	Policy Policy
+	// Seed drives all sampling.
+	Seed uint64
+	// Latency measurement settings.
+	Latency estimator.LatencyOptions
+	// TimeBudget optionally stops the search after the given wall-clock
+	// duration (0 = unlimited).
+	TimeBudget time.Duration
+	// OnRound, when non-nil, observes each round's trace entry as it is
+	// appended (for live progress reporting).
+	OnRound func(Trace)
+	// InitialElites seeds the elite list, resuming a persisted search
+	// (see SaveState/LoadState).
+	InitialElites []*Elite
+	// StartIteration offsets the temperature schedule when resuming; the
+	// first executed round is StartIteration+1.
+	StartIteration int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds == 0 {
+		c.Rounds = 50
+	}
+	if c.MaxPairsPerPass == 0 {
+		c.MaxPairsPerPass = 2
+	}
+	if c.Policy == nil {
+		c.Policy = NewSAPolicy()
+	}
+	return c
+}
+
+// Trace records one optimization round for analysis (Figure 8's
+// latency-vs-search-time curves are plotted from these).
+type Trace struct {
+	Iteration int
+	// Skipped is true when rule-based filtering rejected the candidate.
+	Skipped bool
+	// Met is true when the candidate reached the accuracy targets.
+	Met bool
+	// Terminated is true when early termination cancelled fine-tuning.
+	Terminated bool
+	// FromElite tells whether the base graph was an elite.
+	FromElite bool
+	// Latency of the candidate (only when Met).
+	Latency time.Duration
+	// BestLatency is the best latency found so far, 0 until a candidate
+	// meets the targets.
+	BestLatency time.Duration
+	// Elapsed is the cumulative search time when the round finished.
+	Elapsed time.Duration
+	// FineTuneTime is the candidate's training time.
+	FineTuneTime time.Duration
+	// EpochsRun is the number of fine-tuning epochs executed.
+	EpochsRun int
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Best is the lowest-cost trained multi-task model meeting the
+	// targets; nil when no candidate met them (callers fall back to the
+	// original graph).
+	Best *Elite
+	// Elites holds every accepted candidate (up to the policy capacity).
+	Elites []*Elite
+	// Traces records all rounds.
+	Traces []Trace
+	// SearchTime is the total wall-clock spent.
+	SearchTime time.Duration
+	// Evaluated counts candidates that entered evaluation (incl. skipped).
+	Evaluated int
+}
+
+// Optimizer runs graph mutation optimization (Algorithm 1).
+type Optimizer struct {
+	cfg      Config
+	acc      *estimator.AccuracyEstimator
+	original *graph.Graph
+}
+
+// NewOptimizer builds an optimizer over the original multi-DNN graph. The
+// accuracy estimator owns the dataset, teacher outputs, and filtering
+// configuration.
+func NewOptimizer(original *graph.Graph, acc *estimator.AccuracyEstimator, cfg Config) *Optimizer {
+	return &Optimizer{cfg: cfg.withDefaults(), acc: acc, original: original}
+}
+
+// Run executes the optimization loop and returns the best model found.
+func (o *Optimizer) Run() *Result {
+	cfg := o.cfg
+	rng := tensor.NewRNG(cfg.Seed)
+	mut := mutation.NewMutator(rng.Split())
+	res := &Result{}
+	if len(cfg.InitialElites) > 0 {
+		res.Elites = append(res.Elites, cfg.InitialElites...)
+		for _, e := range res.Elites {
+			if res.Best == nil || o.better(e, res.Best) {
+				res.Best = e
+			}
+		}
+	}
+	start := time.Now()
+	maxElites := 16
+	if sa, ok := cfg.Policy.(*SAPolicy); ok {
+		maxElites = sa.MaxElites
+	}
+	// The original multi-DNN graph is the incumbent: a candidate only
+	// becomes Best if it beats the original's cost, so the search never
+	// recommends a model slower than what the user already has.
+	incumbent := &Elite{
+		Graph:   o.original,
+		Latency: estimator.Latency(o.original, cfg.Latency),
+		FLOPs:   estimator.FLOPs(o.original),
+	}
+
+	for iter := cfg.StartIteration + 1; iter <= cfg.StartIteration+cfg.Rounds; iter++ {
+		if cfg.TimeBudget > 0 && time.Since(start) > cfg.TimeBudget {
+			break
+		}
+		// Step 1: sample a base graph and a set of node pairs; mutate.
+		base := cfg.Policy.PickBase(o.original, res.Elites, rng)
+		fromElite := base != o.original
+		pairs := base.ShareablePairs()
+		if len(pairs) == 0 {
+			break
+		}
+		k := 1 + rng.Intn(cfg.MaxPairsPerPass)
+		chosen := make([]graph.Pair, 0, k)
+		for i := 0; i < k; i++ {
+			chosen = append(chosen, pairs[rng.Intn(len(pairs))])
+		}
+		mres, err := mut.Apply(base, chosen)
+		if err != nil {
+			cfg.Policy.Observe(iter, 1, false, len(res.Elites))
+			continue
+		}
+		cand := mres.Graph
+
+		// Step 2: evaluate the candidate (filtering + fine-tuning).
+		res.Evaluated++
+		out := o.acc.Estimate(cand, rng.Uint64())
+		tr := Trace{Iteration: iter, Skipped: out.Skipped, FromElite: fromElite}
+		if out.Report != nil {
+			tr.Met = out.Report.Met
+			tr.Terminated = out.Report.Terminated
+			tr.FineTuneTime = out.Report.TrainTime
+			tr.EpochsRun = out.Report.EpochsRun
+		}
+
+		drop := 1.0
+		if out.Met {
+			lat := estimator.Latency(cand, cfg.Latency)
+			el := &Elite{
+				Graph:        cand,
+				Latency:      lat,
+				FLOPs:        estimator.FLOPs(cand),
+				Accuracy:     out.Report.Final,
+				FromElite:    fromElite,
+				FineTuneTime: out.Report.TrainTime,
+				Iteration:    iter,
+			}
+			res.Elites = append(res.Elites, el)
+			if len(res.Elites) > maxElites {
+				res.Elites = res.Elites[1:]
+			}
+			if (res.Best == nil && o.better(el, incumbent)) ||
+				(res.Best != nil && o.better(el, res.Best)) {
+				res.Best = el
+			}
+			tr.Latency = lat
+			drop = -o.acc.Eval.MinMargin(out.Report.Final)
+			if drop < 0 {
+				drop = 0
+			}
+		}
+		if res.Best != nil {
+			tr.BestLatency = res.Best.Latency
+		}
+		tr.Elapsed = time.Since(start)
+		res.Traces = append(res.Traces, tr)
+		if cfg.OnRound != nil {
+			cfg.OnRound(tr)
+		}
+		cfg.Policy.Observe(iter, drop, out.Met, len(res.Elites))
+	}
+	res.SearchTime = time.Since(start)
+	return res
+}
+
+// better compares candidates under the configured metric.
+func (o *Optimizer) better(a, b *Elite) bool {
+	if o.cfg.Metric == OptimizeFLOPs {
+		return a.FLOPs < b.FLOPs
+	}
+	return a.Latency < b.Latency
+}

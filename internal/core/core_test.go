@@ -1,0 +1,201 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distill"
+	"repro/internal/estimator"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+// buildFixture shares a pre-trained teacher setup across the search tests.
+func buildFixture(t *testing.T) (*graph.Graph, distill.TeacherOutputs, map[int]float64, *estimator.AccuracyEstimator) {
+	t.Helper()
+	ds := testutil.TinyFace(41, 96, 48)
+	teacher := testutil.TinyMultiDNN(42, ds)
+	teach := testutil.PretrainTeachers(teacher, ds, 8, 0.004, 43)
+	for id, a := range teach {
+		if a < 0.7 {
+			t.Fatalf("teacher too weak: task %d at %.2f", id, a)
+		}
+	}
+	outs := distill.ComputeTeacherOutputs(teacher, ds.Train.X, 32)
+	targets := map[int]float64{}
+	for id, a := range teach {
+		targets[id] = a - 0.12
+	}
+	acc := estimator.NewAccuracyEstimator(ds, targets, outs, ds.Train.X, estimator.AccuracyOptions{
+		FineTune: distill.Config{LR: 0.003, Epochs: 12, Batch: 16, EvalEvery: 2},
+	})
+	return teacher, outs, teach, acc
+}
+
+func TestSAPolicyProbabilityEvolution(t *testing.T) {
+	p := core.NewSAPolicy()
+	if p.P() != 0 {
+		t.Fatalf("initial p = %v, want 0", p.P())
+	}
+	// No elites: p stays 0 regardless of observations.
+	p.Observe(1, 0, false, 0)
+	if p.P() != 0 {
+		t.Fatalf("p with 0 elites = %v", p.P())
+	}
+	// With elites, p grows as iterations advance (temperature cools).
+	p.Observe(1, 0, true, 4)
+	early := p.P()
+	p.Observe(200, 0, true, 4)
+	late := p.P()
+	if !(late > early) {
+		t.Fatalf("p must grow as temperature cools: early %v late %v", early, late)
+	}
+	// More elites increase p.
+	p.Observe(200, 0, true, 16)
+	more := p.P()
+	if !(more > late) {
+		t.Fatalf("p must grow with elite count: %v vs %v", more, late)
+	}
+	// Larger accuracy drop decreases p.
+	p.Observe(200, 0.9, true, 16)
+	dropped := p.P()
+	if !(dropped < more) {
+		t.Fatalf("p must shrink with accuracy drop: %v vs %v", dropped, more)
+	}
+	if p.P() < 0 || p.P() > 1 {
+		t.Fatalf("p out of [0,1]: %v", p.P())
+	}
+}
+
+func TestSAPolicyPickBase(t *testing.T) {
+	pol := core.NewSAPolicy()
+	rng := tensor.NewRNG(1)
+	ds := testutil.TinyFace(2, 8, 8)
+	orig := testutil.TinyMultiDNN(3, ds)
+	elite := &core.Elite{Graph: testutil.TinyMultiDNN(4, ds)}
+
+	// p == 0: always the original.
+	for i := 0; i < 10; i++ {
+		if pol.PickBase(orig, []*core.Elite{elite}, rng) != orig {
+			t.Fatal("p=0 must pick the original")
+		}
+	}
+	// Force p high via many elites at late iteration, low drop.
+	pol.Observe(500, 0, true, 16)
+	var picked int
+	for i := 0; i < 200; i++ {
+		if pol.PickBase(orig, []*core.Elite{elite}, rng) == elite.Graph {
+			picked++
+		}
+	}
+	if picked == 0 {
+		t.Fatal("high p never exploited an elite")
+	}
+	want := pol.P()
+	got := float64(picked) / 200
+	if math.Abs(got-want) > 0.15 {
+		t.Fatalf("exploit rate %v too far from p %v", got, want)
+	}
+}
+
+func TestRandomPolicyAlwaysOriginal(t *testing.T) {
+	pol := core.RandomPolicy{}
+	rng := tensor.NewRNG(5)
+	ds := testutil.TinyFace(6, 8, 8)
+	orig := testutil.TinyMultiDNN(7, ds)
+	elite := &core.Elite{Graph: testutil.TinyMultiDNN(8, ds)}
+	pol.Observe(100, 0, true, 16)
+	for i := 0; i < 20; i++ {
+		if pol.PickBase(orig, []*core.Elite{elite}, rng) != orig {
+			t.Fatal("random policy must always pick the original")
+		}
+	}
+}
+
+func TestOptimizerFindsFasterModel(t *testing.T) {
+	teacher, _, _, acc := buildFixture(t)
+	opt := core.NewOptimizer(teacher, acc, core.Config{
+		Rounds:          10,
+		MaxPairsPerPass: 2,
+		Seed:            7,
+		Latency:         estimator.LatencyOptions{Batch: 2, Warmup: 1, Runs: 3},
+	})
+	res := opt.Run()
+	if res.Best == nil {
+		t.Fatal("search found no model meeting the targets")
+	}
+	if res.Best.FLOPs >= teacher.FLOPs() {
+		t.Fatalf("best model FLOPs %d not below original %d", res.Best.FLOPs, teacher.FLOPs())
+	}
+	if err := res.Best.Graph.Validate(); err != nil {
+		t.Fatalf("best model invalid: %v", err)
+	}
+	if len(res.Traces) == 0 || res.SearchTime <= 0 {
+		t.Fatal("trace bookkeeping broken")
+	}
+	// Traces record monotonically improving best latency once set.
+	var last float64 = math.Inf(1)
+	for _, tr := range res.Traces {
+		if tr.BestLatency > 0 {
+			if float64(tr.BestLatency) > last*1.0001 {
+				t.Fatal("best latency regressed in trace")
+			}
+			last = float64(tr.BestLatency)
+		}
+	}
+	// The original graph must be untouched by the search.
+	if err := teacher.Validate(); err != nil {
+		t.Fatalf("search corrupted the original graph: %v", err)
+	}
+}
+
+func TestOptimizerRespectsTimeBudget(t *testing.T) {
+	teacher, _, _, acc := buildFixture(t)
+	opt := core.NewOptimizer(teacher, acc, core.Config{
+		Rounds:     1000,
+		Seed:       9,
+		TimeBudget: 1, // nanosecond: stop immediately
+	})
+	res := opt.Run()
+	if len(res.Traces) > 1 {
+		t.Fatalf("time budget ignored: %d rounds ran", len(res.Traces))
+	}
+}
+
+func TestOptimizerOnRoundCallback(t *testing.T) {
+	teacher, _, _, acc := buildFixture(t)
+	var calls int
+	opt := core.NewOptimizer(teacher, acc, core.Config{
+		Rounds: 3,
+		Seed:   11,
+		OnRound: func(tr core.Trace) {
+			calls++
+			if tr.Iteration == 0 {
+				t.Error("trace iteration must be 1-based")
+			}
+		},
+		Latency: estimator.LatencyOptions{Batch: 2, Warmup: 1, Runs: 3},
+	})
+	res := opt.Run()
+	if calls != len(res.Traces) {
+		t.Fatalf("OnRound called %d times for %d traces", calls, len(res.Traces))
+	}
+}
+
+// The search must never recommend a model slower than the original: with a
+// latency-inflating candidate space the result is "no best", not a
+// regression.
+func TestOptimizerNeverRegressesBelowIncumbent(t *testing.T) {
+	teacher, _, _, acc := buildFixture(t)
+	opt := core.NewOptimizer(teacher, acc, core.Config{
+		Rounds:  8,
+		Seed:    21,
+		Latency: estimator.LatencyOptions{Batch: 2, Warmup: 1, Runs: 3},
+	})
+	res := opt.Run()
+	if res.Best != nil && res.Best.FLOPs > teacher.FLOPs() {
+		t.Fatalf("best model costs %d FLOPs, original %d", res.Best.FLOPs, teacher.FLOPs())
+	}
+}

@@ -1,0 +1,18 @@
+package core_test
+
+import (
+	"repro/internal/data"
+	"repro/internal/distill"
+	"repro/internal/estimator"
+	"repro/internal/graph"
+)
+
+func computeOutputs(teacher *graph.Graph, ds *data.Dataset) distill.TeacherOutputs {
+	return distill.ComputeTeacherOutputs(teacher, ds.Train.X, 32)
+}
+
+func newEstimator(ds *data.Dataset, targets map[int]float64, outs distill.TeacherOutputs) *estimator.AccuracyEstimator {
+	return estimator.NewAccuracyEstimator(ds, targets, outs, ds.Train.X, estimator.AccuracyOptions{
+		FineTune: distill.Config{LR: 0.003, Epochs: 12, Batch: 16, EvalEvery: 2},
+	})
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/distill"
+	"repro/internal/estimator"
+	"repro/internal/graph"
+	"repro/internal/mutation"
+	"repro/internal/tensor"
+)
+
+// ParallelConfig extends Config for the parallel optimizer, the extension
+// sketched in the paper's Discussion (Section 7): sampling and evaluating
+// multiple candidates per round, in the style of parallel simulated
+// annealing.
+type ParallelConfig struct {
+	Config
+	// Workers is the number of candidates evaluated concurrently each
+	// round (default 2).
+	Workers int
+}
+
+// ParallelOptimizer evaluates a batch of mutations per round. Each worker
+// gets an independent accuracy estimator over shared immutable inputs
+// (dataset, teacher outputs), so fine-tuning runs do not contend on layer
+// caches; elites and the rule-filter history are merged between rounds.
+type ParallelOptimizer struct {
+	cfg      ParallelConfig
+	original *graph.Graph
+	ds       *data.Dataset
+	targets  map[int]float64
+	outs     distill.TeacherOutputs
+	trainX   *tensor.Tensor
+	accOpts  estimator.AccuracyOptions
+}
+
+// NewParallelOptimizer builds the optimizer. Unlike NewOptimizer it takes
+// the raw evaluation inputs so that it can construct one estimator per
+// worker.
+func NewParallelOptimizer(original *graph.Graph, ds *data.Dataset, targets map[int]float64,
+	outs distill.TeacherOutputs, trainX *tensor.Tensor, accOpts estimator.AccuracyOptions,
+	cfg ParallelConfig) *ParallelOptimizer {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	cfg.Config = cfg.Config.withDefaults()
+	return &ParallelOptimizer{
+		cfg: cfg, original: original, ds: ds, targets: targets,
+		outs: outs, trainX: trainX, accOpts: accOpts,
+	}
+}
+
+// Run executes the parallel search. Rounds is interpreted as the total
+// candidate budget: Rounds/Workers batches are executed, each evaluating
+// Workers candidates concurrently.
+func (o *ParallelOptimizer) Run() *Result {
+	cfg := o.cfg
+	rng := tensor.NewRNG(cfg.Seed)
+	res := &Result{}
+	start := time.Now()
+	maxElites := 16
+	if sa, ok := cfg.Policy.(*SAPolicy); ok {
+		maxElites = sa.MaxElites
+	}
+	// One estimator per worker; the rule-filter history stays per-worker,
+	// a standard relaxation in parallel SA (workers learn independently
+	// within a round, elites merge between rounds).
+	incumbent := &Elite{
+		Graph:   o.original,
+		Latency: estimator.Latency(o.original, cfg.Latency),
+		FLOPs:   estimator.FLOPs(o.original),
+	}
+	workers := cfg.Workers
+	ests := make([]*estimator.AccuracyEstimator, workers)
+	muts := make([]*mutation.Mutator, workers)
+	for i := range ests {
+		ests[i] = estimator.NewAccuracyEstimator(o.ds, o.targets, o.outs, o.trainX, o.accOpts)
+		muts[i] = mutation.NewMutator(rng.Split())
+	}
+
+	type outcome struct {
+		trace Trace
+		elite *Elite
+		drop  float64
+	}
+
+	batches := cfg.Rounds / workers
+	if batches == 0 {
+		batches = 1
+	}
+	iter := 0
+	for b := 0; b < batches; b++ {
+		if cfg.TimeBudget > 0 && time.Since(start) > cfg.TimeBudget {
+			break
+		}
+		// Sample all candidates for this batch serially (cheap), then
+		// evaluate them in parallel (expensive).
+		type job struct {
+			cand      *graph.Graph
+			fromElite bool
+			seed      uint64
+			iteration int
+		}
+		var jobs []job
+		for wkr := 0; wkr < workers; wkr++ {
+			iter++
+			base := cfg.Policy.PickBase(o.original, res.Elites, rng)
+			pairs := base.ShareablePairs()
+			if len(pairs) == 0 {
+				continue
+			}
+			k := 1 + rng.Intn(cfg.MaxPairsPerPass)
+			chosen := make([]graph.Pair, 0, k)
+			for i := 0; i < k; i++ {
+				chosen = append(chosen, pairs[rng.Intn(len(pairs))])
+			}
+			mres, err := muts[wkr].Apply(base, chosen)
+			if err != nil {
+				continue
+			}
+			jobs = append(jobs, job{
+				cand: mres.Graph, fromElite: base != o.original,
+				seed: rng.Uint64(), iteration: iter,
+			})
+		}
+
+		outcomes := make([]outcome, len(jobs))
+		var wg sync.WaitGroup
+		for ji, j := range jobs {
+			wg.Add(1)
+			go func(ji int, j job, est *estimator.AccuracyEstimator) {
+				defer wg.Done()
+				out := est.Estimate(j.cand, j.seed)
+				oc := outcome{drop: 1}
+				oc.trace = Trace{Iteration: j.iteration, Skipped: out.Skipped, FromElite: j.fromElite}
+				if out.Report != nil {
+					oc.trace.Met = out.Report.Met
+					oc.trace.Terminated = out.Report.Terminated
+					oc.trace.FineTuneTime = out.Report.TrainTime
+					oc.trace.EpochsRun = out.Report.EpochsRun
+				}
+				if out.Met {
+					lat := estimator.Latency(j.cand, cfg.Latency)
+					oc.elite = &Elite{
+						Graph: j.cand, Latency: lat, FLOPs: estimator.FLOPs(j.cand),
+						Accuracy: out.Report.Final, FromElite: j.fromElite,
+						FineTuneTime: out.Report.TrainTime, Iteration: j.iteration,
+					}
+					oc.trace.Latency = lat
+					margin := minMargin(o.targets, out.Report.Final)
+					oc.drop = -margin
+					if oc.drop < 0 {
+						oc.drop = 0
+					}
+				}
+				outcomes[ji] = oc
+			}(ji, j, ests[ji%len(ests)])
+		}
+		wg.Wait()
+		res.Evaluated += len(jobs)
+
+		// Merge outcomes deterministically.
+		for _, oc := range outcomes {
+			if oc.elite != nil {
+				res.Elites = append(res.Elites, oc.elite)
+				if len(res.Elites) > maxElites {
+					res.Elites = res.Elites[1:]
+				}
+				if (res.Best == nil && better(cfg.Metric, oc.elite, incumbent)) ||
+					(res.Best != nil && better(cfg.Metric, oc.elite, res.Best)) {
+					res.Best = oc.elite
+				}
+			}
+			tr := oc.trace
+			if res.Best != nil {
+				tr.BestLatency = res.Best.Latency
+			}
+			tr.Elapsed = time.Since(start)
+			res.Traces = append(res.Traces, tr)
+			if cfg.OnRound != nil {
+				cfg.OnRound(tr)
+			}
+			cfg.Policy.Observe(tr.Iteration, oc.drop, oc.elite != nil, len(res.Elites))
+		}
+	}
+	res.SearchTime = time.Since(start)
+	return res
+}
+
+func better(metric Metric, a, b *Elite) bool {
+	if metric == OptimizeFLOPs {
+		return a.FLOPs < b.FLOPs
+	}
+	return a.Latency < b.Latency
+}
+
+func minMargin(targets, acc map[int]float64) float64 {
+	first := true
+	var m float64
+	for id, t := range targets {
+		d := acc[id] - t
+		if first || d < m {
+			m = d
+			first = false
+		}
+	}
+	return m
+}

@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distill"
+	"repro/internal/estimator"
+	"repro/internal/testutil"
+)
+
+func TestParallelOptimizerFindsFasterModel(t *testing.T) {
+	ds := testutil.TinyFace(141, 96, 48)
+	teacher := testutil.TinyMultiDNN(142, ds)
+	teach := testutil.PretrainTeachers(teacher, ds, 8, 0.004, 143)
+	outs := distill.ComputeTeacherOutputs(teacher, ds.Train.X, 32)
+	targets := map[int]float64{}
+	for id, a := range teach {
+		targets[id] = a - 0.12
+	}
+	accOpts := estimator.AccuracyOptions{
+		FineTune: distill.Config{LR: 0.003, Epochs: 12, Batch: 16, EvalEvery: 2},
+	}
+	opt := core.NewParallelOptimizer(teacher, ds, targets, outs, ds.Train.X, accOpts,
+		core.ParallelConfig{
+			Config: core.Config{
+				Rounds:  8,
+				Seed:    7,
+				Latency: estimator.LatencyOptions{Batch: 2, Warmup: 1, Runs: 3},
+			},
+			Workers: 2,
+		})
+	res := opt.Run()
+	if res.Evaluated == 0 {
+		t.Fatal("no candidates evaluated")
+	}
+	if res.Best == nil {
+		t.Fatal("parallel search found no model meeting the targets")
+	}
+	if err := res.Best.Graph.Validate(); err != nil {
+		t.Fatalf("best model invalid: %v", err)
+	}
+	if res.Best.FLOPs >= teacher.FLOPs() {
+		t.Fatal("best model does not reduce FLOPs")
+	}
+	// Accuracy meets targets.
+	for id, target := range targets {
+		if res.Best.Accuracy[id] < target {
+			t.Fatalf("task %d accuracy %.3f below target %.3f", id, res.Best.Accuracy[id], target)
+		}
+	}
+	if err := teacher.Validate(); err != nil {
+		t.Fatalf("parallel search corrupted the original: %v", err)
+	}
+}
+
+func TestGraphToDOT(t *testing.T) {
+	ds := testutil.TinyFace(151, 8, 4)
+	g := testutil.TinyMultiDNN(152, ds)
+	dot := g.ToDOT("tiny")
+	for _, want := range []string{"digraph", "Input", "ConvBlock", "house", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// One edge per node (tree property): count "->" occurrences.
+	if got := strings.Count(dot, "->"); got != g.NodeCount() {
+		t.Fatalf("DOT has %d edges, want %d", got, g.NodeCount())
+	}
+}

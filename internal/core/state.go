@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/parser"
+)
+
+// SearchState is the persistent form of an in-progress search: the elite
+// candidates (the paper's History Database of well-trained abs-graphs and
+// weights) plus the iteration counter driving the temperature schedule.
+// It allows a long search to be stopped and resumed.
+type SearchState struct {
+	// Iteration is the last completed round.
+	Iteration int `json:"iteration"`
+	// Elites describes the persisted candidates, in order.
+	Elites []EliteMeta `json:"elites"`
+}
+
+// EliteMeta is the serializable part of an Elite; the graph itself is
+// stored as a sibling checkpoint file.
+type EliteMeta struct {
+	File       string          `json:"file"`
+	LatencyNS  int64           `json:"latency_ns"`
+	FLOPs      int64           `json:"flops"`
+	Accuracy   map[int]float64 `json:"accuracy"`
+	FromElite  bool            `json:"from_elite"`
+	FineTuneNS int64           `json:"finetune_ns"`
+	Iteration  int             `json:"iteration"`
+}
+
+// SaveState persists a search result into dir: one checkpoint per elite
+// plus a state.json manifest. The directory is created if needed.
+func SaveState(dir string, res *Result, lastIteration int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	st := SearchState{Iteration: lastIteration}
+	for i, e := range res.Elites {
+		name := fmt.Sprintf("elite_%03d.gmck", i)
+		if err := parser.SaveFile(filepath.Join(dir, name), e.Graph); err != nil {
+			return fmt.Errorf("core: saving elite %d: %w", i, err)
+		}
+		st.Elites = append(st.Elites, EliteMeta{
+			File: name, LatencyNS: int64(e.Latency), FLOPs: e.FLOPs,
+			Accuracy: e.Accuracy, FromElite: e.FromElite,
+			FineTuneNS: int64(e.FineTuneTime), Iteration: e.Iteration,
+		})
+	}
+	raw, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "state.json.tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "state.json"))
+}
+
+// LoadState restores a persisted search state: the elites (with their
+// trained graphs) and the last completed iteration.
+func LoadState(dir string) ([]*Elite, int, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "state.json"))
+	if err != nil {
+		return nil, 0, err
+	}
+	var st SearchState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, 0, fmt.Errorf("core: parsing state.json: %w", err)
+	}
+	elites := make([]*Elite, 0, len(st.Elites))
+	for _, m := range st.Elites {
+		g, err := parser.LoadFile(filepath.Join(dir, m.File))
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: loading %s: %w", m.File, err)
+		}
+		elites = append(elites, &Elite{
+			Graph: g, Latency: time.Duration(m.LatencyNS), FLOPs: m.FLOPs,
+			Accuracy: m.Accuracy, FromElite: m.FromElite,
+			FineTuneTime: time.Duration(m.FineTuneNS), Iteration: m.Iteration,
+		})
+	}
+	return elites, st.Iteration, nil
+}

@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/testutil"
+)
+
+func TestSaveLoadStateRoundTrip(t *testing.T) {
+	ds := testutil.TinyFace(201, 16, 8)
+	g1 := testutil.TinyMultiDNN(202, ds)
+	g2 := testutil.TinyMultiDNN(203, ds)
+	res := &core.Result{
+		Elites: []*core.Elite{
+			{Graph: g1, Latency: 5 * time.Millisecond, FLOPs: 1000,
+				Accuracy: map[int]float64{0: 0.9, 1: 0.8}, FromElite: false,
+				FineTuneTime: time.Second, Iteration: 3},
+			{Graph: g2, Latency: 4 * time.Millisecond, FLOPs: 900,
+				Accuracy: map[int]float64{0: 0.88, 1: 0.82}, FromElite: true,
+				FineTuneTime: 2 * time.Second, Iteration: 7},
+		},
+	}
+	dir := t.TempDir()
+	if err := core.SaveState(dir, res, 9); err != nil {
+		t.Fatal(err)
+	}
+	elites, iter, err := core.LoadState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter != 9 {
+		t.Fatalf("iteration = %d, want 9", iter)
+	}
+	if len(elites) != 2 {
+		t.Fatalf("elites = %d, want 2", len(elites))
+	}
+	e := elites[1]
+	if e.Latency != 4*time.Millisecond || e.FLOPs != 900 || !e.FromElite || e.Iteration != 7 {
+		t.Fatalf("elite meta lost: %+v", e)
+	}
+	if e.Accuracy[1] != 0.82 {
+		t.Fatalf("accuracy lost: %v", e.Accuracy)
+	}
+	if err := e.Graph.Validate(); err != nil {
+		t.Fatalf("restored graph invalid: %v", err)
+	}
+	// The restored graph must behave like the saved one.
+	x := ds.Test.X
+	a := g2.Forward(x.Clone(), false)
+	b := e.Graph.Forward(x.Clone(), false)
+	for id := range a {
+		for i := range a[id].Data() {
+			if a[id].Data()[i] != b[id].Data()[i] {
+				t.Fatal("restored elite graph diverges")
+			}
+		}
+	}
+}
+
+func TestLoadStateMissingDir(t *testing.T) {
+	if _, _, err := core.LoadState(t.TempDir()); err == nil {
+		t.Fatal("missing state accepted")
+	}
+}
+
+// A resumed search must continue from the saved elites: with a zero-round
+// warm start the best model is the best saved elite, and with extra rounds
+// the search only improves on it.
+func TestResumeSearchFromState(t *testing.T) {
+	ds := testutil.TinyFace(211, 96, 48)
+	teacher := testutil.TinyMultiDNN(212, ds)
+	teach := testutil.PretrainTeachers(teacher, ds, 8, 0.004, 213)
+	outs := computeOutputs(teacher, ds)
+	targets := map[int]float64{}
+	for id, a := range teach {
+		targets[id] = a - 0.12
+	}
+	acc := newEstimator(ds, targets, outs)
+	first := core.NewOptimizer(teacher, acc, core.Config{
+		Rounds: 6, Seed: 5,
+		Latency: estimator.LatencyOptions{Batch: 2, Warmup: 1, Runs: 3},
+	}).Run()
+	if first.Best == nil {
+		t.Skip("first search found nothing at this scale; resume not exercisable")
+	}
+	dir := t.TempDir()
+	if err := core.SaveState(dir, first, 6); err != nil {
+		t.Fatal(err)
+	}
+	elites, iter, err := core.LoadState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acc2 := newEstimator(ds, targets, outs)
+	resumed := core.NewOptimizer(teacher, acc2, core.Config{
+		Rounds: 4, Seed: 6,
+		InitialElites: elites, StartIteration: iter,
+		Latency: estimator.LatencyOptions{Batch: 2, Warmup: 1, Runs: 3},
+	}).Run()
+	if resumed.Best == nil {
+		t.Fatal("resumed search lost the saved best")
+	}
+	if resumed.Best.FLOPs > first.Best.FLOPs && resumed.Best.Latency > first.Best.Latency*2 {
+		t.Fatalf("resumed best much worse than saved best: %v vs %v",
+			resumed.Best.Latency, first.Best.Latency)
+	}
+	// Iterations continue after the saved counter.
+	for _, tr := range resumed.Traces {
+		if tr.Iteration <= iter {
+			t.Fatalf("resumed round numbered %d, want > %d", tr.Iteration, iter)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package data
+
+import "repro/internal/tensor"
+
+// AugmentOptions selects the augmentations applied by Augment.
+type AugmentOptions struct {
+	// FlipH mirrors each image horizontally with probability 0.5.
+	FlipH bool
+	// Jitter adds Gaussian pixel noise with this stddev (0 = off).
+	Jitter float32
+	// Shift translates each image by up to MaxShift pixels in each axis,
+	// zero-padding the exposed border.
+	MaxShift int
+}
+
+// Augment returns an augmented copy of an image batch [N,C,H,W]. Labels
+// are unaffected by the supported augmentations (the synthetic tasks are
+// invariant to horizontal flips, small shifts, and noise by construction,
+// except the emotion task whose corner cue moves under flips — callers
+// training emotion should disable FlipH).
+func Augment(x *tensor.Tensor, rng *tensor.RNG, opts AugmentOptions) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic("data: Augment wants an [N,C,H,W] batch")
+	}
+	out := x.Clone()
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	od := out.Data()
+	for i := 0; i < n; i++ {
+		img := od[i*c*h*w : (i+1)*c*h*w]
+		if opts.FlipH && rng.Float32() < 0.5 {
+			flipH(img, c, h, w)
+		}
+		if opts.MaxShift > 0 {
+			dy := rng.Intn(2*opts.MaxShift+1) - opts.MaxShift
+			dx := rng.Intn(2*opts.MaxShift+1) - opts.MaxShift
+			shift(img, c, h, w, dy, dx)
+		}
+		if opts.Jitter > 0 {
+			for j := range img {
+				img[j] += opts.Jitter * float32(rng.NormFloat64())
+			}
+		}
+	}
+	return out
+}
+
+func flipH(img []float32, c, h, w int) {
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < h; y++ {
+			row := img[ci*h*w+y*w : ci*h*w+(y+1)*w]
+			for a, b := 0, w-1; a < b; a, b = a+1, b-1 {
+				row[a], row[b] = row[b], row[a]
+			}
+		}
+	}
+}
+
+func shift(img []float32, c, h, w, dy, dx int) {
+	if dy == 0 && dx == 0 {
+		return
+	}
+	src := append([]float32(nil), img...)
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < h; y++ {
+			sy := y - dy
+			for x := 0; x < w; x++ {
+				sx := x - dx
+				var v float32
+				if sy >= 0 && sy < h && sx >= 0 && sx < w {
+					v = src[ci*h*w+sy*w+sx]
+				}
+				img[ci*h*w+y*w+x] = v
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package data provides deterministic synthetic multi-task datasets that
+// stand in for the paper's real datasets (UTKFace, FER2013, Adience,
+// VOC2007, SOS, CoLA, SST-2), which are unavailable offline.
+//
+// Each generator produces one input stream and several task label sets
+// derived from latent factors planted into the input at different spatial
+// or sequential scales. Tasks therefore share low- and mid-level features
+// by construction, which is exactly the structure GMorph exploits: sharing
+// shallow features preserves accuracy, while over-sharing deep
+// task-specific features destroys it.
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// TaskKind selects how a task's predictions are scored.
+type TaskKind int
+
+// Task kinds.
+const (
+	// Classify scores argmax accuracy over K classes.
+	Classify TaskKind = iota
+	// MultiLabel scores mean average precision over K binary labels.
+	MultiLabel
+	// Matthews scores the Matthews correlation coefficient over 2 classes.
+	Matthews
+)
+
+// String implements fmt.Stringer.
+func (k TaskKind) String() string {
+	switch k {
+	case Classify:
+		return "classify"
+	case MultiLabel:
+		return "multilabel"
+	case Matthews:
+		return "matthews"
+	}
+	return "unknown"
+}
+
+// TaskSpec describes one prediction task over the shared input stream.
+type TaskSpec struct {
+	Name    string
+	Kind    TaskKind
+	Classes int
+}
+
+// Split is one partition (train or test) of a dataset: a batch of inputs
+// plus per-task labels.
+type Split struct {
+	// X holds the inputs: [N,C,H,W] images or [N,T] token-id tensors.
+	X *tensor.Tensor
+	// Labels[t] holds task t's integer labels (Classify, Matthews).
+	Labels [][]int
+	// Multi[t] holds task t's binary label matrix (MultiLabel), nil
+	// otherwise.
+	Multi [][][]int
+}
+
+// Len returns the number of samples.
+func (s *Split) Len() int { return s.X.Dim(0) }
+
+// Batch copies samples [lo,hi) into a fresh input tensor.
+func (s *Split) Batch(lo, hi int) *tensor.Tensor {
+	shape := append([]int{hi - lo}, s.X.Shape()[1:]...)
+	per := 1
+	for _, d := range s.X.Shape()[1:] {
+		per *= d
+	}
+	out := tensor.New(shape...)
+	copy(out.Data(), s.X.Data()[lo*per:hi*per])
+	return out
+}
+
+// Dataset is a multi-task dataset with a train/test split.
+type Dataset struct {
+	Name  string
+	Tasks []TaskSpec
+	Train *Split
+	Test  *Split
+}
+
+// Score evaluates task t's metric for predictions over split s.
+func (d *Dataset) Score(s *Split, t int, logits *tensor.Tensor) float64 {
+	switch d.Tasks[t].Kind {
+	case Classify:
+		return metrics.Accuracy(logits, s.Labels[t])
+	case MultiLabel:
+		return metrics.MeanAveragePrecision(logits, s.Multi[t])
+	case Matthews:
+		return metrics.MatthewsCorrelation(logits, s.Labels[t])
+	}
+	panic(fmt.Sprintf("data: unknown task kind %v", d.Tasks[t].Kind))
+}
+
+// ScoreRange reports the metric value of task t over rows [lo,hi) of the
+// split, used when evaluating on subsets.
+func (d *Dataset) ScoreRange(s *Split, t, lo, hi int, logits *tensor.Tensor) float64 {
+	switch d.Tasks[t].Kind {
+	case Classify:
+		return metrics.Accuracy(logits, s.Labels[t][lo:hi])
+	case MultiLabel:
+		return metrics.MeanAveragePrecision(logits, s.Multi[t][lo:hi])
+	case Matthews:
+		return metrics.MatthewsCorrelation(logits, s.Labels[t][lo:hi])
+	}
+	panic(fmt.Sprintf("data: unknown task kind %v", d.Tasks[t].Kind))
+}

@@ -1,0 +1,149 @@
+package data
+
+import "repro/internal/tensor"
+
+// FaceConfig parameterizes the FaceSynth generator, which stands in for the
+// UTKFace / FER2013 / Adience face datasets (age, gender, ethnicity,
+// emotion over one face-image stream).
+type FaceConfig struct {
+	// Train and Test sample counts.
+	Train, Test int
+	// Size is the square image side (channels are fixed at 3).
+	Size int
+	// Noise is the per-pixel Gaussian noise stddev.
+	Noise float32
+	// Seed makes the dataset reproducible.
+	Seed uint64
+	// Tasks selects which face tasks to emit, in order, from
+	// {"age","gender","ethnicity","emotion"}. Nil selects all four.
+	Tasks []string
+}
+
+// Face task class counts mirror the scaled-down benchmark setting.
+const (
+	faceAgeClasses     = 4
+	faceGenderClasses  = 2
+	faceEthnicClasses  = 3
+	faceEmotionClasses = 4
+)
+
+var faceTaskSpecs = map[string]TaskSpec{
+	"age":       {Name: "age", Kind: Classify, Classes: faceAgeClasses},
+	"gender":    {Name: "gender", Kind: Classify, Classes: faceGenderClasses},
+	"ethnicity": {Name: "ethnicity", Kind: Classify, Classes: faceEthnicClasses},
+	"emotion":   {Name: "emotion", Kind: Classify, Classes: faceEmotionClasses},
+}
+
+// NewFace generates a FaceSynth dataset. Every image embeds four latent
+// factors at different visual scales:
+//
+//   - gender flips a global left/right brightness asymmetry (lowest-level
+//     cue, learnable from shallow features),
+//   - ethnicity selects the dominant color-channel balance (low-level),
+//   - age sets the spatial frequency of horizontal stripes (mid-level),
+//   - emotion selects which image corner carries a bright blob
+//     (high-level, position-sensitive).
+func NewFace(cfg FaceConfig) *Dataset {
+	if cfg.Tasks == nil {
+		cfg.Tasks = []string{"age", "gender", "ethnicity", "emotion"}
+	}
+	specs := make([]TaskSpec, len(cfg.Tasks))
+	for i, name := range cfg.Tasks {
+		spec, ok := faceTaskSpecs[name]
+		if !ok {
+			panic("data: unknown face task " + name)
+		}
+		specs[i] = spec
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	d := &Dataset{Name: "facesynth", Tasks: specs}
+	d.Train = genFaceSplit(rng.Split(), cfg, specs, cfg.Train)
+	d.Test = genFaceSplit(rng.Split(), cfg, specs, cfg.Test)
+	return d
+}
+
+func genFaceSplit(rng *tensor.RNG, cfg FaceConfig, specs []TaskSpec, n int) *Split {
+	sz := cfg.Size
+	x := tensor.New(n, 3, sz, sz)
+	labels := make([][]int, len(specs))
+	for t := range labels {
+		labels[t] = make([]int, n)
+	}
+	xd := x.Data()
+	for i := 0; i < n; i++ {
+		age := rng.Intn(faceAgeClasses)
+		gender := rng.Intn(faceGenderClasses)
+		eth := rng.Intn(faceEthnicClasses)
+		emo := rng.Intn(faceEmotionClasses)
+		for t, spec := range specs {
+			switch spec.Name {
+			case "age":
+				labels[t][i] = age
+			case "gender":
+				labels[t][i] = gender
+			case "ethnicity":
+				labels[t][i] = eth
+			case "emotion":
+				labels[t][i] = emo
+			}
+		}
+		base := i * 3 * sz * sz
+		// Stripe frequency encodes age: 1..4 cycles across the image.
+		freq := float32(age+1) * 2
+		for c := 0; c < 3; c++ {
+			// Channel balance encodes ethnicity.
+			chGain := float32(0.6)
+			if c == eth {
+				chGain = 1.2
+			}
+			cb := base + c*sz*sz
+			for y := 0; y < sz; y++ {
+				stripe := triWave(float32(y) * freq / float32(sz))
+				for xx := 0; xx < sz; xx++ {
+					v := 0.4 * stripe * chGain
+					// Gender: brightness asymmetry across the vertical axis.
+					if (gender == 0) == (xx < sz/2) {
+						v += 0.35
+					}
+					// Emotion: bright blob in one corner.
+					cy, cx := corner(emo, sz)
+					dy, dx := float32(y-cy), float32(xx-cx)
+					r2 := (dy*dy + dx*dx) / float32(sz*sz)
+					if r2 < 0.02 {
+						v += 0.8 * (1 - r2/0.02)
+					}
+					v += cfg.Noise * float32(rng.NormFloat64())
+					xd[cb+y*sz+xx] = v
+				}
+			}
+		}
+	}
+	return &Split{X: x, Labels: labels}
+}
+
+// triWave maps phase to a triangle wave in [0,1].
+func triWave(p float32) float32 {
+	p -= float32(int(p))
+	if p < 0 {
+		p++
+	}
+	if p < 0.5 {
+		return 2 * p
+	}
+	return 2 * (1 - p)
+}
+
+// corner returns the blob center for an emotion class.
+func corner(emo, sz int) (int, int) {
+	q := sz / 4
+	switch emo {
+	case 0:
+		return q, q
+	case 1:
+		return q, sz - q
+	case 2:
+		return sz - q, q
+	default:
+		return sz - q, sz - q
+	}
+}

@@ -1,0 +1,119 @@
+package data
+
+import "repro/internal/tensor"
+
+// SceneConfig parameterizes the SceneSynth generator, which stands in for
+// PASCAL VOC2007 (multi-label object presence, scored with mAP) and SOS
+// (salient object subitizing) over one scene-image stream.
+type SceneConfig struct {
+	Train, Test int
+	// Size is the square image side (3 channels).
+	Size int
+	// ObjectClasses is the number of object categories.
+	ObjectClasses int
+	// MaxObjects bounds how many objects a scene contains; the saliency
+	// task predicts the count of salient (high-contrast) objects in
+	// 0..MaxObjects buckets.
+	MaxObjects int
+	Noise      float32
+	Seed       uint64
+}
+
+// NewScene generates a SceneSynth dataset with two tasks on the same
+// stream:
+//
+//   - task 0 "object": multi-label presence of ObjectClasses categories,
+//     each category rendered as a blob with a class-specific texture
+//     orientation and channel signature; scored with mAP.
+//   - task 1 "salient": classification of the number of salient
+//     (high-contrast) objects, in MaxObjects+1 buckets.
+func NewScene(cfg SceneConfig) *Dataset {
+	if cfg.ObjectClasses == 0 {
+		cfg.ObjectClasses = 6
+	}
+	if cfg.MaxObjects == 0 {
+		cfg.MaxObjects = 3
+	}
+	specs := []TaskSpec{
+		{Name: "object", Kind: MultiLabel, Classes: cfg.ObjectClasses},
+		{Name: "salient", Kind: Classify, Classes: cfg.MaxObjects + 1},
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	d := &Dataset{Name: "scenesynth", Tasks: specs}
+	d.Train = genSceneSplit(rng.Split(), cfg, cfg.Train)
+	d.Test = genSceneSplit(rng.Split(), cfg, cfg.Test)
+	return d
+}
+
+func genSceneSplit(rng *tensor.RNG, cfg SceneConfig, n int) *Split {
+	sz := cfg.Size
+	x := tensor.New(n, 3, sz, sz)
+	multi := make([][]int, n)
+	counts := make([]int, n)
+	xd := x.Data()
+	for i := 0; i < n; i++ {
+		numObjects := 1 + rng.Intn(cfg.MaxObjects)
+		present := make([]int, cfg.ObjectClasses)
+		salient := 0
+		for o := 0; o < numObjects; o++ {
+			cls := rng.Intn(cfg.ObjectClasses)
+			present[cls] = 1
+			// Half the objects are "salient": rendered at high contrast.
+			contrast := float32(0.4)
+			if rng.Float32() < 0.5 {
+				contrast = 1.2
+				salient++
+			}
+			cy := 4 + rng.Intn(sz-8)
+			cx := 4 + rng.Intn(sz-8)
+			renderObject(xd[i*3*sz*sz:], sz, cls, cy, cx, contrast)
+		}
+		if salient > cfg.MaxObjects {
+			salient = cfg.MaxObjects
+		}
+		multi[i] = present
+		counts[i] = salient
+		// Background noise.
+		base := i * 3 * sz * sz
+		for j := 0; j < 3*sz*sz; j++ {
+			xd[base+j] += cfg.Noise * float32(rng.NormFloat64())
+		}
+	}
+	return &Split{
+		X:      x,
+		Labels: [][]int{nil, counts},
+		Multi:  [][][]int{multi, nil},
+	}
+}
+
+// renderObject draws a textured blob for a class at (cy,cx). The texture
+// orientation alternates with class parity and the channel signature cycles
+// with class index, giving each category a learnable appearance.
+func renderObject(img []float32, sz, cls, cy, cx int, contrast float32) {
+	radius := sz / 6
+	ch := cls % 3
+	freq := float32(1+cls/3) * 3
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			y, x := cy+dy, cx+dx
+			if y < 0 || y >= sz || x < 0 || x >= sz {
+				continue
+			}
+			r2 := float32(dy*dy+dx*dx) / float32(radius*radius)
+			if r2 > 1 {
+				continue
+			}
+			var phase float32
+			if cls%2 == 0 {
+				phase = float32(dy) * freq / float32(radius)
+			} else {
+				phase = float32(dx) * freq / float32(radius)
+			}
+			v := contrast * (1 - r2) * (0.5 + 0.5*triWave(phase))
+			img[ch*sz*sz+y*sz+x] += v
+			// A faint imprint on the other channels keeps objects visible
+			// regardless of channel signature.
+			img[((ch+1)%3)*sz*sz+y*sz+x] += 0.25 * v
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package data
+
+import "repro/internal/tensor"
+
+// TextConfig parameterizes the TextSynth generator, which stands in for the
+// GLUE CoLA and SST-2 tasks over one token-sequence stream.
+type TextConfig struct {
+	Train, Test int
+	// SeqLen is the token sequence length T.
+	SeqLen int
+	// Vocab is the vocabulary size.
+	Vocab int
+	Seed  uint64
+}
+
+// Sentiment-bearing token bands used by the SST-style task: ids in
+// [2, 2+sentBand) are "positive", ids in [2+sentBand, 2+2*sentBand)
+// "negative".
+const sentBand = 8
+
+// NewText generates a TextSynth dataset with two tasks on the same stream:
+//
+//   - task 0 "cola": binary grammaticality, scored with Matthews
+//     correlation. A sequence is "grammatical" when every adjacent pair of
+//     content tokens alternates parity class (an agreement rule); the
+//     generator plants violations in half the samples.
+//   - task 1 "sst": binary sentiment, classification accuracy. The label is
+//     the sign of (#positive - #negative) sentiment tokens planted in the
+//     sequence.
+func NewText(cfg TextConfig) *Dataset {
+	if cfg.Vocab < 2+2*sentBand+2 {
+		panic("data: text vocab too small")
+	}
+	specs := []TaskSpec{
+		{Name: "cola", Kind: Matthews, Classes: 2},
+		{Name: "sst", Kind: Classify, Classes: 2},
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	d := &Dataset{Name: "textsynth", Tasks: specs}
+	d.Train = genTextSplit(rng.Split(), cfg, cfg.Train)
+	d.Test = genTextSplit(rng.Split(), cfg, cfg.Test)
+	return d
+}
+
+func genTextSplit(rng *tensor.RNG, cfg TextConfig, n int) *Split {
+	t := cfg.SeqLen
+	x := tensor.New(n, t)
+	cola := make([]int, n)
+	sst := make([]int, n)
+	xd := x.Data()
+	neutralLo := 2 + 2*sentBand
+	for i := 0; i < n; i++ {
+		grammatical := rng.Intn(2)
+		sentiment := rng.Intn(2)
+		cola[i] = grammatical
+		sst[i] = sentiment
+
+		ids := make([]int, t)
+		// Base sequence alternating parity classes of neutral tokens:
+		// even positions take even ids, odd positions odd ids.
+		for p := 0; p < t; p++ {
+			id := neutralLo + rng.Intn((cfg.Vocab-neutralLo)/2)*2
+			if p%2 == 1 {
+				id++
+				if id >= cfg.Vocab {
+					id -= 2
+				}
+			}
+			ids[p] = id
+		}
+		if grammatical == 0 {
+			// Plant 1-2 parity violations.
+			for v := 0; v < 1+rng.Intn(2); v++ {
+				p := rng.Intn(t)
+				ids[p] ^= 1 // flip parity in place
+				if ids[p] >= cfg.Vocab {
+					ids[p] -= 2
+				}
+				if ids[p] < neutralLo {
+					ids[p] = neutralLo + (ids[p] % 2)
+				}
+			}
+		}
+		// Plant sentiment tokens; majority matches the label.
+		strong := 2 + rng.Intn(2) // 2-3 matching tokens
+		weak := rng.Intn(2)       // 0-1 opposing tokens
+		for s := 0; s < strong; s++ {
+			p := rng.Intn(t)
+			ids[p] = sentimentToken(rng, sentiment)
+		}
+		for s := 0; s < weak; s++ {
+			p := rng.Intn(t)
+			ids[p] = sentimentToken(rng, 1-sentiment)
+		}
+		for p, id := range ids {
+			xd[i*t+p] = float32(id)
+		}
+	}
+	return &Split{X: x, Labels: [][]int{cola, sst}}
+}
+
+// sentimentToken picks a token id from the positive (1) or negative (0)
+// sentiment band. Band parity is preserved position-agnostically by
+// sampling both parities, so sentiment tokens rarely break grammaticality
+// statistics.
+func sentimentToken(rng *tensor.RNG, sentiment int) int {
+	if sentiment == 1 {
+		return 2 + rng.Intn(sentBand)
+	}
+	return 2 + sentBand + rng.Intn(sentBand)
+}

@@ -1,0 +1,273 @@
+// Package distill implements GMorph's distillation-based fine-tuning
+// (Section 5.2): a mutated multi-task model is trained to reproduce the
+// output features of the original task-specific DNNs under a weighted
+// per-task l1 loss, so no task labels are needed. Fine-tuning stops early
+// once the measured test accuracy meets the user's requirement, or when a
+// caller-provided hook (predictive early termination) cancels it.
+package distill
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TeacherOutputs holds per-task output features of the original DNNs over
+// the representative inputs. They are the distillation ground truth and are
+// computed once per benchmark, then reused for every candidate.
+type TeacherOutputs map[int]*tensor.Tensor
+
+// ComputeTeacherOutputs runs the teacher graph over x in batches and
+// returns the concatenated per-task outputs.
+func ComputeTeacherOutputs(teacher *graph.Graph, x *tensor.Tensor, batch int) TeacherOutputs {
+	n := x.Dim(0)
+	if batch <= 0 || batch > n {
+		batch = n
+	}
+	out := make(TeacherOutputs)
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		xb := sliceBatch(x, lo, hi)
+		res := teacher.Forward(xb, false)
+		for id, o := range res {
+			dst, ok := out[id]
+			if !ok {
+				shape := append([]int{n}, o.Shape()[1:]...)
+				dst = tensor.New(shape...)
+				out[id] = dst
+			}
+			per := o.Size() / o.Dim(0)
+			copy(dst.Data()[lo*per:hi*per], o.Data())
+		}
+	}
+	return out
+}
+
+// sliceBatch copies rows [lo,hi) of x into a new tensor.
+func sliceBatch(x *tensor.Tensor, lo, hi int) *tensor.Tensor {
+	shape := append([]int{hi - lo}, x.Shape()[1:]...)
+	per := 1
+	for _, d := range x.Shape()[1:] {
+		per *= d
+	}
+	out := tensor.New(shape...)
+	copy(out.Data(), x.Data()[lo*per:hi*per])
+	return out
+}
+
+// Config controls one fine-tuning run. The defaults mirror the paper's
+// optimization parameters scaled to the sim substrate.
+type Config struct {
+	// LR is the Adam learning rate (the paper reuses the teachers' training
+	// rate, taking the minimum across tasks when they differ).
+	LR float32
+	// Epochs bounds the fine-tuning length.
+	Epochs int
+	// Batch is the minibatch size.
+	Batch int
+	// EvalEvery is delta: test accuracy is measured every EvalEvery epochs.
+	EvalEvery int
+	// TaskWeights weights each task's l1 loss; nil means uniform.
+	TaskWeights map[int]float64
+	// Seed shuffles minibatches deterministically.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.Batch == 0 {
+		c.Batch = 16
+	}
+	if c.EvalEvery == 0 {
+		c.EvalEvery = 1
+	}
+	return c
+}
+
+// Sample is one point of the accuracy learning curve.
+type Sample struct {
+	Epoch int
+	// Accuracy is the per-task test metric.
+	Accuracy map[int]float64
+	// MinMargin is the minimum over tasks of (accuracy - target); the run
+	// meets the requirement when MinMargin >= 0.
+	MinMargin float64
+}
+
+// Report summarizes a fine-tuning run.
+type Report struct {
+	// Met reports whether every task reached its target metric.
+	Met bool
+	// Terminated reports whether the hook cancelled the run early.
+	Terminated bool
+	// Diverged reports that training produced a non-finite loss and the
+	// run was aborted; the candidate counts as failed.
+	Diverged bool
+	// EpochsRun counts completed epochs.
+	EpochsRun int
+	// Final holds the last measured per-task accuracy.
+	Final map[int]float64
+	// Curve is the accuracy trajectory, one sample per evaluation.
+	Curve []Sample
+	// TrainTime is the wall-clock spent fine-tuning.
+	TrainTime time.Duration
+	// FinalLoss is the last epoch's mean distillation loss.
+	FinalLoss float64
+}
+
+// Hook inspects the learning curve after each evaluation and may cancel
+// the run (predictive early termination). Returning true stops training.
+type Hook func(curve []Sample) bool
+
+// Evaluator measures a graph's per-task test metric. Targets gives the
+// metric threshold each task must reach.
+type Evaluator struct {
+	Dataset *data.Dataset
+	// Targets maps task id to the minimum acceptable metric value.
+	Targets map[int]float64
+	// Batch is the evaluation batch size (defaults to 32).
+	Batch int
+}
+
+// Measure computes each task's metric on the test split.
+func (e *Evaluator) Measure(g *graph.Graph) map[int]float64 {
+	batch := e.Batch
+	if batch <= 0 {
+		batch = 32
+	}
+	test := e.Dataset.Test
+	n := test.Len()
+	acc := make(map[int]float64)
+	// Collect full-test logits per task, then score once (mAP and MCC are
+	// not batch-decomposable).
+	logits := make(map[int]*tensor.Tensor)
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		out := g.Forward(test.Batch(lo, hi), false)
+		for id, o := range out {
+			dst, ok := logits[id]
+			if !ok {
+				dst = tensor.New(append([]int{n}, o.Shape()[1:]...)...)
+				logits[id] = dst
+			}
+			per := o.Size() / o.Dim(0)
+			copy(dst.Data()[lo*per:hi*per], o.Data())
+		}
+	}
+	for id, l := range logits {
+		acc[id] = e.Dataset.Score(test, id, l)
+	}
+	return acc
+}
+
+// MinMargin returns the minimum over tasks of (accuracy - target).
+func (e *Evaluator) MinMargin(acc map[int]float64) float64 {
+	first := true
+	var m float64
+	for id, target := range e.Targets {
+		d := acc[id] - target
+		if first || d < m {
+			m = d
+			first = false
+		}
+	}
+	return m
+}
+
+// FineTune trains g against teacher outputs on the representative inputs x
+// (the dataset's train split), evaluating the test metric every EvalEvery
+// epochs. It stops as soon as every task meets its target (the paper's
+// early-stopping condition), when the hook cancels, or after cfg.Epochs.
+func FineTune(g *graph.Graph, x *tensor.Tensor, teacher TeacherOutputs, eval *Evaluator, cfg Config, hook Hook) *Report {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	rng := tensor.NewRNG(cfg.Seed)
+	opt := nn.NewAdam(g.Params(), cfg.LR)
+	n := x.Dim(0)
+	rep := &Report{Final: make(map[int]float64)}
+
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		perm := rng.Perm(n)
+		var epochLoss float64
+		var batches int
+		for lo := 0; lo < n; lo += cfg.Batch {
+			hi := lo + cfg.Batch
+			if hi > n {
+				hi = n
+			}
+			xb := gatherRows(x, perm[lo:hi])
+			opt.ZeroGrad()
+			outs := g.Forward(xb, true)
+			grads := make(map[int]*tensor.Tensor, len(outs))
+			for id, o := range outs {
+				tb := gatherRows(teacher[id], perm[lo:hi])
+				w := 1.0
+				if cfg.TaskWeights != nil {
+					if tw, ok := cfg.TaskWeights[id]; ok {
+						w = tw
+					}
+				}
+				l, gr := nn.L1Loss(o, tb)
+				if w != 1.0 {
+					gr.Scale(float32(w))
+				}
+				epochLoss += w * l
+				grads[id] = gr
+			}
+			batches++
+			if math.IsNaN(epochLoss) || math.IsInf(epochLoss, 0) {
+				// Diverged (e.g. too-high learning rate on an unstable
+				// mutation): abort; the candidate is non-promising.
+				rep.Diverged = true
+				rep.TrainTime = time.Since(start)
+				return rep
+			}
+			g.Backward(grads)
+			opt.Step()
+		}
+		rep.EpochsRun = epoch
+		rep.FinalLoss = epochLoss / float64(batches)
+
+		if epoch%cfg.EvalEvery == 0 || epoch == cfg.Epochs {
+			acc := eval.Measure(g)
+			margin := eval.MinMargin(acc)
+			rep.Final = acc
+			rep.Curve = append(rep.Curve, Sample{Epoch: epoch, Accuracy: acc, MinMargin: margin})
+			if margin >= 0 {
+				rep.Met = true
+				break
+			}
+			if hook != nil && hook(rep.Curve) {
+				rep.Terminated = true
+				break
+			}
+		}
+	}
+	rep.TrainTime = time.Since(start)
+	return rep
+}
+
+// gatherRows copies the given rows of x into a new tensor.
+func gatherRows(x *tensor.Tensor, rows []int) *tensor.Tensor {
+	per := x.Size() / x.Dim(0)
+	out := tensor.New(append([]int{len(rows)}, x.Shape()[1:]...)...)
+	for i, r := range rows {
+		copy(out.Data()[i*per:(i+1)*per], x.Data()[r*per:(r+1)*per])
+	}
+	return out
+}

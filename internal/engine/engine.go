@@ -1,0 +1,310 @@
+// Package engine provides two inference engines for trained abstract
+// graphs, standing in for the paper's PyTorch vs TensorRT comparison
+// (Table 3):
+//
+//   - Reference executes the graph eagerly, one layer at a time, like the
+//     PyTorch eager baseline.
+//   - Fused compiles the graph first: BatchNorm layers are folded into the
+//     preceding convolution's weights (the classic inference-time
+//     conv+BN fusion), ReLU is applied in the same pass over the
+//     convolution output, and sibling branches of the multi-task tree
+//     execute concurrently (the CUDA multi-stream analogue).
+//
+// The engines exist to demonstrate the paper's claim that model fusion is
+// complementary to compiler-style graph optimization: GMorph's fused
+// multi-task models keep their speedup ratio under both engines.
+package engine
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Engine runs inference for a multi-task model.
+type Engine interface {
+	// Name identifies the engine in reports.
+	Name() string
+	// Forward returns per-task outputs for a batched input.
+	Forward(x *tensor.Tensor) map[int]*tensor.Tensor
+}
+
+// Reference is the eager executor.
+type Reference struct {
+	g *graph.Graph
+}
+
+// NewReference wraps a graph without transformation.
+func NewReference(g *graph.Graph) *Reference { return &Reference{g: g} }
+
+// Name implements Engine.
+func (r *Reference) Name() string { return "reference" }
+
+// Forward implements Engine.
+func (r *Reference) Forward(x *tensor.Tensor) map[int]*tensor.Tensor {
+	return r.g.Forward(x, false)
+}
+
+// Fused is the compiled executor.
+type Fused struct {
+	root *fusedNode
+}
+
+type fusedNode struct {
+	taskID   int
+	isHead   bool
+	run      func(x *tensor.Tensor) *tensor.Tensor
+	children []*fusedNode
+}
+
+// Name implements Engine.
+func (f *Fused) Name() string { return "fused" }
+
+// Compile builds a Fused engine from a trained graph. The graph is not
+// modified; folded weights are private copies.
+func Compile(g *graph.Graph) *Fused {
+	var build func(n *graph.Node) *fusedNode
+	build = func(n *graph.Node) *fusedNode {
+		fn := &fusedNode{taskID: n.TaskID, isHead: n.IsHead()}
+		if n.Layer != nil {
+			fn.run = compileLayer(n.Layer)
+		} else {
+			fn.run = func(x *tensor.Tensor) *tensor.Tensor { return x }
+		}
+		for _, c := range n.Children {
+			fn.children = append(fn.children, build(c))
+		}
+		return fn
+	}
+	return &Fused{root: build(g.Root)}
+}
+
+// Forward implements Engine: shared nodes run once, sibling subtrees run
+// concurrently.
+func (f *Fused) Forward(x *tensor.Tensor) map[int]*tensor.Tensor {
+	out := make(map[int]*tensor.Tensor)
+	var mu sync.Mutex
+	var walk func(n *fusedNode, in *tensor.Tensor)
+	walk = func(n *fusedNode, in *tensor.Tensor) {
+		y := n.run(in)
+		if n.isHead {
+			mu.Lock()
+			out[n.taskID] = y
+			mu.Unlock()
+			return
+		}
+		if len(n.children) == 1 || runtime.GOMAXPROCS(0) == 1 {
+			for _, c := range n.children {
+				walk(c, y)
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		for _, c := range n.children {
+			wg.Add(1)
+			go func(c *fusedNode) {
+				defer wg.Done()
+				walk(c, y)
+			}(c)
+		}
+		wg.Wait()
+	}
+	walk(f.root, x)
+	return out
+}
+
+// compileLayer lowers one abstract-graph layer into an optimized closure.
+func compileLayer(l nn.Layer) func(*tensor.Tensor) *tensor.Tensor {
+	switch v := l.(type) {
+	case *nn.ConvBlock:
+		conv := foldConvBN(v.Conv, v.BN)
+		pool := v.Pool
+		return func(x *tensor.Tensor) *tensor.Tensor {
+			y := conv.apply(x, true) // fused conv+bias+relu
+			if pool != nil {
+				y, _ = maxPoolEval(y, pool.Kernel, pool.Stride)
+			}
+			return y
+		}
+	case *nn.ResidualBlock:
+		c1 := foldConvBN(v.Conv1, v.BN1)
+		c2 := foldConvBN(v.Conv2, v.BN2)
+		var down *foldedConv
+		if v.Down != nil {
+			down = foldConvBN(v.Down, v.DownBN)
+		}
+		return func(x *tensor.Tensor) *tensor.Tensor {
+			identity := x
+			if down != nil {
+				identity = down.apply(x, false)
+			}
+			h := c1.apply(x, true)
+			h = c2.apply(h, false)
+			// residual add + relu in one pass
+			hd, id := h.Data(), identity.Data()
+			for i := range hd {
+				s := hd[i] + id[i]
+				if s < 0 {
+					s = 0
+				}
+				hd[i] = s
+			}
+			return h
+		}
+	case *nn.Sequential:
+		subs := make([]func(*tensor.Tensor) *tensor.Tensor, len(v.Layers))
+		for i, s := range v.Layers {
+			subs[i] = compileLayer(s)
+		}
+		return func(x *tensor.Tensor) *tensor.Tensor {
+			for _, f := range subs {
+				x = f(x)
+			}
+			return x
+		}
+	default:
+		// Fallback: eval-mode eager execution of the layer. Clone so the
+		// compiled plan does not share forward caches with training.
+		c := l.Clone()
+		return func(x *tensor.Tensor) *tensor.Tensor {
+			return c.Forward(x, false)
+		}
+	}
+}
+
+// foldedConv is a convolution with BN folded into weights and bias.
+type foldedConv struct {
+	inC, outC, k, stride, pad int
+	weight                    *tensor.Tensor // [outC, inC*k*k]
+	bias                      []float32
+}
+
+// foldConvBN folds eval-mode batch norm into the convolution:
+// W'_o = W_o * gamma_o/sqrt(var_o+eps), b'_o = (b_o-mean_o)*s_o + beta_o.
+func foldConvBN(c *nn.Conv2d, bn *nn.BatchNorm2d) *foldedConv {
+	f := &foldedConv{
+		inC: c.InC, outC: c.OutC, k: c.Kernel, stride: c.Stride, pad: c.Pad,
+		weight: c.Weight.Value.Clone(),
+		bias:   make([]float32, c.OutC),
+	}
+	copy(f.bias, c.Bias.Value.Data())
+	if bn != nil {
+		wd := f.weight.Data()
+		cols := f.weight.Dim(1)
+		for o := 0; o < f.outC; o++ {
+			variance := bn.RunningVar.Data()[o]
+			scale := bn.Gamma.Value.Data()[o] / sqrtf(variance+bn.Eps)
+			for j := 0; j < cols; j++ {
+				wd[o*cols+j] *= scale
+			}
+			f.bias[o] = (f.bias[o]-bn.RunningMean.Data()[o])*scale + bn.Beta.Value.Data()[o]
+		}
+	}
+	return f
+}
+
+func sqrtf(v float32) float32 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 20; i++ {
+		x = 0.5 * (x + v/x)
+	}
+	return x
+}
+
+// scratch is a size-bucketed pool of float32 buffers reused by compiled
+// convolutions (the "buffer arena" analogue of an inference engine's
+// workspace memory). Buffers are returned immediately after the matmul, so
+// concurrent Forward calls remain safe.
+var scratch = sync.Pool{New: func() any { return []float32(nil) }}
+
+func getScratch(n int) []float32 {
+	b := scratch.Get().([]float32)
+	if cap(b) < n {
+		b = make([]float32, n)
+	}
+	return b[:n]
+}
+
+func putScratch(b []float32) { scratch.Put(b[:0]) } //nolint:staticcheck // slice headers are fine here
+
+// apply runs the folded convolution; relu fuses the activation into the
+// output pass.
+func (f *foldedConv) apply(x *tensor.Tensor, relu bool) *tensor.Tensor {
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOut(h, f.k, f.stride, f.pad)
+	ow := tensor.ConvOut(w, f.k, f.stride, f.pad)
+	colsBuf := getScratch(n * oh * ow * f.inC * f.k * f.k)
+	defer putScratch(colsBuf)
+	flatBuf := getScratch(n * oh * ow * f.outC)
+	defer putScratch(flatBuf)
+	cols := tensor.FromSlice(colsBuf, n*oh*ow, f.inC*f.k*f.k)
+	tensor.Im2ColInto(cols, x, f.k, f.k, f.stride, f.pad)
+	flat := tensor.FromSlice(flatBuf, n*oh*ow, f.outC)
+	tensor.MatMulTransBInto(flat, cols, f.weight)
+	out := tensor.New(n, f.outC, oh, ow)
+	fd, od := flat.Data(), out.Data()
+	for ni := 0; ni < n; ni++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				src := fd[((ni*oh+oy)*ow+ox)*f.outC:]
+				for oc := 0; oc < f.outC; oc++ {
+					v := src[oc] + f.bias[oc]
+					if relu && v < 0 {
+						v = 0
+					}
+					od[((ni*f.outC+oc)*oh+oy)*ow+ox] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// maxPoolEval is inference-only pooling without argmax bookkeeping.
+func maxPoolEval(x *tensor.Tensor, k, stride int) (*tensor.Tensor, []int32) {
+	return tensor.MaxPool(x, k, stride)
+}
+
+// Measure times an engine over the given input shape, reporting a trimmed
+// mean of wall-clock runs.
+func Measure(e Engine, inputShape graph.Shape, batch, warmup, runs int) time.Duration {
+	if batch <= 0 {
+		batch = 8
+	}
+	if warmup <= 0 {
+		warmup = 1
+	}
+	if runs <= 0 {
+		runs = 5
+	}
+	x := tensor.New(append([]int{batch}, inputShape...)...)
+	if len(inputShape) != 1 {
+		tensor.NewRNG(7).FillNormal(x, 0, 1)
+	}
+	for i := 0; i < warmup; i++ {
+		e.Forward(x)
+	}
+	times := make([]time.Duration, runs)
+	for i := range times {
+		t0 := time.Now()
+		e.Forward(x)
+		times[i] = time.Since(t0)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	if runs >= 4 {
+		times = times[1 : len(times)-1]
+	}
+	var sum time.Duration
+	for _, t := range times {
+		sum += t
+	}
+	return sum / time.Duration(len(times))
+}

@@ -1,0 +1,157 @@
+// Package estimator implements GMorph's Performance Estimation component
+// (Section 5): FLOPs counting, latency measurement by timed execution on
+// the target substrate, and the accuracy estimator that fine-tunes
+// candidates with distillation while applying predictive filtering.
+package estimator
+
+import (
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/distill"
+	"repro/internal/filter"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// FLOPs returns the analytic per-sample floating point operation count of
+// the graph.
+func FLOPs(g *graph.Graph) int64 { return g.FLOPs() }
+
+// LatencyOptions controls latency measurement.
+type LatencyOptions struct {
+	// Batch is the inference batch size (default 8).
+	Batch int
+	// Warmup executions are discarded (default 1).
+	Warmup int
+	// Runs timed executions are performed; the minimum is reported, which
+	// is robust against interference from concurrent load. Default 5.
+	Runs int
+}
+
+func (o LatencyOptions) withDefaults() LatencyOptions {
+	if o.Batch <= 0 {
+		o.Batch = 8
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 1
+	}
+	if o.Runs <= 0 {
+		o.Runs = 5
+	}
+	return o
+}
+
+// Latency measures the graph's inference wall-clock on a synthetic batch
+// shaped like the graph input.
+func Latency(g *graph.Graph, opts LatencyOptions) time.Duration {
+	opts = opts.withDefaults()
+	x := inputBatch(g, opts.Batch)
+	for i := 0; i < opts.Warmup; i++ {
+		g.Forward(x, false)
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < opts.Runs; i++ {
+		start := time.Now()
+		g.Forward(x, false)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// inputBatch builds a batch matching the graph's input domain: gaussian
+// pixels for image inputs, token id zeros for raw token inputs.
+func inputBatch(g *graph.Graph, batch int) *tensor.Tensor {
+	shape := append([]int{batch}, g.Root.InputShape...)
+	x := tensor.New(shape...)
+	if len(g.Root.InputShape) != 1 { // images
+		tensor.NewRNG(1).FillNormal(x, 0, 1)
+	}
+	return x
+}
+
+// AccuracyOptions configures the accuracy estimator.
+type AccuracyOptions struct {
+	// FineTune carries the optimizer settings (epochs, lr, batch, delta).
+	FineTune distill.Config
+	// UseEarlyTermination enables the learning-curve hook ("GMorph w P").
+	UseEarlyTermination bool
+	// UseRuleFilter enables capacity-rule skipping ("GMorph w P+R").
+	UseRuleFilter bool
+	// Slack loosens the early-termination decision (see filter package).
+	Slack float64
+}
+
+// AccuracyEstimator fine-tunes candidates and reports whether they meet the
+// per-task accuracy targets, applying predictive filtering to skip or cut
+// short non-promising runs.
+type AccuracyEstimator struct {
+	Eval    *distill.Evaluator
+	Teacher distill.TeacherOutputs
+	// TrainX is the representative input set (no labels needed).
+	TrainX *tensor.Tensor
+	Opts   AccuracyOptions
+
+	rule *filter.RuleBased
+	// Stats accumulate across Estimate calls.
+	SkippedByRule   int
+	EarlyTerminated int
+	FineTuned       int
+	TotalEpochs     int
+}
+
+// NewAccuracyEstimator builds an estimator over a dataset's train split and
+// precomputed teacher outputs.
+func NewAccuracyEstimator(ds *data.Dataset, targets map[int]float64, teacher distill.TeacherOutputs, trainX *tensor.Tensor, opts AccuracyOptions) *AccuracyEstimator {
+	return &AccuracyEstimator{
+		Eval:    &distill.Evaluator{Dataset: ds, Targets: targets},
+		Teacher: teacher,
+		TrainX:  trainX,
+		Opts:    opts,
+		rule:    filter.NewRuleBased(),
+	}
+}
+
+// Outcome reports one candidate's evaluation.
+type Outcome struct {
+	// Met is true when the candidate reached every task target.
+	Met bool
+	// Skipped is true when rule-based filtering rejected the candidate
+	// without fine-tuning.
+	Skipped bool
+	// Report is the fine-tuning report (nil when Skipped).
+	Report *distill.Report
+}
+
+// Estimate evaluates a candidate graph in place: the graph's weights are
+// fine-tuned (unless skipped). Failures feed the rule-based history.
+func (a *AccuracyEstimator) Estimate(g *graph.Graph, seed uint64) Outcome {
+	g.RefreshCapacities()
+	profile := g.Capacity()
+	if a.Opts.UseRuleFilter && a.rule.ShouldSkip(profile) {
+		a.SkippedByRule++
+		return Outcome{Skipped: true}
+	}
+	var hook distill.Hook
+	if a.Opts.UseEarlyTermination {
+		hook = filter.EarlyTermination{
+			TotalEpochs:      a.Opts.FineTune.Epochs,
+			Slack:            a.Opts.Slack,
+			MinEpochFraction: 0.5,
+		}.Hook()
+	}
+	cfg := a.Opts.FineTune
+	cfg.Seed = seed
+	rep := distill.FineTune(g, a.TrainX, a.Teacher, a.Eval, cfg, hook)
+	a.FineTuned++
+	a.TotalEpochs += rep.EpochsRun
+	if rep.Terminated {
+		a.EarlyTerminated++
+	}
+	if !rep.Met {
+		a.rule.RecordFailure(profile)
+	}
+	return Outcome{Met: rep.Met, Report: rep}
+}

@@ -1,0 +1,126 @@
+package estimator_test
+
+import (
+	"testing"
+
+	"repro/internal/distill"
+	"repro/internal/estimator"
+	"repro/internal/graph"
+	"repro/internal/mutation"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+func TestFLOPsMatchesGraph(t *testing.T) {
+	ds := testutil.TinyFace(1, 8, 8)
+	g := testutil.TinyMultiDNN(2, ds)
+	if estimator.FLOPs(g) != g.FLOPs() {
+		t.Fatal("FLOPs must delegate to the graph")
+	}
+	if estimator.FLOPs(g) <= 0 {
+		t.Fatal("FLOPs must be positive")
+	}
+}
+
+func TestLatencyPositiveAndOrdered(t *testing.T) {
+	ds := testutil.TinyFace(3, 8, 8)
+	g := testutil.TinyMultiDNN(4, ds)
+	opts := estimator.LatencyOptions{Batch: 4, Warmup: 1, Runs: 5}
+	lat := estimator.Latency(g, opts)
+	if lat <= 0 {
+		t.Fatal("latency must be positive")
+	}
+	// A fused graph with fewer nodes must not be slower by a large factor;
+	// build one by sharing the first blocks of the two tasks.
+	mut := mutation.NewMutator(tensor.NewRNG(5))
+	res, err := mut.Apply(g, []graph.Pair{{
+		Host:  mutation.FindNode(g, 0, 1),
+		Guest: mutation.FindNode(g, 1, 1),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := estimator.Latency(res.Graph, opts)
+	if fused <= 0 {
+		t.Fatal("fused latency must be positive")
+	}
+	if estimator.FLOPs(res.Graph) >= estimator.FLOPs(g) {
+		t.Fatal("fused graph must cost fewer FLOPs")
+	}
+}
+
+func TestAccuracyEstimatorRuleFilterAndStats(t *testing.T) {
+	ds := testutil.TinyFace(7, 64, 32)
+	teacher := testutil.TinyMultiDNN(8, ds)
+	testutil.PretrainTeachers(teacher, ds, 6, 0.004, 9)
+	outs := distill.ComputeTeacherOutputs(teacher, ds.Train.X, 32)
+
+	// Impossible targets make everything fail, feeding the rule history.
+	targets := map[int]float64{0: 2, 1: 2}
+	acc := estimator.NewAccuracyEstimator(ds, targets, outs, ds.Train.X, estimator.AccuracyOptions{
+		FineTune:      distill.Config{LR: 0.002, Epochs: 2, Batch: 16, EvalEvery: 2},
+		UseRuleFilter: true,
+	})
+
+	mut := mutation.NewMutator(tensor.NewRNG(10))
+	mild, err := mut.Apply(teacher, []graph.Pair{{
+		Host:  mutation.FindNode(teacher, 0, 1),
+		Guest: mutation.FindNode(teacher, 1, 1),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1 := acc.Estimate(mild.Graph, 1)
+	if out1.Met || out1.Skipped {
+		t.Fatalf("first candidate must fine-tune and fail: %+v", out1)
+	}
+	if acc.FineTuned != 1 {
+		t.Fatalf("FineTuned = %d", acc.FineTuned)
+	}
+
+	// A strictly more aggressive candidate (further sharing on top of the
+	// failed one) must now be skipped without fine-tuning.
+	aggressive, err := mut.Apply(mild.Graph, []graph.Pair{{
+		Host:  mutation.FindNode(mild.Graph, 0, 2),
+		Guest: mutation.FindNode(mild.Graph, 1, 2),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := acc.Estimate(aggressive.Graph, 2)
+	if !out2.Skipped {
+		t.Fatalf("more aggressive candidate not skipped: %+v", out2)
+	}
+	if acc.SkippedByRule != 1 {
+		t.Fatalf("SkippedByRule = %d", acc.SkippedByRule)
+	}
+}
+
+func TestAccuracyEstimatorMeetsReachableTarget(t *testing.T) {
+	ds := testutil.TinyFace(11, 96, 48)
+	teacher := testutil.TinyMultiDNN(12, ds)
+	teachAcc := testutil.PretrainTeachers(teacher, ds, 8, 0.004, 13)
+	outs := distill.ComputeTeacherOutputs(teacher, ds.Train.X, 32)
+
+	targets := map[int]float64{}
+	for id, a := range teachAcc {
+		targets[id] = a - 0.15
+	}
+	acc := estimator.NewAccuracyEstimator(ds, targets, outs, ds.Train.X, estimator.AccuracyOptions{
+		FineTune: distill.Config{LR: 0.003, Epochs: 25, Batch: 16, EvalEvery: 2},
+	})
+	// Candidate: teacher clone with the two branches sharing block 0.
+	mut := mutation.NewMutator(tensor.NewRNG(14))
+	cand, err := mut.Apply(teacher, []graph.Pair{{
+		Host:  mutation.FindNode(teacher, 0, 1),
+		Guest: mutation.FindNode(teacher, 1, 1),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := acc.Estimate(cand.Graph, 3)
+	if !out.Met {
+		t.Fatalf("shallow sharing should meet a relaxed target; final %v targets %v",
+			out.Report.Final, targets)
+	}
+}

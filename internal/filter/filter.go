@@ -1,0 +1,132 @@
+// Package filter implements GMorph's predictive filtering (Section 5.1),
+// the two mechanisms that cut accuracy-evaluation cost:
+//
+//   - Rule-based filtering: once a candidate fails to meet the accuracy
+//     target, every candidate whose capacity profile is strictly more
+//     aggressive in feature sharing is skipped without fine-tuning.
+//   - Predictive early termination: the accuracy learning curve is
+//     extrapolated from four equally spaced measurements using the rate of
+//     convergence; if the predicted final accuracy cannot reach the target,
+//     fine-tuning is cancelled.
+package filter
+
+import (
+	"math"
+
+	"repro/internal/distill"
+	"repro/internal/graph"
+)
+
+// RuleBased records the capacity profiles of non-promising candidates and
+// rejects strictly more aggressive profiles before fine-tuning.
+type RuleBased struct {
+	failed []graph.CapacityProfile
+}
+
+// NewRuleBased returns an empty rule-based filter.
+func NewRuleBased() *RuleBased { return &RuleBased{} }
+
+// RecordFailure registers a candidate that did not meet the accuracy
+// target.
+func (r *RuleBased) RecordFailure(p graph.CapacityProfile) {
+	r.failed = append(r.failed, p)
+}
+
+// ShouldSkip reports whether the candidate profile is strictly more
+// aggressive than any recorded failure, meaning fine-tuning it is
+// predicted to be futile.
+func (r *RuleBased) ShouldSkip(p graph.CapacityProfile) bool {
+	for _, f := range r.failed {
+		if p.MoreAggressiveThan(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// Failures returns the number of recorded non-promising profiles.
+func (r *RuleBased) Failures() int { return len(r.failed) }
+
+// EarlyTermination builds a distill.Hook implementing the paper's
+// convergence-rate extrapolation. The hook needs at least four curve
+// samples; with fewer it never terminates.
+type EarlyTermination struct {
+	// TotalEpochs is T, the horizon the curve is extrapolated to.
+	TotalEpochs int
+	// Slack is subtracted from the requirement when judging the predicted
+	// final margin, making termination slightly conservative. Defaults to 0.
+	Slack float64
+	// MinEpochFraction delays termination until at least this fraction of
+	// the budget has run, so noisy early measurements cannot kill a
+	// candidate. Defaults to 1/3.
+	MinEpochFraction float64
+}
+
+// Hook returns the early-termination hook. The curve's MinMargin is the
+// extrapolated series f; the run is terminated when the predicted final
+// margin stays below -Slack.
+func (e EarlyTermination) Hook() distill.Hook {
+	minFrac := e.MinEpochFraction
+	if minFrac == 0 {
+		minFrac = 1.0 / 3
+	}
+	return func(curve []distill.Sample) bool {
+		if len(curve) < 4 {
+			return false
+		}
+		last := curve[len(curve)-4:]
+		if float64(last[3].Epoch) < minFrac*float64(e.TotalEpochs) {
+			return false
+		}
+		f := [4]float64{last[0].MinMargin, last[1].MinMargin, last[2].MinMargin, last[3].MinMargin}
+		delta := last[1].Epoch - last[0].Epoch
+		if delta <= 0 {
+			return false
+		}
+		remaining := (e.TotalEpochs - last[3].Epoch) / delta
+		pred := ExtrapolateConvergence(f, remaining)
+		return pred < -e.Slack
+	}
+}
+
+// ExtrapolateConvergence estimates the asymptote of a sequence using the
+// paper's rate-of-convergence formula:
+//
+//	alpha = (log|f3-f2| - log|f2-f1|) / (log|f2-f1| - log|f1-f0|)
+//
+// applied in ratio form: successive differences shrink geometrically with
+// ratio q = |f3-f2|/|f2-f1|, so the value after `steps` more measurements is
+// f3 + d*(q + q^2 + ... + q^steps) with d = f3-f2. Divergent or flat
+// sequences fall back to the last value.
+func ExtrapolateConvergence(f [4]float64, steps int) float64 {
+	if steps <= 0 {
+		return f[3]
+	}
+	d1 := f[1] - f[0]
+	d2 := f[2] - f[1]
+	d3 := f[3] - f[2]
+	if math.Abs(d2) < 1e-12 || math.Abs(d3) < 1e-12 {
+		return f[3] // converged (differences vanished)
+	}
+	q := math.Abs(d3) / math.Abs(d2)
+	// A second ratio estimate stabilizes q when available.
+	if math.Abs(d1) > 1e-12 {
+		q = math.Sqrt(q * (math.Abs(d2) / math.Abs(d1)))
+	}
+	if q >= 1 {
+		// Not converging geometrically; optimistic linear extension capped
+		// at a few steps to avoid wild extrapolation.
+		ext := float64(minInt(steps, 3))
+		return f[3] + d3*ext
+	}
+	// Geometric tail: d3 * (q + q^2 + ... + q^steps).
+	tail := d3 * q * (1 - math.Pow(q, float64(steps))) / (1 - q)
+	return f[3] + tail
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,104 @@
+package graph
+
+// CapacityProfile summarizes how a graph's parameters are distributed
+// between shared and task-specific nodes. Rule-based predictive filtering
+// (Section 5.1) compares profiles to decide whether one candidate is
+// strictly "more aggressive" in feature sharing than another.
+type CapacityProfile struct {
+	// Total is the parameter count across all nodes.
+	Total int64
+	// TaskTotal maps task id to the parameter count of every node on the
+	// path from root to that task's head (shared nodes counted for every
+	// task they serve).
+	TaskTotal map[int]int64
+	// TaskSpecific maps task id to the parameter count of path nodes that
+	// serve only that task.
+	TaskSpecific map[int]int64
+	// Shared is the parameter count of nodes serving two or more tasks.
+	Shared int64
+}
+
+// Capacity computes the capacity profile of a graph.
+func (g *Graph) Capacity() CapacityProfile {
+	p := CapacityProfile{
+		TaskTotal:    make(map[int]int64),
+		TaskSpecific: make(map[int]int64),
+	}
+	for id := range g.Heads {
+		p.TaskTotal[id] = 0
+		p.TaskSpecific[id] = 0
+	}
+	for _, n := range g.Nodes() {
+		p.Total += n.Capacity
+		tasks := g.TaskSet(n)
+		if len(tasks) > 1 {
+			p.Shared += n.Capacity
+		}
+		for t := range tasks {
+			p.TaskTotal[t] += n.Capacity
+			if len(tasks) == 1 {
+				p.TaskSpecific[t] += n.Capacity
+			}
+		}
+	}
+	return p
+}
+
+// MoreAggressiveThan reports whether profile a exhibits strictly more
+// feature sharing than b under the paper's four conditions: (1) fewer total
+// capacity, (2) fewer per-task total capacity for each task, (3) fewer
+// per-task task-specific capacity for each task, and (4) more shared
+// capacity. All four must hold (with at least condition 1 or 4 strict).
+func (a CapacityProfile) MoreAggressiveThan(b CapacityProfile) bool {
+	if len(a.TaskTotal) != len(b.TaskTotal) {
+		return false
+	}
+	if a.Total > b.Total {
+		return false
+	}
+	for t, v := range a.TaskTotal {
+		bv, ok := b.TaskTotal[t]
+		if !ok || v > bv {
+			return false
+		}
+	}
+	for t, v := range a.TaskSpecific {
+		bv, ok := b.TaskSpecific[t]
+		if !ok || v > bv {
+			return false
+		}
+	}
+	if a.Shared < b.Shared {
+		return false
+	}
+	return a.Total < b.Total || a.Shared > b.Shared
+}
+
+// FLOPs estimates the total floating point operations for one sample
+// through every node in the graph.
+func (g *Graph) FLOPs() int64 {
+	var total int64
+	for _, n := range g.Nodes() {
+		total += n.Layer.FLOPs(n.InputShape)
+	}
+	return total
+}
+
+// RefreshCapacities recomputes each node's Capacity from its layer. Call
+// after structural edits that replace layers.
+func (g *Graph) RefreshCapacities() {
+	for _, n := range g.Nodes() {
+		n.Capacity = paramCount(n)
+	}
+}
+
+func paramCount(n *Node) int64 {
+	if n.Layer == nil {
+		return 0
+	}
+	var total int64
+	for _, p := range n.Layer.Params() {
+		total += int64(p.Value.Size())
+	}
+	return total
+}

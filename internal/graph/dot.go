@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ToDOT renders the graph in Graphviz DOT format, the analogue of the
+// paper's multi-task model visualizations (Figure 9). Nodes are colored by
+// the set of tasks they serve: task-specific nodes get a per-task color,
+// shared nodes are highlighted, and Rescale adapters are drawn as
+// diamonds.
+func (g *Graph) ToDOT(title string) string {
+	palette := []string{
+		"#8dd3c7", "#bebada", "#fb8072", "#80b1d3", "#fdb462", "#b3de69",
+	}
+	var b strings.Builder
+	b.WriteString("digraph gmorph {\n")
+	fmt.Fprintf(&b, "  label=%q; labelloc=top; rankdir=TB;\n", title)
+	b.WriteString("  node [style=filled, fontname=\"Helvetica\"];\n")
+
+	ids := make(map[*Node]string)
+	ids[g.Root] = "input"
+	fmt.Fprintf(&b, "  input [label=\"Input %v\", shape=oval, fillcolor=\"#ffffff\"];\n", g.Root.InputShape)
+
+	nodes := g.Nodes()
+	for i, n := range nodes {
+		id := fmt.Sprintf("n%d", i)
+		ids[n] = id
+		tasks := g.TaskSet(n)
+		color := "#dddddd"
+		if len(tasks) == 1 {
+			for t := range tasks {
+				color = palette[t%len(palette)]
+			}
+		} else if len(tasks) > 1 {
+			color = "#ffed6f" // shared
+		}
+		shape := "box"
+		if n.IsRescale() {
+			shape = "diamond"
+		}
+		if n.IsHead() {
+			shape = "house"
+		}
+		label := fmt.Sprintf("%s\\n%s\\nin=%v", n.OpType, taskList(g, tasks), n.InputShape)
+		fmt.Fprintf(&b, "  %s [label=\"%s\", shape=%s, fillcolor=%q];\n", id, label, shape, color)
+	}
+	var emitEdges func(n *Node)
+	emitEdges = func(n *Node) {
+		for _, c := range n.Children {
+			fmt.Fprintf(&b, "  %s -> %s;\n", ids[n], ids[c])
+			emitEdges(c)
+		}
+	}
+	emitEdges(g.Root)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func taskList(g *Graph, tasks map[int]bool) string {
+	names := make([]string, 0, len(tasks))
+	keys := make([]int, 0, len(tasks))
+	for t := range tasks {
+		keys = append(keys, t)
+	}
+	sort.Ints(keys)
+	for _, t := range keys {
+		if name, ok := g.TaskNames[t]; ok && name != "" {
+			names = append(names, name)
+		} else {
+			names = append(names, fmt.Sprintf("t%d", t))
+		}
+	}
+	return strings.Join(names, ",")
+}

@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Forward executes the graph on a batched input, computing every shared
+// node exactly once, and returns each task's head output keyed by task id.
+// train selects training-mode layer behaviour.
+func (g *Graph) Forward(x *tensor.Tensor, train bool) map[int]*tensor.Tensor {
+	outputs := make(map[int]*tensor.Tensor, len(g.Heads))
+	var walk func(n *Node, in *tensor.Tensor)
+	walk = func(n *Node, in *tensor.Tensor) {
+		out := in
+		if n.Layer != nil {
+			out = n.Layer.Forward(in, train)
+		}
+		if n.IsHead() {
+			outputs[n.TaskID] = out
+			return
+		}
+		for _, c := range n.Children {
+			walk(c, out)
+		}
+	}
+	walk(g.Root, x)
+	return outputs
+}
+
+// Backward propagates per-task output gradients through the tree,
+// accumulating parameter gradients. Shared nodes receive the sum of their
+// children's input gradients, mirroring autograd over the fused model. It
+// returns the gradient with respect to the graph input.
+//
+// Backward must follow a Forward with train semantics; layer caches are
+// consumed in reverse order of the Forward traversal.
+func (g *Graph) Backward(taskGrads map[int]*tensor.Tensor) *tensor.Tensor {
+	var walk func(n *Node) *tensor.Tensor
+	walk = func(n *Node) *tensor.Tensor {
+		var acc *tensor.Tensor
+		if n.IsHead() {
+			gOut, ok := taskGrads[n.TaskID]
+			if !ok {
+				panic(fmt.Sprintf("graph: Backward missing gradient for task %d", n.TaskID))
+			}
+			acc = gOut
+		} else {
+			for _, c := range n.Children {
+				gIn := walk(c)
+				if acc == nil {
+					acc = gIn
+				} else {
+					tensor.AddInto(acc, acc, gIn)
+				}
+			}
+			if acc == nil {
+				panic(fmt.Sprintf("graph: node %s has no children feeding gradients", n.ID()))
+			}
+		}
+		if n.Layer == nil {
+			return acc
+		}
+		return n.Layer.Backward(acc)
+	}
+	return walk(g.Root)
+}
+
+// ForwardTask executes only the path serving one task, skipping branches
+// that do not lead to its head. Used by per-task evaluation.
+func (g *Graph) ForwardTask(x *tensor.Tensor, taskID int, train bool) *tensor.Tensor {
+	head, ok := g.Heads[taskID]
+	if !ok {
+		panic(fmt.Sprintf("graph: unknown task %d", taskID))
+	}
+	path := g.Path(head)
+	out := x
+	for _, n := range path {
+		out = n.Layer.Forward(out, train)
+	}
+	return out
+}

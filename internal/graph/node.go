@@ -1,0 +1,25 @@
+package graph
+
+import "repro/internal/nn"
+
+// NewBlockNode constructs a computation node with its capacity derived from
+// the layer's parameter count. The node is unlinked; use Graph.AddChild to
+// attach it.
+func NewBlockNode(taskID, opID int, opType string, inputShape Shape, domain Domain, layer nn.Layer) *Node {
+	n := &Node{
+		TaskID: taskID, OpID: opID, OpType: opType,
+		InputShape: inputShape.Clone(), Domain: domain,
+		Layer: layer,
+	}
+	n.Capacity = paramCount(n)
+	return n
+}
+
+// AppendChain links a sequence of nodes as a chain under parent and returns
+// the last node. It is the common way to build a single-task branch.
+func (g *Graph) AppendChain(parent *Node, nodes ...*Node) *Node {
+	for _, n := range nodes {
+		parent = g.AddChild(parent, n)
+	}
+	return parent
+}

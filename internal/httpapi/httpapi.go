@@ -1,0 +1,191 @@
+// Package httpapi exposes a trained (fused) multi-task model over HTTP,
+// realizing the paper's model-serving scenario (Discussion, Section 7):
+// one fused forward pass serves every task of a query, raising throughput
+// over running one DNN per task.
+//
+// Endpoints:
+//
+//	POST /v1/infer   {"input": [...]}          -> per-task outputs
+//	GET  /v1/model                             -> model metadata
+//	GET  /v1/stats                             -> serving counters
+//
+// The input is a flat float32 array (row-major) matching the model's
+// per-sample input shape, or a batch thereof.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Server serves one model. It is safe for concurrent use: requests are
+// serialized through a worker mutex because layer execution is stateless
+// only per-engine; a pool of engines provides parallelism.
+type Server struct {
+	model   *graph.Graph
+	shape   graph.Shape
+	engines chan engine.Engine
+
+	requests atomic.Int64
+	failures atomic.Int64
+	totalNS  atomic.Int64
+
+	mux  *http.ServeMux
+	once sync.Once
+}
+
+// New builds a server around a trained model, with `pool` compiled engine
+// instances available for concurrent requests (default 1).
+func New(model *graph.Graph, pool int) *Server {
+	if pool <= 0 {
+		pool = 1
+	}
+	s := &Server{
+		model:   model,
+		shape:   model.Root.InputShape,
+		engines: make(chan engine.Engine, pool),
+	}
+	for i := 0; i < pool; i++ {
+		s.engines <- engine.Compile(model)
+	}
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	s.once.Do(func() {
+		s.mux = http.NewServeMux()
+		s.mux.HandleFunc("/v1/infer", s.handleInfer)
+		s.mux.HandleFunc("/v1/model", s.handleModel)
+		s.mux.HandleFunc("/v1/stats", s.handleStats)
+	})
+	return s.mux
+}
+
+// inferRequest is the POST /v1/infer body.
+type inferRequest struct {
+	// Input is a flat row-major array: one sample of the model's input
+	// shape, or N samples concatenated.
+	Input []float32 `json:"input"`
+}
+
+// inferResponse maps task name (or "task-<id>") to its output rows.
+type inferResponse struct {
+	Batch   int                    `json:"batch"`
+	Outputs map[string][][]float32 `json:"outputs"`
+	Micros  int64                  `json:"latency_us"`
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req inferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.failures.Add(1)
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	per := 1
+	for _, d := range s.shape {
+		per *= d
+	}
+	if per == 0 || len(req.Input) == 0 || len(req.Input)%per != 0 {
+		s.failures.Add(1)
+		http.Error(w, fmt.Sprintf("input length %d is not a multiple of the sample size %d", len(req.Input), per), http.StatusBadRequest)
+		return
+	}
+	batch := len(req.Input) / per
+	x := tensor.FromSlice(req.Input, append([]int{batch}, s.shape...)...)
+
+	eng := <-s.engines
+	t0 := time.Now()
+	outs := eng.Forward(x)
+	lat := time.Since(t0)
+	s.engines <- eng
+
+	s.requests.Add(1)
+	s.totalNS.Add(int64(lat))
+
+	resp := inferResponse{Batch: batch, Outputs: map[string][][]float32{}, Micros: lat.Microseconds()}
+	for id, o := range outs {
+		name := s.model.TaskNames[id]
+		if name == "" {
+			name = fmt.Sprintf("task-%d", id)
+		}
+		k := o.Size() / batch
+		rows := make([][]float32, batch)
+		for b := 0; b < batch; b++ {
+			rows[b] = append([]float32(nil), o.Data()[b*k:(b+1)*k]...)
+		}
+		resp.Outputs[name] = rows
+	}
+	writeJSON(w, resp)
+}
+
+// modelInfo is the GET /v1/model response.
+type modelInfo struct {
+	InputShape []int          `json:"input_shape"`
+	Tasks      map[string]int `json:"tasks"` // name -> classes
+	Blocks     int            `json:"blocks"`
+	FLOPs      int64          `json:"flops_per_sample"`
+	Params     int64          `json:"parameters"`
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	info := modelInfo{
+		InputShape: append([]int(nil), s.shape...),
+		Tasks:      map[string]int{},
+		Blocks:     s.model.NodeCount(),
+		FLOPs:      s.model.FLOPs(),
+	}
+	for _, p := range s.model.Params() {
+		info.Params += int64(p.Value.Size())
+	}
+	for _, id := range s.model.Tasks() {
+		name := s.model.TaskNames[id]
+		if name == "" {
+			name = fmt.Sprintf("task-%d", id)
+		}
+		head := s.model.Heads[id]
+		out := graph.OutShapeOf(head)
+		classes := 1
+		for _, d := range out {
+			classes *= d
+		}
+		info.Tasks[name] = classes
+	}
+	writeJSON(w, info)
+}
+
+// stats is the GET /v1/stats response.
+type stats struct {
+	Requests  int64   `json:"requests"`
+	Failures  int64   `json:"failures"`
+	MeanMicro float64 `json:"mean_latency_us"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	n := s.requests.Load()
+	st := stats{Requests: n, Failures: s.failures.Load()}
+	if n > 0 {
+		st.MeanMicro = float64(s.totalNS.Load()) / float64(n) / 1e3
+	}
+	writeJSON(w, st)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

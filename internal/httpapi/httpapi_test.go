@@ -1,0 +1,186 @@
+package httpapi_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/httpapi"
+	"repro/internal/testutil"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, int) {
+	t.Helper()
+	ds := testutil.TinyFace(1, 8, 4)
+	g := testutil.TinyMultiDNN(2, ds)
+	per := 3 * 16 * 16
+	srv := httptest.NewServer(httpapi.New(g, 2).Handler())
+	t.Cleanup(srv.Close)
+	return srv, per
+}
+
+func TestInferSingleSample(t *testing.T) {
+	srv, per := newTestServer(t)
+	input := make([]float32, per)
+	for i := range input {
+		input[i] = float32(i%7) * 0.1
+	}
+	body, _ := json.Marshal(map[string]any{"input": input})
+	resp, err := http.Post(srv.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Batch   int                    `json:"batch"`
+		Outputs map[string][][]float32 `json:"outputs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Batch != 1 {
+		t.Fatalf("batch = %d", out.Batch)
+	}
+	if len(out.Outputs) != 2 {
+		t.Fatalf("outputs for %d tasks, want 2", len(out.Outputs))
+	}
+	if rows := out.Outputs["gender"]; len(rows) != 1 || len(rows[0]) != 2 {
+		t.Fatalf("gender output shape wrong: %v", rows)
+	}
+	if rows := out.Outputs["ethnicity"]; len(rows) != 1 || len(rows[0]) != 3 {
+		t.Fatalf("ethnicity output shape wrong: %v", rows)
+	}
+}
+
+func TestInferBatch(t *testing.T) {
+	srv, per := newTestServer(t)
+	input := make([]float32, 3*per)
+	body, _ := json.Marshal(map[string]any{"input": input})
+	resp, err := http.Post(srv.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Batch   int                    `json:"batch"`
+		Outputs map[string][][]float32 `json:"outputs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Batch != 3 || len(out.Outputs["gender"]) != 3 {
+		t.Fatalf("batch handling broken: %+v", out)
+	}
+}
+
+func TestInferRejectsBadInput(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"wrong length", `{"input":[1,2,3]}`},
+		{"empty", `{"input":[]}`},
+		{"garbage", `{{{`},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(srv.URL+"/v1/infer", "application/json", bytes.NewReader([]byte(c.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+	}
+	// GET on infer is rejected.
+	resp, err := http.Get(srv.URL + "/v1/infer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/infer status %d", resp.StatusCode)
+	}
+}
+
+func TestModelAndStatsEndpoints(t *testing.T) {
+	srv, per := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		InputShape []int          `json:"input_shape"`
+		Tasks      map[string]int `json:"tasks"`
+		Params     int64          `json:"parameters"`
+		FLOPs      int64          `json:"flops_per_sample"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(info.InputShape) != 3 || info.InputShape[0] != 3 {
+		t.Fatalf("input shape %v", info.InputShape)
+	}
+	if info.Tasks["gender"] != 2 || info.Tasks["ethnicity"] != 3 {
+		t.Fatalf("tasks %v", info.Tasks)
+	}
+	if info.Params <= 0 || info.FLOPs <= 0 {
+		t.Fatalf("bad metadata %+v", info)
+	}
+
+	// Drive one inference, then check counters.
+	input := make([]float32, per)
+	body, _ := json.Marshal(map[string]any{"input": input})
+	r2, err := http.Post(srv.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+
+	r3, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Requests int64 `json:"requests"`
+	}
+	if err := json.NewDecoder(r3.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if st.Requests != 1 {
+		t.Fatalf("requests = %d, want 1", st.Requests)
+	}
+}
+
+// Concurrent clients must all be served correctly through the engine pool.
+func TestConcurrentInference(t *testing.T) {
+	srv, per := newTestServer(t)
+	input := make([]float32, per)
+	body, _ := json.Marshal(map[string]any{"input": input})
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			resp, err := http.Post(srv.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = &http.ProtocolError{ErrorString: resp.Status}
+				}
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float32{
+		2, 1, 0,
+		0, 3, 1,
+		1, 0, 5,
+		4, 0, 0,
+	}, 4, 3)
+	if got := Accuracy(logits, []int{0, 1, 2, 0}); got != 1 {
+		t.Fatalf("Accuracy = %v, want 1", got)
+	}
+	if got := Accuracy(logits, []int{1, 1, 2, 0}); got != 0.75 {
+		t.Fatalf("Accuracy = %v, want 0.75", got)
+	}
+}
+
+func TestAccuracyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Accuracy(tensor.New(2, 3), []int{0})
+}
+
+func TestMeanAveragePrecisionPerfect(t *testing.T) {
+	// Scores rank all positives above negatives per class.
+	scores := tensor.FromSlice([]float32{
+		0.9, 0.1,
+		0.8, 0.9,
+		0.1, 0.8,
+		0.2, 0.2,
+	}, 4, 2)
+	labels := [][]int{{1, 0}, {1, 1}, {0, 1}, {0, 0}}
+	if got := MeanAveragePrecision(scores, labels); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("perfect mAP = %v, want 1", got)
+	}
+}
+
+func TestMeanAveragePrecisionPartial(t *testing.T) {
+	// Class 0: positives at rank 1 and 3 -> AP = (1/1 + 2/3)/2 = 5/6.
+	scores := tensor.FromSlice([]float32{
+		0.9,
+		0.8,
+		0.7,
+	}, 3, 1)
+	labels := [][]int{{1}, {0}, {1}}
+	want := (1.0 + 2.0/3.0) / 2
+	if got := MeanAveragePrecision(scores, labels); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mAP = %v, want %v", got, want)
+	}
+}
+
+func TestMeanAveragePrecisionSkipsEmptyClasses(t *testing.T) {
+	scores := tensor.FromSlice([]float32{0.9, 0.5, 0.1, 0.5}, 2, 2)
+	labels := [][]int{{1, 0}, {0, 0}} // class 1 has no positives
+	if got := MeanAveragePrecision(scores, labels); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("mAP = %v, want 1 (empty class skipped)", got)
+	}
+}
+
+func TestMatthewsCorrelationPerfectAndInverse(t *testing.T) {
+	logits := tensor.FromSlice([]float32{
+		1, 0,
+		0, 1,
+		1, 0,
+		0, 1,
+	}, 4, 2)
+	if got := MatthewsCorrelation(logits, []int{0, 1, 0, 1}); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("perfect MCC = %v, want 1", got)
+	}
+	if got := MatthewsCorrelation(logits, []int{1, 0, 1, 0}); math.Abs(got+1) > 1e-9 {
+		t.Fatalf("inverse MCC = %v, want -1", got)
+	}
+}
+
+func TestMatthewsCorrelationDegenerate(t *testing.T) {
+	// All predictions in one class -> denominator zero -> MCC 0.
+	logits := tensor.FromSlice([]float32{1, 0, 1, 0}, 2, 2)
+	if got := MatthewsCorrelation(logits, []int{0, 1}); got != 0 {
+		t.Fatalf("degenerate MCC = %v, want 0", got)
+	}
+}

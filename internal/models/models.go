@@ -1,0 +1,273 @@
+// Package models provides the GMorph model zoo: VGG-11/13/16, ResNet-18/34,
+// ViT-Base/Large and BERT-Base/Large "sim profiles" — architectures with the
+// same block topology as the paper's pre-trained models but reduced width
+// and depth, so pure-Go fine-tuning stays tractable. Each computation block
+// becomes one abstract-graph node, matching the paper's Model Parser, which
+// maps customized modules (VGG conv blocks, residual blocks, transformer
+// encoder blocks) to abs-graph nodes.
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Arch names accepted by AddBranch.
+const (
+	VGG11     = "vgg11"
+	VGG13     = "vgg13"
+	VGG16     = "vgg16"
+	ResNet18  = "resnet18"
+	ResNet34  = "resnet34"
+	ViTBase   = "vit-base"
+	ViTLarge  = "vit-large"
+	BERTBase  = "bert-base"
+	BERTLarge = "bert-large"
+)
+
+// Granularity selects how the Model Parser maps a network onto abs-graph
+// nodes (paper Section 4.2): block granularity maps each customized module
+// (VGG conv block, residual block, transformer block) to one node; op
+// granularity traces each basic operator (Conv2d, BatchNorm, ReLU,
+// MaxPool) as its own node, enlarging the mutation space.
+type Granularity int
+
+// Parser granularities.
+const (
+	// GranularityBlock is the default module-level mapping.
+	GranularityBlock Granularity = iota
+	// GranularityOp maps each basic operator to a node (VGG family only).
+	GranularityOp
+)
+
+// Config tunes the sim profiles.
+type Config struct {
+	// WidthScale divides the reference channel widths; 1 gives the widest
+	// profile the package supports. The default (0) means 1.
+	WidthScale int
+	// Vocab is the token vocabulary for BERT stems (default 40).
+	Vocab int
+	// Granularity selects block- or operator-level abs-graph nodes.
+	Granularity Granularity
+}
+
+func (c Config) widths() []int {
+	s := c.WidthScale
+	if s <= 0 {
+		s = 1
+	}
+	base := []int{8, 16, 32, 64, 64}
+	out := make([]int, len(base))
+	for i, w := range base {
+		out[i] = maxInt(2, w/s)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// vggStageConvs maps a variant to per-stage conv counts.
+var vggStageConvs = map[string][]int{
+	VGG11: {1, 1, 2, 2, 2},
+	VGG13: {2, 2, 2, 2, 2},
+	VGG16: {2, 2, 3, 3, 3},
+}
+
+// resnetStageBlocks maps a variant to per-stage residual block counts.
+var resnetStageBlocks = map[string][]int{
+	ResNet18: {2, 2, 2, 2},
+	ResNet34: {3, 4, 6, 3},
+}
+
+type vitProfile struct {
+	dim, heads, mlp, layers, patch int
+}
+
+var vitProfiles = map[string]vitProfile{
+	ViTBase:  {dim: 32, heads: 4, mlp: 64, layers: 4, patch: 8},
+	ViTLarge: {dim: 48, heads: 4, mlp: 96, layers: 6, patch: 8},
+}
+
+type bertProfile struct {
+	dim, heads, mlp, layers int
+}
+
+var bertProfiles = map[string]bertProfile{
+	BERTBase:  {dim: 32, heads: 4, mlp: 64, layers: 3},
+	BERTLarge: {dim: 48, heads: 4, mlp: 96, layers: 5},
+}
+
+// AddBranch appends a task branch of the named architecture under g's root
+// and returns the head node. The graph root's input shape must match the
+// architecture family: [3,S,S] images for VGG/ResNet/ViT (S divisible by 32
+// for CNNs, by the patch size for ViT) and [T] token ids for BERT.
+func AddBranch(g *graph.Graph, rng *tensor.RNG, cfg Config, arch string, taskID, classes int) (*graph.Node, error) {
+	switch arch {
+	case VGG11, VGG13, VGG16:
+		return addVGG(g, rng, cfg, arch, taskID, classes)
+	case ResNet18, ResNet34:
+		return addResNet(g, rng, cfg, arch, taskID, classes)
+	case ViTBase, ViTLarge:
+		return addViT(g, rng, arch, taskID, classes)
+	case BERTBase, BERTLarge:
+		return addBERT(g, rng, cfg, arch, taskID, classes)
+	}
+	return nil, fmt.Errorf("models: unknown architecture %q", arch)
+}
+
+func addVGG(g *graph.Graph, rng *tensor.RNG, cfg Config, arch string, taskID, classes int) (*graph.Node, error) {
+	in := g.Root.InputShape
+	if len(in) != 3 || in[1]%32 != 0 {
+		return nil, fmt.Errorf("models: %s needs [C,S,S] input with S%%32==0, got %v", arch, in)
+	}
+	widths := cfg.widths()
+	stages := vggStageConvs[arch]
+	cur := g.Root
+	shape := in.Clone()
+	opID := 0
+	domain := graph.DomainRaw // first block consumes the raw input
+	add := func(opType string, layer nn.Layer) {
+		n := graph.NewBlockNode(taskID, opID, opType, shape, domain, layer)
+		cur = g.AddChild(cur, n)
+		shape = graph.Shape(layer.OutShape(shape))
+		domain = graph.DomainSpatial
+		opID++
+	}
+	for s, convs := range stages {
+		outC := widths[s]
+		for c := 0; c < convs; c++ {
+			pool := c == convs-1 // pool ends each stage
+			if cfg.Granularity == GranularityOp {
+				// Operator-level trace: Conv2d, BatchNorm2d, ReLU, MaxPool
+				// each become their own abs-graph node.
+				add("Conv2d", nn.NewConv2d(rng, shape[0], outC, 3, 1, 1))
+				add("BatchNorm2d", nn.NewBatchNorm2d(outC))
+				add("ReLU", nn.NewReLU())
+				if pool {
+					add("MaxPool2d", nn.NewMaxPool2d(2, 2))
+				}
+				continue
+			}
+			add("ConvBlock", nn.NewConvBlock(rng, shape[0], outC, true, pool))
+		}
+	}
+	head := graph.NewBlockNode(taskID, opID, "Head", shape, graph.DomainSpatial,
+		nn.NewSequential(fmt.Sprintf("%s-head-t%d", arch, taskID),
+			nn.NewGlobalAvgPool(), nn.NewLinear(rng, shape[0], classes)))
+	return g.AddChild(cur, head), nil
+}
+
+func addResNet(g *graph.Graph, rng *tensor.RNG, cfg Config, arch string, taskID, classes int) (*graph.Node, error) {
+	in := g.Root.InputShape
+	if len(in) != 3 {
+		return nil, fmt.Errorf("models: %s needs [C,S,S] input, got %v", arch, in)
+	}
+	widths := cfg.widths()[:4]
+	stages := resnetStageBlocks[arch]
+	cur := g.Root
+	shape := in.Clone()
+	opID := 0
+
+	// Stem: Conv+BN+ReLU at stage-0 width (CIFAR-style 3x3 stride 1).
+	stem := nn.NewConvBlock(rng, shape[0], widths[0], true, false)
+	n := graph.NewBlockNode(taskID, opID, "ConvBlock", shape, graph.DomainRaw, stem)
+	cur = g.AddChild(cur, n)
+	shape = graph.Shape(stem.OutShape(shape))
+	opID++
+
+	for s, blocks := range stages {
+		outC := widths[s]
+		for b := 0; b < blocks; b++ {
+			stride := 1
+			if b == 0 && s > 0 {
+				stride = 2
+			}
+			layer := nn.NewResidualBlock(rng, shape[0], outC, stride)
+			rb := graph.NewBlockNode(taskID, opID, "ResidualBlock", shape, graph.DomainSpatial, layer)
+			cur = g.AddChild(cur, rb)
+			shape = graph.Shape(layer.OutShape(shape))
+			opID++
+		}
+	}
+	head := graph.NewBlockNode(taskID, opID, "Head", shape, graph.DomainSpatial,
+		nn.NewSequential(fmt.Sprintf("%s-head-t%d", arch, taskID),
+			nn.NewGlobalAvgPool(), nn.NewLinear(rng, shape[0], classes)))
+	return g.AddChild(cur, head), nil
+}
+
+func addViT(g *graph.Graph, rng *tensor.RNG, arch string, taskID, classes int) (*graph.Node, error) {
+	in := g.Root.InputShape
+	p := vitProfiles[arch]
+	if len(in) != 3 || in[1]%p.patch != 0 || in[2]%p.patch != 0 {
+		return nil, fmt.Errorf("models: %s needs [C,S,S] input with S%%%d==0, got %v", arch, p.patch, in)
+	}
+	tokens := (in[1] / p.patch) * (in[2] / p.patch)
+	cur := g.Root
+	opID := 0
+
+	stemLayer := nn.NewPatchEmbed(rng, in[0], p.patch, p.dim, tokens)
+	stem := graph.NewBlockNode(taskID, opID, "PatchEmbed", in, graph.DomainRaw, stemLayer)
+	cur = g.AddChild(cur, stem)
+	shape := graph.Shape{tokens, p.dim}
+	opID++
+
+	for l := 0; l < p.layers; l++ {
+		layer := nn.NewTransformerBlock(rng, p.dim, p.heads, p.mlp)
+		n := graph.NewBlockNode(taskID, opID, "TransformerBlock", shape, graph.DomainTokens, layer)
+		cur = g.AddChild(cur, n)
+		opID++
+	}
+	head := graph.NewBlockNode(taskID, opID, "Head", shape, graph.DomainTokens,
+		nn.NewSequential(fmt.Sprintf("%s-head-t%d", arch, taskID),
+			nn.NewTokenMeanPool(), nn.NewLinear(rng, p.dim, classes)))
+	return g.AddChild(cur, head), nil
+}
+
+func addBERT(g *graph.Graph, rng *tensor.RNG, cfg Config, arch string, taskID, classes int) (*graph.Node, error) {
+	in := g.Root.InputShape
+	if len(in) != 1 {
+		return nil, fmt.Errorf("models: %s needs [T] token input, got %v", arch, in)
+	}
+	vocab := cfg.Vocab
+	if vocab == 0 {
+		vocab = 40
+	}
+	p := bertProfiles[arch]
+	t := in[0]
+	cur := g.Root
+	opID := 0
+
+	stemLayer := nn.NewEmbedding(rng, vocab, p.dim, t)
+	stem := graph.NewBlockNode(taskID, opID, "Embedding", in, graph.DomainRaw, stemLayer)
+	cur = g.AddChild(cur, stem)
+	shape := graph.Shape{t, p.dim}
+	opID++
+
+	for l := 0; l < p.layers; l++ {
+		layer := nn.NewTransformerBlock(rng, p.dim, p.heads, p.mlp)
+		n := graph.NewBlockNode(taskID, opID, "TransformerBlock", shape, graph.DomainTokens, layer)
+		cur = g.AddChild(cur, n)
+		opID++
+	}
+	head := graph.NewBlockNode(taskID, opID, "Head", shape, graph.DomainTokens,
+		nn.NewSequential(fmt.Sprintf("%s-head-t%d", arch, taskID),
+			nn.NewTokenMeanPool(), nn.NewLinear(rng, p.dim, classes)))
+	return g.AddChild(cur, head), nil
+}
+
+// SingleTask builds a one-branch graph for teacher pre-training.
+func SingleTask(rng *tensor.RNG, cfg Config, arch string, inputShape graph.Shape, domain graph.Domain, classes int) (*graph.Graph, error) {
+	g := graph.New(inputShape, domain)
+	if _, err := AddBranch(g, rng, cfg, arch, 0, classes); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,243 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func TestVGGVariantsBuildAndRun(t *testing.T) {
+	cases := []struct {
+		arch   string
+		blocks int
+	}{
+		{VGG11, 8},
+		{VGG13, 10},
+		{VGG16, 13},
+	}
+	for _, c := range cases {
+		rng := tensor.NewRNG(1)
+		g, err := SingleTask(rng, Config{}, c.arch, graph.Shape{3, 32, 32}, graph.DomainRaw, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", c.arch, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", c.arch, err)
+		}
+		// blocks conv nodes + 1 head.
+		if got := g.NodeCount(); got != c.blocks+1 {
+			t.Errorf("%s: %d nodes, want %d", c.arch, got, c.blocks+1)
+		}
+		x := tensor.New(2, 3, 32, 32)
+		rng.FillNormal(x, 0, 1)
+		out := g.Forward(x, false)
+		if out[0].Dim(0) != 2 || out[0].Dim(1) != 4 {
+			t.Errorf("%s output shape %v", c.arch, out[0].Shape())
+		}
+	}
+}
+
+func TestResNetVariantsBuildAndRun(t *testing.T) {
+	cases := []struct {
+		arch   string
+		blocks int
+	}{
+		{ResNet18, 8},
+		{ResNet34, 16},
+	}
+	for _, c := range cases {
+		rng := tensor.NewRNG(2)
+		g, err := SingleTask(rng, Config{}, c.arch, graph.Shape{3, 32, 32}, graph.DomainRaw, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", c.arch, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", c.arch, err)
+		}
+		// stem + residual blocks + head.
+		if got := g.NodeCount(); got != c.blocks+2 {
+			t.Errorf("%s: %d nodes, want %d", c.arch, got, c.blocks+2)
+		}
+		x := tensor.New(1, 3, 32, 32)
+		rng.FillNormal(x, 0, 1)
+		out := g.Forward(x, false)
+		if out[0].Dim(1) != 5 {
+			t.Errorf("%s output shape %v", c.arch, out[0].Shape())
+		}
+	}
+}
+
+func TestViTVariantsBuildAndRun(t *testing.T) {
+	for _, arch := range []string{ViTBase, ViTLarge} {
+		rng := tensor.NewRNG(3)
+		g, err := SingleTask(rng, Config{}, arch, graph.Shape{3, 16, 16}, graph.DomainRaw, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", arch, err)
+		}
+		x := tensor.New(2, 3, 16, 16)
+		rng.FillNormal(x, 0, 1)
+		out := g.Forward(x, false)
+		if out[0].Dim(1) != 3 {
+			t.Errorf("%s output shape %v", arch, out[0].Shape())
+		}
+	}
+	// ViTLarge must be deeper than ViTBase.
+	rng := tensor.NewRNG(4)
+	b, _ := SingleTask(rng, Config{}, ViTBase, graph.Shape{3, 16, 16}, graph.DomainRaw, 2)
+	l, _ := SingleTask(rng, Config{}, ViTLarge, graph.Shape{3, 16, 16}, graph.DomainRaw, 2)
+	if l.NodeCount() <= b.NodeCount() {
+		t.Error("ViTLarge must have more blocks than ViTBase")
+	}
+	if l.FLOPs() <= b.FLOPs() {
+		t.Error("ViTLarge must cost more FLOPs than ViTBase")
+	}
+}
+
+func TestBERTVariantsBuildAndRun(t *testing.T) {
+	for _, arch := range []string{BERTBase, BERTLarge} {
+		rng := tensor.NewRNG(5)
+		g, err := SingleTask(rng, Config{Vocab: 40}, arch, graph.Shape{12}, graph.DomainRaw, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", arch, err)
+		}
+		ids := tensor.New(2, 12)
+		for i := range ids.Data() {
+			ids.Data()[i] = float32(i % 40)
+		}
+		out := g.Forward(ids, false)
+		if out[0].Dim(1) != 2 {
+			t.Errorf("%s output shape %v", arch, out[0].Shape())
+		}
+	}
+}
+
+func TestMultiBranchGraphSharesInput(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	g := graph.New(graph.Shape{3, 32, 32}, graph.DomainRaw)
+	if _, err := AddBranch(g, rng, Config{}, VGG13, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AddBranch(g, rng, Config{}, VGG13, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AddBranch(g, rng, Config{}, VGG13, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Heads) != 3 {
+		t.Fatalf("heads = %d, want 3", len(g.Heads))
+	}
+	if len(g.Root.Children) != 3 {
+		t.Fatalf("root children = %d, want 3", len(g.Root.Children))
+	}
+	// The three-VGG graph must expose many shareable pairs (the paper's
+	// 3xVGG search space).
+	pairs := g.ShareablePairs()
+	if len(pairs) < 50 {
+		t.Fatalf("expected a rich pair space, got %d", len(pairs))
+	}
+}
+
+func TestHeterogeneousBranches(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	g := graph.New(graph.Shape{3, 32, 32}, graph.DomainRaw)
+	if _, err := AddBranch(g, rng, Config{}, ResNet34, 0, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AddBranch(g, rng, Config{}, VGG16, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-family sharing opportunities must exist (B5's premise).
+	var cross int
+	for _, p := range g.ShareablePairs() {
+		if p.Host.TaskID != p.Guest.TaskID {
+			cross++
+		}
+	}
+	if cross == 0 {
+		t.Fatal("no cross-family shareable pairs between ResNet and VGG")
+	}
+}
+
+func TestUnknownArch(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	g := graph.New(graph.Shape{3, 32, 32}, graph.DomainRaw)
+	if _, err := AddBranch(g, rng, Config{}, "alexnet", 0, 2); err == nil {
+		t.Fatal("unknown arch must fail")
+	}
+}
+
+func TestBadInputShapes(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	g := graph.New(graph.Shape{3, 30, 30}, graph.DomainRaw) // not /32
+	if _, err := AddBranch(g, rng, Config{}, VGG11, 0, 2); err == nil {
+		t.Fatal("VGG with bad input size must fail")
+	}
+	g2 := graph.New(graph.Shape{3, 30, 30}, graph.DomainRaw) // not /8
+	if _, err := AddBranch(g2, rng, Config{}, ViTBase, 0, 2); err == nil {
+		t.Fatal("ViT with bad input size must fail")
+	}
+	g3 := graph.New(graph.Shape{3, 32, 32}, graph.DomainRaw)
+	if _, err := AddBranch(g3, rng, Config{}, BERTBase, 0, 2); err == nil {
+		t.Fatal("BERT with image input must fail")
+	}
+}
+
+func TestWidthScaleShrinksModels(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	big, _ := SingleTask(rng, Config{WidthScale: 1}, VGG11, graph.Shape{3, 32, 32}, graph.DomainRaw, 2)
+	small, _ := SingleTask(rng, Config{WidthScale: 4}, VGG11, graph.Shape{3, 32, 32}, graph.DomainRaw, 2)
+	big.RefreshCapacities()
+	small.RefreshCapacities()
+	if small.Capacity().Total >= big.Capacity().Total {
+		t.Fatal("WidthScale must shrink parameter count")
+	}
+}
+
+func TestOpGranularityVGG(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	cfg := Config{Granularity: GranularityOp}
+	g, err := SingleTask(rng, cfg, VGG11, graph.Shape{3, 32, 32}, graph.DomainRaw, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// VGG-11: 8 convs -> 8x(conv+bn+relu) + 5 pools + head = 30 nodes.
+	if got := g.NodeCount(); got != 30 {
+		t.Fatalf("op-granularity VGG11 has %d nodes, want 30", got)
+	}
+	// Forward must agree in output shape with the block-level model.
+	x := tensor.New(1, 3, 32, 32)
+	rng.FillNormal(x, 0, 1)
+	out := g.Forward(x, false)
+	if out[0].Dim(1) != 3 {
+		t.Fatalf("output shape %v", out[0].Shape())
+	}
+	// The operator-level search space is strictly larger.
+	blockG, _ := SingleTask(rng, Config{}, VGG11, graph.Shape{3, 32, 32}, graph.DomainRaw, 3)
+	gg := graph.New(graph.Shape{3, 32, 32}, graph.DomainRaw)
+	gg2 := graph.New(graph.Shape{3, 32, 32}, graph.DomainRaw)
+	AddBranch(gg, rng, cfg, VGG11, 0, 2)
+	AddBranch(gg, rng, cfg, VGG11, 1, 2)
+	AddBranch(gg2, rng, Config{}, VGG11, 0, 2)
+	AddBranch(gg2, rng, Config{}, VGG11, 1, 2)
+	if len(gg.ShareablePairs()) <= len(gg2.ShareablePairs()) {
+		t.Fatalf("op granularity pairs %d should exceed block granularity %d",
+			len(gg.ShareablePairs()), len(gg2.ShareablePairs()))
+	}
+	_ = blockG
+}

@@ -1,0 +1,171 @@
+// Package mtl implements the multi-task learning baselines GMorph is
+// compared against in Section 6.3:
+//
+//   - All-shared: the most common multi-task architecture — every layer
+//     that is architecturally identical across tasks is shared, with a
+//     task-specific head per task. When the input DNNs differ, only the
+//     identical prefix can be shared.
+//   - TreeMTL: a tree-structured multi-task model recommender in the style
+//     of [77]. It enumerates branch points over the common-prefix layers of
+//     the input DNNs (each task splits off the shared trunk at some depth),
+//     scores every configuration by FLOPs, and recommends the cheapest
+//     configurations for training. Like the paper's adaptation, recommended
+//     models are trained with GMorph's distillation-based fine-tuning.
+//
+// Both baselines share only architecturally identical layers: that is the
+// fundamental limitation (paper Section 6.3) that caps their speedups at
+// the length of the common prefix, whereas GMorph can share across
+// different architectures via Rescale adapters.
+package mtl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// layersIdentical reports whether two nodes are architecturally identical:
+// same op type, same input shape, same output shape, and same capacity.
+func layersIdentical(a, b *graph.Node) bool {
+	return a.OpType == b.OpType &&
+		a.InputShape.Eq(b.InputShape) &&
+		graph.OutShapeOf(a).Eq(graph.OutShapeOf(b)) &&
+		a.Capacity == b.Capacity
+}
+
+// CommonPrefixLen returns, for the task branches of the original multi-DNN
+// graph, the length of the longest prefix of blocks that is architecturally
+// identical across every task (heads excluded).
+func CommonPrefixLen(g *graph.Graph) int {
+	branches := taskBranches(g)
+	if len(branches) == 0 {
+		return 0
+	}
+	limit := len(branches[0])
+	for _, b := range branches[1:] {
+		if len(b) < limit {
+			limit = len(b)
+		}
+	}
+	n := 0
+	for i := 0; i < limit; i++ {
+		ref := branches[0][i]
+		if ref.IsHead() {
+			break
+		}
+		same := true
+		for _, b := range branches[1:] {
+			if b[i].IsHead() || !layersIdentical(ref, b[i]) {
+				same = false
+				break
+			}
+		}
+		if !same {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// taskBranches returns the root-to-head chain per task, sorted by task id.
+// It requires the graph to be in original (unfused) form: each branch is a
+// direct child chain of the root.
+func taskBranches(g *graph.Graph) [][]*graph.Node {
+	ids := g.Tasks()
+	out := make([][]*graph.Node, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, g.Path(g.Heads[id]))
+	}
+	return out
+}
+
+// ShareAt builds a tree-structured multi-task model from the original
+// graph: the first `depth` blocks of task 0's branch become the shared
+// trunk (weights inherited from task 0), and each task's remaining blocks are
+// attached below it. depth must not exceed the common prefix length.
+func ShareAt(g *graph.Graph, depth int) (*graph.Graph, error) {
+	if depth < 0 || depth > CommonPrefixLen(g) {
+		return nil, fmt.Errorf("mtl: depth %d exceeds common prefix %d", depth, CommonPrefixLen(g))
+	}
+	ng := g.Clone()
+	if depth == 0 {
+		return ng, nil
+	}
+	ids := ng.Tasks()
+	branches := taskBranches(ng)
+	trunkEnd := branches[0][depth-1] // last shared node, from task 0
+
+	for bi, id := range ids {
+		if bi == 0 {
+			continue
+		}
+		branch := branches[bi]
+		// Re-parent the first unshared node of this branch under trunkEnd
+		// and drop the branch's own prefix.
+		keep := branch[depth]
+		// Detach keep from its parent.
+		p := keep.Parent
+		for i, c := range p.Children {
+			if c == keep {
+				p.Children = append(p.Children[:i], p.Children[i+1:]...)
+				break
+			}
+		}
+		keep.Parent = trunkEnd
+		trunkEnd.Children = append(trunkEnd.Children, keep)
+		// Prune the dead prefix (walk up from p removing childless chains).
+		for p != nil && !p.IsInput() && len(p.Children) == 0 {
+			pp := p.Parent
+			for i, c := range pp.Children {
+				if c == p {
+					pp.Children = append(pp.Children[:i], pp.Children[i+1:]...)
+					break
+				}
+			}
+			p.Parent = nil
+			p = pp
+		}
+		_ = id
+	}
+	ng.RefreshCapacities()
+	if err := ng.Validate(); err != nil {
+		return nil, fmt.Errorf("mtl: ShareAt(%d) produced invalid graph: %w", depth, err)
+	}
+	return ng, nil
+}
+
+// AllShared returns the all-shared baseline: sharing at the full common
+// prefix. For heterogeneous DNNs this degenerates toward the original
+// graph (limited or no speedup), exactly the paper's observation.
+func AllShared(g *graph.Graph) (*graph.Graph, error) {
+	return ShareAt(g, CommonPrefixLen(g))
+}
+
+// Recommendation is one TreeMTL candidate.
+type Recommendation struct {
+	// Depth is the shared-trunk length.
+	Depth int
+	// FLOPs is the analytic cost of the resulting model.
+	FLOPs int64
+	// Graph is the materialized multi-task model (weights inherited).
+	Graph *graph.Graph
+}
+
+// TreeMTL enumerates every branch-point depth over the common prefix and
+// returns the configurations sorted by ascending FLOPs (the recommender's
+// efficiency ranking). The first element is the recommended model.
+func TreeMTL(g *graph.Graph) ([]Recommendation, error) {
+	maxDepth := CommonPrefixLen(g)
+	recs := make([]Recommendation, 0, maxDepth+1)
+	for d := 0; d <= maxDepth; d++ {
+		m, err := ShareAt(g, d)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, Recommendation{Depth: d, FLOPs: m.FLOPs(), Graph: m})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].FLOPs < recs[j].FLOPs })
+	return recs, nil
+}

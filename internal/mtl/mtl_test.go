@@ -1,0 +1,180 @@
+package mtl_test
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/mtl"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+func homogeneousGraph(t *testing.T, arch string, tasks int) *graph.Graph {
+	t.Helper()
+	rng := tensor.NewRNG(1)
+	g := graph.New(graph.Shape{3, 32, 32}, graph.DomainRaw)
+	for i := 0; i < tasks; i++ {
+		if _, err := models.AddBranch(g, rng, models.Config{}, arch, i, 2+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.RefreshCapacities()
+	return g
+}
+
+func heterogeneousGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	rng := tensor.NewRNG(2)
+	g := graph.New(graph.Shape{3, 32, 32}, graph.DomainRaw)
+	if _, err := models.AddBranch(g, rng, models.Config{}, models.VGG16, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := models.AddBranch(g, rng, models.Config{}, models.VGG11, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	g.RefreshCapacities()
+	return g
+}
+
+func TestCommonPrefixHomogeneous(t *testing.T) {
+	g := homogeneousGraph(t, models.VGG13, 3)
+	// Identical architectures share the entire 10-block backbone.
+	if got := mtl.CommonPrefixLen(g); got != 10 {
+		t.Fatalf("common prefix = %d, want 10", got)
+	}
+}
+
+func TestCommonPrefixHeterogeneous(t *testing.T) {
+	g := heterogeneousGraph(t)
+	// VGG-16 stages (2,2,3,3,3) vs VGG-11 (1,1,2,2,2): both start with one
+	// ConvBlock(3->8) but VGG-16's first block has no pool while VGG-11's
+	// does, so even the first block differs -> prefix is 0 or 1 depending
+	// on pooling layout; it must be small.
+	got := mtl.CommonPrefixLen(g)
+	if got > 1 {
+		t.Fatalf("common prefix between VGG16 and VGG11 = %d, want <= 1", got)
+	}
+}
+
+func TestShareAtProducesValidSharedTrunk(t *testing.T) {
+	g := homogeneousGraph(t, models.VGG13, 3)
+	for _, depth := range []int{0, 1, 5, 10} {
+		m, err := mtl.ShareAt(g, depth)
+		if err != nil {
+			t.Fatalf("ShareAt(%d): %v", depth, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("ShareAt(%d) invalid: %v", depth, err)
+		}
+		if len(m.Heads) != 3 {
+			t.Fatalf("ShareAt(%d) lost heads", depth)
+		}
+		// Deeper sharing means fewer nodes and fewer FLOPs.
+		if depth > 0 {
+			prev, err := mtl.ShareAt(g, depth-1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.FLOPs() >= prev.FLOPs() {
+				t.Fatalf("ShareAt(%d) FLOPs %d not below ShareAt(%d) %d",
+					depth, m.FLOPs(), depth-1, prev.FLOPs())
+			}
+		}
+		// Forward runs.
+		x := tensor.New(1, 3, 32, 32)
+		outs := m.Forward(x, false)
+		if len(outs) != 3 {
+			t.Fatalf("ShareAt(%d) forward lost tasks", depth)
+		}
+	}
+}
+
+func TestShareAtRejectsTooDeep(t *testing.T) {
+	g := homogeneousGraph(t, models.VGG13, 2)
+	if _, err := mtl.ShareAt(g, mtl.CommonPrefixLen(g)+1); err == nil {
+		t.Fatal("ShareAt beyond common prefix must fail")
+	}
+}
+
+func TestAllSharedHomogeneous(t *testing.T) {
+	g := homogeneousGraph(t, models.VGG13, 3)
+	m, err := mtl.AllShared(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-shared must be much cheaper: one backbone + 3 heads.
+	if !(m.FLOPs() < g.FLOPs()*2/5) {
+		t.Fatalf("all-shared FLOPs %d not well below original %d", m.FLOPs(), g.FLOPs())
+	}
+}
+
+func TestAllSharedHeterogeneousLimited(t *testing.T) {
+	g := heterogeneousGraph(t)
+	m, err := mtl.AllShared(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's key observation: with different architectures MTL brings
+	// little or no speedup.
+	if float64(m.FLOPs()) < float64(g.FLOPs())*0.9 {
+		t.Fatalf("heterogeneous all-shared saved too much: %d vs %d", m.FLOPs(), g.FLOPs())
+	}
+}
+
+func TestTreeMTLRecommendsCheapest(t *testing.T) {
+	g := homogeneousGraph(t, models.VGG13, 2)
+	recs, err := mtl.TreeMTL(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != mtl.CommonPrefixLen(g)+1 {
+		t.Fatalf("recommendations = %d, want %d", len(recs), mtl.CommonPrefixLen(g)+1)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].FLOPs > recs[i].FLOPs {
+			t.Fatal("recommendations not sorted by FLOPs")
+		}
+	}
+	// The cheapest shares the full prefix.
+	if recs[0].Depth != mtl.CommonPrefixLen(g) {
+		t.Fatalf("cheapest recommendation depth %d, want %d", recs[0].Depth, mtl.CommonPrefixLen(g))
+	}
+}
+
+func TestShareAtInheritsTaskZeroWeights(t *testing.T) {
+	ds := testutil.TinyFace(4, 8, 4)
+	g := testutil.TinyMultiDNN(5, ds)
+	m, err := mtl.ShareAt(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shared trunk node must hold task 0's weights.
+	var trunk *graph.Node
+	for _, n := range m.Nodes() {
+		if n.TaskID == 0 && n.OpID == 0 {
+			trunk = n
+			break
+		}
+	}
+	if trunk == nil {
+		t.Fatal("trunk node missing")
+	}
+	set := m.TaskSet(trunk)
+	if !set[0] || !set[1] {
+		t.Fatalf("trunk does not serve both tasks: %v", set)
+	}
+	var orig *graph.Node
+	for _, n := range g.Nodes() {
+		if n.TaskID == 0 && n.OpID == 0 {
+			orig = n
+		}
+	}
+	ow := orig.Layer.Params()[0].Value.Data()
+	tw := trunk.Layer.Params()[0].Value.Data()
+	for i := range ow {
+		if ow[i] != tw[i] {
+			t.Fatal("trunk weights not inherited from task 0")
+		}
+	}
+}

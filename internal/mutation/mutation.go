@@ -1,0 +1,217 @@
+// Package mutation implements GMorph's graph mutation technique
+// (Section 4.3): given a base abstract graph and a set of input-shareable
+// node pairs, a mutation pass re-parents each guest node so it reuses its
+// host node's input tensor, prunes guest-branch nodes that become dead, and
+// inserts trainable Rescale adapters when the shared features have a
+// different shape than the guest expects.
+//
+// The paper's five mutation operations (Figure 5) — one in-branch removal
+// and four cross-branch host/guest forms — are all realized by the single
+// re-parent + prune transformation; which of the five shapes results
+// depends only on where host and guest sit relative to each other.
+package mutation
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ErrIllegalPair reports a pair that cannot be applied to the graph (e.g.
+// the mutation would orphan a task or create a cycle).
+var ErrIllegalPair = errors.New("mutation: illegal node pair")
+
+// Kind classifies a mutation by the paper's taxonomy.
+type Kind int
+
+// Mutation kinds.
+const (
+	// InBranch removes computation between two nodes of the same task
+	// (Figure 5, panel 1).
+	InBranch Kind = iota
+	// CrossBranch makes a guest task reuse a host task's intermediate
+	// features (Figure 5, panels 2-5).
+	CrossBranch
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == InBranch {
+		return "in-branch"
+	}
+	return "cross-branch"
+}
+
+// Classify reports whether applying pair p is an in-branch or cross-branch
+// mutation.
+func Classify(p graph.Pair) Kind {
+	if p.Host.TaskID == p.Guest.TaskID && graph.SameBranch(p.Host, p.Guest) {
+		return InBranch
+	}
+	return CrossBranch
+}
+
+// Result describes the outcome of a mutation pass.
+type Result struct {
+	// Graph is the mutated abstract graph with weights inherited from the
+	// base graph (new Rescale adapters start fresh).
+	Graph *graph.Graph
+	// Applied lists the pairs that were applied, in order.
+	Applied []graph.Pair
+	// RescalesInserted counts adapters added by the pass.
+	RescalesInserted int
+	// NodesRemoved counts nodes pruned by the pass.
+	NodesRemoved int
+}
+
+// Mutator applies graph mutation passes. The zero value is not usable; use
+// NewMutator.
+type Mutator struct {
+	rng *tensor.RNG
+}
+
+// NewMutator returns a mutator whose fresh adapter weights are drawn from
+// rng.
+func NewMutator(rng *tensor.RNG) *Mutator {
+	return &Mutator{rng: rng}
+}
+
+// Apply runs a graph mutation pass: it clones base (inheriting its
+// well-trained weights), then applies each requested pair in order. Pairs
+// are addressed by node identity in the base graph; Apply re-resolves them
+// inside the clone via (TaskID, OpID). Pairs that became illegal because an
+// earlier pair removed one of their nodes are skipped rather than failing
+// the pass, matching the paper's tolerant sampling loop. Apply returns an
+// error only if no pair could be applied or the result fails validation.
+func (m *Mutator) Apply(base *graph.Graph, pairs []graph.Pair) (*Result, error) {
+	g := base.Clone()
+	res := &Result{Graph: g}
+	before := g.NodeCount()
+	for _, p := range pairs {
+		host := findNode(g, p.Host.TaskID, p.Host.OpID)
+		guest := findNode(g, p.Guest.TaskID, p.Guest.OpID)
+		if host == nil || guest == nil {
+			continue // removed by an earlier mutation in this pass
+		}
+		if err := m.applyOne(g, host, guest, res); err != nil {
+			continue
+		}
+		res.Applied = append(res.Applied, graph.Pair{Host: host, Guest: guest})
+	}
+	if len(res.Applied) == 0 {
+		return nil, fmt.Errorf("%w: none of %d pairs applicable", ErrIllegalPair, len(pairs))
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("mutation: pass produced invalid graph: %w", err)
+	}
+	res.NodesRemoved = before + res.RescalesInserted - g.NodeCount()
+	return res, nil
+}
+
+// applyOne re-parents guest so it consumes host's input tensor, inserting a
+// Rescale adapter when shapes differ, then prunes dead guest ancestors.
+func (m *Mutator) applyOne(g *graph.Graph, host, guest *graph.Node, res *Result) error {
+	if guest.Parent == nil || host == guest {
+		return ErrIllegalPair
+	}
+	newParent := host.Parent
+	if newParent == nil {
+		return ErrIllegalPair
+	}
+	// Guard against cycles: guest must not be an ancestor of newParent.
+	for cur := newParent; cur != nil; cur = cur.Parent {
+		if cur == guest {
+			return ErrIllegalPair
+		}
+	}
+	if guest.Parent == newParent {
+		return ErrIllegalPair // no-op
+	}
+
+	oldParent := guest.Parent
+	detach(guest)
+
+	attachPoint := newParent
+	srcShape := host.InputShape
+	if !srcShape.Eq(guest.InputShape) {
+		adapter, err := m.newRescale(guest, srcShape)
+		if err != nil {
+			// Roll back the detach.
+			guest.Parent = oldParent
+			oldParent.Children = append(oldParent.Children, guest)
+			return err
+		}
+		attachPoint = g.AddChild(newParent, adapter)
+		res.RescalesInserted++
+	}
+	g.AddChild(attachPoint, guest)
+
+	// Prune guest-branch nodes that no longer lead to any head.
+	prune(g, oldParent)
+	return nil
+}
+
+// newRescale builds the adapter converting srcShape features into the
+// features guest expects, choosing the operator family by domain.
+func (m *Mutator) newRescale(guest *graph.Node, src graph.Shape) (*graph.Node, error) {
+	dst := guest.InputShape
+	switch guest.Domain {
+	case graph.DomainSpatial:
+		if len(src) != 3 || len(dst) != 3 {
+			return nil, fmt.Errorf("%w: bad spatial shapes %v -> %v", ErrIllegalPair, src, dst)
+		}
+		layer := nn.NewRescale2D(m.rng, src[0], dst[0], dst[1], dst[2])
+		n := graph.NewBlockNode(guest.TaskID, rescaleOpID(guest), "Rescale", src, graph.DomainSpatial, layer)
+		return n, nil
+	case graph.DomainTokens:
+		if len(src) != 2 || len(dst) != 2 {
+			return nil, fmt.Errorf("%w: bad token shapes %v -> %v", ErrIllegalPair, src, dst)
+		}
+		layer := nn.NewRescaleTokens(m.rng, src[0], src[1], dst[0], dst[1])
+		n := graph.NewBlockNode(guest.TaskID, rescaleOpID(guest), "Rescale", src, graph.DomainTokens, layer)
+		return n, nil
+	default:
+		return nil, fmt.Errorf("%w: cannot rescale domain %v", ErrIllegalPair, guest.Domain)
+	}
+}
+
+// rescaleOpID derives a unique op id for an adapter feeding the given node.
+func rescaleOpID(guest *graph.Node) int { return -(1000 + guest.OpID) }
+
+// detach unlinks n from its parent.
+func detach(n *graph.Node) {
+	p := n.Parent
+	for i, c := range p.Children {
+		if c == n {
+			p.Children = append(p.Children[:i], p.Children[i+1:]...)
+			break
+		}
+	}
+	n.Parent = nil
+}
+
+// prune removes n and its now-dead ancestors while they have no children
+// and are not heads or the input root.
+func prune(g *graph.Graph, n *graph.Node) {
+	for n != nil && !n.IsInput() && !n.IsHead() && len(n.Children) == 0 {
+		parent := n.Parent
+		detach(n)
+		n = parent
+	}
+}
+
+// findNode locates a node by (taskID, opID) identity.
+func findNode(g *graph.Graph, taskID, opID int) *graph.Node {
+	for _, n := range g.Nodes() {
+		if n.TaskID == taskID && n.OpID == opID {
+			return n
+		}
+	}
+	return nil
+}
+
+// FindNode exposes identity-based lookup for tests and tooling.
+func FindNode(g *graph.Graph, taskID, opID int) *graph.Node { return findNode(g, taskID, opID) }

@@ -1,0 +1,386 @@
+package mutation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// buildChainGraph makes a two-task graph where both tasks are 3-block VGG
+// style chains over an [1,16,16] input:
+//
+//	t0: CB(1->4,pool)@op0 -> CB(4->8,pool)@op1 -> CB(8->8)@op2 -> Head
+//	t1: CB(1->4,pool)@op0 -> CB(4->8,pool)@op1 -> Head
+func buildChainGraph(seed uint64) *graph.Graph {
+	rng := tensor.NewRNG(seed)
+	g := graph.New(graph.Shape{1, 16, 16}, graph.DomainRaw)
+	g.TaskNames[0], g.TaskNames[1] = "t0", "t1"
+
+	a0 := graph.NewBlockNode(0, 0, "ConvBlock", graph.Shape{1, 16, 16}, graph.DomainSpatial, nn.NewConvBlock(rng, 1, 4, true, true))
+	a1 := graph.NewBlockNode(0, 1, "ConvBlock", graph.Shape{4, 8, 8}, graph.DomainSpatial, nn.NewConvBlock(rng, 4, 8, true, true))
+	a2 := graph.NewBlockNode(0, 2, "ConvBlock", graph.Shape{8, 4, 4}, graph.DomainSpatial, nn.NewConvBlock(rng, 8, 8, true, false))
+	ah := graph.NewBlockNode(0, 3, "Head", graph.Shape{8, 4, 4}, graph.DomainSpatial,
+		nn.NewSequential("h0", nn.NewGlobalAvgPool(), nn.NewLinear(rng, 8, 3)))
+	g.AppendChain(g.Root, a0, a1, a2, ah)
+
+	b0 := graph.NewBlockNode(1, 0, "ConvBlock", graph.Shape{1, 16, 16}, graph.DomainSpatial, nn.NewConvBlock(rng, 1, 4, true, true))
+	b1 := graph.NewBlockNode(1, 1, "ConvBlock", graph.Shape{4, 8, 8}, graph.DomainSpatial, nn.NewConvBlock(rng, 4, 8, true, true))
+	bh := graph.NewBlockNode(1, 2, "Head", graph.Shape{8, 4, 4}, graph.DomainSpatial,
+		nn.NewSequential("h1", nn.NewGlobalAvgPool(), nn.NewLinear(rng, 8, 2)))
+	g.AppendChain(g.Root, b0, b1, bh)
+	return g
+}
+
+func TestClassify(t *testing.T) {
+	g := buildChainGraph(1)
+	a0 := FindNode(g, 0, 0)
+	a2 := FindNode(g, 0, 2)
+	b1 := FindNode(g, 1, 1)
+	if k := Classify(graph.Pair{Host: a0, Guest: a2}); k != InBranch {
+		t.Fatalf("same-branch pair classified %v", k)
+	}
+	if k := Classify(graph.Pair{Host: a0, Guest: b1}); k != CrossBranch {
+		t.Fatalf("cross-branch pair classified %v", k)
+	}
+	if InBranch.String() != "in-branch" || CrossBranch.String() != "cross-branch" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+// Cross-branch mutation with identical shapes must share the host prefix
+// and remove the guest prefix without inserting an adapter.
+func TestCrossBranchSameShape(t *testing.T) {
+	g := buildChainGraph(2)
+	m := NewMutator(tensor.NewRNG(3))
+	// Guest t1/op1 (input [4,8,8]) reuses host t0/op1's input [4,8,8].
+	res, err := m.Apply(g, []graph.Pair{{Host: FindNode(g, 0, 1), Guest: FindNode(g, 1, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RescalesInserted != 0 {
+		t.Fatalf("same-shape sharing inserted %d adapters", res.RescalesInserted)
+	}
+	// t1/op0 is dead: t1 now consumes t0/op0's output.
+	if FindNode(res.Graph, 1, 0) != nil {
+		t.Fatal("guest prefix not pruned")
+	}
+	// The shared trunk node t0/op0 now serves both tasks.
+	trunk := FindNode(res.Graph, 0, 0)
+	set := res.Graph.TaskSet(trunk)
+	if !set[0] || !set[1] {
+		t.Fatalf("trunk task set = %v, want both tasks", set)
+	}
+	if res.Graph.NodeCount() != g.NodeCount()-1 {
+		t.Fatalf("node count %d, want %d", res.Graph.NodeCount(), g.NodeCount()-1)
+	}
+	// Forward still runs and produces both outputs with right shapes.
+	x := tensor.New(2, 1, 16, 16)
+	outs := res.Graph.Forward(x, false)
+	if outs[0].Dim(1) != 3 || outs[1].Dim(1) != 2 {
+		t.Fatalf("bad output shapes %v %v", outs[0].Shape(), outs[1].Shape())
+	}
+}
+
+// Cross-branch mutation with different shapes must insert a Rescale node.
+func TestCrossBranchInsertsRescale(t *testing.T) {
+	g := buildChainGraph(4)
+	m := NewMutator(tensor.NewRNG(5))
+	// Guest t1/op1 (input [4,8,8]) reuses host t0/op2's input [8,4,4]:
+	// shapes differ but are rank-compatible via adapter.
+	res, err := m.Apply(g, []graph.Pair{{Host: FindNode(g, 0, 2), Guest: FindNode(g, 1, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RescalesInserted != 1 {
+		t.Fatalf("expected 1 adapter, got %d", res.RescalesInserted)
+	}
+	// The guest's new parent chain passes through a Rescale node.
+	guest := FindNode(res.Graph, 1, 1)
+	if !guest.Parent.IsRescale() {
+		t.Fatalf("guest parent is %s, want Rescale", guest.Parent.ID())
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 1, 16, 16)
+	outs := res.Graph.Forward(x, false)
+	if len(outs) != 2 {
+		t.Fatalf("forward produced %d outputs", len(outs))
+	}
+}
+
+// In-branch mutation must remove the blocks between host and guest.
+func TestInBranchRemovesMiddle(t *testing.T) {
+	g := buildChainGraph(6)
+	m := NewMutator(tensor.NewRNG(7))
+	// Host t0/op1 (input [4,8,8]); guest t0/op2 (input [8,4,4]). Guest
+	// reuses host's input: blocks op1 die, adapter bridges [4,8,8]->[8,4,4].
+	res, err := m.Apply(g, []graph.Pair{{Host: FindNode(g, 0, 1), Guest: FindNode(g, 0, 2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FindNode(res.Graph, 0, 1) != nil {
+		t.Fatal("in-branch mutation did not remove the middle block")
+	}
+	if res.NodesRemoved != 1 {
+		t.Fatalf("NodesRemoved = %d, want 1", res.NodesRemoved)
+	}
+	x := tensor.New(1, 1, 16, 16)
+	outs := res.Graph.Forward(x, false)
+	if outs[0].Dim(1) != 3 {
+		t.Fatalf("task 0 output shape %v", outs[0].Shape())
+	}
+}
+
+// Weight inheritance: untouched nodes keep the base graph's weights.
+func TestWeightInheritance(t *testing.T) {
+	g := buildChainGraph(8)
+	m := NewMutator(tensor.NewRNG(9))
+	res, err := m.Apply(g, []graph.Pair{{Host: FindNode(g, 0, 1), Guest: FindNode(g, 1, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseNode := FindNode(g, 0, 0)
+	newNode := FindNode(res.Graph, 0, 0)
+	bw := baseNode.Layer.Params()[0].Value.Data()
+	nw := newNode.Layer.Params()[0].Value.Data()
+	for i := range bw {
+		if bw[i] != nw[i] {
+			t.Fatal("mutated graph did not inherit base weights")
+		}
+	}
+	// But storage must be independent.
+	nw[0] += 1
+	if bw[0] == nw[0] {
+		t.Fatal("mutated graph shares weight storage with base")
+	}
+}
+
+// The base graph must be untouched by Apply.
+func TestApplyDoesNotMutateBase(t *testing.T) {
+	g := buildChainGraph(10)
+	before := g.NodeCount()
+	snapshot := g.String()
+	m := NewMutator(tensor.NewRNG(11))
+	if _, err := m.Apply(g, []graph.Pair{{Host: FindNode(g, 0, 1), Guest: FindNode(g, 1, 1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() != before || g.String() != snapshot {
+		t.Fatal("Apply mutated the base graph")
+	}
+}
+
+// Applying an empty or fully-illegal pair set fails loudly.
+func TestApplyRejectsUselessPassAndSelfPair(t *testing.T) {
+	g := buildChainGraph(12)
+	m := NewMutator(tensor.NewRNG(13))
+	if _, err := m.Apply(g, nil); err == nil {
+		t.Fatal("empty pass must fail")
+	}
+	n := FindNode(g, 0, 1)
+	if _, err := m.Apply(g, []graph.Pair{{Host: n, Guest: n}}); err == nil {
+		t.Fatal("self pair must fail")
+	}
+}
+
+// A multi-pair pass where the second pair's nodes were removed by the first
+// must skip the stale pair, not fail.
+func TestApplySkipsStalePairs(t *testing.T) {
+	g := buildChainGraph(14)
+	m := NewMutator(tensor.NewRNG(15))
+	p1 := graph.Pair{Host: FindNode(g, 0, 1), Guest: FindNode(g, 1, 1)} // removes t1/op0
+	p2 := graph.Pair{Host: FindNode(g, 1, 0), Guest: FindNode(g, 0, 2)} // host now gone
+	res, err := m.Apply(g, []graph.Pair{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Applied) != 1 {
+		t.Fatalf("applied %d pairs, want 1", len(res.Applied))
+	}
+}
+
+// Property: every shareable pair of the base graph either applies cleanly
+// (yielding a valid graph that still serves all tasks and costs no more
+// FLOPs... strictly fewer or equal) or is rejected; never a corrupt graph.
+func TestEveryShareablePairYieldsValidGraph(t *testing.T) {
+	g := buildChainGraph(16)
+	g.RefreshCapacities()
+	m := NewMutator(tensor.NewRNG(17))
+	pairs := g.ShareablePairs()
+	if len(pairs) == 0 {
+		t.Fatal("no pairs to test")
+	}
+	baseFLOPs := g.FLOPs()
+	for _, p := range pairs {
+		res, err := m.Apply(g, []graph.Pair{p})
+		if err != nil {
+			continue
+		}
+		if err := res.Graph.Validate(); err != nil {
+			t.Fatalf("pair %s/%s produced invalid graph: %v", p.Host.ID(), p.Guest.ID(), err)
+		}
+		if len(res.Graph.Heads) != 2 {
+			t.Fatalf("pair %s/%s lost a task head", p.Host.ID(), p.Guest.ID())
+		}
+		// Forward must run.
+		x := tensor.New(1, 1, 16, 16)
+		outs := res.Graph.Forward(x, false)
+		if len(outs) != 2 {
+			t.Fatalf("pair %s/%s broke forward", p.Host.ID(), p.Guest.ID())
+		}
+		_ = baseFLOPs
+	}
+}
+
+// Property (quick): random multi-pair passes always produce valid graphs
+// that retain every task head, and mutated graphs never gain non-adapter
+// nodes.
+func TestRandomPassesStayValidProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		g := buildChainGraph(seed ^ 0xABCD)
+		m := NewMutator(rng.Split())
+		pairs := g.ShareablePairs()
+		if len(pairs) == 0 {
+			return true
+		}
+		// Pick 1-3 random pairs.
+		k := 1 + rng.Intn(3)
+		var chosen []graph.Pair
+		for i := 0; i < k; i++ {
+			chosen = append(chosen, pairs[rng.Intn(len(pairs))])
+		}
+		res, err := m.Apply(g, chosen)
+		if err != nil {
+			return true // rejected cleanly
+		}
+		if res.Graph.Validate() != nil {
+			return false
+		}
+		if len(res.Graph.Heads) != len(g.Heads) {
+			return false
+		}
+		// Node count can only shrink, modulo inserted adapters.
+		if res.Graph.NodeCount()-res.RescalesInserted > g.NodeCount() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mutating an already-mutated graph (the simulated annealing exploitation
+// step) must compose cleanly.
+func TestMutationComposition(t *testing.T) {
+	g := buildChainGraph(18)
+	m := NewMutator(tensor.NewRNG(19))
+	res1, err := m.Apply(g, []graph.Pair{{Host: FindNode(g, 0, 1), Guest: FindNode(g, 1, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := res1.Graph
+	pairs := g2.ShareablePairs()
+	var applied bool
+	for _, p := range pairs {
+		res2, err := m.Apply(g2, []graph.Pair{p})
+		if err != nil {
+			continue
+		}
+		if err := res2.Graph.Validate(); err != nil {
+			t.Fatalf("second-generation mutation invalid: %v", err)
+		}
+		applied = true
+		break
+	}
+	if !applied {
+		t.Fatal("no second-generation mutation applied")
+	}
+}
+
+// buildTokenGraph makes a two-task transformer graph with different hidden
+// sizes (BERT-Large vs BERT-Base style), where cross-branch sharing needs
+// token-space Rescale adapters.
+func buildTokenGraph(seed uint64) *graph.Graph {
+	rng := tensor.NewRNG(seed)
+	g := graph.New(graph.Shape{8}, graph.DomainRaw)
+	g.TaskNames[0], g.TaskNames[1] = "big", "small"
+
+	e0 := graph.NewBlockNode(0, 0, "Embedding", graph.Shape{8}, graph.DomainRaw, nn.NewEmbedding(rng, 20, 12, 8))
+	t0a := graph.NewBlockNode(0, 1, "TransformerBlock", graph.Shape{8, 12}, graph.DomainTokens, nn.NewTransformerBlock(rng, 12, 2, 24))
+	t0b := graph.NewBlockNode(0, 2, "TransformerBlock", graph.Shape{8, 12}, graph.DomainTokens, nn.NewTransformerBlock(rng, 12, 2, 24))
+	h0 := graph.NewBlockNode(0, 3, "Head", graph.Shape{8, 12}, graph.DomainTokens,
+		nn.NewSequential("h0", nn.NewTokenMeanPool(), nn.NewLinear(rng, 12, 2)))
+	g.AppendChain(g.Root, e0, t0a, t0b, h0)
+
+	e1 := graph.NewBlockNode(1, 0, "Embedding", graph.Shape{8}, graph.DomainRaw, nn.NewEmbedding(rng, 20, 8, 8))
+	t1a := graph.NewBlockNode(1, 1, "TransformerBlock", graph.Shape{8, 8}, graph.DomainTokens, nn.NewTransformerBlock(rng, 8, 2, 16))
+	h1 := graph.NewBlockNode(1, 2, "Head", graph.Shape{8, 8}, graph.DomainTokens,
+		nn.NewSequential("h1", nn.NewTokenMeanPool(), nn.NewLinear(rng, 8, 2)))
+	g.AppendChain(g.Root, e1, t1a, h1)
+	return g
+}
+
+// Cross-branch sharing between transformers of different hidden sizes must
+// insert a RescaleTokens adapter and keep the graph executable.
+func TestTokenCrossBranchMutation(t *testing.T) {
+	g := buildTokenGraph(31)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Token shapes [8,12] vs [8,8] share the token dimension (8), so the
+	// pair is shareable per Definition 2.
+	m := NewMutator(tensor.NewRNG(32))
+	res, err := m.Apply(g, []graph.Pair{{
+		Host:  FindNode(g, 0, 2), // big branch block (input [8,12])
+		Guest: FindNode(g, 1, 1), // small branch block (input [8,8])
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RescalesInserted != 1 {
+		t.Fatalf("expected a token rescale, got %d", res.RescalesInserted)
+	}
+	guest := FindNode(res.Graph, 1, 1)
+	if !guest.Parent.IsRescale() || guest.Parent.Domain != graph.DomainTokens {
+		t.Fatalf("guest parent is %s (domain %v)", guest.Parent.ID(), guest.Parent.Domain)
+	}
+	// The small branch's embedding is pruned (it only fed the moved block).
+	if FindNode(res.Graph, 1, 0) != nil {
+		t.Fatal("guest embedding not pruned")
+	}
+	ids := tensor.New(2, 8)
+	for i := range ids.Data() {
+		ids.Data()[i] = float32(i % 20)
+	}
+	outs := res.Graph.Forward(ids, false)
+	if len(outs) != 2 || outs[1].Dim(1) != 2 {
+		t.Fatalf("forward broken after token mutation: %v", outs)
+	}
+	// Backward works through the adapter.
+	outs = res.Graph.Forward(ids, true)
+	grads := map[int]*tensor.Tensor{
+		0: tensor.Full(1, outs[0].Shape()...),
+		1: tensor.Full(1, outs[1].Shape()...),
+	}
+	res.Graph.Backward(grads)
+}
+
+// ShareablePairs must offer cross-branch pairs between the two
+// transformers (token counts match even though hidden dims differ).
+func TestTokenShareablePairsExist(t *testing.T) {
+	g := buildTokenGraph(33)
+	var cross int
+	for _, p := range g.ShareablePairs() {
+		if p.Host.TaskID != p.Guest.TaskID {
+			cross++
+		}
+	}
+	if cross == 0 {
+		t.Fatal("no cross-branch token pairs found")
+	}
+}

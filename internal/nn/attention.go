@@ -1,0 +1,509 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// MultiHeadAttention is scaled dot-product self-attention over [N, T, D]
+// token tensors with H heads.
+type MultiHeadAttention struct {
+	D, Heads int
+
+	WQ, WK, WV, WO *Linear
+
+	// forward cache
+	q, k, v *tensor.Tensor // [N, T, D]
+	attn    *tensor.Tensor // [N*H, T, T] softmax weights
+	inShape []int
+}
+
+// NewMultiHeadAttention constructs self-attention with model dim d and
+// heads h (d must be divisible by h).
+func NewMultiHeadAttention(rng *tensor.RNG, d, heads int) *MultiHeadAttention {
+	if d%heads != 0 {
+		panic(fmt.Sprintf("nn: attention dim %d not divisible by %d heads", d, heads))
+	}
+	return &MultiHeadAttention{
+		D: d, Heads: heads,
+		WQ: NewLinear(rng, d, d), WK: NewLinear(rng, d, d),
+		WV: NewLinear(rng, d, d), WO: NewLinear(rng, d, d),
+	}
+}
+
+// Forward implements Layer.
+func (m *MultiHeadAttention) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 3 || x.Dim(2) != m.D {
+		panic(fmt.Sprintf("nn: MultiHeadAttention(%d) got input %v", m.D, x.Shape()))
+	}
+	n, t := x.Dim(0), x.Dim(1)
+	hd := m.D / m.Heads
+	m.inShape = append([]int(nil), x.Shape()...)
+	m.q = m.WQ.Forward(x, train)
+	m.k = m.WK.Forward(x, train)
+	m.v = m.WV.Forward(x, train)
+
+	scale := float32(1 / stdSqrt(float64(hd)))
+	m.attn = tensor.New(n*m.Heads, t, t)
+	ctx := tensor.New(n, t, m.D)
+	qd, kd, vd := m.q.Data(), m.k.Data(), m.v.Data()
+	ad, cd := m.attn.Data(), ctx.Data()
+
+	for ni := 0; ni < n; ni++ {
+		for h := 0; h < m.Heads; h++ {
+			ho := h * hd
+			ab := (ni*m.Heads + h) * t * t
+			// scores and softmax
+			for i := 0; i < t; i++ {
+				qrow := qd[(ni*t+i)*m.D+ho : (ni*t+i)*m.D+ho+hd]
+				arow := ad[ab+i*t : ab+(i+1)*t]
+				maxv := float32(-1e30)
+				for j := 0; j < t; j++ {
+					krow := kd[(ni*t+j)*m.D+ho : (ni*t+j)*m.D+ho+hd]
+					var s float32
+					for p := 0; p < hd; p++ {
+						s += qrow[p] * krow[p]
+					}
+					s *= scale
+					arow[j] = s
+					if s > maxv {
+						maxv = s
+					}
+				}
+				var sum float32
+				for j := 0; j < t; j++ {
+					e := float32(stdExp(float64(arow[j] - maxv)))
+					arow[j] = e
+					sum += e
+				}
+				inv := 1 / sum
+				for j := 0; j < t; j++ {
+					arow[j] *= inv
+				}
+				// context = attn @ V
+				crow := cd[(ni*t+i)*m.D+ho : (ni*t+i)*m.D+ho+hd]
+				for j := 0; j < t; j++ {
+					a := arow[j]
+					if a == 0 {
+						continue
+					}
+					vrow := vd[(ni*t+j)*m.D+ho : (ni*t+j)*m.D+ho+hd]
+					for p := 0; p < hd; p++ {
+						crow[p] += a * vrow[p]
+					}
+				}
+			}
+		}
+	}
+	return m.WO.Forward(ctx, train)
+}
+
+// Backward implements Layer.
+func (m *MultiHeadAttention) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n, t := m.inShape[0], m.inShape[1]
+	hd := m.D / m.Heads
+	scale := float32(1 / stdSqrt(float64(hd)))
+
+	gCtx := m.WO.Backward(gradOut) // [N,T,D]
+	gq := tensor.New(n, t, m.D)
+	gk := tensor.New(n, t, m.D)
+	gv := tensor.New(n, t, m.D)
+	qd, kd, vd := m.q.Data(), m.k.Data(), m.v.Data()
+	ad := m.attn.Data()
+	gcd, gqd, gkd, gvd := gCtx.Data(), gq.Data(), gk.Data(), gv.Data()
+
+	gRow := make([]float32, t) // dL/dattn for one query row
+	for ni := 0; ni < n; ni++ {
+		for h := 0; h < m.Heads; h++ {
+			ho := h * hd
+			ab := (ni*m.Heads + h) * t * t
+			for i := 0; i < t; i++ {
+				arow := ad[ab+i*t : ab+(i+1)*t]
+				gcrow := gcd[(ni*t+i)*m.D+ho : (ni*t+i)*m.D+ho+hd]
+				// dV += attnᵀ applied per row; dAttn = gc @ Vᵀ
+				for j := 0; j < t; j++ {
+					vrow := vd[(ni*t+j)*m.D+ho : (ni*t+j)*m.D+ho+hd]
+					gvrow := gvd[(ni*t+j)*m.D+ho : (ni*t+j)*m.D+ho+hd]
+					a := arow[j]
+					var s float32
+					for p := 0; p < hd; p++ {
+						gvrow[p] += a * gcrow[p]
+						s += gcrow[p] * vrow[p]
+					}
+					gRow[j] = s
+				}
+				// softmax backward: dscore_j = a_j * (g_j - sum_k a_k g_k)
+				var dot float32
+				for j := 0; j < t; j++ {
+					dot += arow[j] * gRow[j]
+				}
+				qrow := qd[(ni*t+i)*m.D+ho : (ni*t+i)*m.D+ho+hd]
+				gqrow := gqd[(ni*t+i)*m.D+ho : (ni*t+i)*m.D+ho+hd]
+				for j := 0; j < t; j++ {
+					ds := arow[j] * (gRow[j] - dot) * scale
+					if ds == 0 {
+						continue
+					}
+					krow := kd[(ni*t+j)*m.D+ho : (ni*t+j)*m.D+ho+hd]
+					gkrow := gkd[(ni*t+j)*m.D+ho : (ni*t+j)*m.D+ho+hd]
+					for p := 0; p < hd; p++ {
+						gqrow[p] += ds * krow[p]
+						gkrow[p] += ds * qrow[p]
+					}
+				}
+			}
+		}
+	}
+
+	gi := m.WQ.Backward(gq)
+	giK := m.WK.Backward(gk)
+	giV := m.WV.Backward(gv)
+	tensor.AddInto(gi, gi, giK)
+	tensor.AddInto(gi, gi, giV)
+	m.q, m.k, m.v, m.attn = nil, nil, nil, nil
+	return gi
+}
+
+// Params implements Layer.
+func (m *MultiHeadAttention) Params() []*Param {
+	var ps []*Param
+	for _, l := range []*Linear{m.WQ, m.WK, m.WV, m.WO} {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutShape implements Layer.
+func (m *MultiHeadAttention) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// FLOPs implements Layer.
+func (m *MultiHeadAttention) FLOPs(in []int) int64 {
+	t := int64(in[0])
+	d := int64(m.D)
+	return 8*t*d*d + 4*t*t*d
+}
+
+// Clone implements Layer.
+func (m *MultiHeadAttention) Clone() Layer {
+	return &MultiHeadAttention{
+		D: m.D, Heads: m.Heads,
+		WQ: m.WQ.Clone().(*Linear), WK: m.WK.Clone().(*Linear),
+		WV: m.WV.Clone().(*Linear), WO: m.WO.Clone().(*Linear),
+	}
+}
+
+// Name implements Layer.
+func (m *MultiHeadAttention) Name() string {
+	return fmt.Sprintf("MultiHeadAttention(d%d,h%d)", m.D, m.Heads)
+}
+
+// TransformerBlock is a pre-norm encoder block:
+// x + MHA(LN(x)) followed by x + MLP(LN(x)).
+type TransformerBlock struct {
+	D, Heads, MLPDim int
+
+	LN1, LN2 *LayerNorm
+	Attn     *MultiHeadAttention
+	FC1, FC2 *Linear
+	Act      *GELU
+
+	// forward caches for the two residual additions
+	x1 *tensor.Tensor
+}
+
+// NewTransformerBlock constructs a block with model dim d, h heads, and an
+// MLP hidden dim.
+func NewTransformerBlock(rng *tensor.RNG, d, heads, mlpDim int) *TransformerBlock {
+	return &TransformerBlock{
+		D: d, Heads: heads, MLPDim: mlpDim,
+		LN1: NewLayerNorm(d), LN2: NewLayerNorm(d),
+		Attn: NewMultiHeadAttention(rng, d, heads),
+		FC1:  NewLinear(rng, d, mlpDim), FC2: NewLinear(rng, mlpDim, d),
+		Act: NewGELU(),
+	}
+}
+
+// Forward implements Layer.
+func (b *TransformerBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	a := b.Attn.Forward(b.LN1.Forward(x, train), train)
+	x1 := tensor.Add(x, a)
+	b.x1 = x1
+	h := b.FC2.Forward(b.Act.Forward(b.FC1.Forward(b.LN2.Forward(x1, train), train), train), train)
+	return tensor.Add(x1, h)
+}
+
+// Backward implements Layer.
+func (b *TransformerBlock) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gMLP := b.LN2.Backward(b.FC1.Backward(b.Act.Backward(b.FC2.Backward(gradOut))))
+	gx1 := tensor.Add(gradOut, gMLP)
+	gAttn := b.LN1.Backward(b.Attn.Backward(gx1))
+	b.x1 = nil
+	return tensor.Add(gx1, gAttn)
+}
+
+// Params implements Layer.
+func (b *TransformerBlock) Params() []*Param {
+	var ps []*Param
+	ps = append(ps, b.LN1.Params()...)
+	ps = append(ps, b.Attn.Params()...)
+	ps = append(ps, b.LN2.Params()...)
+	ps = append(ps, b.FC1.Params()...)
+	ps = append(ps, b.FC2.Params()...)
+	return ps
+}
+
+// OutShape implements Layer.
+func (b *TransformerBlock) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// FLOPs implements Layer.
+func (b *TransformerBlock) FLOPs(in []int) int64 {
+	t := int64(in[0])
+	return b.Attn.FLOPs(in) + 4*t*int64(b.D)*int64(b.MLPDim) + b.LN1.FLOPs(in)*2
+}
+
+// Clone implements Layer.
+func (b *TransformerBlock) Clone() Layer {
+	return &TransformerBlock{
+		D: b.D, Heads: b.Heads, MLPDim: b.MLPDim,
+		LN1: b.LN1.Clone().(*LayerNorm), LN2: b.LN2.Clone().(*LayerNorm),
+		Attn: b.Attn.Clone().(*MultiHeadAttention),
+		FC1:  b.FC1.Clone().(*Linear), FC2: b.FC2.Clone().(*Linear),
+		Act: NewGELU(),
+	}
+}
+
+// Name implements Layer.
+func (b *TransformerBlock) Name() string {
+	return fmt.Sprintf("TransformerBlock(d%d,h%d,mlp%d)", b.D, b.Heads, b.MLPDim)
+}
+
+// PatchEmbed converts an image [N,C,H,W] into patch tokens [N, T, D] with a
+// learned linear projection of flattened P×P patches plus a learned
+// positional embedding. It is the ViT stem.
+type PatchEmbed struct {
+	C, Patch, D int
+	Proj        *Linear
+	Pos         *Param // [T, D], lazily sized on first forward
+
+	inShape []int
+	tokens  int
+}
+
+// NewPatchEmbed builds a patch embedding for inC channels, patch size p,
+// and model dim d. numTokens fixes the positional table size.
+func NewPatchEmbed(rng *tensor.RNG, inC, patch, d, numTokens int) *PatchEmbed {
+	pe := &PatchEmbed{
+		C: inC, Patch: patch, D: d,
+		Proj: NewLinear(rng, inC*patch*patch, d),
+		Pos:  NewParam("pos", numTokens, d),
+	}
+	rng.FillNormal(pe.Pos.Value, 0, 0.02)
+	return pe
+}
+
+// Forward implements Layer.
+func (pe *PatchEmbed) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != pe.C || h%pe.Patch != 0 || w%pe.Patch != 0 {
+		panic(fmt.Sprintf("nn: PatchEmbed(c%d,p%d) got input %v", pe.C, pe.Patch, x.Shape()))
+	}
+	pe.inShape = append([]int(nil), x.Shape()...)
+	ph, pw := h/pe.Patch, w/pe.Patch
+	t := ph * pw
+	pe.tokens = t
+	if t != pe.Pos.Value.Dim(0) {
+		panic(fmt.Sprintf("nn: PatchEmbed expects %d tokens, input yields %d", pe.Pos.Value.Dim(0), t))
+	}
+	// Unfold patches via Im2Col with kernel=stride=patch.
+	cols := tensor.Im2Col(x, pe.Patch, pe.Patch, pe.Patch, 0) // [n*t, C*P*P]
+	tok := pe.Proj.Forward(cols, train)                       // [n*t, D]
+	out := tok.Reshape(n, t, pe.D)
+	od, pd := out.Data(), pe.Pos.Value.Data()
+	for ni := 0; ni < n; ni++ {
+		base := ni * t * pe.D
+		for i := 0; i < t*pe.D; i++ {
+			od[base+i] += pd[i]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (pe *PatchEmbed) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n := pe.inShape[0]
+	t := pe.tokens
+	gd, pg := gradOut.Data(), pe.Pos.Grad.Data()
+	for ni := 0; ni < n; ni++ {
+		base := ni * t * pe.D
+		for i := 0; i < t*pe.D; i++ {
+			pg[i] += gd[base+i]
+		}
+	}
+	gCols := pe.Proj.Backward(gradOut.Reshape(n*t, pe.D))
+	return tensor.Col2Im(gCols, pe.inShape[0], pe.inShape[1], pe.inShape[2], pe.inShape[3], pe.Patch, pe.Patch, pe.Patch, 0)
+}
+
+// Params implements Layer.
+func (pe *PatchEmbed) Params() []*Param {
+	return append(pe.Proj.Params(), pe.Pos)
+}
+
+// OutShape implements Layer.
+func (pe *PatchEmbed) OutShape(in []int) []int {
+	return []int{(in[1] / pe.Patch) * (in[2] / pe.Patch), pe.D}
+}
+
+// FLOPs implements Layer.
+func (pe *PatchEmbed) FLOPs(in []int) int64 {
+	t := int64((in[1] / pe.Patch) * (in[2] / pe.Patch))
+	return 2 * t * int64(pe.C*pe.Patch*pe.Patch) * int64(pe.D)
+}
+
+// Clone implements Layer.
+func (pe *PatchEmbed) Clone() Layer {
+	return &PatchEmbed{C: pe.C, Patch: pe.Patch, D: pe.D, Proj: pe.Proj.Clone().(*Linear), Pos: pe.Pos.Clone()}
+}
+
+// Name implements Layer.
+func (pe *PatchEmbed) Name() string { return fmt.Sprintf("PatchEmbed(p%d,d%d)", pe.Patch, pe.D) }
+
+// Embedding maps integer token ids, provided as a [N, T] tensor of float32
+// holding integral values, to [N, T, D] vectors plus positional embeddings.
+// It is the BERT stem.
+type Embedding struct {
+	Vocab, D, T int
+	Table       *Param // [Vocab, D]
+	Pos         *Param // [T, D]
+
+	ids []int
+	n   int
+}
+
+// NewEmbedding builds an embedding with the given vocabulary size, model
+// dim, and sequence length.
+func NewEmbedding(rng *tensor.RNG, vocab, d, t int) *Embedding {
+	e := &Embedding{Vocab: vocab, D: d, T: t, Table: NewParam("table", vocab, d), Pos: NewParam("pos", t, d)}
+	rng.FillNormal(e.Table.Value, 0, 0.05)
+	rng.FillNormal(e.Pos.Value, 0, 0.02)
+	return e
+}
+
+// Forward implements Layer.
+func (e *Embedding) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != e.T {
+		panic(fmt.Sprintf("nn: Embedding(T=%d) got input %v", e.T, x.Shape()))
+	}
+	n := x.Dim(0)
+	e.n = n
+	e.ids = make([]int, n*e.T)
+	out := tensor.New(n, e.T, e.D)
+	xd, od, td, pd := x.Data(), out.Data(), e.Table.Value.Data(), e.Pos.Value.Data()
+	for i := 0; i < n*e.T; i++ {
+		id := int(xd[i])
+		if id < 0 || id >= e.Vocab {
+			panic(fmt.Sprintf("nn: Embedding token id %d out of vocab %d", id, e.Vocab))
+		}
+		e.ids[i] = id
+		dst := od[i*e.D : (i+1)*e.D]
+		src := td[id*e.D : (id+1)*e.D]
+		pos := pd[(i%e.T)*e.D : (i%e.T+1)*e.D]
+		for p := 0; p < e.D; p++ {
+			dst[p] = src[p] + pos[p]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (e *Embedding) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gd, tg, pg := gradOut.Data(), e.Table.Grad.Data(), e.Pos.Grad.Data()
+	for i, id := range e.ids {
+		src := gd[i*e.D : (i+1)*e.D]
+		dst := tg[id*e.D : (id+1)*e.D]
+		pos := pg[(i%e.T)*e.D : (i%e.T+1)*e.D]
+		for p := 0; p < e.D; p++ {
+			dst[p] += src[p]
+			pos[p] += src[p]
+		}
+	}
+	// Token ids are not differentiable; return a zero grad of input shape.
+	return tensor.New(e.n, e.T)
+}
+
+// Params implements Layer.
+func (e *Embedding) Params() []*Param { return []*Param{e.Table, e.Pos} }
+
+// OutShape implements Layer.
+func (e *Embedding) OutShape(in []int) []int { return []int{e.T, e.D} }
+
+// FLOPs implements Layer.
+func (e *Embedding) FLOPs(in []int) int64 { return int64(e.T) * int64(e.D) }
+
+// Clone implements Layer.
+func (e *Embedding) Clone() Layer {
+	return &Embedding{Vocab: e.Vocab, D: e.D, T: e.T, Table: e.Table.Clone(), Pos: e.Pos.Clone()}
+}
+
+// Name implements Layer.
+func (e *Embedding) Name() string { return fmt.Sprintf("Embedding(v%d,d%d,t%d)", e.Vocab, e.D, e.T) }
+
+// TokenMeanPool averages token vectors: [N, T, D] -> [N, D].
+type TokenMeanPool struct {
+	t int
+}
+
+// NewTokenMeanPool builds the pooling layer.
+func NewTokenMeanPool() *TokenMeanPool { return &TokenMeanPool{} }
+
+// Forward implements Layer.
+func (tp *TokenMeanPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
+	tp.t = t
+	out := tensor.New(n, d)
+	xd, od := x.Data(), out.Data()
+	inv := 1 / float32(t)
+	for ni := 0; ni < n; ni++ {
+		dst := od[ni*d : (ni+1)*d]
+		for ti := 0; ti < t; ti++ {
+			src := xd[(ni*t+ti)*d : (ni*t+ti+1)*d]
+			for p := 0; p < d; p++ {
+				dst[p] += src[p] * inv
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (tp *TokenMeanPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n, d := gradOut.Dim(0), gradOut.Dim(1)
+	gi := tensor.New(n, tp.t, d)
+	gd, god := gi.Data(), gradOut.Data()
+	inv := 1 / float32(tp.t)
+	for ni := 0; ni < n; ni++ {
+		src := god[ni*d : (ni+1)*d]
+		for ti := 0; ti < tp.t; ti++ {
+			dst := gd[(ni*tp.t+ti)*d : (ni*tp.t+ti+1)*d]
+			for p := 0; p < d; p++ {
+				dst[p] = src[p] * inv
+			}
+		}
+	}
+	return gi
+}
+
+// Params implements Layer.
+func (tp *TokenMeanPool) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (tp *TokenMeanPool) OutShape(in []int) []int { return []int{in[1]} }
+
+// FLOPs implements Layer.
+func (tp *TokenMeanPool) FLOPs(in []int) int64 { return prod(in) }
+
+// Clone implements Layer.
+func (tp *TokenMeanPool) Clone() Layer { return &TokenMeanPool{} }
+
+// Name implements Layer.
+func (tp *TokenMeanPool) Name() string { return "TokenMeanPool" }

@@ -1,0 +1,204 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ConvBlock is the VGG-style unit: Conv2d + optional BatchNorm + ReLU +
+// optional MaxPool. One ConvBlock is one abstract-graph node.
+type ConvBlock struct {
+	Conv *Conv2d
+	BN   *BatchNorm2d // optional
+	Act  *ReLU
+	Pool *MaxPool2d // optional
+}
+
+// NewConvBlock builds a 3x3 stride-1 pad-1 VGG block. withPool appends a
+// 2x2 max pool; withBN inserts batch normalization.
+func NewConvBlock(rng *tensor.RNG, inC, outC int, withBN, withPool bool) *ConvBlock {
+	b := &ConvBlock{Conv: NewConv2d(rng, inC, outC, 3, 1, 1), Act: NewReLU()}
+	if withBN {
+		b.BN = NewBatchNorm2d(outC)
+	}
+	if withPool {
+		b.Pool = NewMaxPool2d(2, 2)
+	}
+	return b
+}
+
+// Forward implements Layer.
+func (b *ConvBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	x = b.Conv.Forward(x, train)
+	if b.BN != nil {
+		x = b.BN.Forward(x, train)
+	}
+	x = b.Act.Forward(x, train)
+	if b.Pool != nil {
+		x = b.Pool.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (b *ConvBlock) Backward(g *tensor.Tensor) *tensor.Tensor {
+	if b.Pool != nil {
+		g = b.Pool.Backward(g)
+	}
+	g = b.Act.Backward(g)
+	if b.BN != nil {
+		g = b.BN.Backward(g)
+	}
+	return b.Conv.Backward(g)
+}
+
+// Params implements Layer.
+func (b *ConvBlock) Params() []*Param {
+	ps := b.Conv.Params()
+	if b.BN != nil {
+		ps = append(ps, b.BN.Params()...)
+	}
+	return ps
+}
+
+// OutShape implements Layer.
+func (b *ConvBlock) OutShape(in []int) []int {
+	out := b.Conv.OutShape(in)
+	if b.Pool != nil {
+		out = b.Pool.OutShape(out)
+	}
+	return out
+}
+
+// FLOPs implements Layer.
+func (b *ConvBlock) FLOPs(in []int) int64 {
+	f := b.Conv.FLOPs(in)
+	mid := b.Conv.OutShape(in)
+	if b.BN != nil {
+		f += b.BN.FLOPs(mid)
+	}
+	f += prod(mid)
+	if b.Pool != nil {
+		f += b.Pool.FLOPs(mid)
+	}
+	return f
+}
+
+// Clone implements Layer.
+func (b *ConvBlock) Clone() Layer {
+	c := &ConvBlock{Conv: b.Conv.Clone().(*Conv2d), Act: NewReLU()}
+	if b.BN != nil {
+		c.BN = b.BN.Clone().(*BatchNorm2d)
+	}
+	if b.Pool != nil {
+		c.Pool = b.Pool.Clone().(*MaxPool2d)
+	}
+	return c
+}
+
+// Name implements Layer.
+func (b *ConvBlock) Name() string {
+	suffix := ""
+	if b.Pool != nil {
+		suffix = "+Pool"
+	}
+	return fmt.Sprintf("ConvBlock(%d->%d%s)", b.Conv.InC, b.Conv.OutC, suffix)
+}
+
+// ResidualBlock is the ResNet basic block: two 3x3 convolutions with batch
+// norm plus an identity (or 1x1 downsample) skip connection. One block is
+// one abstract-graph node.
+type ResidualBlock struct {
+	Conv1, Conv2 *Conv2d
+	BN1, BN2     *BatchNorm2d
+	Act1, Act2   *ReLU
+	Down         *Conv2d      // nil for identity skip
+	DownBN       *BatchNorm2d // paired with Down
+
+	skip *tensor.Tensor
+}
+
+// NewResidualBlock builds a basic block. stride 2 (or inC != outC) adds a
+// projection shortcut.
+func NewResidualBlock(rng *tensor.RNG, inC, outC, stride int) *ResidualBlock {
+	b := &ResidualBlock{
+		Conv1: NewConv2d(rng, inC, outC, 3, stride, 1),
+		Conv2: NewConv2d(rng, outC, outC, 3, 1, 1),
+		BN1:   NewBatchNorm2d(outC), BN2: NewBatchNorm2d(outC),
+		Act1: NewReLU(), Act2: NewReLU(),
+	}
+	if stride != 1 || inC != outC {
+		b.Down = NewConv2d(rng, inC, outC, 1, stride, 0)
+		b.DownBN = NewBatchNorm2d(outC)
+	}
+	return b
+}
+
+// Forward implements Layer.
+func (b *ResidualBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	identity := x
+	if b.Down != nil {
+		identity = b.DownBN.Forward(b.Down.Forward(x, train), train)
+	}
+	b.skip = identity
+	h := b.Act1.Forward(b.BN1.Forward(b.Conv1.Forward(x, train), train), train)
+	h = b.BN2.Forward(b.Conv2.Forward(h, train), train)
+	return b.Act2.Forward(tensor.Add(h, identity), train)
+}
+
+// Backward implements Layer.
+func (b *ResidualBlock) Backward(g *tensor.Tensor) *tensor.Tensor {
+	g = b.Act2.Backward(g)
+	gMain := b.Conv1.Backward(b.BN1.Backward(b.Act1.Backward(b.Conv2.Backward(b.BN2.Backward(g)))))
+	gSkip := g
+	if b.Down != nil {
+		gSkip = b.Down.Backward(b.DownBN.Backward(g))
+	}
+	b.skip = nil
+	return tensor.Add(gMain, gSkip)
+}
+
+// Params implements Layer.
+func (b *ResidualBlock) Params() []*Param {
+	ps := append(b.Conv1.Params(), b.BN1.Params()...)
+	ps = append(ps, b.Conv2.Params()...)
+	ps = append(ps, b.BN2.Params()...)
+	if b.Down != nil {
+		ps = append(ps, b.Down.Params()...)
+		ps = append(ps, b.DownBN.Params()...)
+	}
+	return ps
+}
+
+// OutShape implements Layer.
+func (b *ResidualBlock) OutShape(in []int) []int { return b.Conv1.OutShape(in) }
+
+// FLOPs implements Layer.
+func (b *ResidualBlock) FLOPs(in []int) int64 {
+	mid := b.Conv1.OutShape(in)
+	f := b.Conv1.FLOPs(in) + b.Conv2.FLOPs(mid) + b.BN1.FLOPs(mid) + b.BN2.FLOPs(mid) + 3*prod(mid)
+	if b.Down != nil {
+		f += b.Down.FLOPs(in) + b.DownBN.FLOPs(mid)
+	}
+	return f
+}
+
+// Clone implements Layer.
+func (b *ResidualBlock) Clone() Layer {
+	c := &ResidualBlock{
+		Conv1: b.Conv1.Clone().(*Conv2d), Conv2: b.Conv2.Clone().(*Conv2d),
+		BN1: b.BN1.Clone().(*BatchNorm2d), BN2: b.BN2.Clone().(*BatchNorm2d),
+		Act1: NewReLU(), Act2: NewReLU(),
+	}
+	if b.Down != nil {
+		c.Down = b.Down.Clone().(*Conv2d)
+		c.DownBN = b.DownBN.Clone().(*BatchNorm2d)
+	}
+	return c
+}
+
+// Name implements Layer.
+func (b *ResidualBlock) Name() string {
+	return fmt.Sprintf("ResidualBlock(%d->%d,s%d)", b.Conv1.InC, b.Conv1.OutC, b.Conv1.Stride)
+}

@@ -1,0 +1,260 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Conv2d is a 2-D convolution with optional bias over NCHW tensors.
+type Conv2d struct {
+	InC, OutC           int
+	Kernel, Stride, Pad int
+	Weight, Bias        *Param // Weight [OutC, InC*K*K], Bias [OutC]
+
+	// forward cache
+	cols    *tensor.Tensor
+	inShape []int
+}
+
+// NewConv2d constructs a convolution and initializes its weights with
+// Kaiming-uniform scaling from the given RNG.
+func NewConv2d(rng *tensor.RNG, inC, outC, kernel, stride, pad int) *Conv2d {
+	c := &Conv2d{
+		InC: inC, OutC: outC, Kernel: kernel, Stride: stride, Pad: pad,
+		Weight: NewParam("weight", outC, inC*kernel*kernel),
+		Bias:   NewParam("bias", outC),
+	}
+	fanIn := float32(inC * kernel * kernel)
+	bound := sqrt32(1/fanIn) * sqrt32(3) * sqrt32(2) // kaiming for ReLU
+	rng.FillUniform(c.Weight.Value, -bound, bound)
+	rng.FillUniform(c.Bias.Value, -bound/4, bound/4)
+	return c
+}
+
+func sqrt32(v float32) float32 {
+	// Newton iterations suffice for init-time use; avoid importing math
+	// into the hot path shape of this file... but clarity wins:
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 20; i++ {
+		x = 0.5 * (x + v/x)
+	}
+	return x
+}
+
+// Forward implements Layer.
+func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2d(%d->%d) got input %v", c.InC, c.OutC, x.Shape()))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOut(h, c.Kernel, c.Stride, c.Pad)
+	ow := tensor.ConvOut(w, c.Kernel, c.Stride, c.Pad)
+	c.cols = tensor.Im2Col(x, c.Kernel, c.Kernel, c.Stride, c.Pad)
+	c.inShape = append([]int(nil), x.Shape()...)
+	// out[n*oh*ow, outC] = cols @ Wᵀ
+	flat := tensor.New(n*oh*ow, c.OutC)
+	tensor.MatMulTransBInto(flat, c.cols, c.Weight.Value)
+	bd := c.Bias.Value.Data()
+	fd := flat.Data()
+	for r := 0; r < n*oh*ow; r++ {
+		row := fd[r*c.OutC : (r+1)*c.OutC]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	// rearrange [n, oh, ow, outC] -> [n, outC, oh, ow]
+	out := tensor.New(n, c.OutC, oh, ow)
+	od := out.Data()
+	for ni := 0; ni < n; ni++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				src := fd[((ni*oh+oy)*ow+ox)*c.OutC:]
+				for oc := 0; oc < c.OutC; oc++ {
+					od[((ni*c.OutC+oc)*oh+oy)*ow+ox] = src[oc]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n, oh, ow := gradOut.Dim(0), gradOut.Dim(2), gradOut.Dim(3)
+	// rearrange grad to [n*oh*ow, outC]
+	gflat := tensor.New(n*oh*ow, c.OutC)
+	gd, gf := gradOut.Data(), gflat.Data()
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gf[((ni*oh+oy)*ow+ox)*c.OutC+oc] = gd[((ni*c.OutC+oc)*oh+oy)*ow+ox]
+				}
+			}
+		}
+	}
+	// dW[outC, inC*k*k] += gflatᵀ @ cols
+	dw := tensor.New(c.OutC, c.InC*c.Kernel*c.Kernel)
+	tensor.MatMulTransAInto(dw, gflat, c.cols)
+	c.Weight.Grad.AddScaled(1, dw)
+	// dB[outC] += column sums of gflat
+	bg := c.Bias.Grad.Data()
+	for r := 0; r < n*oh*ow; r++ {
+		row := gf[r*c.OutC : (r+1)*c.OutC]
+		for j, v := range row {
+			bg[j] += v
+		}
+	}
+	// dCols = gflat @ W, then fold back to input
+	dcols := tensor.New(n*oh*ow, c.InC*c.Kernel*c.Kernel)
+	tensor.MatMulInto(dcols, gflat, c.Weight.Value)
+	gi := tensor.Col2Im(dcols, c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3], c.Kernel, c.Kernel, c.Stride, c.Pad)
+	c.cols = nil
+	return gi
+}
+
+// Params implements Layer.
+func (c *Conv2d) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// OutShape implements Layer.
+func (c *Conv2d) OutShape(in []int) []int {
+	return []int{c.OutC, tensor.ConvOut(in[1], c.Kernel, c.Stride, c.Pad), tensor.ConvOut(in[2], c.Kernel, c.Stride, c.Pad)}
+}
+
+// FLOPs implements Layer.
+func (c *Conv2d) FLOPs(in []int) int64 {
+	out := c.OutShape(in)
+	return 2 * int64(c.InC*c.Kernel*c.Kernel) * prod(out)
+}
+
+// Clone implements Layer.
+func (c *Conv2d) Clone() Layer {
+	return &Conv2d{
+		InC: c.InC, OutC: c.OutC, Kernel: c.Kernel, Stride: c.Stride, Pad: c.Pad,
+		Weight: c.Weight.Clone(), Bias: c.Bias.Clone(),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2d) Name() string {
+	return fmt.Sprintf("Conv2d(%d->%d,k%d,s%d)", c.InC, c.OutC, c.Kernel, c.Stride)
+}
+
+// MaxPool2d is non-overlapping 2-D max pooling.
+type MaxPool2d struct {
+	Kernel, Stride int
+
+	arg     []int32
+	inShape []int
+}
+
+// NewMaxPool2d builds a pooling layer with the given kernel and stride.
+func NewMaxPool2d(kernel, stride int) *MaxPool2d {
+	return &MaxPool2d{Kernel: kernel, Stride: stride}
+}
+
+// Forward implements Layer.
+func (m *MaxPool2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out, arg := tensor.MaxPool(x, m.Kernel, m.Stride)
+	m.arg = arg
+	m.inShape = append([]int(nil), x.Shape()...)
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gi := tensor.MaxPoolBackward(gradOut, m.arg, m.inShape)
+	m.arg = nil
+	return gi
+}
+
+// Params implements Layer.
+func (m *MaxPool2d) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (m *MaxPool2d) OutShape(in []int) []int {
+	return []int{in[0], tensor.ConvOut(in[1], m.Kernel, m.Stride, 0), tensor.ConvOut(in[2], m.Kernel, m.Stride, 0)}
+}
+
+// FLOPs implements Layer.
+func (m *MaxPool2d) FLOPs(in []int) int64 {
+	return prod(m.OutShape(in)) * int64(m.Kernel*m.Kernel)
+}
+
+// Clone implements Layer.
+func (m *MaxPool2d) Clone() Layer { return &MaxPool2d{Kernel: m.Kernel, Stride: m.Stride} }
+
+// Name implements Layer.
+func (m *MaxPool2d) Name() string { return fmt.Sprintf("MaxPool2d(k%d,s%d)", m.Kernel, m.Stride) }
+
+// GlobalAvgPool averages over the spatial dims, [N,C,H,W] -> [N,C].
+type GlobalAvgPool struct {
+	h, w int
+}
+
+// NewGlobalAvgPool builds the pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g.h, g.w = x.Dim(2), x.Dim(3)
+	return tensor.AvgPoolGlobal(x)
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return tensor.AvgPoolGlobalBackward(gradOut, g.h, g.w)
+}
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (g *GlobalAvgPool) OutShape(in []int) []int { return []int{in[0]} }
+
+// FLOPs implements Layer.
+func (g *GlobalAvgPool) FLOPs(in []int) int64 { return prod(in) }
+
+// Clone implements Layer.
+func (g *GlobalAvgPool) Clone() Layer { return &GlobalAvgPool{} }
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return "GlobalAvgPool" }
+
+// Flatten reshapes [N, ...] to [N, prod(...)]. It is a pure view change.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten builds the layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append([]int(nil), x.Shape()...)
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) []int { return []int{int(prod(in))} }
+
+// FLOPs implements Layer.
+func (f *Flatten) FLOPs(in []int) int64 { return 0 }
+
+// Clone implements Layer.
+func (f *Flatten) Clone() Layer { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "Flatten" }

@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Dropout zeroes a fraction of activations during training (inverted
+// dropout: survivors are scaled by 1/(1-p)) and is the identity during
+// evaluation.
+type Dropout struct {
+	P float32
+
+	rng  *tensor.RNG
+	mask []float32
+}
+
+// NewDropout builds a dropout layer with drop probability p in [0,1).
+func NewDropout(rng *tensor.RNG, p float32) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %v out of [0,1)", p))
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	out := tensor.New(x.Shape()...)
+	if cap(d.mask) < x.Size() {
+		d.mask = make([]float32, x.Size())
+	}
+	d.mask = d.mask[:x.Size()]
+	scale := 1 / (1 - d.P)
+	xd, od := x.Data(), out.Data()
+	for i := range xd {
+		if d.rng.Float32() < d.P {
+			d.mask[i] = 0
+			od[i] = 0
+		} else {
+			d.mask[i] = scale
+			od[i] = xd[i] * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return gradOut
+	}
+	gi := tensor.New(gradOut.Shape()...)
+	gd, god := gi.Data(), gradOut.Data()
+	for i, m := range d.mask {
+		gd[i] = god[i] * m
+	}
+	return gi
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// FLOPs implements Layer.
+func (d *Dropout) FLOPs(in []int) int64 { return prod(in) }
+
+// Clone implements Layer.
+func (d *Dropout) Clone() Layer { return &Dropout{P: d.P, rng: d.rng.Split()} }
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", d.P) }

@@ -1,0 +1,248 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Linear is a fully connected layer y = xW + b over [N, In] inputs.
+// For 3-D token inputs [N, T, D] it applies per token.
+type Linear struct {
+	In, Out      int
+	Weight, Bias *Param // Weight [In, Out], Bias [Out]
+
+	in      *tensor.Tensor // cached flattened input [rows, In]
+	inShape []int
+}
+
+// NewLinear constructs a linear layer with Xavier-uniform initialization.
+func NewLinear(rng *tensor.RNG, in, out int) *Linear {
+	l := &Linear{In: in, Out: out, Weight: NewParam("weight", in, out), Bias: NewParam("bias", out)}
+	bound := sqrt32(6 / float32(in+out))
+	rng.FillUniform(l.Weight.Value, -bound, bound)
+	return l
+}
+
+func (l *Linear) flatten(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() == 2 {
+		return x
+	}
+	return x.Reshape(-1, l.In)
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.inShape = append([]int(nil), x.Shape()...)
+	xf := l.flatten(x)
+	if xf.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: Linear(%d->%d) got input %v", l.In, l.Out, x.Shape()))
+	}
+	l.in = xf
+	rows := xf.Dim(0)
+	out := tensor.New(rows, l.Out)
+	tensor.MatMulInto(out, xf, l.Weight.Value)
+	bd := l.Bias.Value.Data()
+	od := out.Data()
+	for r := 0; r < rows; r++ {
+		row := od[r*l.Out : (r+1)*l.Out]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	if len(l.inShape) == 3 {
+		return out.Reshape(l.inShape[0], l.inShape[1], l.Out)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	g := gradOut
+	if g.Rank() != 2 {
+		g = g.Reshape(-1, l.Out)
+	}
+	rows := g.Dim(0)
+	// dW += xᵀ @ g
+	dw := tensor.New(l.In, l.Out)
+	tensor.MatMulTransAInto(dw, l.in, g)
+	l.Weight.Grad.AddScaled(1, dw)
+	// dB += column sums
+	bg := l.Bias.Grad.Data()
+	gd := g.Data()
+	for r := 0; r < rows; r++ {
+		row := gd[r*l.Out : (r+1)*l.Out]
+		for j, v := range row {
+			bg[j] += v
+		}
+	}
+	// dX = g @ Wᵀ
+	gi := tensor.New(rows, l.In)
+	tensor.MatMulTransBInto(gi, g, l.Weight.Value)
+	l.in = nil
+	return gi.Reshape(l.inShape...)
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// OutShape implements Layer.
+func (l *Linear) OutShape(in []int) []int {
+	if len(in) == 2 { // tokens [T, D] -> [T, Out]
+		return []int{in[0], l.Out}
+	}
+	return []int{l.Out}
+}
+
+// FLOPs implements Layer.
+func (l *Linear) FLOPs(in []int) int64 {
+	rows := int64(1)
+	if len(in) == 2 {
+		rows = int64(in[0])
+	}
+	return 2 * rows * int64(l.In) * int64(l.Out)
+}
+
+// Clone implements Layer.
+func (l *Linear) Clone() Layer {
+	return &Linear{In: l.In, Out: l.Out, Weight: l.Weight.Clone(), Bias: l.Bias.Clone()}
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return fmt.Sprintf("Linear(%d->%d)", l.In, l.Out) }
+
+// ReLU is the elementwise rectifier.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU builds the activation.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	if cap(r.mask) < x.Size() {
+		r.mask = make([]bool, x.Size())
+	}
+	r.mask = r.mask[:x.Size()]
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+			r.mask[i] = true
+		} else {
+			od[i] = 0
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gi := tensor.New(gradOut.Shape()...)
+	gd, god := gi.Data(), gradOut.Data()
+	for i, m := range r.mask {
+		if m {
+			gd[i] = god[i]
+		}
+	}
+	return gi
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// FLOPs implements Layer.
+func (r *ReLU) FLOPs(in []int) int64 { return prod(in) }
+
+// Clone implements Layer.
+func (r *ReLU) Clone() Layer { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "ReLU" }
+
+// GELU is the Gaussian error linear unit (tanh approximation), used by the
+// transformer blocks.
+type GELU struct {
+	in *tensor.Tensor
+}
+
+// NewGELU builds the activation.
+func NewGELU() *GELU { return &GELU{} }
+
+const (
+	geluC0 = 0.7978845608028654 // sqrt(2/pi)
+	geluC1 = 0.044715
+)
+
+func geluFwd(x float64) float64 {
+	t := tanh(geluC0 * (x + geluC1*x*x*x))
+	return 0.5 * x * (1 + t)
+}
+
+func geluGrad(x float64) float64 {
+	u := geluC0 * (x + geluC1*x*x*x)
+	t := tanh(u)
+	du := geluC0 * (1 + 3*geluC1*x*x)
+	return 0.5*(1+t) + 0.5*x*(1-t*t)*du
+}
+
+func tanh(x float64) float64 {
+	if x > 20 {
+		return 1
+	}
+	if x < -20 {
+		return -1
+	}
+	e2 := exp(2 * x)
+	return (e2 - 1) / (e2 + 1)
+}
+
+// exp is a small wrapper to keep math usage local.
+func exp(x float64) float64 {
+	// Delegate to the standard library via math.Exp equivalent; implemented
+	// here with the stdlib to avoid precision surprises.
+	return stdExp(x)
+}
+
+// Forward implements Layer.
+func (g *GELU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g.in = x
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		od[i] = float32(geluFwd(float64(v)))
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GELU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gi := tensor.New(gradOut.Shape()...)
+	xd, gd, god := g.in.Data(), gi.Data(), gradOut.Data()
+	for i := range gd {
+		gd[i] = god[i] * float32(geluGrad(float64(xd[i])))
+	}
+	g.in = nil
+	return gi
+}
+
+// Params implements Layer.
+func (g *GELU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (g *GELU) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// FLOPs implements Layer.
+func (g *GELU) FLOPs(in []int) int64 { return 8 * prod(in) }
+
+// Clone implements Layer.
+func (g *GELU) Clone() Layer { return &GELU{} }
+
+// Name implements Layer.
+func (g *GELU) Name() string { return "GELU" }

@@ -1,0 +1,13 @@
+package nn
+
+import "math"
+
+// stdExp wraps math.Exp; isolated here so numeric helpers in the package
+// share one import site.
+func stdExp(x float64) float64 { return math.Exp(x) }
+
+// stdLog wraps math.Log.
+func stdLog(x float64) float64 { return math.Log(x) }
+
+// stdSqrt wraps math.Sqrt.
+func stdSqrt(x float64) float64 { return math.Sqrt(x) }

@@ -1,0 +1,163 @@
+// Package nn implements the differentiable layers, optimizers, and loss
+// functions GMorph needs: convolutional blocks (Conv2d, BatchNorm2d,
+// MaxPool), transformer blocks (LayerNorm, multi-head attention), linear
+// heads, the Rescale adapters inserted by graph mutation, Adam/SGD, and the
+// L1/cross-entropy losses used for distillation fine-tuning and teacher
+// pre-training.
+//
+// Every layer caches whatever state its backward pass needs during Forward;
+// Backward consumes that cache, accumulates parameter gradients into
+// Param.Grad, and returns the gradient with respect to the layer input.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is a trainable tensor together with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParam allocates a parameter (and matching zero gradient) with the
+// given shape.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Clone deep-copies the parameter (gradient starts at zero).
+func (p *Param) Clone() *Param {
+	return &Param{Name: p.Name, Value: p.Value.Clone(), Grad: tensor.New(p.Value.Shape()...)}
+}
+
+// Layer is a differentiable computation block. Forward must be called
+// before Backward; Backward may be called at most once per Forward.
+type Layer interface {
+	// Forward computes the layer output for a batched input. train selects
+	// training behaviour (e.g. batch statistics in BatchNorm).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward takes dLoss/dOutput and returns dLoss/dInput, accumulating
+	// parameter gradients.
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+	// OutShape maps a per-sample input shape (no batch dim) to the
+	// per-sample output shape.
+	OutShape(in []int) []int
+	// FLOPs estimates the floating point operations for one sample with
+	// the given per-sample input shape.
+	FLOPs(in []int) int64
+	// Clone returns a deep copy, including parameter values.
+	Clone() Layer
+	// Name returns a short human-readable identifier.
+	Name() string
+}
+
+// ParamCount sums the number of scalar parameters in a layer.
+func ParamCount(l Layer) int64 {
+	var n int64
+	for _, p := range l.Params() {
+		n += int64(p.Value.Size())
+	}
+	return n
+}
+
+// shapeEq reports whether two per-sample shapes are identical.
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// prod multiplies the entries of a shape.
+func prod(s []int) int64 {
+	n := int64(1)
+	for _, d := range s {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Sequential chains layers, feeding each output to the next.
+type Sequential struct {
+	ID     string
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential with the given identifier and layers.
+func NewSequential(id string, layers ...Layer) *Sequential {
+	return &Sequential{ID: id, Layers: layers}
+}
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gradOut = s.Layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutShape implements Layer.
+func (s *Sequential) OutShape(in []int) []int {
+	for _, l := range s.Layers {
+		in = l.OutShape(in)
+	}
+	return in
+}
+
+// FLOPs implements Layer.
+func (s *Sequential) FLOPs(in []int) int64 {
+	var f int64
+	for _, l := range s.Layers {
+		f += l.FLOPs(in)
+		in = l.OutShape(in)
+	}
+	return f
+}
+
+// Clone implements Layer.
+func (s *Sequential) Clone() Layer {
+	ls := make([]Layer, len(s.Layers))
+	for i, l := range s.Layers {
+		ls[i] = l.Clone()
+	}
+	return &Sequential{ID: s.ID, Layers: ls}
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string {
+	if s.ID != "" {
+		return s.ID
+	}
+	return fmt.Sprintf("Sequential(%d)", len(s.Layers))
+}

@@ -1,0 +1,289 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm2d normalizes each channel of an NCHW tensor. Training mode uses
+// batch statistics and updates exponential running averages; evaluation mode
+// uses the running averages.
+type BatchNorm2d struct {
+	C        int
+	Eps      float32
+	Momentum float32
+
+	Gamma, Beta             *Param
+	RunningMean, RunningVar *tensor.Tensor
+
+	// forward cache (training)
+	xhat      *tensor.Tensor
+	invStd    []float32
+	inShape   []int
+	trainMode bool
+}
+
+// NewBatchNorm2d constructs a batch norm over c channels.
+func NewBatchNorm2d(c int) *BatchNorm2d {
+	bn := &BatchNorm2d{
+		C: c, Eps: 1e-5, Momentum: 0.1,
+		Gamma: NewParam("gamma", c), Beta: NewParam("beta", c),
+		RunningMean: tensor.New(c), RunningVar: tensor.New(c),
+	}
+	for i := range bn.Gamma.Value.Data() {
+		bn.Gamma.Value.Data()[i] = 1
+		bn.RunningVar.Data()[i] = 1
+	}
+	return bn
+}
+
+// Forward implements Layer.
+func (bn *BatchNorm2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != bn.C {
+		panic(fmt.Sprintf("nn: BatchNorm2d(%d) got input %v", bn.C, x.Shape()))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	cnt := float32(n * h * w)
+	bn.inShape = append([]int(nil), x.Shape()...)
+	bn.trainMode = train
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	gd, bd := bn.Gamma.Value.Data(), bn.Beta.Value.Data()
+
+	if !train {
+		bn.xhat = tensor.New(x.Shape()...)
+		xh := bn.xhat.Data()
+		for c := 0; c < bn.C; c++ {
+			mean := bn.RunningMean.Data()[c]
+			inv := float32(1 / stdSqrt(float64(bn.RunningVar.Data()[c]+bn.Eps)))
+			g, b := gd[c], bd[c]
+			for ni := 0; ni < n; ni++ {
+				base := (ni*bn.C + c) * h * w
+				for i := 0; i < h*w; i++ {
+					xv := (xd[base+i] - mean) * inv
+					xh[base+i] = xv
+					od[base+i] = xv*g + b
+				}
+			}
+		}
+		return out
+	}
+
+	bn.xhat = tensor.New(x.Shape()...)
+	if bn.invStd == nil || len(bn.invStd) != bn.C {
+		bn.invStd = make([]float32, bn.C)
+	}
+	xh := bn.xhat.Data()
+	for c := 0; c < bn.C; c++ {
+		var sum, sq float64
+		for ni := 0; ni < n; ni++ {
+			base := (ni*bn.C + c) * h * w
+			for i := 0; i < h*w; i++ {
+				v := float64(xd[base+i])
+				sum += v
+				sq += v * v
+			}
+		}
+		mean := float32(sum / float64(cnt))
+		variance := float32(sq/float64(cnt)) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		inv := float32(1 / stdSqrt(float64(variance+bn.Eps)))
+		bn.invStd[c] = inv
+		bn.RunningMean.Data()[c] = (1-bn.Momentum)*bn.RunningMean.Data()[c] + bn.Momentum*mean
+		bn.RunningVar.Data()[c] = (1-bn.Momentum)*bn.RunningVar.Data()[c] + bn.Momentum*variance
+		g, b := gd[c], bd[c]
+		for ni := 0; ni < n; ni++ {
+			base := (ni*bn.C + c) * h * w
+			for i := 0; i < h*w; i++ {
+				xv := (xd[base+i] - mean) * inv
+				xh[base+i] = xv
+				od[base+i] = xv*g + b
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (bn *BatchNorm2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if !bn.trainMode {
+		// Eval-mode backward treats running stats as constants.
+		n, h, w := bn.inShape[0], bn.inShape[2], bn.inShape[3]
+		gi := tensor.New(bn.inShape...)
+		gd, god, xh := gi.Data(), gradOut.Data(), bn.xhat.Data()
+		gg, bg := bn.Gamma.Grad.Data(), bn.Beta.Grad.Data()
+		for c := 0; c < bn.C; c++ {
+			scale := bn.Gamma.Value.Data()[c] * float32(1/stdSqrt(float64(bn.RunningVar.Data()[c]+bn.Eps)))
+			for ni := 0; ni < n; ni++ {
+				base := (ni*bn.C + c) * h * w
+				for i := 0; i < h*w; i++ {
+					g := god[base+i]
+					gd[base+i] = g * scale
+					gg[c] += g * xh[base+i]
+					bg[c] += g
+				}
+			}
+		}
+		bn.xhat = nil
+		return gi
+	}
+	n, h, w := bn.inShape[0], bn.inShape[2], bn.inShape[3]
+	cnt := float32(n * h * w)
+	gi := tensor.New(bn.inShape...)
+	gd, god, xh := gi.Data(), gradOut.Data(), bn.xhat.Data()
+	gg, bg := bn.Gamma.Grad.Data(), bn.Beta.Grad.Data()
+	for c := 0; c < bn.C; c++ {
+		var sumG, sumGX float64
+		for ni := 0; ni < n; ni++ {
+			base := (ni*bn.C + c) * h * w
+			for i := 0; i < h*w; i++ {
+				g := float64(god[base+i])
+				sumG += g
+				sumGX += g * float64(xh[base+i])
+			}
+		}
+		gg[c] += float32(sumGX)
+		bg[c] += float32(sumG)
+		gamma := bn.Gamma.Value.Data()[c]
+		inv := bn.invStd[c]
+		mg := float32(sumG) / cnt
+		mgx := float32(sumGX) / cnt
+		for ni := 0; ni < n; ni++ {
+			base := (ni*bn.C + c) * h * w
+			for i := 0; i < h*w; i++ {
+				gd[base+i] = gamma * inv * (god[base+i] - mg - xh[base+i]*mgx)
+			}
+		}
+	}
+	bn.xhat = nil
+	return gi
+}
+
+// Params implements Layer.
+func (bn *BatchNorm2d) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// OutShape implements Layer.
+func (bn *BatchNorm2d) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// FLOPs implements Layer.
+func (bn *BatchNorm2d) FLOPs(in []int) int64 { return 4 * prod(in) }
+
+// Clone implements Layer.
+func (bn *BatchNorm2d) Clone() Layer {
+	c := &BatchNorm2d{
+		C: bn.C, Eps: bn.Eps, Momentum: bn.Momentum,
+		Gamma: bn.Gamma.Clone(), Beta: bn.Beta.Clone(),
+		RunningMean: bn.RunningMean.Clone(), RunningVar: bn.RunningVar.Clone(),
+	}
+	return c
+}
+
+// Name implements Layer.
+func (bn *BatchNorm2d) Name() string { return fmt.Sprintf("BatchNorm2d(%d)", bn.C) }
+
+// LayerNorm normalizes the last dimension of a [..., D] tensor, as used in
+// transformer blocks.
+type LayerNorm struct {
+	D   int
+	Eps float32
+
+	Gamma, Beta *Param
+
+	xhat    *tensor.Tensor
+	invStd  []float32
+	inShape []int
+}
+
+// NewLayerNorm constructs a layer norm over feature size d.
+func NewLayerNorm(d int) *LayerNorm {
+	ln := &LayerNorm{D: d, Eps: 1e-5, Gamma: NewParam("gamma", d), Beta: NewParam("beta", d)}
+	for i := range ln.Gamma.Value.Data() {
+		ln.Gamma.Value.Data()[i] = 1
+	}
+	return ln
+}
+
+// Forward implements Layer.
+func (ln *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dim(x.Rank()-1) != ln.D {
+		panic(fmt.Sprintf("nn: LayerNorm(%d) got input %v", ln.D, x.Shape()))
+	}
+	rows := x.Size() / ln.D
+	ln.inShape = append([]int(nil), x.Shape()...)
+	ln.xhat = tensor.New(x.Shape()...)
+	if len(ln.invStd) != rows {
+		ln.invStd = make([]float32, rows)
+	}
+	out := tensor.New(x.Shape()...)
+	xd, od, xh := x.Data(), out.Data(), ln.xhat.Data()
+	gd, bd := ln.Gamma.Value.Data(), ln.Beta.Value.Data()
+	for r := 0; r < rows; r++ {
+		row := xd[r*ln.D : (r+1)*ln.D]
+		var sum, sq float64
+		for _, v := range row {
+			sum += float64(v)
+			sq += float64(v) * float64(v)
+		}
+		mean := float32(sum / float64(ln.D))
+		variance := float32(sq/float64(ln.D)) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		inv := float32(1 / stdSqrt(float64(variance+ln.Eps)))
+		ln.invStd[r] = inv
+		for i, v := range row {
+			xv := (v - mean) * inv
+			xh[r*ln.D+i] = xv
+			od[r*ln.D+i] = xv*gd[i] + bd[i]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (ln *LayerNorm) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	rows := gradOut.Size() / ln.D
+	gi := tensor.New(ln.inShape...)
+	gd, god, xh := gi.Data(), gradOut.Data(), ln.xhat.Data()
+	gg, bg := ln.Gamma.Grad.Data(), ln.Beta.Grad.Data()
+	gv := ln.Gamma.Value.Data()
+	invD := 1 / float32(ln.D)
+	for r := 0; r < rows; r++ {
+		var sumG, sumGX float32
+		base := r * ln.D
+		for i := 0; i < ln.D; i++ {
+			g := god[base+i] * gv[i]
+			sumG += g
+			sumGX += g * xh[base+i]
+			gg[i] += god[base+i] * xh[base+i]
+			bg[i] += god[base+i]
+		}
+		inv := ln.invStd[r]
+		for i := 0; i < ln.D; i++ {
+			g := god[base+i] * gv[i]
+			gd[base+i] = inv * (g - sumG*invD - xh[base+i]*sumGX*invD)
+		}
+	}
+	ln.xhat = nil
+	return gi
+}
+
+// Params implements Layer.
+func (ln *LayerNorm) Params() []*Param { return []*Param{ln.Gamma, ln.Beta} }
+
+// OutShape implements Layer.
+func (ln *LayerNorm) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// FLOPs implements Layer.
+func (ln *LayerNorm) FLOPs(in []int) int64 { return 6 * prod(in) }
+
+// Clone implements Layer.
+func (ln *LayerNorm) Clone() Layer {
+	return &LayerNorm{D: ln.D, Eps: ln.Eps, Gamma: ln.Gamma.Clone(), Beta: ln.Beta.Clone()}
+}
+
+// Name implements Layer.
+func (ln *LayerNorm) Name() string { return fmt.Sprintf("LayerNorm(%d)", ln.D) }

@@ -1,0 +1,125 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and leaves gradients untouched.
+	Step()
+	// ZeroGrad clears all managed gradients.
+	ZeroGrad()
+	// Params returns the managed parameters.
+	Params() []*Param
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba), the optimizer used in
+// the paper's fine-tuning configuration.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float32
+	WeightDecay           float32
+
+	params []*Param
+	m, v   []*tensor.Tensor
+	step   int
+}
+
+// NewAdam builds an Adam optimizer over the given parameters.
+func NewAdam(params []*Param, lr float32) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Value.Shape()...)
+		a.v[i] = tensor.New(p.Value.Shape()...)
+	}
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.step++
+	bc1 := 1 - pow32(a.Beta1, a.step)
+	bc2 := 1 - pow32(a.Beta2, a.step)
+	for i, p := range a.params {
+		pd, gd := p.Value.Data(), p.Grad.Data()
+		md, vd := a.m[i].Data(), a.v[i].Data()
+		for j := range pd {
+			g := gd[j]
+			if a.WeightDecay != 0 {
+				g += a.WeightDecay * pd[j]
+			}
+			md[j] = a.Beta1*md[j] + (1-a.Beta1)*g
+			vd[j] = a.Beta2*vd[j] + (1-a.Beta2)*g*g
+			mhat := md[j] / bc1
+			vhat := vd[j] / bc2
+			pd[j] -= a.LR * mhat / (float32(stdSqrt(float64(vhat))) + a.Eps)
+		}
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.params {
+		p.ZeroGrad()
+	}
+}
+
+// Params implements Optimizer.
+func (a *Adam) Params() []*Param { return a.params }
+
+func pow32(b float32, n int) float32 {
+	r := float32(1)
+	for i := 0; i < n; i++ {
+		r *= b
+	}
+	return r
+}
+
+// SGD is plain stochastic gradient descent with optional momentum, used by
+// ablation experiments.
+type SGD struct {
+	LR, Momentum float32
+
+	params []*Param
+	vel    []*tensor.Tensor
+}
+
+// NewSGD builds an SGD optimizer over the given parameters.
+func NewSGD(params []*Param, lr, momentum float32) *SGD {
+	s := &SGD{LR: lr, Momentum: momentum, params: params}
+	if momentum != 0 {
+		s.vel = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.vel[i] = tensor.New(p.Value.Shape()...)
+		}
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		pd, gd := p.Value.Data(), p.Grad.Data()
+		if s.vel == nil {
+			for j := range pd {
+				pd[j] -= s.LR * gd[j]
+			}
+			continue
+		}
+		vd := s.vel[i].Data()
+		for j := range pd {
+			vd[j] = s.Momentum*vd[j] + gd[j]
+			pd[j] -= s.LR * vd[j]
+		}
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (s *SGD) ZeroGrad() {
+	for _, p := range s.params {
+		p.ZeroGrad()
+	}
+}
+
+// Params implements Optimizer.
+func (s *SGD) Params() []*Param { return s.params }

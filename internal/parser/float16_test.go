@@ -1,0 +1,171 @@
+package parser
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestF16RoundTripExactValues(t *testing.T) {
+	// Values exactly representable in half precision survive unchanged.
+	exact := []float32{0, 1, -1, 0.5, 2, -0.25, 1024, -2048, 0.09375}
+	for _, v := range exact {
+		if got := f16tof32(f32tof16(v)); got != v {
+			t.Errorf("f16 round trip of %v = %v", v, got)
+		}
+	}
+}
+
+func TestF16SpecialValues(t *testing.T) {
+	inf := float32(math.Inf(1))
+	if got := f16tof32(f32tof16(inf)); !math.IsInf(float64(got), 1) {
+		t.Errorf("+inf round trip = %v", got)
+	}
+	ninf := float32(math.Inf(-1))
+	if got := f16tof32(f32tof16(ninf)); !math.IsInf(float64(got), -1) {
+		t.Errorf("-inf round trip = %v", got)
+	}
+	nan := float32(math.NaN())
+	if got := f16tof32(f32tof16(nan)); !math.IsNaN(float64(got)) {
+		t.Errorf("nan round trip = %v", got)
+	}
+	// Overflow to inf.
+	if got := f16tof32(f32tof16(1e6)); !math.IsInf(float64(got), 1) {
+		t.Errorf("1e6 should overflow to +inf, got %v", got)
+	}
+	// Tiny values underflow to zero (or subnormal).
+	if got := f16tof32(f32tof16(1e-9)); math.Abs(float64(got)) > 1e-7 {
+		t.Errorf("1e-9 round trip = %v", got)
+	}
+}
+
+// Property: relative round-trip error of normal-range weights stays below
+// half-precision epsilon.
+func TestF16RelativeErrorProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := float32((rng.Float64()*2 - 1) * 10)
+			got := f16tof32(f32tof16(v))
+			if v == 0 {
+				continue
+			}
+			rel := math.Abs(float64(got-v)) / math.Max(1e-4, math.Abs(float64(v)))
+			if rel > 1.0/1024 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildSmallGraph(seed uint64) *graph.Graph {
+	rng := tensor.NewRNG(seed)
+	g := graph.New(graph.Shape{1, 8, 8}, graph.DomainRaw)
+	g.TaskNames[0] = "t"
+	b := graph.NewBlockNode(0, 0, "ConvBlock", graph.Shape{1, 8, 8}, graph.DomainRaw,
+		nn.NewConvBlock(rng, 1, 4, true, true))
+	h := graph.NewBlockNode(0, 1, "Head", graph.Shape{4, 4, 4}, graph.DomainSpatial,
+		nn.NewSequential("h", nn.NewGlobalAvgPool(), nn.NewLinear(rng, 4, 2)))
+	g.AppendChain(g.Root, b, h)
+	return g
+}
+
+func TestFloat16CheckpointSmallerAndClose(t *testing.T) {
+	g := buildSmallGraph(9)
+	var full, compact bytes.Buffer
+	if err := Save(&full, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveOpts(&compact, g, Options{Float16: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Structural overhead dominates on this tiny graph; weights shrink by
+	// half, the whole file by less.
+	if compact.Len() >= full.Len() {
+		t.Fatalf("float16 checkpoint not smaller: %d vs %d bytes", compact.Len(), full.Len())
+	}
+	g2, err := Load(&compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outputs must be close (not identical) to the full-precision model.
+	rng := tensor.NewRNG(10)
+	x := tensor.New(2, 1, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	a := g.Forward(x.Clone(), false)[0]
+	b := g2.Forward(x.Clone(), false)[0]
+	var maxDiff float64
+	for i := range a.Data() {
+		d := math.Abs(float64(a.Data()[i] - b.Data()[i]))
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff == 0 {
+		t.Log("note: outputs identical despite quantization (weights tiny)")
+	}
+	if maxDiff > 0.05 {
+		t.Fatalf("float16 quantization error too large: %v", maxDiff)
+	}
+}
+
+// Property: random single-byte corruption anywhere in a checkpoint must
+// produce an error, never a panic or a silently-wrong graph.
+func TestCorruptionNeverPanicsProperty(t *testing.T) {
+	g := buildSmallGraph(11)
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	f := func(seed uint64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := tensor.NewRNG(seed)
+		bad := append([]byte(nil), raw...)
+		pos := rng.Intn(len(bad))
+		bad[pos] ^= byte(1 + rng.Intn(255))
+		_, err := Load(bytes.NewReader(bad))
+		// CRC catches all single-byte flips, so Load must error.
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random truncation must error, never panic.
+func TestTruncationNeverPanicsProperty(t *testing.T) {
+	g := buildSmallGraph(12)
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	f := func(seed uint64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := tensor.NewRNG(seed)
+		n := rng.Intn(len(raw))
+		_, err := Load(bytes.NewReader(raw[:n]))
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,301 @@
+package parser
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Layer type tags used in the checkpoint stream.
+const (
+	tagConv2d      = "Conv2d"
+	tagLinear      = "Linear"
+	tagReLU        = "ReLU"
+	tagGELU        = "GELU"
+	tagBatchNorm   = "BatchNorm2d"
+	tagLayerNorm   = "LayerNorm"
+	tagMaxPool     = "MaxPool2d"
+	tagGlobalAvg   = "GlobalAvgPool"
+	tagFlatten     = "Flatten"
+	tagMHA         = "MultiHeadAttention"
+	tagTransformer = "TransformerBlock"
+	tagPatchEmbed  = "PatchEmbed"
+	tagEmbedding   = "Embedding"
+	tagTokenPool   = "TokenMeanPool"
+	tagRescale2D   = "Rescale2D"
+	tagRescaleTok  = "RescaleTokens"
+	tagConvBlock   = "ConvBlock"
+	tagResidual    = "ResidualBlock"
+	tagSequential  = "Sequential"
+)
+
+// encodeLayer writes a tagged, self-describing encoding of the layer.
+func encodeLayer(w io.Writer, l nn.Layer) error {
+	switch v := l.(type) {
+	case *nn.Conv2d:
+		writeString(w, tagConv2d)
+		for _, d := range []int{v.InC, v.OutC, v.Kernel, v.Stride, v.Pad} {
+			writeI32(w, int32(d))
+		}
+		writeParams(w, v.Params())
+	case *nn.Linear:
+		writeString(w, tagLinear)
+		writeI32(w, int32(v.In))
+		writeI32(w, int32(v.Out))
+		writeParams(w, v.Params())
+	case *nn.ReLU:
+		writeString(w, tagReLU)
+	case *nn.GELU:
+		writeString(w, tagGELU)
+	case *nn.BatchNorm2d:
+		writeString(w, tagBatchNorm)
+		writeI32(w, int32(v.C))
+		writeParams(w, v.Params())
+		writeTensor(w, v.RunningMean)
+		writeTensor(w, v.RunningVar)
+	case *nn.LayerNorm:
+		writeString(w, tagLayerNorm)
+		writeI32(w, int32(v.D))
+		writeParams(w, v.Params())
+	case *nn.MaxPool2d:
+		writeString(w, tagMaxPool)
+		writeI32(w, int32(v.Kernel))
+		writeI32(w, int32(v.Stride))
+	case *nn.GlobalAvgPool:
+		writeString(w, tagGlobalAvg)
+	case *nn.Flatten:
+		writeString(w, tagFlatten)
+	case *nn.MultiHeadAttention:
+		writeString(w, tagMHA)
+		writeI32(w, int32(v.D))
+		writeI32(w, int32(v.Heads))
+		writeParams(w, v.Params())
+	case *nn.TransformerBlock:
+		writeString(w, tagTransformer)
+		for _, d := range []int{v.D, v.Heads, v.MLPDim} {
+			writeI32(w, int32(d))
+		}
+		writeParams(w, v.Params())
+	case *nn.PatchEmbed:
+		writeString(w, tagPatchEmbed)
+		for _, d := range []int{v.C, v.Patch, v.D, v.Pos.Value.Dim(0)} {
+			writeI32(w, int32(d))
+		}
+		writeParams(w, v.Params())
+	case *nn.Embedding:
+		writeString(w, tagEmbedding)
+		for _, d := range []int{v.Vocab, v.D, v.T} {
+			writeI32(w, int32(d))
+		}
+		writeParams(w, v.Params())
+	case *nn.TokenMeanPool:
+		writeString(w, tagTokenPool)
+	case *nn.Rescale2D:
+		writeString(w, tagRescale2D)
+		for _, d := range []int{v.InC, v.OutC, v.OutH, v.OutW} {
+			writeI32(w, int32(d))
+		}
+		writeParams(w, v.Params())
+	case *nn.RescaleTokens:
+		writeString(w, tagRescaleTok)
+		for _, d := range []int{v.InT, v.InD, v.OutT, v.OutD} {
+			writeI32(w, int32(d))
+		}
+		writeParams(w, v.Params())
+	case *nn.ConvBlock:
+		writeString(w, tagConvBlock)
+		hasBN, hasPool := int32(0), int32(0)
+		if v.BN != nil {
+			hasBN = 1
+		}
+		if v.Pool != nil {
+			hasPool = 1
+		}
+		writeI32(w, hasBN)
+		writeI32(w, hasPool)
+		if err := encodeLayer(w, v.Conv); err != nil {
+			return err
+		}
+		if v.BN != nil {
+			if err := encodeLayer(w, v.BN); err != nil {
+				return err
+			}
+		}
+		if v.Pool != nil {
+			if err := encodeLayer(w, v.Pool); err != nil {
+				return err
+			}
+		}
+	case *nn.ResidualBlock:
+		writeString(w, tagResidual)
+		hasDown := int32(0)
+		if v.Down != nil {
+			hasDown = 1
+		}
+		writeI32(w, hasDown)
+		subs := []nn.Layer{v.Conv1, v.BN1, v.Conv2, v.BN2}
+		if v.Down != nil {
+			subs = append(subs, v.Down, v.DownBN)
+		}
+		for _, s := range subs {
+			if err := encodeLayer(w, s); err != nil {
+				return err
+			}
+		}
+	case *nn.Sequential:
+		writeString(w, tagSequential)
+		writeString(w, v.ID)
+		writeU32(w, uint32(len(v.Layers)))
+		for _, s := range v.Layers {
+			if err := encodeLayer(w, s); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("parser: cannot encode layer %T", l)
+	}
+	return nil
+}
+
+// decodeLayer reads one tagged layer. An empty tag decodes to nil (the
+// input root has no layer).
+func decodeLayer(r *reader) (nn.Layer, error) {
+	tag := r.str()
+	if r.err != nil {
+		return nil, r.err
+	}
+	// Fresh layers are constructed with a throwaway RNG; weights are then
+	// overwritten from the stream.
+	rng := tensor.NewRNG(1)
+	switch tag {
+	case "":
+		return nil, nil
+	case tagConv2d:
+		inC, outC, k, s, p := int(r.i32()), int(r.i32()), int(r.i32()), int(r.i32()), int(r.i32())
+		l := nn.NewConv2d(rng, inC, outC, k, s, p)
+		return l, r.readParamsInto(l.Params())
+	case tagLinear:
+		in, out := int(r.i32()), int(r.i32())
+		l := nn.NewLinear(rng, in, out)
+		return l, r.readParamsInto(l.Params())
+	case tagReLU:
+		return nn.NewReLU(), nil
+	case tagGELU:
+		return nn.NewGELU(), nil
+	case tagBatchNorm:
+		c := int(r.i32())
+		l := nn.NewBatchNorm2d(c)
+		if err := r.readParamsInto(l.Params()); err != nil {
+			return nil, err
+		}
+		rm, rv := r.tensor(), r.tensor()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if rm.Size() != c || rv.Size() != c {
+			return nil, fmt.Errorf("parser: batchnorm running stats size %d/%d, want %d", rm.Size(), rv.Size(), c)
+		}
+		l.RunningMean.CopyFrom(rm)
+		l.RunningVar.CopyFrom(rv)
+		return l, nil
+	case tagLayerNorm:
+		l := nn.NewLayerNorm(int(r.i32()))
+		return l, r.readParamsInto(l.Params())
+	case tagMaxPool:
+		return nn.NewMaxPool2d(int(r.i32()), int(r.i32())), nil
+	case tagGlobalAvg:
+		return nn.NewGlobalAvgPool(), nil
+	case tagFlatten:
+		return nn.NewFlatten(), nil
+	case tagMHA:
+		d, h := int(r.i32()), int(r.i32())
+		l := nn.NewMultiHeadAttention(rng, d, h)
+		return l, r.readParamsInto(l.Params())
+	case tagTransformer:
+		d, h, mlp := int(r.i32()), int(r.i32()), int(r.i32())
+		l := nn.NewTransformerBlock(rng, d, h, mlp)
+		return l, r.readParamsInto(l.Params())
+	case tagPatchEmbed:
+		c, p, d, tks := int(r.i32()), int(r.i32()), int(r.i32()), int(r.i32())
+		l := nn.NewPatchEmbed(rng, c, p, d, tks)
+		return l, r.readParamsInto(l.Params())
+	case tagEmbedding:
+		v, d, tt := int(r.i32()), int(r.i32()), int(r.i32())
+		l := nn.NewEmbedding(rng, v, d, tt)
+		return l, r.readParamsInto(l.Params())
+	case tagTokenPool:
+		return nn.NewTokenMeanPool(), nil
+	case tagRescale2D:
+		inC, outC, oh, ow := int(r.i32()), int(r.i32()), int(r.i32()), int(r.i32())
+		l := nn.NewRescale2D(rng, inC, outC, oh, ow)
+		return l, r.readParamsInto(l.Params())
+	case tagRescaleTok:
+		it, id, ot, od := int(r.i32()), int(r.i32()), int(r.i32()), int(r.i32())
+		l := nn.NewRescaleTokens(rng, it, id, ot, od)
+		return l, r.readParamsInto(l.Params())
+	case tagConvBlock:
+		hasBN, hasPool := r.i32() == 1, r.i32() == 1
+		conv, err := decodeLayer(r)
+		if err != nil {
+			return nil, err
+		}
+		b := &nn.ConvBlock{Conv: conv.(*nn.Conv2d), Act: nn.NewReLU()}
+		if hasBN {
+			bn, err := decodeLayer(r)
+			if err != nil {
+				return nil, err
+			}
+			b.BN = bn.(*nn.BatchNorm2d)
+		}
+		if hasPool {
+			pool, err := decodeLayer(r)
+			if err != nil {
+				return nil, err
+			}
+			b.Pool = pool.(*nn.MaxPool2d)
+		}
+		return b, nil
+	case tagResidual:
+		hasDown := r.i32() == 1
+		parts := make([]nn.Layer, 0, 6)
+		n := 4
+		if hasDown {
+			n = 6
+		}
+		for i := 0; i < n; i++ {
+			p, err := decodeLayer(r)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, p)
+		}
+		b := &nn.ResidualBlock{
+			Conv1: parts[0].(*nn.Conv2d), BN1: parts[1].(*nn.BatchNorm2d),
+			Conv2: parts[2].(*nn.Conv2d), BN2: parts[3].(*nn.BatchNorm2d),
+			Act1: nn.NewReLU(), Act2: nn.NewReLU(),
+		}
+		if hasDown {
+			b.Down = parts[4].(*nn.Conv2d)
+			b.DownBN = parts[5].(*nn.BatchNorm2d)
+		}
+		return b, nil
+	case tagSequential:
+		id := r.str()
+		count := int(r.u32())
+		if count > 1<<16 {
+			return nil, fmt.Errorf("parser: implausible sequential length %d", count)
+		}
+		ls := make([]nn.Layer, count)
+		for i := range ls {
+			s, err := decodeLayer(r)
+			if err != nil {
+				return nil, err
+			}
+			ls[i] = s
+		}
+		return &nn.Sequential{ID: id, Layers: ls}, nil
+	}
+	return nil, fmt.Errorf("parser: unknown layer tag %q", tag)
+}

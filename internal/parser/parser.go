@@ -1,0 +1,427 @@
+// Package parser implements GMorph's Model Parser (Section 4.2): it
+// converts executable models to and from a serialized representation. In
+// this implementation the abstract graph carries its layers directly, so
+// the parser's job is the checkpoint boundary — saving a trained graph
+// (architecture plus weights, keyed by (task_id, op_id) exactly as the
+// paper's weight store) to a versioned binary format and reconstructing it.
+package parser
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Format constants.
+const (
+	magic   = "GMCK"
+	version = 2
+
+	// encF32 and encF16 tag how parameter tensors are encoded.
+	encF32 = uint32(0)
+	encF16 = uint32(1)
+)
+
+// ErrBadCheckpoint reports a corrupt or incompatible checkpoint.
+var ErrBadCheckpoint = errors.New("parser: bad checkpoint")
+
+// Options tunes checkpoint encoding.
+type Options struct {
+	// Float16 stores parameter tensors as IEEE-754 half precision, halving
+	// checkpoint size at the cost of ~1e-3 relative weight error.
+	Float16 bool
+}
+
+// Save writes the graph to w: header, task names, node tree (pre-order),
+// layer configs and weights, and a trailing CRC-32 of everything written.
+func Save(w io.Writer, g *graph.Graph) error {
+	return SaveOpts(w, g, Options{})
+}
+
+// SaveOpts is Save with explicit encoding options.
+func SaveOpts(w io.Writer, g *graph.Graph, opts Options) error {
+	crc := crc32.NewIEEE()
+	buf := bufio.NewWriter(io.MultiWriter(w, crc))
+	bw := &paramWriter{Writer: buf, f16: opts.Float16}
+	if _, err := io.WriteString(bw, magic); err != nil {
+		return err
+	}
+	writeU32(bw, version)
+
+	names := make([]int, 0, len(g.TaskNames))
+	for id := range g.TaskNames {
+		names = append(names, id)
+	}
+	sort.Ints(names)
+	writeU32(bw, uint32(len(names)))
+	for _, id := range names {
+		writeU32(bw, uint32(id))
+		writeString(bw, g.TaskNames[id])
+	}
+
+	var writeNode func(n *graph.Node) error
+	writeNode = func(n *graph.Node) error {
+		writeI32(bw, int32(n.TaskID))
+		writeI32(bw, int32(n.OpID))
+		writeString(bw, n.OpType)
+		writeShape(bw, n.InputShape)
+		writeU32(bw, uint32(n.Domain))
+		if n.Layer == nil {
+			writeString(bw, "")
+		} else if err := encodeLayer(bw, n.Layer); err != nil {
+			return err
+		}
+		writeU32(bw, uint32(len(n.Children)))
+		for _, c := range n.Children {
+			if err := writeNode(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeNode(g.Root); err != nil {
+		return err
+	}
+	if err := buf.Flush(); err != nil {
+		return err
+	}
+	// CRC of the flushed payload.
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// Load reads a graph previously written by Save.
+func Load(r io.Reader) (*graph.Graph, error) {
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) < len(magic)+8 {
+		return nil, fmt.Errorf("%w: truncated", ErrBadCheckpoint)
+	}
+	body, tail := payload[:len(payload)-4], payload[len(payload)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrBadCheckpoint)
+	}
+	rd := &reader{buf: body}
+	if string(rd.bytes(len(magic))) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	if v := rd.u32(); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, v)
+	}
+
+	g := &graph.Graph{Heads: map[int]*graph.Node{}, TaskNames: map[int]string{}}
+	nTasks := int(rd.u32())
+	for i := 0; i < nTasks; i++ {
+		id := int(rd.u32())
+		g.TaskNames[id] = rd.str()
+	}
+
+	var readNode func() (*graph.Node, error)
+	readNode = func() (*graph.Node, error) {
+		n := &graph.Node{
+			TaskID: int(rd.i32()),
+			OpID:   int(rd.i32()),
+			OpType: rd.str(),
+		}
+		n.InputShape = rd.shape()
+		n.Domain = graph.Domain(rd.u32())
+		layer, err := decodeLayer(rd)
+		if err != nil {
+			return nil, err
+		}
+		n.Layer = layer
+		kids := int(rd.u32())
+		for i := 0; i < kids; i++ {
+			c, err := readNode()
+			if err != nil {
+				return nil, err
+			}
+			c.Parent = n
+			n.Children = append(n.Children, c)
+			if c.IsHead() {
+				g.Heads[c.TaskID] = c
+			}
+		}
+		return n, nil
+	}
+	root, err := readNode()
+	if err != nil {
+		return nil, err
+	}
+	if rd.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, rd.err)
+	}
+	g.Root = root
+	g.RefreshCapacities()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	return g, nil
+}
+
+// SaveFile writes the graph to path atomically (temp file + rename).
+func SaveFile(path string, g *graph.Graph) error {
+	return SaveFileOpts(path, g, Options{})
+}
+
+// SaveFileOpts is SaveFile with explicit encoding options.
+func SaveFileOpts(path string, g *graph.Graph, opts Options) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := SaveOpts(f, g, opts); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a graph checkpoint from path.
+func LoadFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// --- low-level write helpers ----------------------------------------------
+
+func writeU32(w io.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeI32(w io.Writer, v int32) { writeU32(w, uint32(v)) }
+
+func writeString(w io.Writer, s string) {
+	writeU32(w, uint32(len(s)))
+	io.WriteString(w, s)
+}
+
+func writeShape(w io.Writer, s graph.Shape) {
+	writeU32(w, uint32(len(s)))
+	for _, d := range s {
+		writeI32(w, int32(d))
+	}
+}
+
+// paramWriter carries the tensor encoding choice alongside the stream.
+type paramWriter struct {
+	io.Writer
+	f16 bool
+}
+
+func writeTensor(w io.Writer, t *tensor.Tensor) {
+	enc := encF32
+	if pw, ok := w.(*paramWriter); ok && pw.f16 {
+		enc = encF16
+	}
+	writeU32(w, enc)
+	writeShape(w, graph.Shape(t.Shape()))
+	if enc == encF16 {
+		var b [2]byte
+		for _, v := range t.Data() {
+			binary.LittleEndian.PutUint16(b[:], f32tof16(v))
+			w.Write(b[:])
+		}
+		return
+	}
+	for _, v := range t.Data() {
+		writeU32(w, math.Float32bits(v))
+	}
+}
+
+// f32tof16 converts to IEEE 754 half precision with round-to-nearest-even.
+func f32tof16(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xFF) - 127 + 15
+	mant := bits & 0x7FFFFF
+	switch {
+	case exp >= 0x1F: // overflow or inf/nan
+		if bits&0x7FFFFFFF > 0x7F800000 {
+			return sign | 0x7E00 // nan
+		}
+		return sign | 0x7C00 // inf
+	case exp <= 0:
+		if exp < -10 {
+			return sign // underflow to zero
+		}
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint16(mant >> shift)
+		if mant>>(shift-1)&1 == 1 { // round
+			half++
+		}
+		return sign | half
+	default:
+		half := sign | uint16(exp)<<10 | uint16(mant>>13)
+		if mant&0x1000 != 0 { // round to nearest
+			half++
+		}
+		return half
+	}
+}
+
+// f16tof32 converts IEEE 754 half precision to float32.
+func f16tof32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1F)
+	mant := uint32(h & 0x3FF)
+	switch {
+	case exp == 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// subnormal: normalize
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case exp == 0x1F:
+		return math.Float32frombits(sign | 0xFF<<23 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+	}
+}
+
+func writeParams(w io.Writer, ps []*nn.Param) {
+	writeU32(w, uint32(len(ps)))
+	for _, p := range ps {
+		writeString(w, p.Name)
+		writeTensor(w, p.Value)
+	}
+}
+
+// --- low-level read helpers ------------------------------------------------
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		if r.err == nil {
+			r.err = errors.New("unexpected end of checkpoint")
+		}
+		// Return a small zero buffer so desynced reads cannot trigger huge
+		// allocations; callers check r.err before trusting contents.
+		if n > 64 || n < 0 {
+			n = 64
+		}
+		return make([]byte, n)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.bytes(4)) }
+func (r *reader) i32() int32  { return int32(r.u32()) }
+func (r *reader) str() string { return string(r.bytes(int(r.u32()))) }
+
+func (r *reader) shape() graph.Shape {
+	n := int(r.u32())
+	if n > 16 {
+		r.err = fmt.Errorf("implausible shape rank %d", n)
+		return nil
+	}
+	s := make(graph.Shape, n)
+	for i := range s {
+		s[i] = int(r.i32())
+	}
+	return s
+}
+
+func (r *reader) tensor() *tensor.Tensor {
+	enc := r.u32()
+	if enc != encF32 && enc != encF16 {
+		r.err = fmt.Errorf("unknown tensor encoding %d", enc)
+		return tensor.New(0)
+	}
+	shape := r.shape()
+	if r.err != nil {
+		return tensor.New(0)
+	}
+	size := 1
+	for _, d := range shape {
+		if d < 0 || d > 1<<24 {
+			r.err = fmt.Errorf("implausible tensor dim %d", d)
+			return tensor.New(0)
+		}
+		size *= d
+	}
+	width := 4
+	if enc == encF16 {
+		width = 2
+	}
+	if size > (len(r.buf)-r.off)/width+1 {
+		r.err = errors.New("tensor larger than remaining checkpoint")
+		return tensor.New(0)
+	}
+	t := tensor.New([]int(shape)...)
+	d := t.Data()
+	if enc == encF16 {
+		for i := range d {
+			d[i] = f16tof32(binary.LittleEndian.Uint16(r.bytes(2)))
+		}
+		return t
+	}
+	for i := range d {
+		d[i] = math.Float32frombits(r.u32())
+	}
+	return t
+}
+
+// readParamsInto loads serialized parameters into an already-constructed
+// layer, verifying count, names, and shapes.
+func (r *reader) readParamsInto(ps []*nn.Param) error {
+	n := int(r.u32())
+	if n != len(ps) {
+		return fmt.Errorf("param count %d, want %d", n, len(ps))
+	}
+	for _, p := range ps {
+		name := r.str()
+		if name != p.Name {
+			return fmt.Errorf("param name %q, want %q", name, p.Name)
+		}
+		t := r.tensor()
+		if r.err != nil {
+			return r.err
+		}
+		if t.Size() != p.Value.Size() {
+			return fmt.Errorf("param %q size %d, want %d", name, t.Size(), p.Value.Size())
+		}
+		p.Value.CopyFrom(t)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Package serve provides a small model-serving harness used to reproduce
+// the paper's Discussion claim (Section 7): fusing multi-DNNs into one
+// multi-task model raises online serving throughput, since every query
+// costs one fused forward pass instead of one pass per task-specific DNN.
+//
+// The harness runs a fixed-duration closed loop: a set of client workers
+// issue inference requests back-to-back against an Engine and the harness
+// reports aggregate queries/second and latency percentiles.
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Options configures a serving run.
+type Options struct {
+	// Clients is the number of concurrent closed-loop clients (default 1).
+	Clients int
+	// Batch is the per-request batch size (default 1).
+	Batch int
+	// Duration bounds the measurement window (default 500ms).
+	Duration time.Duration
+	// Warmup requests per client before measurement (default 2).
+	Warmup int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clients <= 0 {
+		o.Clients = 1
+	}
+	if o.Batch <= 0 {
+		o.Batch = 1
+	}
+	if o.Duration <= 0 {
+		o.Duration = 500 * time.Millisecond
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 2
+	}
+	return o
+}
+
+// Report summarizes a serving run.
+type Report struct {
+	// Requests completed inside the window.
+	Requests int
+	// QPS is Requests divided by the actual elapsed time.
+	QPS float64
+	// P50 and P99 are request latency percentiles.
+	P50, P99 time.Duration
+	// Elapsed is the measured window length.
+	Elapsed time.Duration
+}
+
+// Run drives the engine with closed-loop clients for the configured
+// duration and reports throughput.
+func Run(e engine.Engine, inputShape graph.Shape, opts Options) Report {
+	opts = opts.withDefaults()
+	// Each client uses its own input tensor (engines may parallelize
+	// internally; inputs must not be shared mid-flight).
+	inputs := make([]*tensor.Tensor, opts.Clients)
+	for i := range inputs {
+		shape := append([]int{opts.Batch}, inputShape...)
+		inputs[i] = tensor.New(shape...)
+		if len(inputShape) != 1 {
+			tensor.NewRNG(uint64(i+1)).FillNormal(inputs[i], 0, 1)
+		}
+	}
+	for i := range inputs {
+		for w := 0; w < opts.Warmup; w++ {
+			e.Forward(inputs[i])
+		}
+	}
+
+	var mu sync.Mutex
+	var latencies []time.Duration
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var local []time.Duration
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				e.Forward(inputs[c])
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{Requests: len(latencies), Elapsed: elapsed}
+	if len(latencies) == 0 {
+		return rep
+	}
+	rep.QPS = float64(rep.Requests) / elapsed.Seconds()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.P50 = latencies[len(latencies)/2]
+	rep.P99 = latencies[minInt(len(latencies)-1, len(latencies)*99/100)]
+	return rep
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Compare serves the original and fused models back to back under the
+// same options and returns both reports plus the throughput ratio.
+func Compare(original, fused *graph.Graph, opts Options) (orig, fusedRep Report, gain float64) {
+	shape := original.Root.InputShape
+	orig = Run(engine.NewReference(original), shape, opts)
+	fusedRep = Run(engine.NewReference(fused), shape, opts)
+	if orig.QPS > 0 {
+		gain = fusedRep.QPS / orig.QPS
+	}
+	return orig, fusedRep, gain
+}

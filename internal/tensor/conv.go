@@ -1,0 +1,287 @@
+package tensor
+
+import "fmt"
+
+// ConvOut returns the output spatial size of a convolution/pool with the
+// given input size, kernel, stride, and padding.
+func ConvOut(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col unfolds x [N,C,H,W] into columns [N*OH*OW, C*KH*KW] so a
+// convolution becomes a matmul against a [C*KH*KW, OutC] weight matrix.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	cols := New(n*oh*ow, c*kh*kw)
+	Im2ColInto(cols, x, kh, kw, stride, pad)
+	return cols
+}
+
+// Im2ColInto is Im2Col writing into a caller-provided [N*OH*OW, C*KH*KW]
+// tensor, letting hot paths reuse buffers.
+func Im2ColInto(cols, x *Tensor, kh, kw, stride, pad int) {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col wants NCHW, got %v", x.shape))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	if cols.shape[0] != n*oh*ow || cols.shape[1] != c*kh*kw {
+		panic(fmt.Sprintf("tensor: Im2ColInto dst %v, want [%d %d]", cols.shape, n*oh*ow, c*kh*kw))
+	}
+	xd, cd := x.data, cols.data
+	rowLen := c * kh * kw
+	parallelFor(n*oh, func(lo, hi int) {
+		for noy := lo; noy < hi; noy++ {
+			ni, oy := noy/oh, noy%oh
+			base := ni * c * h * w
+			for ox := 0; ox < ow; ox++ {
+				dst := cd[(noy*ow+ox)*rowLen : (noy*ow+ox+1)*rowLen]
+				di := 0
+				for ci := 0; ci < c; ci++ {
+					cb := base + ci*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
+							for kx := 0; kx < kw; kx++ {
+								dst[di] = 0
+								di++
+							}
+							continue
+						}
+						rb := cb + iy*w
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= w {
+								dst[di] = 0
+							} else {
+								dst[di] = xd[rb+ix]
+							}
+							di++
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// Col2Im folds columns [N*OH*OW, C*KH*KW] back into an NCHW tensor of shape
+// [N,C,H,W], accumulating overlapping contributions. It is the adjoint of
+// Im2Col and is used for convolution input gradients.
+func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	rowLen := c * kh * kw
+	if cols.shape[0] != n*oh*ow || cols.shape[1] != rowLen {
+		panic(fmt.Sprintf("tensor: Col2Im shape mismatch cols=%v for out [%d,%d,%d,%d]", cols.shape, n, c, h, w))
+	}
+	out := New(n, c, h, w)
+	xd, cd := out.data, cols.data
+	// Parallelize over images: each image's region of out is disjoint.
+	parallelFor(n, func(lo, hi int) {
+		for ni := lo; ni < hi; ni++ {
+			base := ni * c * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					src := cd[((ni*oh+oy)*ow+ox)*rowLen:]
+					si := 0
+					for ci := 0; ci < c; ci++ {
+						cb := base + ci*h*w
+						for ky := 0; ky < kh; ky++ {
+							iy := oy*stride + ky - pad
+							if iy < 0 || iy >= h {
+								si += kw
+								continue
+							}
+							rb := cb + iy*w
+							for kx := 0; kx < kw; kx++ {
+								ix := ox*stride + kx - pad
+								if ix >= 0 && ix < w {
+									xd[rb+ix] += src[si]
+								}
+								si++
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MaxPool applies 2-D max pooling to x [N,C,H,W] and returns the pooled
+// tensor plus the flat argmax index (into x.Data()) of each output element,
+// which the backward pass uses to route gradients.
+func MaxPool(x *Tensor, k, stride int) (*Tensor, []int32) {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := ConvOut(h, k, stride, 0), ConvOut(w, k, stride, 0)
+	out := New(n, c, oh, ow)
+	arg := make([]int32, out.Size())
+	xd, od := x.data, out.data
+	parallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			base := nc * h * w
+			obase := nc * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bi := base + oy*stride*w + ox*stride
+					best, bidx := xd[bi], bi
+					for ky := 0; ky < k; ky++ {
+						row := base + (oy*stride+ky)*w + ox*stride
+						for kx := 0; kx < k; kx++ {
+							if v := xd[row+kx]; v > best {
+								best, bidx = v, row+kx
+							}
+						}
+					}
+					oi := obase + oy*ow + ox
+					od[oi] = best
+					arg[oi] = int32(bidx)
+				}
+			}
+		}
+	})
+	return out, arg
+}
+
+// MaxPoolBackward scatters gradOut back to input positions recorded in arg.
+func MaxPoolBackward(gradOut *Tensor, arg []int32, inputShape []int) *Tensor {
+	gi := New(inputShape...)
+	gd, god := gi.data, gradOut.data
+	for i, a := range arg {
+		gd[a] += god[i]
+	}
+	return gi
+}
+
+// AvgPoolGlobal averages x [N,C,H,W] over the spatial dims, returning [N,C].
+func AvgPoolGlobal(x *Tensor) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out := New(n, c)
+	inv := 1 / float32(h*w)
+	for nc := 0; nc < n*c; nc++ {
+		var s float32
+		for _, v := range x.data[nc*h*w : (nc+1)*h*w] {
+			s += v
+		}
+		out.data[nc] = s * inv
+	}
+	return out
+}
+
+// AvgPoolGlobalBackward spreads gradOut [N,C] uniformly over [N,C,H,W].
+func AvgPoolGlobalBackward(gradOut *Tensor, h, w int) *Tensor {
+	n, c := gradOut.shape[0], gradOut.shape[1]
+	gi := New(n, c, h, w)
+	inv := 1 / float32(h*w)
+	for nc := 0; nc < n*c; nc++ {
+		g := gradOut.data[nc] * inv
+		row := gi.data[nc*h*w : (nc+1)*h*w]
+		for i := range row {
+			row[i] = g
+		}
+	}
+	return gi
+}
+
+// Interpolate resizes x [N,C,H,W] to [N,C,outH,outW] with bilinear
+// interpolation (align_corners=false convention).
+func Interpolate(x *Tensor, outH, outW int) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if outH == h && outW == w {
+		return x.Clone()
+	}
+	out := New(n, c, outH, outW)
+	sy := float32(h) / float32(outH)
+	sx := float32(w) / float32(outW)
+	xd, od := x.data, out.data
+	parallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			base := nc * h * w
+			obase := nc * outH * outW
+			for oy := 0; oy < outH; oy++ {
+				fy := (float32(oy)+0.5)*sy - 0.5
+				y0 := int(fy)
+				if fy < 0 {
+					fy, y0 = 0, 0
+				}
+				y1 := y0 + 1
+				if y1 >= h {
+					y1 = h - 1
+				}
+				wy := fy - float32(y0)
+				for ox := 0; ox < outW; ox++ {
+					fx := (float32(ox)+0.5)*sx - 0.5
+					x0 := int(fx)
+					if fx < 0 {
+						fx, x0 = 0, 0
+					}
+					x1 := x0 + 1
+					if x1 >= w {
+						x1 = w - 1
+					}
+					wx := fx - float32(x0)
+					v00 := xd[base+y0*w+x0]
+					v01 := xd[base+y0*w+x1]
+					v10 := xd[base+y1*w+x0]
+					v11 := xd[base+y1*w+x1]
+					top := v00 + (v01-v00)*wx
+					bot := v10 + (v11-v10)*wx
+					od[obase+oy*outW+ox] = top + (bot-top)*wy
+				}
+			}
+		}
+	})
+	return out
+}
+
+// InterpolateBackward computes the adjoint of Interpolate: it scatters
+// gradOut [N,C,outH,outW] back onto the input grid [N,C,H,W].
+func InterpolateBackward(gradOut *Tensor, h, w int) *Tensor {
+	n, c, outH, outW := gradOut.shape[0], gradOut.shape[1], gradOut.shape[2], gradOut.shape[3]
+	gi := New(n, c, h, w)
+	if outH == h && outW == w {
+		copy(gi.data, gradOut.data)
+		return gi
+	}
+	sy := float32(h) / float32(outH)
+	sx := float32(w) / float32(outW)
+	gd, god := gi.data, gradOut.data
+	parallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			base := nc * h * w
+			obase := nc * outH * outW
+			for oy := 0; oy < outH; oy++ {
+				fy := (float32(oy)+0.5)*sy - 0.5
+				y0 := int(fy)
+				if fy < 0 {
+					fy, y0 = 0, 0
+				}
+				y1 := y0 + 1
+				if y1 >= h {
+					y1 = h - 1
+				}
+				wy := fy - float32(y0)
+				for ox := 0; ox < outW; ox++ {
+					fx := (float32(ox)+0.5)*sx - 0.5
+					x0 := int(fx)
+					if fx < 0 {
+						fx, x0 = 0, 0
+					}
+					x1 := x0 + 1
+					if x1 >= w {
+						x1 = w - 1
+					}
+					wx := fx - float32(x0)
+					g := god[obase+oy*outW+ox]
+					gd[base+y0*w+x0] += g * (1 - wy) * (1 - wx)
+					gd[base+y0*w+x1] += g * (1 - wy) * wx
+					gd[base+y1*w+x0] += g * wy * (1 - wx)
+					gd[base+y1*w+x1] += g * wy * wx
+				}
+			}
+		}
+	})
+	return gi
+}

@@ -1,0 +1,150 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// workers is the degree of parallelism used by the heavy kernels.
+var workers = runtime.GOMAXPROCS(0)
+
+// parallelFor splits [0,n) into chunks and runs body on each chunk
+// concurrently. It runs inline when n is small.
+func parallelFor(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < 64 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMulInto computes dst = a @ b for 2-D tensors: a is [m,k], b is [k,n],
+// dst is [m,n]. dst is overwritten.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulInto wants rank-2 operands, got %v @ %v -> %v", a.shape, b.shape, dst.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %v @ %v -> %v", a.shape, b.shape, dst.shape))
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dd[i*n : (i+1)*n]
+			for x := range drow {
+				drow[x] = 0
+			}
+			arow := ad[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMul returns a @ b as a new [m,n] tensor.
+func MatMul(a, b *Tensor) *Tensor {
+	out := New(a.shape[0], b.shape[1])
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ @ b where a is [k,m], b is [k,n],
+// dst is [m,n]. Used for weight gradients.
+func MatMulTransAInto(dst, a, b *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto shape mismatch %vᵀ @ %v -> %v", a.shape, b.shape, dst.shape))
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dd[i*n : (i+1)*n]
+			for x := range drow {
+				drow[x] = 0
+			}
+			for p := 0; p < k; p++ {
+				av := ad[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulTransBInto computes dst = a @ bᵀ where a is [m,k], b is [n,k],
+// dst is [m,n]. Used for input gradients.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto shape mismatch %v @ %vᵀ -> %v", a.shape, b.shape, dst.shape))
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			drow := dd[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : (j+1)*k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				drow[j] = s
+			}
+		}
+	})
+}
+
+// Transpose2D returns the transpose of a 2-D tensor as a new tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D wants rank 2, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.data[j*m+i] = v
+		}
+	}
+	return out
+}

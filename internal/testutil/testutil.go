@@ -1,0 +1,108 @@
+// Package testutil provides tiny shared fixtures for the GMorph test
+// suites: a fast synthetic two-task dataset and matching small CNN teacher
+// graphs that fine-tune in milliseconds.
+package testutil
+
+import (
+	"repro/internal/data"
+	"repro/internal/distill"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TinyFace returns a small FaceSynth dataset with gender and ethnicity
+// tasks over 16x16 images.
+func TinyFace(seed uint64, train, test int) *data.Dataset {
+	return data.NewFace(data.FaceConfig{
+		Train: train, Test: test, Size: 16, Noise: 0.05, Seed: seed,
+		Tasks: []string{"gender", "ethnicity"},
+	})
+}
+
+// TinyCNNBranch appends a 3-block CNN branch for a task to g (input must be
+// [3,16,16]) and returns the head.
+func TinyCNNBranch(g *graph.Graph, rng *tensor.RNG, taskID, classes int) *graph.Node {
+	in := g.Root.InputShape
+	b0 := graph.NewBlockNode(taskID, 0, "ConvBlock", in, graph.DomainRaw,
+		nn.NewConvBlock(rng, in[0], 6, true, true)) // 16 -> 8
+	s1 := graph.Shape{6, 8, 8}
+	b1 := graph.NewBlockNode(taskID, 1, "ConvBlock", s1, graph.DomainSpatial,
+		nn.NewConvBlock(rng, 6, 12, true, true)) // 8 -> 4
+	s2 := graph.Shape{12, 4, 4}
+	b2 := graph.NewBlockNode(taskID, 2, "ConvBlock", s2, graph.DomainSpatial,
+		nn.NewConvBlock(rng, 12, 12, true, false))
+	head := graph.NewBlockNode(taskID, 3, "Head", s2, graph.DomainSpatial,
+		nn.NewSequential("head", nn.NewGlobalAvgPool(), nn.NewLinear(rng, 12, classes)))
+	g.AppendChain(g.Root, b0, b1, b2, head)
+	return head
+}
+
+// TinyMultiDNN builds the original two-branch graph for TinyFace: one CNN
+// per task over a shared [3,16,16] input.
+func TinyMultiDNN(seed uint64, ds *data.Dataset) *graph.Graph {
+	rng := tensor.NewRNG(seed)
+	g := graph.New(graph.Shape{3, 16, 16}, graph.DomainRaw)
+	for i, spec := range ds.Tasks {
+		g.TaskNames[i] = spec.Name
+		TinyCNNBranch(g, rng, i, spec.Classes)
+	}
+	g.RefreshCapacities()
+	return g
+}
+
+// PretrainTeachers trains the graph's branches on the dataset labels with
+// cross entropy for a few epochs, returning per-task final train accuracy.
+// It is how benchmark fixtures obtain "well-trained DNNs".
+func PretrainTeachers(g *graph.Graph, ds *data.Dataset, epochs int, lr float32, seed uint64) map[int]float64 {
+	rng := tensor.NewRNG(seed)
+	opt := nn.NewAdam(g.Params(), lr)
+	train := ds.Train
+	n := train.Len()
+	batch := 16
+	for e := 0; e < epochs; e++ {
+		perm := rng.Perm(n)
+		for lo := 0; lo < n; lo += batch {
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			idx := perm[lo:hi]
+			xb := gather(train.X, idx)
+			opt.ZeroGrad()
+			outs := g.Forward(xb, true)
+			grads := make(map[int]*tensor.Tensor, len(outs))
+			for id, o := range outs {
+				var gr *tensor.Tensor
+				switch ds.Tasks[id].Kind {
+				case data.MultiLabel:
+					rows := make([][]int, len(idx))
+					for i, r := range idx {
+						rows[i] = train.Multi[id][r]
+					}
+					_, gr = nn.BCEWithLogitsLoss(o, rows)
+				default:
+					labels := make([]int, len(idx))
+					for i, r := range idx {
+						labels[i] = train.Labels[id][r]
+					}
+					_, gr = nn.CrossEntropyLoss(o, labels)
+				}
+				grads[id] = gr
+			}
+			g.Backward(grads)
+			opt.Step()
+		}
+	}
+	eval := &distill.Evaluator{Dataset: ds}
+	return eval.Measure(g)
+}
+
+func gather(x *tensor.Tensor, rows []int) *tensor.Tensor {
+	per := x.Size() / x.Dim(0)
+	out := tensor.New(append([]int{len(rows)}, x.Shape()[1:]...)...)
+	for i, r := range rows {
+		copy(out.Data()[i*per:(i+1)*per], x.Data()[r*per:(r+1)*per])
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package gmorph_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	gmorph "repro"
+)
+
+// StateDir makes Fuse resumable: a second call with the same directory
+// must pick up the saved elites and continue iteration numbering.
+func TestFuseStateDirResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	teachers, ds, _ := buildTinyTeachers(t)
+	dir := t.TempDir()
+
+	cfg := gmorph.Config{
+		AccuracyDrop:   0.10,
+		Rounds:         5,
+		FineTuneEpochs: 8,
+		LearningRate:   0.003,
+		EvalEvery:      2,
+		Seed:           31,
+		StateDir:       dir,
+	}
+	res1, err := gmorph.Fuse(teachers, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "state.json")); err != nil {
+		t.Fatalf("state not persisted: %v", err)
+	}
+
+	var minIter int
+	cfg.Rounds = 3
+	cfg.OnRound = func(tr gmorph.Trace) {
+		if minIter == 0 || tr.Iteration < minIter {
+			minIter = tr.Iteration
+		}
+	}
+	res2, err := gmorph.Fuse(teachers, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minIter != 0 && minIter <= 5 {
+		t.Fatalf("resumed rounds start at %d, want > 5", minIter)
+	}
+	// Elites carried over: if the first search found something, the second
+	// must still report a best at least as good in FLOPs terms.
+	if res1.Found && !res2.Found {
+		t.Fatal("resume lost the saved best candidate")
+	}
+}
