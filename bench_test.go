@@ -183,7 +183,7 @@ func BenchmarkInferenceOriginalB1(b *testing.B) {
 	}
 }
 
-func BenchmarkInferenceFusedEngineB1(b *testing.B) {
+func BenchmarkFusedEngineB1(b *testing.B) {
 	sc := benchScale()
 	spec, _ := bench.SpecByID("B1")
 	w, err := bench.Build(spec, sc)
@@ -199,18 +199,25 @@ func BenchmarkInferenceFusedEngineB1(b *testing.B) {
 	}
 }
 
-func BenchmarkMatMul128(b *testing.B) {
+func benchmarkMatMulSize(b *testing.B, n int) {
 	rng := tensor.NewRNG(1)
-	x := tensor.New(128, 128)
-	y := tensor.New(128, 128)
-	out := tensor.New(128, 128)
+	x := tensor.New(n, n)
+	y := tensor.New(n, n)
+	out := tensor.New(n, n)
 	rng.FillNormal(x, 0, 1)
 	rng.FillNormal(y, 0, 1)
+	b.SetBytes(int64(n * n * 4))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.MatMulInto(out, x, y)
 	}
 }
+
+func BenchmarkMatMul128(b *testing.B) { benchmarkMatMulSize(b, 128) }
+
+func BenchmarkMatMul256(b *testing.B) { benchmarkMatMulSize(b, 256) }
+
+func BenchmarkMatMul512(b *testing.B) { benchmarkMatMulSize(b, 512) }
 
 func BenchmarkConvForward(b *testing.B) {
 	rng := gmorph.NewRNG(1)

@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distill"
+	"repro/internal/estimator"
+	"repro/internal/testutil"
+)
+
+// TestParallelOptimizerDeterministicAcrossWorkers guards the worker-pool
+// refactor: the parallel search must visit the same candidate sequence and
+// produce the same Result for any Workers setting, because Workers only
+// controls evaluation concurrency while sampling, filtering, and merging
+// run serially. A regression here means some search state leaked into the
+// parallel phase (or a tensor kernel became chunking-dependent).
+func TestParallelOptimizerDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *core.Result {
+		ds := testutil.TinyFace(141, 64, 32)
+		teacher := testutil.TinyMultiDNN(142, ds)
+		teach := testutil.PretrainTeachers(teacher, ds, 6, 0.004, 143)
+		outs := distill.ComputeTeacherOutputs(teacher, ds.Train.X, 32)
+		targets := map[int]float64{}
+		for id, a := range teach {
+			targets[id] = a - 0.15
+		}
+		accOpts := estimator.AccuracyOptions{
+			FineTune:      distill.Config{LR: 0.003, Epochs: 6, Batch: 16, EvalEvery: 2},
+			UseRuleFilter: true,
+		}
+		opt := core.NewParallelOptimizer(teacher, ds, targets, outs, ds.Train.X, accOpts,
+			core.ParallelConfig{
+				Config: core.Config{
+					Rounds:  8,
+					Seed:    7,
+					Latency: estimator.LatencyOptions{Batch: 2, Warmup: 1, Runs: 2},
+				},
+				Workers:   workers,
+				BatchSize: 4,
+			})
+		return opt.Run()
+	}
+
+	serial := run(1)
+	parallel := run(4)
+
+	if serial.Evaluated != parallel.Evaluated {
+		t.Fatalf("Evaluated differs: Workers=1 got %d, Workers=4 got %d", serial.Evaluated, parallel.Evaluated)
+	}
+	if len(serial.Traces) != len(parallel.Traces) {
+		t.Fatalf("trace count differs: %d vs %d", len(serial.Traces), len(parallel.Traces))
+	}
+	for i := range serial.Traces {
+		s, p := serial.Traces[i], parallel.Traces[i]
+		if s.Iteration != p.Iteration || s.Skipped != p.Skipped || s.FromElite != p.FromElite ||
+			s.Met != p.Met || s.Terminated != p.Terminated || s.EpochsRun != p.EpochsRun {
+			t.Fatalf("trace %d differs:\nWorkers=1: %+v\nWorkers=4: %+v", i, s, p)
+		}
+	}
+	if len(serial.Elites) != len(parallel.Elites) {
+		t.Fatalf("elite count differs: %d vs %d", len(serial.Elites), len(parallel.Elites))
+	}
+	for i := range serial.Elites {
+		s, p := serial.Elites[i], parallel.Elites[i]
+		if s.Iteration != p.Iteration || s.FLOPs != p.FLOPs || s.FromElite != p.FromElite {
+			t.Fatalf("elite %d differs: iter %d/%d flops %d/%d", i, s.Iteration, p.Iteration, s.FLOPs, p.FLOPs)
+		}
+		for id, acc := range s.Accuracy {
+			if d := acc - p.Accuracy[id]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("elite %d task %d accuracy differs: %.9f vs %.9f", i, id, acc, p.Accuracy[id])
+			}
+		}
+	}
+	// Best is ranked by measured wall-clock latency, so its identity is
+	// legitimately noisy; only its presence is search-determined.
+	if (serial.Best == nil) != (parallel.Best == nil) {
+		t.Fatalf("Best presence differs: Workers=1 %v, Workers=4 %v", serial.Best != nil, parallel.Best != nil)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/distill"
 	"repro/internal/estimator"
+	"repro/internal/filter"
 	"repro/internal/graph"
 	"repro/internal/mutation"
 	"repro/internal/tensor"
@@ -18,15 +19,25 @@ import (
 // annealing.
 type ParallelConfig struct {
 	Config
-	// Workers is the number of candidates evaluated concurrently each
-	// round (default 2).
+	// Workers is the number of candidates evaluated concurrently (default
+	// 2). Workers only controls evaluation concurrency: for a fixed Seed
+	// the optimizer samples the same candidate sequence and returns the
+	// same Result for any Workers value (see the determinism test).
 	Workers int
+	// BatchSize is the number of candidates sampled per algorithmic round;
+	// elites and filter history merge between rounds. It defaults to 4 and
+	// is deliberately independent of Workers, so changing the hardware
+	// parallelism does not change the search trajectory.
+	BatchSize int
 }
 
 // ParallelOptimizer evaluates a batch of mutations per round. Each worker
-// gets an independent accuracy estimator over shared immutable inputs
+// slot gets an independent accuracy estimator over shared immutable inputs
 // (dataset, teacher outputs), so fine-tuning runs do not contend on layer
-// caches; elites and the rule-filter history are merged between rounds.
+// caches. All stateful search machinery — candidate sampling, the
+// rule-based filter, elite merging, policy observation — runs serially
+// between the parallel evaluation phases, which makes the search
+// deterministic in the seed regardless of Workers.
 type ParallelOptimizer struct {
 	cfg      ParallelConfig
 	original *graph.Graph
@@ -39,12 +50,15 @@ type ParallelOptimizer struct {
 
 // NewParallelOptimizer builds the optimizer. Unlike NewOptimizer it takes
 // the raw evaluation inputs so that it can construct one estimator per
-// worker.
+// worker slot.
 func NewParallelOptimizer(original *graph.Graph, ds *data.Dataset, targets map[int]float64,
 	outs distill.TeacherOutputs, trainX *tensor.Tensor, accOpts estimator.AccuracyOptions,
 	cfg ParallelConfig) *ParallelOptimizer {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 4
 	}
 	cfg.Config = cfg.Config.withDefaults()
 	return &ParallelOptimizer{
@@ -53,9 +67,27 @@ func NewParallelOptimizer(original *graph.Graph, ds *data.Dataset, targets map[i
 	}
 }
 
+// job is one sampled candidate awaiting evaluation.
+type job struct {
+	cand      *graph.Graph
+	fromElite bool
+	seed      uint64
+	iteration int
+	profile   graph.CapacityProfile
+	skipped   bool
+}
+
+// outcome is the result of evaluating (or skipping) one candidate.
+type outcome struct {
+	trace Trace
+	elite *Elite
+	drop  float64
+	met   bool
+}
+
 // Run executes the parallel search. Rounds is interpreted as the total
-// candidate budget: Rounds/Workers batches are executed, each evaluating
-// Workers candidates concurrently.
+// candidate budget: Rounds/BatchSize rounds are executed, each evaluating
+// up to BatchSize candidates with at most Workers in flight.
 func (o *ParallelOptimizer) Run() *Result {
 	cfg := o.cfg
 	rng := tensor.NewRNG(cfg.Seed)
@@ -65,47 +97,42 @@ func (o *ParallelOptimizer) Run() *Result {
 	if sa, ok := cfg.Policy.(*SAPolicy); ok {
 		maxElites = sa.MaxElites
 	}
-	// One estimator per worker; the rule-filter history stays per-worker,
-	// a standard relaxation in parallel SA (workers learn independently
-	// within a round, elites merge between rounds).
 	incumbent := &Elite{
 		Graph:   o.original,
 		Latency: estimator.Latency(o.original, cfg.Latency),
 		FLOPs:   estimator.FLOPs(o.original),
 	}
-	workers := cfg.Workers
-	ests := make([]*estimator.AccuracyEstimator, workers)
-	muts := make([]*mutation.Mutator, workers)
+	// The rule-based filter lives here, not inside the estimators: skip
+	// decisions are taken serially at sampling time and failures are
+	// recorded serially at merge time, so the filter sees an identical
+	// history for any Workers value.
+	useRule := o.accOpts.UseRuleFilter
+	rule := filter.NewRuleBased()
+	slotOpts := o.accOpts
+	slotOpts.UseRuleFilter = false
+	slots := cfg.Workers
+	if slots > cfg.BatchSize {
+		slots = cfg.BatchSize
+	}
+	ests := make([]*estimator.AccuracyEstimator, slots)
 	for i := range ests {
-		ests[i] = estimator.NewAccuracyEstimator(o.ds, o.targets, o.outs, o.trainX, o.accOpts)
-		muts[i] = mutation.NewMutator(rng.Split())
+		ests[i] = estimator.NewAccuracyEstimator(o.ds, o.targets, o.outs, o.trainX, slotOpts)
 	}
 
-	type outcome struct {
-		trace Trace
-		elite *Elite
-		drop  float64
-	}
-
-	batches := cfg.Rounds / workers
-	if batches == 0 {
-		batches = 1
+	rounds := cfg.Rounds / cfg.BatchSize
+	if rounds == 0 {
+		rounds = 1
 	}
 	iter := 0
-	for b := 0; b < batches; b++ {
+	for r := 0; r < rounds; r++ {
 		if cfg.TimeBudget > 0 && time.Since(start) > cfg.TimeBudget {
 			break
 		}
-		// Sample all candidates for this batch serially (cheap), then
-		// evaluate them in parallel (expensive).
-		type job struct {
-			cand      *graph.Graph
-			fromElite bool
-			seed      uint64
-			iteration int
-		}
+		// Phase 1 (serial): sample the round's candidates. Every draw —
+		// base pick, pair choice, per-candidate mutator stream, fine-tune
+		// seed — comes from the master rng in a fixed order.
 		var jobs []job
-		for wkr := 0; wkr < workers; wkr++ {
+		for c := 0; c < cfg.BatchSize; c++ {
 			iter++
 			base := cfg.Policy.PickBase(o.original, res.Elites, rng)
 			pairs := base.ShareablePairs()
@@ -117,31 +144,49 @@ func (o *ParallelOptimizer) Run() *Result {
 			for i := 0; i < k; i++ {
 				chosen = append(chosen, pairs[rng.Intn(len(pairs))])
 			}
-			mres, err := muts[wkr].Apply(base, chosen)
+			mut := mutation.NewMutator(rng.Split())
+			mres, err := mut.Apply(base, chosen)
 			if err != nil {
 				continue
 			}
-			jobs = append(jobs, job{
+			j := job{
 				cand: mres.Graph, fromElite: base != o.original,
 				seed: rng.Uint64(), iteration: iter,
-			})
+			}
+			j.cand.RefreshCapacities()
+			j.profile = j.cand.Capacity()
+			if useRule && rule.ShouldSkip(j.profile) {
+				j.skipped = true
+			}
+			jobs = append(jobs, j)
 		}
 
+		// Phase 2 (parallel): evaluate non-skipped candidates, at most
+		// Workers in flight. Kernel-level chunking is deterministic (see
+		// tensor.ParallelFor), so each evaluation depends only on
+		// (candidate, seed), not on scheduling.
 		outcomes := make([]outcome, len(jobs))
+		sem := make(chan struct{}, cfg.Workers)
 		var wg sync.WaitGroup
 		for ji, j := range jobs {
+			oc := &outcomes[ji]
+			oc.drop = 1
+			oc.trace = Trace{Iteration: j.iteration, Skipped: j.skipped, FromElite: j.fromElite}
+			if j.skipped {
+				continue
+			}
 			wg.Add(1)
-			go func(ji int, j job, est *estimator.AccuracyEstimator) {
-				defer wg.Done()
+			sem <- struct{}{}
+			go func(oc *outcome, j job, est *estimator.AccuracyEstimator) {
+				defer func() { <-sem; wg.Done() }()
 				out := est.Estimate(j.cand, j.seed)
-				oc := outcome{drop: 1}
-				oc.trace = Trace{Iteration: j.iteration, Skipped: out.Skipped, FromElite: j.fromElite}
 				if out.Report != nil {
 					oc.trace.Met = out.Report.Met
 					oc.trace.Terminated = out.Report.Terminated
 					oc.trace.FineTuneTime = out.Report.TrainTime
 					oc.trace.EpochsRun = out.Report.EpochsRun
 				}
+				oc.met = out.Met
 				if out.Met {
 					lat := estimator.Latency(j.cand, cfg.Latency)
 					oc.elite = &Elite{
@@ -156,14 +201,16 @@ func (o *ParallelOptimizer) Run() *Result {
 						oc.drop = 0
 					}
 				}
-				outcomes[ji] = oc
-			}(ji, j, ests[ji%len(ests)])
+			}(oc, j, ests[ji%len(ests)])
 		}
 		wg.Wait()
 		res.Evaluated += len(jobs)
 
-		// Merge outcomes deterministically.
-		for _, oc := range outcomes {
+		// Phase 3 (serial): merge outcomes in candidate order.
+		for ji, oc := range outcomes {
+			if !jobs[ji].skipped && !oc.met {
+				rule.RecordFailure(jobs[ji].profile)
+			}
 			if oc.elite != nil {
 				res.Elites = append(res.Elites, oc.elite)
 				if len(res.Elites) > maxElites {

@@ -16,7 +16,6 @@
 package engine
 
 import (
-	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -98,7 +97,7 @@ func (f *Fused) Forward(x *tensor.Tensor) map[int]*tensor.Tensor {
 			mu.Unlock()
 			return
 		}
-		if len(n.children) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		if len(n.children) == 1 || tensor.Workers() == 1 {
 			for _, c := range n.children {
 				walk(c, y)
 			}
@@ -219,21 +218,10 @@ func sqrtf(v float32) float32 {
 	return x
 }
 
-// scratch is a size-bucketed pool of float32 buffers reused by compiled
-// convolutions (the "buffer arena" analogue of an inference engine's
-// workspace memory). Buffers are returned immediately after the matmul, so
-// concurrent Forward calls remain safe.
-var scratch = sync.Pool{New: func() any { return []float32(nil) }}
-
-func getScratch(n int) []float32 {
-	b := scratch.Get().([]float32)
-	if cap(b) < n {
-		b = make([]float32, n)
-	}
-	return b[:n]
-}
-
-func putScratch(b []float32) { scratch.Put(b[:0]) } //nolint:staticcheck // slice headers are fine here
+// Compiled convolutions draw their im2col and matmul workspace from the
+// tensor package's shared buffer arena (tensor.GetTensorDirty/PutBuf), the
+// same allocator the training path and GEMM pack buffers use. Buffers are
+// returned before apply exits, so concurrent Forward calls remain safe.
 
 // apply runs the folded convolution; relu fuses the activation into the
 // output pass.
@@ -241,30 +229,30 @@ func (f *foldedConv) apply(x *tensor.Tensor, relu bool) *tensor.Tensor {
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh := tensor.ConvOut(h, f.k, f.stride, f.pad)
 	ow := tensor.ConvOut(w, f.k, f.stride, f.pad)
-	colsBuf := getScratch(n * oh * ow * f.inC * f.k * f.k)
-	defer putScratch(colsBuf)
-	flatBuf := getScratch(n * oh * ow * f.outC)
-	defer putScratch(flatBuf)
-	cols := tensor.FromSlice(colsBuf, n*oh*ow, f.inC*f.k*f.k)
+	cols, colsBuf := tensor.GetTensorDirty(n*oh*ow, f.inC*f.k*f.k)
+	defer tensor.PutBuf(colsBuf)
 	tensor.Im2ColInto(cols, x, f.k, f.k, f.stride, f.pad)
-	flat := tensor.FromSlice(flatBuf, n*oh*ow, f.outC)
+	flat, flatBuf := tensor.GetTensorDirty(n*oh*ow, f.outC)
+	defer tensor.PutBuf(flatBuf)
 	tensor.MatMulTransBInto(flat, cols, f.weight)
 	out := tensor.New(n, f.outC, oh, ow)
 	fd, od := flat.Data(), out.Data()
-	for ni := 0; ni < n; ni++ {
-		for oy := 0; oy < oh; oy++ {
+	outC, bias := f.outC, f.bias
+	tensor.ParallelFor(n*oh, func(lo, hi int) {
+		for noy := lo; noy < hi; noy++ {
+			ni, oy := noy/oh, noy%oh
 			for ox := 0; ox < ow; ox++ {
-				src := fd[((ni*oh+oy)*ow+ox)*f.outC:]
-				for oc := 0; oc < f.outC; oc++ {
-					v := src[oc] + f.bias[oc]
+				src := fd[(noy*ow+ox)*outC:][:outC]
+				for oc, v := range src {
+					v += bias[oc]
 					if relu && v < 0 {
 						v = 0
 					}
-					od[((ni*f.outC+oc)*oh+oy)*ow+ox] = v
+					od[((ni*outC+oc)*oh+oy)*ow+ox] = v
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 

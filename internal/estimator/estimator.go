@@ -46,7 +46,8 @@ func (o LatencyOptions) withDefaults() LatencyOptions {
 // shaped like the graph input.
 func Latency(g *graph.Graph, opts LatencyOptions) time.Duration {
 	opts = opts.withDefaults()
-	x := inputBatch(g, opts.Batch)
+	x, handle := inputBatch(g, opts.Batch)
+	defer tensor.PutBuf(handle)
 	for i := 0; i < opts.Warmup; i++ {
 		g.Forward(x, false)
 	}
@@ -62,14 +63,17 @@ func Latency(g *graph.Graph, opts LatencyOptions) time.Duration {
 }
 
 // inputBatch builds a batch matching the graph's input domain: gaussian
-// pixels for image inputs, token id zeros for raw token inputs.
-func inputBatch(g *graph.Graph, batch int) *tensor.Tensor {
+// pixels for image inputs, token id zeros for raw token inputs. The batch
+// is drawn from the tensor arena — SA search measures latency thousands of
+// times, so these short-lived batches would otherwise be pure GC churn —
+// and must be released via tensor.PutBuf once measurement is done.
+func inputBatch(g *graph.Graph, batch int) (*tensor.Tensor, *[]float32) {
 	shape := append([]int{batch}, g.Root.InputShape...)
-	x := tensor.New(shape...)
+	x, handle := tensor.GetTensor(shape...)
 	if len(g.Root.InputShape) != 1 { // images
 		tensor.NewRNG(1).FillNormal(x, 0, 1)
 	}
-	return x
+	return x, handle
 }
 
 // AccuracyOptions configures the accuracy estimator.

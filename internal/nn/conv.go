@@ -12,8 +12,10 @@ type Conv2d struct {
 	Kernel, Stride, Pad int
 	Weight, Bias        *Param // Weight [OutC, InC*K*K], Bias [OutC]
 
-	// forward cache
+	// forward cache; colsBuf is the arena handle backing cols, released
+	// once the backward pass (or an eval-mode forward) is done with it.
 	cols    *tensor.Tensor
+	colsBuf *[]float32
 	inShape []int
 }
 
@@ -53,67 +55,80 @@ func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh := tensor.ConvOut(h, c.Kernel, c.Stride, c.Pad)
 	ow := tensor.ConvOut(w, c.Kernel, c.Stride, c.Pad)
-	c.cols = tensor.Im2Col(x, c.Kernel, c.Kernel, c.Stride, c.Pad)
+	if c.colsBuf != nil { // forward without intervening backward
+		tensor.PutBuf(c.colsBuf)
+	}
+	c.cols, c.colsBuf = tensor.GetTensorDirty(n*oh*ow, c.InC*c.Kernel*c.Kernel)
+	tensor.Im2ColInto(c.cols, x, c.Kernel, c.Kernel, c.Stride, c.Pad)
 	c.inShape = append([]int(nil), x.Shape()...)
 	// out[n*oh*ow, outC] = cols @ Wᵀ
-	flat := tensor.New(n*oh*ow, c.OutC)
+	flat, flatBuf := tensor.GetTensorDirty(n*oh*ow, c.OutC)
 	tensor.MatMulTransBInto(flat, c.cols, c.Weight.Value)
-	bd := c.Bias.Value.Data()
-	fd := flat.Data()
-	for r := 0; r < n*oh*ow; r++ {
-		row := fd[r*c.OutC : (r+1)*c.OutC]
-		for j := range row {
-			row[j] += bd[j]
-		}
+	if !train {
+		// Eval mode never runs Backward, so the cols cache is dead.
+		tensor.PutBuf(c.colsBuf)
+		c.cols, c.colsBuf = nil, nil
 	}
-	// rearrange [n, oh, ow, outC] -> [n, outC, oh, ow]
+	// bias add fused with the [n, oh, ow, outC] -> [n, outC, oh, ow]
+	// rearrange, parallel over output rows.
 	out := tensor.New(n, c.OutC, oh, ow)
-	od := out.Data()
-	for ni := 0; ni < n; ni++ {
-		for oy := 0; oy < oh; oy++ {
+	bd := c.Bias.Value.Data()
+	fd, od := flat.Data(), out.Data()
+	outC := c.OutC
+	tensor.ParallelFor(n*oh, func(lo, hi int) {
+		for noy := lo; noy < hi; noy++ {
+			ni, oy := noy/oh, noy%oh
 			for ox := 0; ox < ow; ox++ {
-				src := fd[((ni*oh+oy)*ow+ox)*c.OutC:]
-				for oc := 0; oc < c.OutC; oc++ {
-					od[((ni*c.OutC+oc)*oh+oy)*ow+ox] = src[oc]
+				src := fd[(noy*ow+ox)*outC:][:outC]
+				for oc, v := range src {
+					od[((ni*outC+oc)*oh+oy)*ow+ox] = v + bd[oc]
 				}
 			}
 		}
-	}
+	})
+	tensor.PutBuf(flatBuf)
 	return out
 }
 
 // Backward implements Layer.
 func (c *Conv2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	n, oh, ow := gradOut.Dim(0), gradOut.Dim(2), gradOut.Dim(3)
-	// rearrange grad to [n*oh*ow, outC]
-	gflat := tensor.New(n*oh*ow, c.OutC)
+	outC := c.OutC
+	// rearrange grad to [n*oh*ow, outC], parallel over output rows
+	gflat, gflatBuf := tensor.GetTensorDirty(n*oh*ow, outC)
 	gd, gf := gradOut.Data(), gflat.Data()
-	for ni := 0; ni < n; ni++ {
-		for oc := 0; oc < c.OutC; oc++ {
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					gf[((ni*oh+oy)*ow+ox)*c.OutC+oc] = gd[((ni*c.OutC+oc)*oh+oy)*ow+ox]
+	tensor.ParallelFor(n*oh, func(lo, hi int) {
+		for noy := lo; noy < hi; noy++ {
+			ni, oy := noy/oh, noy%oh
+			for ox := 0; ox < ow; ox++ {
+				dst := gf[(noy*ow+ox)*outC:][:outC]
+				for oc := range dst {
+					dst[oc] = gd[((ni*outC+oc)*oh+oy)*ow+ox]
 				}
 			}
 		}
-	}
+	})
 	// dW[outC, inC*k*k] += gflatᵀ @ cols
-	dw := tensor.New(c.OutC, c.InC*c.Kernel*c.Kernel)
+	dw, dwBuf := tensor.GetTensorDirty(outC, c.InC*c.Kernel*c.Kernel)
 	tensor.MatMulTransAInto(dw, gflat, c.cols)
 	c.Weight.Grad.AddScaled(1, dw)
+	tensor.PutBuf(dwBuf)
 	// dB[outC] += column sums of gflat
 	bg := c.Bias.Grad.Data()
 	for r := 0; r < n*oh*ow; r++ {
-		row := gf[r*c.OutC : (r+1)*c.OutC]
+		row := gf[r*outC : (r+1)*outC]
 		for j, v := range row {
 			bg[j] += v
 		}
 	}
 	// dCols = gflat @ W, then fold back to input
-	dcols := tensor.New(n*oh*ow, c.InC*c.Kernel*c.Kernel)
+	dcols, dcolsBuf := tensor.GetTensorDirty(n*oh*ow, c.InC*c.Kernel*c.Kernel)
 	tensor.MatMulInto(dcols, gflat, c.Weight.Value)
+	tensor.PutBuf(gflatBuf)
 	gi := tensor.Col2Im(dcols, c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3], c.Kernel, c.Kernel, c.Stride, c.Pad)
-	c.cols = nil
+	tensor.PutBuf(dcolsBuf)
+	tensor.PutBuf(c.colsBuf)
+	c.cols, c.colsBuf = nil, nil
 	return gi
 }
 

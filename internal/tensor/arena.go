@@ -1,0 +1,74 @@
+package tensor
+
+import "sync"
+
+// The arena is a process-wide recycler for large transient float32 buffers:
+// GEMM pack panels, im2col columns, and inference-engine workspace memory
+// all draw from it. During SA search and distillation the same buffer sizes
+// recur millions of times; recycling them keeps the allocation rate (and GC
+// pause pressure) flat regardless of search length.
+//
+// Entries are *[]float32 so that Put does not allocate a fresh interface
+// box for the slice header on every call (storing a bare []float32 in a
+// sync.Pool heap-allocates the header each time).
+
+var arena = sync.Pool{New: func() any { return new([]float32) }}
+
+// GetBuf returns a zeroed buffer of length n from the arena. The returned
+// pointer must be handed back with PutBuf when the buffer is dead; the
+// slice must not be used after that.
+func GetBuf(n int) *[]float32 {
+	p := arena.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+		return p
+	}
+	*p = (*p)[:n]
+	b := *p
+	for i := range b {
+		b[i] = 0
+	}
+	return p
+}
+
+// GetBufDirty is GetBuf without the zero fill, for callers that overwrite
+// every element before reading.
+func GetBufDirty(n int) *[]float32 {
+	p := arena.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	} else {
+		*p = (*p)[:n]
+	}
+	return p
+}
+
+// PutBuf returns a buffer to the arena.
+func PutBuf(p *[]float32) {
+	if p == nil {
+		return
+	}
+	arena.Put(p)
+}
+
+// GetTensor returns a tensor backed by an arena buffer, plus the handle to
+// release it. The tensor contents are zeroed. The tensor must not be used
+// after PutBuf(handle).
+func GetTensor(shape ...int) (*Tensor, *[]float32) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	p := GetBuf(n)
+	return FromSlice(*p, shape...), p
+}
+
+// GetTensorDirty is GetTensor without the zero fill.
+func GetTensorDirty(shape ...int) (*Tensor, *[]float32) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	p := GetBufDirty(n)
+	return FromSlice(*p, shape...), p
+}

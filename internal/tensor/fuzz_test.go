@@ -1,0 +1,90 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets for blocked-vs-naive kernel parity. The corpus is seeded
+// with the shapes the internal/models zoo actually produces (3x3 stride-1
+// pad-1 convolutions lowered to [N*OH*OW, C*9] x [outC, C*9]ᵀ GEMMs, plus
+// classifier-head matmuls), and the fuzzer then explores arbitrary small
+// shapes and value patterns.
+
+// FuzzMatMulParity checks MatMulInto (blocked, packed, unrolled) against
+// NaiveMatMulInto on random shapes and values, including the sparse inputs
+// that trigger the kernel's zero-skip path.
+func FuzzMatMulParity(f *testing.F) {
+	// Model-zoo GEMM shapes (modulo the %64+1 clamp below): a 3->16 stem
+	// conv over 8x8 (m=64,k=27,n=16), a 16->32 conv (k=144), and the
+	// classifier head (k=128,n=10).
+	f.Add(uint8(63), uint8(26), uint8(15), uint64(1), false)
+	f.Add(uint8(48), uint8(143%64), uint8(31), uint64(2), false)
+	f.Add(uint8(3), uint8(127%64), uint8(9), uint64(3), false)
+	// Unroll remainders and degenerate dims.
+	f.Add(uint8(0), uint8(0), uint8(0), uint64(4), false)
+	f.Add(uint8(2), uint8(4), uint8(2), uint64(5), true)
+	f.Add(uint8(16), uint8(3), uint8(16), uint64(6), true)
+	f.Fuzz(func(t *testing.T, mRaw, kRaw, nRaw uint8, seed uint64, sparse bool) {
+		m := int(mRaw)%64 + 1
+		k := int(kRaw)%64 + 1
+		n := int(nRaw)%64 + 1
+		rng := NewRNG(seed)
+		a, b := New(m, k), New(k, n)
+		rng.FillNormal(a, 0, 1)
+		rng.FillNormal(b, 0, 1)
+		if sparse {
+			// ReLU-like sparsity exercises the all-zero group skip.
+			ad := a.Data()
+			for i := range ad {
+				if ad[i] < 0 {
+					ad[i] = 0
+				}
+			}
+		}
+		got, want := New(m, n), New(m, n)
+		MatMulInto(got, a, b)
+		NaiveMatMulInto(want, a, b)
+		if d := maxAbsDiff(got, want); d > parityTol*math.Sqrt(float64(k)) {
+			t.Fatalf("MatMul [%d,%d]@[%d,%d] (sparse=%v): max diff %g", m, k, k, n, sparse, d)
+		}
+	})
+}
+
+// FuzzConv2dParity checks the im2col+GEMM convolution pipeline against the
+// direct seven-loop NaiveConv2d over random geometries, strides, and pads.
+func FuzzConv2dParity(f *testing.F) {
+	// Model-zoo geometry: 3x3 stride-1 pad-1 over small feature maps, the
+	// 1x1 projection used by residual downsampling, and a strided conv.
+	f.Add(uint8(2), uint8(3), uint8(8), uint8(8), uint8(4), uint8(3), uint8(1), uint8(1), uint64(1))
+	f.Add(uint8(1), uint8(4), uint8(6), uint8(6), uint8(2), uint8(1), uint8(1), uint8(0), uint64(2))
+	f.Add(uint8(2), uint8(2), uint8(9), uint8(7), uint8(3), uint8(3), uint8(2), uint8(1), uint64(3))
+	f.Add(uint8(1), uint8(1), uint8(5), uint8(5), uint8(1), uint8(5), uint8(1), uint8(2), uint64(4))
+	f.Fuzz(func(t *testing.T, nRaw, cRaw, hRaw, wRaw, outCRaw, kRaw, strideRaw, padRaw uint8, seed uint64) {
+		n := int(nRaw)%3 + 1
+		c := int(cRaw)%4 + 1
+		k := int(kRaw)%5 + 1
+		stride := int(strideRaw)%3 + 1
+		pad := int(padRaw) % 3
+		h := int(hRaw)%10 + k // ensure at least one output position
+		w := int(wRaw)%10 + k
+		outC := int(outCRaw)%4 + 1
+		rng := NewRNG(seed)
+		x := New(n, c, h, w)
+		weight := New(outC, c*k*k)
+		rng.FillNormal(x, 0, 1)
+		rng.FillNormal(weight, 0, 1)
+		bias := make([]float32, outC)
+		for i := range bias {
+			bias[i] = rng.Float32() - 0.5
+		}
+		got := im2colConv(x, weight, bias, k, k, stride, pad)
+		want := NaiveConv2d(x, weight, bias, k, k, stride, pad)
+		if !SameShape(got, want) {
+			t.Fatalf("shape mismatch: %v vs %v", got.Shape(), want.Shape())
+		}
+		if d := maxAbsDiff(got, want); d > parityTol*math.Sqrt(float64(c*k*k)) {
+			t.Fatalf("conv n%d c%d %dx%d outC%d k%d s%d p%d: max diff %g", n, c, h, w, outC, k, stride, pad, d)
+		}
+	})
+}

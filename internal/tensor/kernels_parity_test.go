@@ -1,0 +1,205 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Parity suite: every optimized kernel must agree with its naive reference
+// (naive.go) to within parityTol across shapes chosen to hit all blocking
+// edge cases — dimensions below, at, and straddling the 4-wide unroll and
+// the gemmKC/gemmNC panel boundaries.
+
+const parityTol = 1e-4
+
+// parityDims exercises the unroll remainder (1, 3), an exact unroll
+// multiple (64), and an odd size past a power of two (17, 129).
+var parityDims = []int{1, 3, 17, 64, 129}
+
+// panelDims adds sizes that straddle the KC/NC panel boundaries so the
+// packed-panel path (jw < n) and multi-panel accumulation both run.
+var panelDims = []int{gemmNC - 1, gemmNC, gemmNC + 7, 2*gemmKC + 5}
+
+func maxAbsDiff(a, b *Tensor) float64 {
+	var m float64
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		d := math.Abs(float64(ad[i]) - float64(bd[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func fillRandom(rng *RNG, ts ...*Tensor) {
+	for _, t := range ts {
+		rng.FillNormal(t, 0, 1)
+	}
+}
+
+func TestMatMulParity(t *testing.T) {
+	rng := NewRNG(11)
+	for _, m := range parityDims {
+		for _, k := range parityDims {
+			for _, n := range parityDims {
+				a, b := New(m, k), New(k, n)
+				fillRandom(rng, a, b)
+				got, want := New(m, n), New(m, n)
+				MatMulInto(got, a, b)
+				NaiveMatMulInto(want, a, b)
+				if d := maxAbsDiff(got, want); d > parityTol {
+					t.Errorf("MatMul [%d,%d]@[%d,%d]: max diff %g", m, k, k, n, d)
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulParityPanelBoundaries(t *testing.T) {
+	rng := NewRNG(12)
+	for _, k := range panelDims {
+		for _, n := range panelDims {
+			m := 33
+			a, b := New(m, k), New(k, n)
+			fillRandom(rng, a, b)
+			got, want := New(m, n), New(m, n)
+			MatMulInto(got, a, b)
+			NaiveMatMulInto(want, a, b)
+			// Accumulating ~500 terms loosens attainable agreement a bit;
+			// scale tolerance with sqrt(k).
+			tol := parityTol * math.Sqrt(float64(k))
+			if d := maxAbsDiff(got, want); d > tol {
+				t.Errorf("MatMul [%d,%d]@[%d,%d]: max diff %g > %g", m, k, k, n, d, tol)
+			}
+		}
+	}
+}
+
+func TestMatMulTransAParity(t *testing.T) {
+	rng := NewRNG(13)
+	for _, m := range parityDims {
+		for _, k := range parityDims {
+			for _, n := range parityDims {
+				a, b := New(k, m), New(k, n)
+				fillRandom(rng, a, b)
+				got, want := New(m, n), New(m, n)
+				MatMulTransAInto(got, a, b)
+				NaiveMatMulTransAInto(want, a, b)
+				if d := maxAbsDiff(got, want); d > parityTol {
+					t.Errorf("MatMulTransA [%d,%d]ᵀ@[%d,%d]: max diff %g", k, m, k, n, d)
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulTransBParity(t *testing.T) {
+	rng := NewRNG(14)
+	for _, m := range parityDims {
+		for _, k := range parityDims {
+			for _, n := range parityDims {
+				a, b := New(m, k), New(n, k)
+				fillRandom(rng, a, b)
+				got, want := New(m, n), New(m, n)
+				MatMulTransBInto(got, a, b)
+				NaiveMatMulTransBInto(want, a, b)
+				if d := maxAbsDiff(got, want); d > parityTol {
+					t.Errorf("MatMulTransB [%d,%d]@[%d,%d]ᵀ: max diff %g", m, k, n, k, d)
+				}
+			}
+		}
+	}
+}
+
+// im2colConv runs a convolution the way the nn and engine hot paths do:
+// im2col unfold, blocked GEMM against the transposed weight, NHWC→NCHW
+// rearrange. It is the optimized pipeline the parity test pits against
+// NaiveConv2d.
+func im2colConv(x, weight *Tensor, bias []float32, kh, kw, stride, pad int) *Tensor {
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	outC := weight.Dim(0)
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	cols := Im2Col(x, kh, kw, stride, pad)
+	flat := New(n*oh*ow, outC)
+	MatMulTransBInto(flat, cols, weight)
+	out := New(n, outC, oh, ow)
+	fd, od := flat.Data(), out.Data()
+	for ni := 0; ni < n; ni++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				src := fd[((ni*oh+oy)*ow+ox)*outC:]
+				for oc := 0; oc < outC; oc++ {
+					v := src[oc]
+					if bias != nil {
+						v += bias[oc]
+					}
+					od[((ni*outC+oc)*oh+oy)*ow+ox] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestConv2dParity(t *testing.T) {
+	rng := NewRNG(15)
+	type cfg struct {
+		n, c, h, w, outC, k, stride, pad int
+	}
+	var cases []cfg
+	for _, k := range []int{1, 3, 5} {
+		for _, stride := range []int{1, 2} {
+			for _, pad := range []int{0, 1, 2} {
+				for _, hw := range []int{7, 12} {
+					if hw+2*pad < k {
+						continue
+					}
+					cases = append(cases, cfg{n: 2, c: 3, h: hw, w: hw, outC: 4, k: k, stride: stride, pad: pad})
+				}
+			}
+		}
+	}
+	// Odd channel/batch combos and a rectangular input.
+	cases = append(cases,
+		cfg{n: 1, c: 1, h: 5, w: 9, outC: 1, k: 3, stride: 1, pad: 1},
+		cfg{n: 3, c: 5, h: 8, w: 6, outC: 7, k: 3, stride: 2, pad: 1},
+	)
+	for _, tc := range cases {
+		tc := tc
+		name := fmt.Sprintf("n%dc%d_%dx%d_o%dk%ds%dp%d", tc.n, tc.c, tc.h, tc.w, tc.outC, tc.k, tc.stride, tc.pad)
+		t.Run(name, func(t *testing.T) {
+			x := New(tc.n, tc.c, tc.h, tc.w)
+			weight := New(tc.outC, tc.c*tc.k*tc.k)
+			fillRandom(rng, x, weight)
+			bias := make([]float32, tc.outC)
+			for i := range bias {
+				bias[i] = rng.Float32() - 0.5
+			}
+			got := im2colConv(x, weight, bias, tc.k, tc.k, tc.stride, tc.pad)
+			want := NaiveConv2d(x, weight, bias, tc.k, tc.k, tc.stride, tc.pad)
+			if !SameShape(got, want) {
+				t.Fatalf("shape mismatch: %v vs %v", got.Shape(), want.Shape())
+			}
+			if d := maxAbsDiff(got, want); d > parityTol {
+				t.Errorf("max diff %g", d)
+			}
+		})
+	}
+}
+
+// TestMatMulIntoOverwritesDst guards the accumulate-style blocked kernel
+// against leaking prior dst contents.
+func TestMatMulIntoOverwritesDst(t *testing.T) {
+	rng := NewRNG(16)
+	a, b := New(17, 9), New(9, 13)
+	fillRandom(rng, a, b)
+	got := Full(123, 17, 13)
+	want := New(17, 13)
+	MatMulInto(got, a, b)
+	NaiveMatMulInto(want, a, b)
+	if d := maxAbsDiff(got, want); d > parityTol {
+		t.Errorf("dst not overwritten: max diff %g", d)
+	}
+}

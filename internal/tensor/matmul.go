@@ -1,43 +1,26 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
+import "fmt"
+
+// GEMM kernels. The implementation is cache-blocked: B is processed in
+// KC x NC panels (packed into a contiguous arena buffer when the panel is
+// narrower than B, so the inner loops stream unit-stride memory), and the
+// float32 inner kernel consumes four k-steps per pass over the destination
+// row, which cuts destination-row read/write traffic 4x versus the naive
+// triple loop and gives the compiler independent multiply-add chains to
+// schedule. Rows of the destination are distributed over the shared worker
+// pool; every output element is accumulated in the same order no matter how
+// rows are chunked, so results are deterministic across GOMAXPROCS
+// settings. NaiveMatMulInto in naive.go preserves the reference semantics;
+// kernels_parity_test.go holds the two within 1e-4.
+const (
+	// gemmKC is the k-extent of a packed B panel (rows of B per panel).
+	gemmKC = 256
+	// gemmNC is the n-extent of a packed B panel (columns of B per panel).
+	// A full panel is gemmKC*gemmNC*4 bytes = 256 KiB, sized to stay
+	// L2-resident while the four active panel rows (4 KiB) sit in L1.
+	gemmNC = 256
 )
-
-// workers is the degree of parallelism used by the heavy kernels.
-var workers = runtime.GOMAXPROCS(0)
-
-// parallelFor splits [0,n) into chunks and runs body on each chunk
-// concurrently. It runs inline when n is small.
-func parallelFor(n int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	w := workers
-	if w > n {
-		w = n
-	}
-	if w <= 1 || n < 64 {
-		body(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
 
 // MatMulInto computes dst = a @ b for 2-D tensors: a is [m,k], b is [k,n],
 // dst is [m,n]. dst is overwritten.
@@ -52,24 +35,75 @@ func MatMulInto(dst, a, b *Tensor) {
 	}
 	ad, bd, dd := a.data, b.data, dst.data
 	parallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			drow := dd[i*n : (i+1)*n]
-			for x := range drow {
-				drow[x] = 0
-			}
-			arow := ad[i*k : (i+1)*k]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := bd[p*n : (p+1)*n]
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
-			}
+		for x := range dd[lo*n : hi*n] {
+			dd[lo*n+x] = 0
 		}
 	})
+	var panelBuf *[]float32
+	for j0 := 0; j0 < n; j0 += gemmNC {
+		j1 := min(j0+gemmNC, n)
+		jw := j1 - j0
+		for p0 := 0; p0 < k; p0 += gemmKC {
+			p1 := min(p0+gemmKC, k)
+			var panel []float32
+			if jw == n {
+				// The panel is full-width: B's rows are already contiguous.
+				panel = bd[p0*n : p1*n]
+			} else {
+				if panelBuf == nil {
+					panelBuf = GetBufDirty(gemmKC * gemmNC)
+				}
+				panel = (*panelBuf)[:(p1-p0)*jw]
+				for p := p0; p < p1; p++ {
+					copy(panel[(p-p0)*jw:(p-p0+1)*jw], bd[p*n+j0:p*n+j1])
+				}
+			}
+			parallelFor(m, func(lo, hi int) {
+				gemmAccum(dd, ad, panel, lo, hi, n, k, j0, jw, p0, p1)
+			})
+		}
+	}
+	if panelBuf != nil {
+		PutBuf(panelBuf)
+	}
+}
+
+// gemmAccum accumulates dst[i0:i1, j0:j0+jw] += a[i0:i1, p0:p1] @ panel,
+// where panel holds B[p0:p1, j0:j0+jw] row-major with row stride jw. The
+// inner kernel folds four k-steps into one pass over the destination row.
+func gemmAccum(dd, ad, panel []float32, i0, i1, n, k, j0, jw, p0, p1 int) {
+	kw := p1 - p0
+	for i := i0; i < i1; i++ {
+		// The [off:][:jw] two-step slicing gives every slice the symbolic
+		// length jw, which lets the compiler eliminate bounds checks in the
+		// inner loops.
+		drow := dd[i*n+j0:][:jw]
+		arow := ad[i*k+p0:][:kw]
+		p := 0
+		for ; p+3 < kw; p += 4 {
+			a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue // ReLU-sparse activations: whole group is a no-op
+			}
+			b0 := panel[p*jw:][:jw]
+			b1 := panel[(p+1)*jw:][:jw]
+			b2 := panel[(p+2)*jw:][:jw]
+			b3 := panel[(p+3)*jw:][:jw]
+			for j := range drow {
+				drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; p < kw; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := panel[p*jw:][:jw]
+			for j := range drow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
 }
 
 // MatMul returns a @ b as a new [m,n] tensor.
@@ -80,7 +114,8 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulTransAInto computes dst = aᵀ @ b where a is [k,m], b is [k,n],
-// dst is [m,n]. Used for weight gradients.
+// dst is [m,n]. Used for weight gradients. Same blocked-accumulate
+// structure as MatMulInto; a is read with stride m.
 func MatMulTransAInto(dst, a, b *Tensor) {
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
@@ -90,18 +125,35 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 	ad, bd, dd := a.data, b.data, dst.data
 	parallelFor(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			drow := dd[i*n : (i+1)*n]
+			drow := dd[i*n:][:n]
 			for x := range drow {
 				drow[x] = 0
 			}
-			for p := 0; p < k; p++ {
+			p := 0
+			for ; p+3 < k; p += 4 {
+				a0 := ad[p*m+i]
+				a1 := ad[(p+1)*m+i]
+				a2 := ad[(p+2)*m+i]
+				a3 := ad[(p+3)*m+i]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				b0 := bd[p*n:][:n]
+				b1 := bd[(p+1)*n:][:n]
+				b2 := bd[(p+2)*n:][:n]
+				b3 := bd[(p+3)*n:][:n]
+				for j := range drow {
+					drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				}
+			}
+			for ; p < k; p++ {
 				av := ad[p*m+i]
 				if av == 0 {
 					continue
 				}
-				brow := bd[p*n : (p+1)*n]
-				for j, bv := range brow {
-					drow[j] += av * bv
+				brow := bd[p*n:][:n]
+				for j := range drow {
+					drow[j] += av * brow[j]
 				}
 			}
 		}
@@ -109,7 +161,10 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 }
 
 // MatMulTransBInto computes dst = a @ bᵀ where a is [m,k], b is [n,k],
-// dst is [m,n]. Used for input gradients.
+// dst is [m,n]. Used for the im2col convolution forward pass and input
+// gradients. Both operands stream unit-stride; four output columns are
+// produced per pass over a's row, giving four independent dot-product
+// chains.
 func MatMulTransBInto(dst, a, b *Tensor) {
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
@@ -119,9 +174,27 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 	ad, bd, dd := a.data, b.data, dst.data
 	parallelFor(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			arow := ad[i*k : (i+1)*k]
+			arow := ad[i*k:][:k]
 			drow := dd[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
+			j := 0
+			for ; j+3 < n; j += 4 {
+				b0 := bd[j*k:][:k]
+				b1 := bd[(j+1)*k:][:k]
+				b2 := bd[(j+2)*k:][:k]
+				b3 := bd[(j+3)*k:][:k]
+				var s0, s1, s2, s3 float32
+				for p, av := range arow {
+					s0 += av * b0[p]
+					s1 += av * b1[p]
+					s2 += av * b2[p]
+					s3 += av * b3[p]
+				}
+				drow[j] = s0
+				drow[j+1] = s1
+				drow[j+2] = s2
+				drow[j+3] = s3
+			}
+			for ; j < n; j++ {
 				brow := bd[j*k : (j+1)*k]
 				var s float32
 				for p, av := range arow {

@@ -1,0 +1,116 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the persistent worker pool behind every parallel
+// kernel in the package. The previous design spawned fresh goroutines on
+// each parallelFor call, which showed up as scheduler and stack-allocation
+// overhead during simulated-annealing search where kernels fire millions of
+// times. The pool starts GOMAXPROCS long-lived workers on first use and
+// feeds them chunk tasks over a channel.
+//
+// Determinism note: a task computes a half-open index range [lo,hi) of
+// independent outputs, so the floating-point result of a kernel is
+// identical no matter how chunks are distributed over workers (or run
+// inline). The ParallelOptimizer determinism test in internal/core relies
+// on this.
+
+// poolTask is one chunk of a parallelFor body.
+type poolTask struct {
+	lo, hi int
+	body   func(lo, hi int)
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan poolTask
+	// poolWorkers is the number of persistent workers, fixed at first use.
+	poolWorkers int
+)
+
+// startPool launches the persistent workers. Workers never terminate; they
+// are cheap when idle (blocked on a channel receive).
+func startPool() {
+	poolWorkers = runtime.GOMAXPROCS(0)
+	poolTasks = make(chan poolTask, 4*poolWorkers)
+	for i := 0; i < poolWorkers; i++ {
+		go func() {
+			for t := range poolTasks {
+				t.body(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// Workers returns the parallel width of the kernel worker pool.
+func Workers() int {
+	poolOnce.Do(startPool)
+	return poolWorkers
+}
+
+// inFlight counts parallelFor invocations currently executing, across all
+// goroutines. It lets nested calls (e.g. a matmul inside a fused-engine
+// branch that is itself a pool task) degrade to inline execution instead of
+// deadlocking on a saturated task queue.
+var inFlight atomic.Int32
+
+// ParallelFor splits [0,n) into chunks and runs body on each concurrently
+// using the shared worker pool. body must treat its [lo,hi) range as
+// exclusive: ranges never overlap, and every index in [0,n) is covered
+// exactly once. Small n runs inline with no synchronization.
+func ParallelFor(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	poolOnce.Do(startPool)
+	w := poolWorkers
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < 64 {
+		body(0, n)
+		return
+	}
+	if inFlight.Add(1) > 1 {
+		// Nested parallelism: the pool is already busy on behalf of an
+		// enclosing ParallelFor (possibly on this very goroutine). Run
+		// inline rather than queueing tasks that could wait on us.
+		body(0, n)
+		inFlight.Add(-1)
+		return
+	}
+	defer inFlight.Add(-1)
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	// Submit all chunks but the first; run the first inline on the caller so
+	// the submitting goroutine contributes work instead of just blocking.
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		select {
+		case poolTasks <- poolTask{lo: lo, hi: hi, body: body, wg: &wg}:
+		default:
+			// Queue full (heavy concurrent load): execute inline.
+			body(lo, hi)
+			wg.Done()
+		}
+	}
+	first := chunk
+	if first > n {
+		first = n
+	}
+	body(0, first)
+	wg.Wait()
+}
+
+// parallelFor is the package-internal spelling used by the kernels.
+func parallelFor(n int, body func(lo, hi int)) { ParallelFor(n, body) }
