@@ -15,6 +15,12 @@ import (
 // controls evaluation concurrency while sampling, filtering, and merging
 // run serially. A regression here means some search state leaked into the
 // parallel phase (or a tensor kernel became chunking-dependent).
+//
+// Workers=2 with BatchSize=4 is the load-bearing case for -race: it is the
+// only configuration here where an estimator slot is reused while other
+// evaluations are still in flight, so a slot-sharing bug (two goroutines on
+// one estimator) shows up in this test and in neither the Workers=1 nor the
+// Workers=4==BatchSize runs.
 func TestParallelOptimizerDeterministicAcrossWorkers(t *testing.T) {
 	run := func(workers int) *core.Result {
 		ds := testutil.TinyFace(141, 64, 32)
@@ -43,38 +49,46 @@ func TestParallelOptimizerDeterministicAcrossWorkers(t *testing.T) {
 	}
 
 	serial := run(1)
-	parallel := run(4)
+	for _, workers := range []int{2, 4} {
+		parallel := run(workers)
+		compareResults(t, workers, serial, parallel)
+	}
+}
 
+// compareResults asserts a parallel run matches the Workers=1 reference in
+// every search-determined field.
+func compareResults(t *testing.T, workers int, serial, parallel *core.Result) {
+	t.Helper()
 	if serial.Evaluated != parallel.Evaluated {
-		t.Fatalf("Evaluated differs: Workers=1 got %d, Workers=4 got %d", serial.Evaluated, parallel.Evaluated)
+		t.Fatalf("Evaluated differs: Workers=1 got %d, Workers=%d got %d", serial.Evaluated, workers, parallel.Evaluated)
 	}
 	if len(serial.Traces) != len(parallel.Traces) {
-		t.Fatalf("trace count differs: %d vs %d", len(serial.Traces), len(parallel.Traces))
+		t.Fatalf("Workers=%d: trace count differs: %d vs %d", workers, len(serial.Traces), len(parallel.Traces))
 	}
 	for i := range serial.Traces {
 		s, p := serial.Traces[i], parallel.Traces[i]
 		if s.Iteration != p.Iteration || s.Skipped != p.Skipped || s.FromElite != p.FromElite ||
 			s.Met != p.Met || s.Terminated != p.Terminated || s.EpochsRun != p.EpochsRun {
-			t.Fatalf("trace %d differs:\nWorkers=1: %+v\nWorkers=4: %+v", i, s, p)
+			t.Fatalf("Workers=%d: trace %d differs:\nWorkers=1: %+v\nWorkers=%d: %+v", workers, i, s, workers, p)
 		}
 	}
 	if len(serial.Elites) != len(parallel.Elites) {
-		t.Fatalf("elite count differs: %d vs %d", len(serial.Elites), len(parallel.Elites))
+		t.Fatalf("Workers=%d: elite count differs: %d vs %d", workers, len(serial.Elites), len(parallel.Elites))
 	}
 	for i := range serial.Elites {
 		s, p := serial.Elites[i], parallel.Elites[i]
 		if s.Iteration != p.Iteration || s.FLOPs != p.FLOPs || s.FromElite != p.FromElite {
-			t.Fatalf("elite %d differs: iter %d/%d flops %d/%d", i, s.Iteration, p.Iteration, s.FLOPs, p.FLOPs)
+			t.Fatalf("Workers=%d: elite %d differs: iter %d/%d flops %d/%d", workers, i, s.Iteration, p.Iteration, s.FLOPs, p.FLOPs)
 		}
 		for id, acc := range s.Accuracy {
 			if d := acc - p.Accuracy[id]; d > 1e-9 || d < -1e-9 {
-				t.Fatalf("elite %d task %d accuracy differs: %.9f vs %.9f", i, id, acc, p.Accuracy[id])
+				t.Fatalf("Workers=%d: elite %d task %d accuracy differs: %.9f vs %.9f", workers, i, id, acc, p.Accuracy[id])
 			}
 		}
 	}
 	// Best is ranked by measured wall-clock latency, so its identity is
 	// legitimately noisy; only its presence is search-determined.
 	if (serial.Best == nil) != (parallel.Best == nil) {
-		t.Fatalf("Best presence differs: Workers=1 %v, Workers=4 %v", serial.Best != nil, parallel.Best != nil)
+		t.Fatalf("Best presence differs: Workers=1 %v, Workers=%d %v", serial.Best != nil, workers, parallel.Best != nil)
 	}
 }

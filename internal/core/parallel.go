@@ -161,12 +161,22 @@ func (o *ParallelOptimizer) Run() *Result {
 			jobs = append(jobs, j)
 		}
 
-		// Phase 2 (parallel): evaluate non-skipped candidates, at most
-		// Workers in flight. Kernel-level chunking is deterministic (see
-		// tensor.ParallelFor), so each evaluation depends only on
-		// (candidate, seed), not on scheduling.
+		// Phase 2 (parallel): evaluate non-skipped candidates. Concurrency
+		// is bounded by handing out estimator *slots*: a goroutine owns
+		// ests[slot] exclusively from acquire to release, so two in-flight
+		// evaluations can never share an estimator (Estimate mutates its
+		// counters and embedded evaluator). A plain semaphore would not give
+		// that guarantee when Workers < BatchSize: assigning estimators by
+		// job index lets job ji and job ji+slots run concurrently on the
+		// same estimator once an unrelated job releases the semaphore.
+		// Kernel-level chunking is deterministic (see tensor.ParallelFor),
+		// so each evaluation depends only on (candidate, seed), not on
+		// scheduling.
 		outcomes := make([]outcome, len(jobs))
-		sem := make(chan struct{}, cfg.Workers)
+		slotc := make(chan int, len(ests))
+		for i := range ests {
+			slotc <- i
+		}
 		var wg sync.WaitGroup
 		for ji, j := range jobs {
 			oc := &outcomes[ji]
@@ -176,10 +186,10 @@ func (o *ParallelOptimizer) Run() *Result {
 				continue
 			}
 			wg.Add(1)
-			sem <- struct{}{}
-			go func(oc *outcome, j job, est *estimator.AccuracyEstimator) {
-				defer func() { <-sem; wg.Done() }()
-				out := est.Estimate(j.cand, j.seed)
+			slot := <-slotc
+			go func(oc *outcome, j job, slot int) {
+				defer func() { slotc <- slot; wg.Done() }()
+				out := ests[slot].Estimate(j.cand, j.seed)
 				if out.Report != nil {
 					oc.trace.Met = out.Report.Met
 					oc.trace.Terminated = out.Report.Terminated
@@ -201,9 +211,13 @@ func (o *ParallelOptimizer) Run() *Result {
 						oc.drop = 0
 					}
 				}
-			}(oc, j, ests[ji%len(ests)])
+			}(oc, j, slot)
 		}
 		wg.Wait()
+		// Evaluated counts every sampled candidate that reached Phase 2,
+		// including rule-skipped ones — the same semantics as the serial
+		// optimizer, whose Estimate call also short-circuits for skipped
+		// candidates (see Result.Evaluated).
 		res.Evaluated += len(jobs)
 
 		// Phase 3 (serial): merge outcomes in candidate order.

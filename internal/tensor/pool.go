@@ -19,11 +19,24 @@ import (
 // inline). The ParallelOptimizer determinism test in internal/core relies
 // on this.
 
+// join tracks the outstanding chunks of one ParallelFor call. done is
+// closed by whichever goroutine finishes the last chunk.
+type join struct {
+	remaining atomic.Int32
+	done      chan struct{}
+}
+
+func (j *join) finish() {
+	if j.remaining.Add(-1) == 0 {
+		close(j.done)
+	}
+}
+
 // poolTask is one chunk of a parallelFor body.
 type poolTask struct {
 	lo, hi int
 	body   func(lo, hi int)
-	wg     *sync.WaitGroup
+	join   *join
 }
 
 var (
@@ -33,42 +46,47 @@ var (
 	poolWorkers int
 )
 
-// startPool launches the persistent workers. Workers never terminate; they
-// are cheap when idle (blocked on a channel receive).
+// startPool launches the persistent workers on first use. Workers never
+// terminate; they are cheap when idle (blocked on a channel receive).
 func startPool() {
-	poolWorkers = runtime.GOMAXPROCS(0)
-	poolTasks = make(chan poolTask, 4*poolWorkers)
-	for i := 0; i < poolWorkers; i++ {
-		go func() {
-			for t := range poolTasks {
-				t.body(t.lo, t.hi)
-				t.wg.Done()
-			}
-		}()
-	}
+	poolOnce.Do(func() {
+		poolWorkers = runtime.GOMAXPROCS(0)
+		poolTasks = make(chan poolTask, 4*poolWorkers)
+		for i := 0; i < poolWorkers; i++ {
+			go func() {
+				for t := range poolTasks {
+					t.body(t.lo, t.hi)
+					t.join.finish()
+				}
+			}()
+		}
+	})
 }
 
 // Workers returns the parallel width of the kernel worker pool.
 func Workers() int {
-	poolOnce.Do(startPool)
+	startPool()
 	return poolWorkers
 }
-
-// inFlight counts parallelFor invocations currently executing, across all
-// goroutines. It lets nested calls (e.g. a matmul inside a fused-engine
-// branch that is itself a pool task) degrade to inline execution instead of
-// deadlocking on a saturated task queue.
-var inFlight atomic.Int32
 
 // ParallelFor splits [0,n) into chunks and runs body on each concurrently
 // using the shared worker pool. body must treat its [lo,hi) range as
 // exclusive: ranges never overlap, and every index in [0,n) is covered
 // exactly once. Small n runs inline with no synchronization.
+//
+// The pool is safe to enter from any number of goroutines at once, and
+// bodies may themselves call ParallelFor (the fused-engine branch pattern).
+// Chunks are enqueued without blocking — a full queue falls back to inline
+// execution — and a caller waiting for its chunks helps drain the shared
+// queue instead of parking. Every waiter therefore makes global progress,
+// which is what rules out deadlock under nesting, and independent top-level
+// callers keep sharing the pool rather than one of them degrading to
+// single-threaded inline execution.
 func ParallelFor(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	poolOnce.Do(startPool)
+	startPool()
 	w := poolWorkers
 	if w > n {
 		w = n
@@ -77,39 +95,48 @@ func ParallelFor(n int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	if inFlight.Add(1) > 1 {
-		// Nested parallelism: the pool is already busy on behalf of an
-		// enclosing ParallelFor (possibly on this very goroutine). Run
-		// inline rather than queueing tasks that could wait on us.
+	chunk := (n + w - 1) / w
+	nsub := (n - 1) / chunk // chunks beyond the first, which runs on the caller
+	if nsub == 0 {
 		body(0, n)
-		inFlight.Add(-1)
 		return
 	}
-	defer inFlight.Add(-1)
-	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	// Submit all chunks but the first; run the first inline on the caller so
-	// the submitting goroutine contributes work instead of just blocking.
+	j := &join{done: make(chan struct{})}
+	j.remaining.Store(int32(nsub))
 	for lo := chunk; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
 		select {
-		case poolTasks <- poolTask{lo: lo, hi: hi, body: body, wg: &wg}:
+		case poolTasks <- poolTask{lo: lo, hi: hi, body: body, join: j}:
 		default:
 			// Queue full (heavy concurrent load): execute inline.
 			body(lo, hi)
-			wg.Done()
+			j.finish()
 		}
 	}
-	first := chunk
-	if first > n {
-		first = n
+	// Run the first chunk inline so the submitting goroutine contributes
+	// work instead of just blocking.
+	body(0, chunk)
+	// Helping wait: until our own chunks are done, execute whatever is
+	// queued — our chunks, or another caller's. A nested ParallelFor whose
+	// chunks were stolen by workers that are themselves blocked here still
+	// completes, because those workers are draining the queue too.
+	for {
+		select {
+		case <-j.done:
+			return
+		default:
+		}
+		select {
+		case <-j.done:
+			return
+		case t := <-poolTasks:
+			t.body(t.lo, t.hi)
+			t.join.finish()
+		}
 	}
-	body(0, first)
-	wg.Wait()
 }
 
 // parallelFor is the package-internal spelling used by the kernels.
