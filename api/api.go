@@ -1,0 +1,68 @@
+// Package api defines the stable wire types of the model server's v1 HTTP
+// surface (POST /v1/infer, GET /v1/model, GET /v1/stats) and a small typed
+// client. The server side lives in internal/httpapi; everything a consumer
+// needs to talk to it is exported here so external tools never hand-roll
+// the JSON.
+package api
+
+// InferRequest is the POST /v1/infer body.
+type InferRequest struct {
+	// Input is a flat row-major float32 array: one sample of the model's
+	// input shape, or N samples concatenated.
+	Input []float32 `json:"input"`
+}
+
+// InferResponse maps task name (or "task-<id>") to per-sample output rows.
+type InferResponse struct {
+	// Batch is the number of samples recognized in the request.
+	Batch int `json:"batch"`
+	// Outputs holds, per task, one output row per input sample.
+	Outputs map[string][][]float32 `json:"outputs"`
+	// Micros is the server-side request latency in microseconds, queueing
+	// included.
+	Micros int64 `json:"latency_us"`
+}
+
+// ModelInfo is the GET /v1/model response.
+type ModelInfo struct {
+	InputShape []int          `json:"input_shape"`
+	Tasks      map[string]int `json:"tasks"` // task name -> output size
+	Blocks     int            `json:"blocks"`
+	FLOPs      int64          `json:"flops_per_sample"`
+	Params     int64          `json:"parameters"`
+	// Vocab is the token vocabulary for 1-D (token-id) input models;
+	// inputs must be integer ids in [0, Vocab). Zero for image models.
+	Vocab int `json:"vocab,omitempty"`
+}
+
+// Stats is the GET /v1/stats response: request counters, the server-side
+// latency distribution, and the batching scheduler's state.
+type Stats struct {
+	// Requests counts completed inferences; Failures counts malformed
+	// requests (4xx other than backpressure).
+	Requests int64 `json:"requests"`
+	Failures int64 `json:"failures"`
+	// Rejected counts requests refused with 429 because the batch queue
+	// was full; Expired counts requests failed with 503 because their
+	// deadline elapsed before completion; Canceled counts requests whose
+	// client went away while they waited.
+	Rejected int64 `json:"rejected"`
+	Expired  int64 `json:"expired"`
+	Canceled int64 `json:"canceled"`
+
+	// Latency percentiles and mean over recent completed requests,
+	// measured enqueue-to-scatter, in microseconds.
+	MeanMicros float64 `json:"mean_latency_us"`
+	P50Micros  float64 `json:"p50_latency_us"`
+	P95Micros  float64 `json:"p95_latency_us"`
+	P99Micros  float64 `json:"p99_latency_us"`
+
+	// QueueDepth is the number of requests waiting to be batched at
+	// snapshot time.
+	QueueDepth int `json:"queue_depth"`
+	// Batches counts fused forward passes; MeanBatch is the mean number
+	// of samples per pass; BatchHist maps batch size -> pass count.
+	Batches   int64         `json:"batches"`
+	MeanBatch float64       `json:"mean_batch"`
+	BatchHist map[int]int64 `json:"batch_hist,omitempty"`
+}

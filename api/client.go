@@ -1,0 +1,113 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a typed client for the v1 HTTP surface.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient is the transport; http.DefaultClient when nil.
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for the given server root.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// Error is a non-2xx server reply.
+type Error struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's error body.
+	Message string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("api: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// IsBackpressure reports whether the error is the server shedding load
+// (queue full or deadline exceeded); such requests are retryable.
+func (e *Error) IsBackpressure() bool {
+	return e.StatusCode == http.StatusTooManyRequests ||
+		e.StatusCode == http.StatusServiceUnavailable
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("api: encoding request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &Error{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(msg))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("api: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Infer posts one or more flat row-major samples and returns per-task
+// output rows.
+func (c *Client) Infer(ctx context.Context, input []float32) (*InferResponse, error) {
+	var out InferResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/infer", &InferRequest{Input: input}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Model fetches the served model's metadata.
+func (c *Client) Model(ctx context.Context) (*ModelInfo, error) {
+	var out ModelInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/model", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the serving counters and latency/batch distributions.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var out Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

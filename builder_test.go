@@ -130,7 +130,9 @@ func TestBranchBuilderFusion(t *testing.T) {
 		ConvBlock(8, true, true).ResidualBlock(12, 2).Head(3).Err(); err != nil {
 		t.Fatal(err)
 	}
-	gmorph.Pretrain(m, ds, 8, 0.004, 63)
+	if _, err := gmorph.Pretrain(m, ds, 8, 0.004, 63); err != nil {
+		t.Fatal(err)
+	}
 	res, err := gmorph.Fuse(m, ds, gmorph.Config{
 		AccuracyDrop:   0.10,
 		Rounds:         6,

@@ -1,24 +1,36 @@
 // Command serve exposes a saved (fused) model checkpoint over HTTP — the
-// paper's model-serving deployment scenario.
+// paper's model-serving deployment scenario — with dynamic request
+// batching and backpressure.
 //
-// Usage:
+// Server mode:
 //
-//	serve -model fused.gmck -addr :8080 -pool 2
+//	serve -model fused.gmck -addr :8080 -pool 2 -max-batch 8 \
+//	      -max-wait 2ms -queue 64 -deadline 2s
 //
-// Then:
+// Concurrent /v1/infer requests are coalesced into batched forward passes
+// (up to -max-batch samples per pass, waiting at most -max-wait for the
+// batch to fill). A full queue sheds load with 429; a request exceeding
+// -deadline fails with 503. SIGINT/SIGTERM drains the queue before exit.
 //
-//	curl -s localhost:8080/v1/model
-//	curl -s -X POST localhost:8080/v1/infer -d '{"input":[...]}'
-//	curl -s localhost:8080/v1/stats
+// Client mode (typed repro/api client, no hand-rolled JSON):
+//
+//	serve -url http://localhost:8080 -info           # model + stats
+//	serve -url http://localhost:8080 -infer-random 3 # send 3 random samples
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/api"
 	"repro/internal/httpapi"
 	"repro/internal/parser"
 )
@@ -26,27 +38,127 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serve: ")
-	modelPath := flag.String("model", "", "model checkpoint to serve (required)")
+	modelPath := flag.String("model", "", "model checkpoint to serve (server mode)")
 	addr := flag.String("addr", ":8080", "listen address")
-	pool := flag.Int("pool", 2, "number of compiled engine instances")
+	pool := flag.Int("pool", 2, "compiled engine instances (in-flight batches)")
+	maxBatch := flag.Int("max-batch", 8, "samples coalesced per forward pass")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "max wait for a batch to fill")
+	queueCap := flag.Int("queue", 0, "pending-request queue bound (0 = 8*max-batch)")
+	deadline := flag.Duration("deadline", 0, "per-request time budget (0 = none)")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown drain budget")
+
+	url := flag.String("url", "", "server URL (client mode)")
+	info := flag.Bool("info", false, "client: print model metadata and stats")
+	inferRandom := flag.Int("infer-random", 0, "client: send N random samples")
 	flag.Parse()
-	if *modelPath == "" {
+
+	switch {
+	case *url != "":
+		if err := runClient(*url, *info, *inferRandom); err != nil {
+			log.Fatal(err)
+		}
+	case *modelPath != "":
+		if err := runServer(*modelPath, *addr, httpapi.Options{
+			Pool:     *pool,
+			MaxBatch: *maxBatch,
+			MaxWait:  *maxWait,
+			QueueCap: *queueCap,
+			Deadline: *deadline,
+		}, *drain); err != nil {
+			log.Fatal(err)
+		}
+	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
 
-	g, err := parser.LoadFile(*modelPath)
+func runServer(modelPath, addr string, opts httpapi.Options, drain time.Duration) error {
+	g, err := parser.LoadFile(modelPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	log.Printf("serving %s: %d tasks, %d blocks, input %v",
-		*modelPath, len(g.Heads), g.NodeCount(), g.Root.InputShape)
+		modelPath, len(g.Heads), g.NodeCount(), g.Root.InputShape)
 
+	apiSrv, err := httpapi.New(g, opts)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           httpapi.New(g, *pool).Handler(),
+		Addr:              addr,
+		Handler:           apiSrv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (pool=%d max-batch=%d max-wait=%v)",
+		addr, opts.Pool, opts.MaxBatch, opts.MaxWait)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining batch queue (budget %v)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := apiSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("draining batcher: %w", err)
+	}
+	log.Printf("drained cleanly")
+	return nil
+}
+
+func runClient(url string, info bool, inferRandom int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := api.NewClient(url)
+	model, err := c.Model(ctx)
+	if err != nil {
+		return err
+	}
+	if info || inferRandom == 0 {
+		fmt.Printf("input shape: %v\nblocks: %d\nparameters: %d\nflops/sample: %d\n",
+			model.InputShape, model.Blocks, model.Params, model.FLOPs)
+		for name, classes := range model.Tasks {
+			fmt.Printf("task %-12s -> %d outputs\n", name, classes)
+		}
+	}
+	if inferRandom > 0 {
+		per := 1
+		for _, d := range model.InputShape {
+			per *= d
+		}
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		for i := 0; i < inferRandom; i++ {
+			input := make([]float32, per)
+			for j := range input {
+				if model.Vocab > 0 {
+					input[j] = float32(rng.Intn(model.Vocab))
+				} else {
+					input[j] = rng.Float32()
+				}
+			}
+			resp, err := c.Infer(ctx, input)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("sample %d: %d tasks, %dus\n", i, len(resp.Outputs), resp.Micros)
+		}
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stats: %d requests, %d rejected, %d expired, queue %d, mean batch %.2f, p50 %.0fus p95 %.0fus p99 %.0fus\n",
+		st.Requests, st.Rejected, st.Expired, st.QueueDepth, st.MeanBatch,
+		st.P50Micros, st.P95Micros, st.P99Micros)
+	return nil
 }

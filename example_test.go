@@ -16,7 +16,9 @@ func ExampleFuse() {
 	zoo := gmorph.ZooConfig{WidthScale: 4}
 	_ = gmorph.AddBranch(teachers, rng, zoo, gmorph.VGG11, "gender", 0, 2)
 	_ = gmorph.AddBranch(teachers, rng, zoo, gmorph.VGG11, "ethnicity", 1, 3)
-	gmorph.Pretrain(teachers, ds, 10, 0.004, 1)
+	if _, err := gmorph.Pretrain(teachers, ds, 10, 0.004, 1); err != nil {
+		panic(err)
+	}
 
 	res, err := gmorph.Fuse(teachers, ds, gmorph.Config{
 		AccuracyDrop:   0.05,

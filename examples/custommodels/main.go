@@ -42,7 +42,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	acc := gmorph.Pretrain(teachers, ds, 10, 0.003, 73)
+	acc, err := gmorph.Pretrain(teachers, ds, 10, 0.003, 73)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("teachers: object mAP %.3f, salient acc %.3f\n", acc[0], acc[1])
 	must(os.WriteFile("custom_original.dot", []byte(teachers.ToDOT("original multi-DNNs")), 0o644))
 

@@ -27,7 +27,10 @@ func main() {
 	must(gmorph.AddBranch(teachers, rng, zoo, gmorph.BERTLarge, "cola", 0, 2))
 	must(gmorph.AddBranch(teachers, rng, zoo, gmorph.BERTBase, "sst", 1, 2))
 
-	teacherAcc := gmorph.Pretrain(teachers, ds, 12, 0.002, 53)
+	teacherAcc, err := gmorph.Pretrain(teachers, ds, 12, 0.002, 53)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("teachers: cola MCC %.3f, sst acc %.3f | latency %v\n",
 		teacherAcc[0], teacherAcc[1], gmorph.Latency(teachers))
 

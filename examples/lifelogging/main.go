@@ -27,7 +27,10 @@ func main() {
 	must(gmorph.AddBranch(teachers, rng, zoo, gmorph.ResNet34, "object", 0, 6))
 	must(gmorph.AddBranch(teachers, rng, zoo, gmorph.VGG16, "salient", 1, 4))
 
-	teacherAcc := gmorph.Pretrain(teachers, ds, 10, 0.003, 33)
+	teacherAcc, err := gmorph.Pretrain(teachers, ds, 10, 0.003, 33)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("teachers: object mAP %.3f, salient acc %.3f\n", teacherAcc[0], teacherAcc[1])
 
 	// Heterogeneous backbones: the MTL common prefix is empty, so

@@ -25,7 +25,10 @@ func main() {
 	zoo := gmorph.ZooConfig{WidthScale: 4}
 	must(gmorph.AddBranch(teachers, rng, zoo, gmorph.VGG11, "gender", 0, 2))
 	must(gmorph.AddBranch(teachers, rng, zoo, gmorph.VGG11, "ethnicity", 1, 3))
-	acc := gmorph.Pretrain(teachers, ds, 10, 0.004, 1)
+	acc, err := gmorph.Pretrain(teachers, ds, 10, 0.004, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("teachers: gender %.3f, ethnicity %.3f, latency %v\n",
 		acc[0], acc[1], gmorph.Latency(teachers))
 

@@ -28,7 +28,10 @@ func main() {
 	must(gmorph.AddBranch(teachers, rng, zoo, gmorph.VGG13, "gender", 1, 2))
 	must(gmorph.AddBranch(teachers, rng, zoo, gmorph.VGG13, "ethnicity", 2, 3))
 
-	teacherAcc := gmorph.Pretrain(teachers, ds, 10, 0.004, 23)
+	teacherAcc, err := gmorph.Pretrain(teachers, ds, 10, 0.004, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
 	origLat := gmorph.Latency(teachers)
 	fmt.Printf("teachers: age %.3f gender %.3f ethnicity %.3f | latency %v\n",
 		teacherAcc[0], teacherAcc[1], teacherAcc[2], origLat)

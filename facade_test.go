@@ -44,9 +44,19 @@ func TestFacadeEvaluateMatchesTargets(t *testing.T) {
 		ConvBlock(6, true, true).ConvBlock(8, true, true).Head(2).Err(); err != nil {
 		t.Fatal(err)
 	}
-	before := gmorph.Evaluate(m, ds)[0]
-	gmorph.Pretrain(m, ds, 6, 0.004, 85)
-	after := gmorph.Evaluate(m, ds)[0]
+	beforeAcc, err := gmorph.Evaluate(m, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := beforeAcc[0]
+	if _, err := gmorph.Pretrain(m, ds, 6, 0.004, 85); err != nil {
+		t.Fatal(err)
+	}
+	afterAcc, err := gmorph.Evaluate(m, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := afterAcc[0]
 	if after < before-0.1 {
 		t.Fatalf("training made the model much worse: %.3f -> %.3f", before, after)
 	}

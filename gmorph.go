@@ -27,6 +27,7 @@ package gmorph
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/bench"
@@ -144,7 +145,7 @@ func NewTextDataset(train, test, seqLen int, seed uint64) *Dataset {
 // Pretrain trains the model's branches on the dataset's task labels,
 // standing in for loading pre-trained checkpoints. It returns each task's
 // test metric.
-func Pretrain(m *Model, ds *Dataset, epochs int, lr float32, seed uint64) map[int]float64 {
+func Pretrain(m *Model, ds *Dataset, epochs int, lr float32, seed uint64) (map[int]float64, error) {
 	return bench.Pretrain(m, ds, epochs, lr, seed)
 }
 
@@ -248,7 +249,10 @@ func Fuse(teachers *Model, ds *Dataset, cfg Config) (*Result, error) {
 	targets := cfg.Targets
 	if targets == nil {
 		eval := &distill.Evaluator{Dataset: ds}
-		measured := eval.Measure(teachers)
+		measured, err := eval.Measure(teachers)
+		if err != nil {
+			return nil, fmt.Errorf("gmorph: measuring teachers: %w", err)
+		}
 		targets = make(map[int]float64, len(measured))
 		for id, a := range measured {
 			targets[id] = a - cfg.AccuracyDrop
@@ -314,7 +318,7 @@ func Fuse(teachers *Model, ds *Dataset, cfg Config) (*Result, error) {
 }
 
 // Evaluate measures a model's per-task test metric on the dataset.
-func Evaluate(m *Model, ds *Dataset) map[int]float64 {
+func Evaluate(m *Model, ds *Dataset) (map[int]float64, error) {
 	eval := &distill.Evaluator{Dataset: ds}
 	return eval.Measure(m)
 }

@@ -21,7 +21,10 @@ func buildTinyTeachers(t *testing.T) (*gmorph.Model, *gmorph.Dataset, map[int]fl
 	if err := gmorph.AddBranch(m, rng, zoo, gmorph.VGG11, "ethnicity", 1, 3); err != nil {
 		t.Fatal(err)
 	}
-	acc := gmorph.Pretrain(m, ds, 8, 0.004, 13)
+	acc, err := gmorph.Pretrain(m, ds, 8, 0.004, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for id, a := range acc {
 		if a < 0.55 {
 			t.Fatalf("teacher task %d only reached %.2f", id, a)
@@ -58,7 +61,10 @@ func TestFuseEndToEnd(t *testing.T) {
 		t.Fatal("fused model does not reduce FLOPs")
 	}
 	// Accuracy within the allowed drop.
-	finalAcc := gmorph.Evaluate(res.Model, ds)
+	finalAcc, err := gmorph.Evaluate(res.Model, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for id, target := range res.Targets {
 		if finalAcc[id] < target-1e-9 {
 			t.Fatalf("task %d accuracy %.3f below target %.3f (teacher %.3f)",
@@ -75,7 +81,10 @@ func TestFuseEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reAcc := gmorph.Evaluate(loaded, ds)
+	reAcc, err := gmorph.Evaluate(loaded, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for id := range finalAcc {
 		if reAcc[id] != finalAcc[id] {
 			t.Fatalf("reloaded model accuracy differs: %v vs %v", reAcc, finalAcc)
@@ -183,7 +192,9 @@ func TestFuseOpGranularity(t *testing.T) {
 	if m.NodeCount() != 60 { // 2 x (8 conv + 8 bn + 8 relu + 5 pool + head)
 		t.Fatalf("op-granularity node count %d, want 60", m.NodeCount())
 	}
-	gmorph.Pretrain(m, ds, 6, 0.004, 95)
+	if _, err := gmorph.Pretrain(m, ds, 6, 0.004, 95); err != nil {
+		t.Fatal(err)
+	}
 	res, err := gmorph.Fuse(m, ds, gmorph.Config{
 		AccuracyDrop:   0.10,
 		Rounds:         5,

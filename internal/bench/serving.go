@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -27,6 +28,7 @@ type ServingRow struct {
 func RunServing(benchIDs []string, drop float64, sc Scale) ([]ServingRow, error) {
 	var rows []ServingRow
 	opts := serve.Options{Clients: 1, Batch: 2, Duration: 400 * time.Millisecond}
+	ctx := context.Background()
 	for _, id := range benchIDs {
 		spec, err := SpecByID(id)
 		if err != nil {
@@ -43,7 +45,10 @@ func RunServing(benchIDs []string, drop float64, sc Scale) ([]ServingRow, error)
 			row.Found = true
 			best = res.Best.Graph
 		}
-		orig, fused, gain := serve.Compare(w.Teacher, best, opts)
+		// Token-id inputs are filled within the workload's vocabulary so
+		// text benchmarks exercise real embedding lookups.
+		opts.Vocab = w.Vocab
+		orig, fused, gain := serve.Compare(ctx, w.Teacher, best, opts)
 		row.OriginalQPS, row.FusedQPS, row.Gain = orig.QPS, fused.QPS, gain
 		row.P99Original, row.P99Fused = orig.P99, fused.P99
 		rows = append(rows, row)

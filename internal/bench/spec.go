@@ -197,7 +197,10 @@ func Build(spec Spec, sc Scale) (*Workload, error) {
 		return nil, fmt.Errorf("bench %s: teacher graph invalid: %w", spec.ID, err)
 	}
 
-	acc := Pretrain(g, ds, sc.PretrainEpochs, sc.LR, sc.Seed^0xFACE)
+	acc, err := Pretrain(g, ds, sc.PretrainEpochs, sc.LR, sc.Seed^0xFACE)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: pre-training teachers: %w", spec.ID, err)
+	}
 	outs := distill.ComputeTeacherOutputs(g, ds.Train.X, 64)
 	return &Workload{
 		Spec: spec, Scale: sc, Dataset: ds, Teacher: g,
@@ -209,7 +212,7 @@ func Build(spec Spec, sc Scale) (*Workload, error) {
 // for classification, BCE for multi-label) and returns the per-task test
 // metrics. It is the stand-in for the paper's downloaded pre-trained
 // checkpoints.
-func Pretrain(g *graph.Graph, ds *data.Dataset, epochs int, lr float32, seed uint64) map[int]float64 {
+func Pretrain(g *graph.Graph, ds *data.Dataset, epochs int, lr float32, seed uint64) (map[int]float64, error) {
 	rng := tensor.NewRNG(seed)
 	opt := nn.NewAdam(g.Params(), lr)
 	train := ds.Train

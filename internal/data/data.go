@@ -86,7 +86,7 @@ type Dataset struct {
 }
 
 // Score evaluates task t's metric for predictions over split s.
-func (d *Dataset) Score(s *Split, t int, logits *tensor.Tensor) float64 {
+func (d *Dataset) Score(s *Split, t int, logits *tensor.Tensor) (float64, error) {
 	switch d.Tasks[t].Kind {
 	case Classify:
 		return metrics.Accuracy(logits, s.Labels[t])
@@ -95,12 +95,12 @@ func (d *Dataset) Score(s *Split, t int, logits *tensor.Tensor) float64 {
 	case Matthews:
 		return metrics.MatthewsCorrelation(logits, s.Labels[t])
 	}
-	panic(fmt.Sprintf("data: unknown task kind %v", d.Tasks[t].Kind))
+	return 0, fmt.Errorf("data: unknown task kind %v", d.Tasks[t].Kind)
 }
 
 // ScoreRange reports the metric value of task t over rows [lo,hi) of the
 // split, used when evaluating on subsets.
-func (d *Dataset) ScoreRange(s *Split, t, lo, hi int, logits *tensor.Tensor) float64 {
+func (d *Dataset) ScoreRange(s *Split, t, lo, hi int, logits *tensor.Tensor) (float64, error) {
 	switch d.Tasks[t].Kind {
 	case Classify:
 		return metrics.Accuracy(logits, s.Labels[t][lo:hi])
@@ -109,5 +109,5 @@ func (d *Dataset) ScoreRange(s *Split, t, lo, hi int, logits *tensor.Tensor) flo
 	case Matthews:
 		return metrics.MatthewsCorrelation(logits, s.Labels[t][lo:hi])
 	}
-	panic(fmt.Sprintf("data: unknown task kind %v", d.Tasks[t].Kind))
+	return 0, fmt.Errorf("data: unknown task kind %v", d.Tasks[t].Kind)
 }

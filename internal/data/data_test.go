@@ -132,17 +132,24 @@ func TestScoreDispatch(t *testing.T) {
 	for i, l := range d.Test.Labels[1] {
 		logits.Set(1, i, l)
 	}
-	if got := d.Score(d.Test, 1, logits); got != 1 {
-		t.Fatalf("perfect sst score = %v", got)
+	if got, err := d.Score(d.Test, 1, logits); err != nil || got != 1 {
+		t.Fatalf("perfect sst score = %v (err %v)", got, err)
 	}
 	// Matthews of perfect cola predictions is 1 (if both classes present).
 	logits2 := tensor.New(4, 2)
 	for i, l := range d.Test.Labels[0] {
 		logits2.Set(1, i, l)
 	}
-	got := d.Score(d.Test, 0, logits2)
+	got, err := d.Score(d.Test, 0, logits2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != 1 && got != 0 { // 0 when the tiny split is single-class
 		t.Fatalf("perfect cola score = %v", got)
+	}
+	// Shape mismatches surface as errors, not panics.
+	if _, err := d.Score(d.Test, 1, tensor.New(2, 2)); err == nil {
+		t.Fatal("expected shape-mismatch error")
 	}
 }
 

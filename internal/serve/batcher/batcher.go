@@ -1,0 +1,461 @@
+// Package batcher implements dynamic request batching for the serving
+// layer: concurrent single-sample inference requests are enqueued into a
+// bounded queue and coalesced into one batched Engine.Forward when either
+// MaxBatch samples have accumulated or MaxWait has elapsed since the batch
+// opened. Results are scattered back to the waiting callers.
+//
+// This realizes the paper's Discussion (Section 7) economics at the
+// request scheduler level: a fused multi-task model answers every task of
+// a query in one forward pass, and batching amortizes the per-pass fixed
+// costs (graph walk, workspace setup, kernel launch) across concurrent
+// queries.
+//
+// Backpressure is explicit: a full queue fails Submit with ErrQueueFull
+// (the HTTP layer maps it to 429), and a request whose context ends while
+// it waits is skipped at batch-formation time so abandoned requests never
+// occupy a batch slot.
+package batcher
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// ErrQueueFull is returned by Submit when the bounded queue is at
+// capacity; the caller should shed the request (HTTP 429).
+var ErrQueueFull = errors.New("batcher: queue full")
+
+// ErrStopped is returned by Submit after Stop has begun draining.
+var ErrStopped = errors.New("batcher: stopped")
+
+// Options configures the batching policy.
+type Options struct {
+	// MaxBatch is the sample budget per fused forward pass (default 8).
+	// A single request larger than MaxBatch forms its own pass.
+	MaxBatch int
+	// MaxWait bounds how long an open batch waits for more samples after
+	// its first request arrives (default 2ms).
+	MaxWait time.Duration
+	// QueueCap bounds the request queue (default 8*MaxBatch).
+	QueueCap int
+	// LatencyWindow is how many recent request latencies feed the
+	// percentile estimates (default 4096).
+	LatencyWindow int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 8 * o.MaxBatch
+	}
+	if o.LatencyWindow <= 0 {
+		o.LatencyWindow = 4096
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the scheduler.
+type Stats struct {
+	// Requests counts completed requests; Canceled counts requests whose
+	// context was canceled while queued; Expired counts requests whose
+	// deadline elapsed while queued.
+	Requests int64
+	Canceled int64
+	Expired  int64
+	// QueueDepth is the number of requests waiting right now.
+	QueueDepth int
+	// Batches counts fused forward passes, MeanBatch the mean samples per
+	// pass, and BatchHist the pass count per batch size.
+	Batches   int64
+	MeanBatch float64
+	BatchHist map[int]int64
+	// MeanMicros and the percentiles summarize enqueue-to-scatter request
+	// latency over the recent window, in microseconds.
+	MeanMicros float64
+	P50Micros  float64
+	P95Micros  float64
+	P99Micros  float64
+}
+
+type result struct {
+	outs map[int]*tensor.Tensor
+	err  error
+}
+
+type request struct {
+	ctx  context.Context
+	x    *tensor.Tensor
+	rows int
+	done chan result
+	enq  time.Time
+}
+
+// Batcher coalesces concurrent inference requests into batched forward
+// passes over a pool of engines. All methods are safe for concurrent use.
+type Batcher struct {
+	opts    Options
+	sample  graph.Shape
+	per     int
+	engines chan engine.Engine
+	queue   chan *request
+
+	mu      sync.RWMutex // guards stopped vs. in-flight Submit enqueues
+	stopped bool
+	stopCh  chan struct{}
+	drained chan struct{}
+	wg      sync.WaitGroup // in-flight runBatch calls
+
+	depth    atomic.Int64
+	requests atomic.Int64
+	canceled atomic.Int64
+	expired  atomic.Int64
+	totalNS  atomic.Int64
+
+	smu      sync.Mutex // guards hist + latency ring
+	batches  int64
+	rowsSum  int64
+	hist     map[int]int64
+	lat      []time.Duration
+	latIdx   int
+	latCount int
+}
+
+// New builds a batcher over the given engine pool (one in-flight batch per
+// engine). sample is the model's per-sample input shape.
+func New(sample graph.Shape, engines []engine.Engine, opts Options) (*Batcher, error) {
+	if len(engines) == 0 {
+		return nil, errors.New("batcher: need at least one engine")
+	}
+	per := 1
+	for _, d := range sample {
+		per *= d
+	}
+	if per <= 0 {
+		return nil, fmt.Errorf("batcher: degenerate sample shape %v", sample)
+	}
+	opts = opts.withDefaults()
+	b := &Batcher{
+		opts:    opts,
+		sample:  sample.Clone(),
+		per:     per,
+		engines: make(chan engine.Engine, len(engines)),
+		queue:   make(chan *request, opts.QueueCap),
+		stopCh:  make(chan struct{}),
+		drained: make(chan struct{}),
+		hist:    make(map[int]int64),
+		lat:     make([]time.Duration, opts.LatencyWindow),
+	}
+	for _, e := range engines {
+		b.engines <- e
+	}
+	go b.collect()
+	return b, nil
+}
+
+// MaxBatch reports the configured per-pass sample budget.
+func (b *Batcher) MaxBatch() int { return b.opts.MaxBatch }
+
+// Submit enqueues a batched input tensor [rows, sample...] and blocks
+// until its outputs are scattered back, the queue rejects it, or ctx ends.
+// The returned per-task tensors hold exactly this request's rows.
+func (b *Batcher) Submit(ctx context.Context, x *tensor.Tensor) (map[int]*tensor.Tensor, error) {
+	rows, err := b.checkShape(x)
+	if err != nil {
+		return nil, err
+	}
+	req := &request{ctx: ctx, x: x, rows: rows, done: make(chan result, 1), enq: time.Now()}
+
+	b.mu.RLock()
+	if b.stopped {
+		b.mu.RUnlock()
+		return nil, ErrStopped
+	}
+	select {
+	case b.queue <- req:
+		b.depth.Add(1)
+		b.mu.RUnlock()
+	default:
+		b.mu.RUnlock()
+		return nil, ErrQueueFull
+	}
+
+	select {
+	case res := <-req.done:
+		return res.outs, res.err
+	case <-ctx.Done():
+		// The queue slot is reclaimed by the collector, which drops
+		// dead requests at batch-formation time.
+		return nil, ctx.Err()
+	}
+}
+
+func (b *Batcher) checkShape(x *tensor.Tensor) (int, error) {
+	shape := x.Shape()
+	if len(shape) != len(b.sample)+1 || shape[0] <= 0 {
+		return 0, fmt.Errorf("batcher: input shape %v, want [rows, %v]", shape, []int(b.sample))
+	}
+	for i, d := range b.sample {
+		if shape[i+1] != d {
+			return 0, fmt.Errorf("batcher: input shape %v, want [rows, %v]", shape, []int(b.sample))
+		}
+	}
+	return shape[0], nil
+}
+
+// collect is the scheduler loop: it opens a batch on the first queued
+// request, fills it until MaxBatch samples or MaxWait, then dispatches it
+// to a free engine while the next batch forms.
+func (b *Batcher) collect() {
+	var pending *request // overflow request carried into the next batch
+	for {
+		var first *request
+		if pending != nil {
+			first, pending = pending, nil
+		} else {
+			select {
+			case r := <-b.queue:
+				b.depth.Add(-1)
+				first = r
+			case <-b.stopCh:
+				b.finish(nil)
+				return
+			}
+		}
+		if b.dropDead(first) {
+			continue
+		}
+		batch := []*request{first}
+		rows := first.rows
+		timer := time.NewTimer(b.opts.MaxWait)
+	fill:
+		for rows < b.opts.MaxBatch {
+			select {
+			case r := <-b.queue:
+				b.depth.Add(-1)
+				if b.dropDead(r) {
+					continue
+				}
+				if rows+r.rows > b.opts.MaxBatch {
+					pending = r
+					break fill
+				}
+				batch = append(batch, r)
+				rows += r.rows
+			case <-timer.C:
+				break fill
+			case <-b.stopCh:
+				break fill // draining: close the window immediately
+			}
+		}
+		timer.Stop()
+		b.dispatch(batch, rows)
+		select {
+		case <-b.stopCh:
+			b.finish(pending)
+			return
+		default:
+		}
+	}
+}
+
+// finish drains every request still queued (no new ones can arrive: Stop
+// flipped the stopped flag under the write lock) into final batches, then
+// signals the drain is complete.
+func (b *Batcher) finish(pending *request) {
+	var batch []*request
+	rows := 0
+	flush := func() {
+		if len(batch) > 0 {
+			b.dispatch(batch, rows)
+			batch, rows = nil, 0
+		}
+	}
+	add := func(r *request) {
+		if b.dropDead(r) {
+			return
+		}
+		if rows+r.rows > b.opts.MaxBatch {
+			flush()
+		}
+		batch = append(batch, r)
+		rows += r.rows
+		if rows >= b.opts.MaxBatch {
+			flush()
+		}
+	}
+	if pending != nil {
+		add(pending)
+	}
+	for {
+		select {
+		case r := <-b.queue:
+			b.depth.Add(-1)
+			add(r)
+		default:
+			flush()
+			close(b.drained)
+			return
+		}
+	}
+}
+
+// dropDead discards a request whose context ended while it waited, so it
+// does not occupy a batch slot. Reports whether the request was dropped.
+func (b *Batcher) dropDead(r *request) bool {
+	err := r.ctx.Err()
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		b.expired.Add(1)
+	} else {
+		b.canceled.Add(1)
+	}
+	r.done <- result{err: err}
+	return true
+}
+
+// dispatch checks out an engine (blocking until one frees) and runs the
+// batch concurrently with the formation of the next one.
+func (b *Batcher) dispatch(batch []*request, rows int) {
+	eng := <-b.engines
+	b.wg.Add(1)
+	go b.runBatch(eng, batch, rows)
+}
+
+func (b *Batcher) runBatch(eng engine.Engine, batch []*request, rows int) {
+	defer b.wg.Done()
+	x := batch[0].x
+	if len(batch) > 1 {
+		// Gather: concatenate the requests' rows into one input.
+		x = tensor.New(append([]int{rows}, b.sample...)...)
+		off := 0
+		for _, r := range batch {
+			copy(x.Data()[off*b.per:(off+r.rows)*b.per], r.x.Data())
+			off += r.rows
+		}
+	}
+	outs := eng.Forward(x)
+	b.engines <- eng // release before scatter so the next batch overlaps
+
+	// Scatter: slice each task's output rows back per request.
+	off := 0
+	for _, r := range batch {
+		res := result{outs: make(map[int]*tensor.Tensor, len(outs))}
+		for id, o := range outs {
+			if len(batch) == 1 {
+				res.outs[id] = o
+				continue
+			}
+			per := o.Size() / rows
+			t := tensor.New(append([]int{r.rows}, o.Shape()[1:]...)...)
+			copy(t.Data(), o.Data()[off*per:(off+r.rows)*per])
+			res.outs[id] = t
+		}
+		r.done <- res
+		off += r.rows
+		b.requests.Add(1)
+		b.totalNS.Add(int64(time.Since(r.enq)))
+		b.recordLatency(time.Since(r.enq))
+	}
+	b.recordBatch(rows)
+}
+
+func (b *Batcher) recordLatency(d time.Duration) {
+	b.smu.Lock()
+	b.lat[b.latIdx] = d
+	b.latIdx = (b.latIdx + 1) % len(b.lat)
+	if b.latCount < len(b.lat) {
+		b.latCount++
+	}
+	b.smu.Unlock()
+}
+
+func (b *Batcher) recordBatch(rows int) {
+	b.smu.Lock()
+	b.batches++
+	b.rowsSum += int64(rows)
+	b.hist[rows]++
+	b.smu.Unlock()
+}
+
+// QueueDepth reports the number of requests currently waiting.
+func (b *Batcher) QueueDepth() int { return int(b.depth.Load()) }
+
+// Stats snapshots the scheduler counters and distributions.
+func (b *Batcher) Stats() Stats {
+	st := Stats{
+		Requests:   b.requests.Load(),
+		Canceled:   b.canceled.Load(),
+		Expired:    b.expired.Load(),
+		QueueDepth: int(b.depth.Load()),
+	}
+	if st.Requests > 0 {
+		st.MeanMicros = float64(b.totalNS.Load()) / float64(st.Requests) / 1e3
+	}
+	b.smu.Lock()
+	st.Batches = b.batches
+	if b.batches > 0 {
+		st.MeanBatch = float64(b.rowsSum) / float64(b.batches)
+	}
+	st.BatchHist = make(map[int]int64, len(b.hist))
+	for k, v := range b.hist {
+		st.BatchHist[k] = v
+	}
+	window := append([]time.Duration(nil), b.lat[:b.latCount]...)
+	b.smu.Unlock()
+	if len(window) > 0 {
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(window)-1))
+			return float64(window[i].Nanoseconds()) / 1e3
+		}
+		st.P50Micros = pct(0.50)
+		st.P95Micros = pct(0.95)
+		st.P99Micros = pct(0.99)
+	}
+	return st
+}
+
+// Stop drains the queue gracefully: no new requests are accepted, every
+// queued request still runs, and Stop returns once all in-flight batches
+// finish or ctx ends (whichever comes first; draining continues in the
+// background if ctx ends early).
+func (b *Batcher) Stop(ctx context.Context) error {
+	b.mu.Lock()
+	if !b.stopped {
+		b.stopped = true
+		close(b.stopCh)
+	}
+	b.mu.Unlock()
+	select {
+	case <-b.drained:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	done := make(chan struct{})
+	go func() {
+		b.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,265 @@
+package batcher_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/serve/batcher"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+func tinyEngines(t *testing.T, n int) ([]engine.Engine, *graph.Graph) {
+	t.Helper()
+	ds := testutil.TinyFace(1, 8, 4)
+	g := testutil.TinyMultiDNN(2, ds)
+	engines := make([]engine.Engine, n)
+	for i := range engines {
+		engines[i] = engine.Compile(g)
+	}
+	return engines, g
+}
+
+func stopped(t *testing.T, b *batcher.Batcher) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Stop(ctx); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}
+
+// distinctInput builds a deterministic per-client input so scatter bugs
+// (rows delivered to the wrong waiter) are detectable.
+func distinctInput(client int, shape graph.Shape) *tensor.Tensor {
+	x := tensor.New(append([]int{1}, shape...)...)
+	tensor.NewRNG(uint64(client + 1)).FillNormal(x, 0, 1)
+	return x
+}
+
+// Every concurrent request must receive exactly its own output rows,
+// matching a serial single-request reference.
+func TestScatterCorrectness(t *testing.T) {
+	engines, g := tinyEngines(t, 2)
+	shape := g.Root.InputShape
+	b, err := batcher.New(shape, engines, batcher.Options{MaxBatch: 4, MaxWait: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopped(t, b)
+
+	// Serial reference on a private engine.
+	ref := engine.Compile(g)
+	const clients = 16
+	want := make([]map[int]*tensor.Tensor, clients)
+	for c := 0; c < clients; c++ {
+		want[c] = ref.Forward(distinctInput(c, shape))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			outs, err := b.Submit(context.Background(), distinctInput(c, shape))
+			if err != nil {
+				errs <- err
+				return
+			}
+			for id, w := range want[c] {
+				got, ok := outs[id]
+				if !ok || got.Size() != w.Size() {
+					errs <- fmt.Errorf("client %d task %d: missing or misshaped output", c, id)
+					return
+				}
+				for k, v := range w.Data() {
+					if got.Data()[k] != v {
+						errs <- fmt.Errorf("client %d task %d elem %d: batched %v, serial %v", c, id, k, got.Data()[k], v)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := b.Stats()
+	if st.Requests != clients {
+		t.Fatalf("requests %d, want %d", st.Requests, clients)
+	}
+	var rows int64
+	for size, n := range st.BatchHist {
+		rows += int64(size) * n
+	}
+	if rows != clients {
+		t.Fatalf("batch histogram accounts for %d rows, want %d", rows, clients)
+	}
+}
+
+// Concurrent load must actually coalesce into multi-sample passes.
+func TestCoalescing(t *testing.T) {
+	engines, g := tinyEngines(t, 1)
+	b, err := batcher.New(g.Root.InputShape, engines, batcher.Options{MaxBatch: 8, MaxWait: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopped(t, b)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), distinctInput(c, g.Root.InputShape)); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.MeanBatch < 2 {
+		t.Fatalf("mean batch %.2f; 8 concurrent clients with a 50ms window should coalesce", st.MeanBatch)
+	}
+}
+
+// slowEngine delays each forward pass without burning CPU, so concurrent
+// submitters can outrun the scheduler and back the queue up. (A CPU-bound
+// engine would pace arrivals to the service rate on a small machine and
+// the queue would never fill.)
+type slowEngine struct {
+	inner engine.Engine
+	delay time.Duration
+}
+
+func (s *slowEngine) Name() string { return "slow(" + s.inner.Name() + ")" }
+
+func (s *slowEngine) Forward(x *tensor.Tensor) map[int]*tensor.Tensor {
+	time.Sleep(s.delay)
+	return s.inner.Forward(x)
+}
+
+func TestQueueFull(t *testing.T) {
+	engines, g := tinyEngines(t, 1)
+	engines[0] = &slowEngine{inner: engines[0], delay: 10 * time.Millisecond}
+	b, err := batcher.New(g.Root.InputShape, engines, batcher.Options{MaxBatch: 1, MaxWait: time.Millisecond, QueueCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopped(t, b)
+	var full, ok int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < 32; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			_, err := b.Submit(context.Background(), distinctInput(c, g.Root.InputShape))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, batcher.ErrQueueFull):
+				full++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if ok == 0 || full == 0 {
+		t.Fatalf("ok=%d full=%d; want both backpressure and progress", ok, full)
+	}
+}
+
+func TestSubmitRejectsBadShape(t *testing.T) {
+	engines, g := tinyEngines(t, 1)
+	b, err := batcher.New(g.Root.InputShape, engines, batcher.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopped(t, b)
+	if _, err := b.Submit(context.Background(), tensor.New(1, 2, 2)); err == nil {
+		t.Fatal("wrong rank accepted")
+	}
+	if _, err := b.Submit(context.Background(), tensor.New(1, 3, 16, 8)); err == nil {
+		t.Fatal("wrong dims accepted")
+	}
+}
+
+// A request whose context dies while queued is dropped at batch formation
+// and reported canceled, without occupying a batch slot.
+func TestCanceledRequestSkipped(t *testing.T) {
+	engines, g := tinyEngines(t, 1)
+	b, err := batcher.New(g.Root.InputShape, engines, batcher.Options{MaxBatch: 2, MaxWait: 40 * time.Millisecond, QueueCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopped(t, b)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead before it is ever collected
+	if _, err := b.Submit(ctx, distinctInput(0, g.Root.InputShape)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	// A live request still completes and the canceled one shows in stats.
+	if _, err := b.Submit(context.Background(), distinctInput(1, g.Root.InputShape)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := b.Stats()
+		if st.Canceled == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled request never counted: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Stop drains queued work: every accepted request completes, and Submit
+// afterwards fails with ErrStopped. Run with -race.
+func TestStopDrains(t *testing.T) {
+	engines, g := tinyEngines(t, 2)
+	b, err := batcher.New(g.Root.InputShape, engines, batcher.Options{MaxBatch: 4, MaxWait: 20 * time.Millisecond, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	results := make(chan error, n)
+	for c := 0; c < n; c++ {
+		go func(c int) {
+			_, err := b.Submit(context.Background(), distinctInput(c, g.Root.InputShape))
+			results <- err
+		}(c)
+	}
+	time.Sleep(5 * time.Millisecond) // let some requests reach the queue
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Stop(ctx); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-results; err != nil && !errors.Is(err, batcher.ErrStopped) {
+			t.Fatalf("request failed during drain: %v", err)
+		}
+	}
+	if _, err := b.Submit(context.Background(), distinctInput(0, g.Root.InputShape)); !errors.Is(err, batcher.ErrStopped) {
+		t.Fatalf("post-stop err %v, want ErrStopped", err)
+	}
+	// Stop is idempotent.
+	if err := b.Stop(ctx); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+}

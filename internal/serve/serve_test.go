@@ -1,12 +1,15 @@
 package serve_test
 
 import (
+	"context"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/mutation"
+	"repro/internal/nn"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/testutil"
@@ -15,7 +18,7 @@ import (
 func TestRunProducesThroughput(t *testing.T) {
 	ds := testutil.TinyFace(1, 8, 4)
 	g := testutil.TinyMultiDNN(2, ds)
-	rep := serve.Run(engine.NewReference(g), g.Root.InputShape, serve.Options{
+	rep := serve.Run(context.Background(), engine.NewReference(g), g.Root.InputShape, serve.Options{
 		Clients: 1, Batch: 1, Duration: 150 * time.Millisecond, Warmup: 1,
 	})
 	if rep.Requests == 0 || rep.QPS <= 0 {
@@ -26,6 +29,121 @@ func TestRunProducesThroughput(t *testing.T) {
 	}
 	if rep.Elapsed < 150*time.Millisecond {
 		t.Fatalf("window too short: %v", rep.Elapsed)
+	}
+}
+
+// Canceling the context ends the window early.
+func TestRunHonorsContext(t *testing.T) {
+	ds := testutil.TinyFace(1, 8, 4)
+	g := testutil.TinyMultiDNN(2, ds)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	serve.Run(ctx, engine.NewReference(g), g.Root.InputShape, serve.Options{
+		Clients: 1, Duration: 10 * time.Second, Warmup: 1,
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run ignored canceled context: ran %v", elapsed)
+	}
+}
+
+// captureTarget records every input it is driven with.
+type captureTarget struct {
+	mu     sync.Mutex
+	inputs []*tensor.Tensor
+}
+
+func (c *captureTarget) target(_ context.Context, x *tensor.Tensor) error {
+	c.mu.Lock()
+	c.inputs = append(c.inputs, x)
+	c.mu.Unlock()
+	time.Sleep(100 * time.Microsecond)
+	return nil
+}
+
+// 1-D (token-id) inputs must be filled with integer ids inside the
+// vocabulary — not left all-zero, and never fractional or out of range,
+// which would panic the embedding lookup.
+func TestTokenInputsFilledWithinVocab(t *testing.T) {
+	cap := &captureTarget{}
+	const vocab = 12
+	serve.RunTarget(context.Background(), cap.target, graph.Shape{32}, serve.Options{
+		Clients: 2, Duration: 30 * time.Millisecond, Warmup: 1, Vocab: vocab,
+	})
+	cap.mu.Lock()
+	defer cap.mu.Unlock()
+	if len(cap.inputs) == 0 {
+		t.Fatal("target never driven")
+	}
+	nonzero := false
+	for _, in := range cap.inputs {
+		for _, v := range in.Data() {
+			if v != float32(int(v)) || v < 0 || int(v) >= vocab {
+				t.Fatalf("input value %v is not a token id in [0, %d)", v, vocab)
+			}
+			if v != 0 {
+				nonzero = true
+			}
+		}
+	}
+	if !nonzero {
+		t.Fatal("all token inputs are zero; ids were never filled")
+	}
+}
+
+// Open-loop mode issues requests at a fixed rate and sheds arrivals that
+// find no free slot instead of queueing unboundedly.
+func TestOpenLoopRate(t *testing.T) {
+	cap := &captureTarget{}
+	rep := serve.RunTarget(context.Background(), cap.target, graph.Shape{3, 16, 16}, serve.Options{
+		Rate: 2000, Duration: 200 * time.Millisecond, Warmup: 1, MaxOutstanding: 8,
+	})
+	if rep.Requests == 0 {
+		t.Fatalf("open loop completed nothing: %+v", rep)
+	}
+	// At 2000/s over 200ms, ~400 arrivals. The target is fast, so most
+	// complete; the loop must not run wildly past the arrival budget.
+	if rep.Requests > 500 {
+		t.Fatalf("open loop ran %d requests, more than the arrival schedule allows", rep.Requests)
+	}
+	if rep.QPS <= 0 || rep.P50 <= 0 {
+		t.Fatalf("missing open-loop metrics: %+v", rep)
+	}
+}
+
+// A slow target under a fast open-loop arrival rate must drop arrivals
+// rather than launch unbounded concurrent requests.
+func TestOpenLoopDropsWhenSaturated(t *testing.T) {
+	slow := func(ctx context.Context, _ *tensor.Tensor) error {
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+		}
+		return nil
+	}
+	rep := serve.RunTarget(context.Background(), slow, graph.Shape{4}, serve.Options{
+		Rate: 1000, Duration: 150 * time.Millisecond, Warmup: 1, MaxOutstanding: 2, Vocab: 4,
+	})
+	if rep.Dropped == 0 {
+		t.Fatalf("saturated open loop dropped nothing: %+v", rep)
+	}
+}
+
+// VocabOf finds the embedding stem's vocabulary through sequential nesting.
+func TestVocabOf(t *testing.T) {
+	ds := testutil.TinyFace(1, 8, 4)
+	img := testutil.TinyMultiDNN(2, ds)
+	if v := serve.VocabOf(img); v != 0 {
+		t.Fatalf("image model vocab %d, want 0", v)
+	}
+	// A token-id model with the embedding nested inside a Sequential stem.
+	rng := tensor.NewRNG(1)
+	text := graph.New(graph.Shape{6}, graph.DomainRaw)
+	stem := graph.NewBlockNode(0, 0, "Stem", graph.Shape{6}, graph.DomainRaw,
+		nn.NewSequential("stem", nn.NewEmbedding(rng, 20, 8, 6)))
+	text.AppendChain(text.Root, stem)
+	if v := serve.VocabOf(text); v != 20 {
+		t.Fatalf("text model vocab %d, want 20", v)
 	}
 }
 
@@ -57,7 +175,7 @@ func TestFusedModelImprovesThroughput(t *testing.T) {
 	var gain float64
 	for attempt := 0; attempt < 4; attempt++ {
 		dur := time.Duration(250*(attempt+1)) * time.Millisecond
-		_, _, got := serve.Compare(g, fused, serve.Options{
+		_, _, got := serve.Compare(context.Background(), g, fused, serve.Options{
 			Clients: 1, Batch: 2, Duration: dur,
 		})
 		if got > gain {
