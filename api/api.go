@@ -65,4 +65,32 @@ type Stats struct {
 	Batches   int64         `json:"batches"`
 	MeanBatch float64       `json:"mean_batch"`
 	BatchHist map[int]int64 `json:"batch_hist,omitempty"`
+
+	// Plan describes the compiled execution plan the engine pool runs,
+	// with cumulative per-op timings. Absent when the server was built
+	// around engines that do not execute plans.
+	Plan *PlanStats `json:"plan,omitempty"`
+}
+
+// PlanOpStat is one compiled-plan op's cumulative execution record,
+// aggregated across the server's engine pool.
+type PlanOpStat struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Wave is the parallel stage the op executes in.
+	Wave   int   `json:"wave"`
+	Calls  int64 `json:"calls"`
+	Micros int64 `json:"micros"`
+}
+
+// PlanStats is the GET /v1/stats view of the compiled execution plan.
+type PlanStats struct {
+	Ops   []PlanOpStat `json:"ops"`
+	Waves int          `json:"waves"`
+	// Slabs is the number of reusable buffers the plan's liveness analysis
+	// assigned; PeakBytes is their per-sample footprint, NaiveBytes what
+	// per-op allocation would have used.
+	Slabs      int   `json:"slabs"`
+	PeakBytes  int64 `json:"peak_bytes_per_sample"`
+	NaiveBytes int64 `json:"naive_bytes_per_sample"`
 }

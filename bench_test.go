@@ -199,6 +199,40 @@ func BenchmarkFusedEngineB1(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanVsFused contrasts the two fused executors on the same
+// trained multi-task model: the compiled-plan engine (static buffer plan,
+// zero steady-state allocations) against the legacy closure-tree walker
+// (allocates output tensors at every layer). ReportAllocs makes the buffer
+// plan's effect visible directly in the benchmark output.
+func BenchmarkPlanVsFused(b *testing.B) {
+	sc := benchScale()
+	spec, _ := bench.SpecByID("B1")
+	w, err := bench.Build(spec, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(4, 3, sc.ImgSize, sc.ImgSize)
+	tensor.NewRNG(1).FillNormal(x, 0, 1)
+	b.Run("plan", func(b *testing.B) {
+		eng := engine.Compile(w.Teacher)
+		eng.Forward(x) // bind buffers outside the measurement
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Forward(x)
+		}
+	})
+	b.Run("closures", func(b *testing.B) {
+		eng := engine.CompileClosures(w.Teacher)
+		eng.Forward(x)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Forward(x)
+		}
+	})
+}
+
 func benchmarkMatMulSize(b *testing.B, n int) {
 	rng := tensor.NewRNG(1)
 	x := tensor.New(n, n)

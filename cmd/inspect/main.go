@@ -1,10 +1,11 @@
 // Command inspect prints a report on a saved model checkpoint: the task
 // list, the block tree, capacity and FLOPs statistics, and optionally a
-// Graphviz DOT rendering of the architecture.
+// Graphviz DOT rendering of the architecture or the compiled execution
+// plan the serving path runs.
 //
 // Usage:
 //
-//	inspect -model fused.gmck [-dot fused.dot]
+//	inspect -model fused.gmck [-dot fused.dot] [-plan]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/parser"
+	"repro/internal/plan"
 )
 
 func main() {
@@ -22,6 +24,7 @@ func main() {
 	log.SetPrefix("inspect: ")
 	modelPath := flag.String("model", "", "checkpoint to inspect (required)")
 	dotPath := flag.String("dot", "", "optional path to write a Graphviz DOT rendering")
+	showPlan := flag.Bool("plan", false, "print the compiled execution plan (op list, wave schedule, buffer plan)")
 	flag.Parse()
 	if *modelPath == "" {
 		flag.Usage()
@@ -55,6 +58,10 @@ func main() {
 	fmt.Printf("FLOPs/sample: %d\n", g.FLOPs())
 	fmt.Println("\nblock tree:")
 	fmt.Print(g.String())
+
+	if *showPlan {
+		fmt.Println("\n" + plan.Compile(g).String())
+	}
 
 	if *dotPath != "" {
 		if err := os.WriteFile(*dotPath, []byte(g.ToDOT(*modelPath)), 0o644); err != nil {

@@ -1,14 +1,16 @@
-// Package engine provides two inference engines for trained abstract
-// graphs, standing in for the paper's PyTorch vs TensorRT comparison
-// (Table 3):
+// Package engine provides inference engines for trained abstract graphs,
+// standing in for the paper's PyTorch vs TensorRT comparison (Table 3):
 //
 //   - Reference executes the graph eagerly, one layer at a time, like the
 //     PyTorch eager baseline.
-//   - Fused compiles the graph first: BatchNorm layers are folded into the
-//     preceding convolution's weights (the classic inference-time
-//     conv+BN fusion), ReLU is applied in the same pass over the
-//     convolution output, and sibling branches of the multi-task tree
-//     execute concurrently (the CUDA multi-stream analogue).
+//   - Fused executes a compiled plan (internal/plan): BatchNorm folds into
+//     the preceding convolution's weights at compile time, ReLU and the
+//     residual join fuse into their producers, intermediate tensors live in
+//     preplanned reusable slabs, and sibling branches run as precomputed
+//     parallel waves (the CUDA multi-stream analogue).
+//   - ClosureFused is the previous generation of Fused — a closure tree
+//     with per-call arena scratch — kept as an independent third executor
+//     for cross-checking numerical parity.
 //
 // The engines exist to demonstrate the paper's claim that model fusion is
 // complementary to compiler-style graph optimization: GMorph's fused
@@ -16,13 +18,14 @@
 package engine
 
 import (
-	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/graph"
 	"repro/internal/nn"
+	"repro/internal/plan"
 	"repro/internal/tensor"
+	"repro/internal/timing"
 )
 
 // Engine runs inference for a multi-task model.
@@ -49,8 +52,45 @@ func (r *Reference) Forward(x *tensor.Tensor) map[int]*tensor.Tensor {
 	return r.g.Forward(x, false)
 }
 
-// Fused is the compiled executor.
+// Fused is the plan-backed compiled executor: a thin wrapper over one
+// plan.Instance. Forward clones the head outputs out of the instance's
+// reused slabs, so callers own what they receive (Reference semantics).
+// Because the instance's buffers are reused across calls, one Fused engine
+// must not run concurrent Forwards — pool engines per stream, as the
+// serving layer's batcher does.
 type Fused struct {
+	inst *plan.Instance
+}
+
+// Compile lowers a trained graph into an execution plan and wraps it as an
+// engine. The graph is not modified; folded weights are private copies.
+func Compile(g *graph.Graph) *Fused {
+	return &Fused{inst: plan.Compile(g).NewInstance()}
+}
+
+// Name implements Engine.
+func (f *Fused) Name() string { return "fused" }
+
+// Forward implements Engine.
+func (f *Fused) Forward(x *tensor.Tensor) map[int]*tensor.Tensor {
+	outs := f.inst.Execute(x)
+	owned := make(map[int]*tensor.Tensor, len(outs))
+	for task, o := range outs {
+		owned[task] = o.Clone()
+	}
+	return owned
+}
+
+// Plan exposes the compiled plan for inspection tooling.
+func (f *Fused) Plan() *plan.Plan { return f.inst.Plan() }
+
+// OpStats exposes the instance's cumulative per-op timings.
+func (f *Fused) OpStats() []plan.OpStat { return f.inst.OpStats() }
+
+// ClosureFused is the legacy compiled executor: a tree of closures with
+// fold-time weight fusion but per-call arena scratch and goroutine-per-
+// branch parallelism. Safe for concurrent Forward calls.
+type ClosureFused struct {
 	root *fusedNode
 }
 
@@ -62,11 +102,11 @@ type fusedNode struct {
 }
 
 // Name implements Engine.
-func (f *Fused) Name() string { return "fused" }
+func (f *ClosureFused) Name() string { return "fused-closures" }
 
-// Compile builds a Fused engine from a trained graph. The graph is not
-// modified; folded weights are private copies.
-func Compile(g *graph.Graph) *Fused {
+// CompileClosures builds a ClosureFused engine from a trained graph. The
+// graph is not modified; folded weights are private copies.
+func CompileClosures(g *graph.Graph) *ClosureFused {
 	var build func(n *graph.Node) *fusedNode
 	build = func(n *graph.Node) *fusedNode {
 		fn := &fusedNode{taskID: n.TaskID, isHead: n.IsHead()}
@@ -80,12 +120,12 @@ func Compile(g *graph.Graph) *Fused {
 		}
 		return fn
 	}
-	return &Fused{root: build(g.Root)}
+	return &ClosureFused{root: build(g.Root)}
 }
 
 // Forward implements Engine: shared nodes run once, sibling subtrees run
 // concurrently.
-func (f *Fused) Forward(x *tensor.Tensor) map[int]*tensor.Tensor {
+func (f *ClosureFused) Forward(x *tensor.Tensor) map[int]*tensor.Tensor {
 	out := make(map[int]*tensor.Tensor)
 	var mu sync.Mutex
 	var walk func(n *fusedNode, in *tensor.Tensor)
@@ -117,33 +157,35 @@ func (f *Fused) Forward(x *tensor.Tensor) map[int]*tensor.Tensor {
 	return out
 }
 
-// compileLayer lowers one abstract-graph layer into an optimized closure.
+// compileLayer lowers one abstract-graph layer into an optimized closure,
+// reusing the plan package's weight folding (the single home of conv+BN
+// fusion math).
 func compileLayer(l nn.Layer) func(*tensor.Tensor) *tensor.Tensor {
 	switch v := l.(type) {
 	case *nn.ConvBlock:
-		conv := foldConvBN(v.Conv, v.BN)
+		conv := plan.FoldConvBN(v.Conv, v.BN)
 		pool := v.Pool
 		return func(x *tensor.Tensor) *tensor.Tensor {
-			y := conv.apply(x, true) // fused conv+bias+relu
+			y := conv.Apply(x, true) // fused conv+bias+relu
 			if pool != nil {
-				y, _ = maxPoolEval(y, pool.Kernel, pool.Stride)
+				y, _ = tensor.MaxPool(y, pool.Kernel, pool.Stride)
 			}
 			return y
 		}
 	case *nn.ResidualBlock:
-		c1 := foldConvBN(v.Conv1, v.BN1)
-		c2 := foldConvBN(v.Conv2, v.BN2)
-		var down *foldedConv
+		c1 := plan.FoldConvBN(v.Conv1, v.BN1)
+		c2 := plan.FoldConvBN(v.Conv2, v.BN2)
+		var down *plan.FoldedConv
 		if v.Down != nil {
-			down = foldConvBN(v.Down, v.DownBN)
+			down = plan.FoldConvBN(v.Down, v.DownBN)
 		}
 		return func(x *tensor.Tensor) *tensor.Tensor {
 			identity := x
 			if down != nil {
-				identity = down.apply(x, false)
+				identity = down.Apply(x, false)
 			}
-			h := c1.apply(x, true)
-			h = c2.apply(h, false)
+			h := c1.Apply(x, true)
+			h = c2.Apply(h, false)
 			// residual add + relu in one pass
 			hd, id := h.Data(), identity.Data()
 			for i := range hd {
@@ -176,93 +218,8 @@ func compileLayer(l nn.Layer) func(*tensor.Tensor) *tensor.Tensor {
 	}
 }
 
-// foldedConv is a convolution with BN folded into weights and bias.
-type foldedConv struct {
-	inC, outC, k, stride, pad int
-	weight                    *tensor.Tensor // [outC, inC*k*k]
-	bias                      []float32
-}
-
-// foldConvBN folds eval-mode batch norm into the convolution:
-// W'_o = W_o * gamma_o/sqrt(var_o+eps), b'_o = (b_o-mean_o)*s_o + beta_o.
-func foldConvBN(c *nn.Conv2d, bn *nn.BatchNorm2d) *foldedConv {
-	f := &foldedConv{
-		inC: c.InC, outC: c.OutC, k: c.Kernel, stride: c.Stride, pad: c.Pad,
-		weight: c.Weight.Value.Clone(),
-		bias:   make([]float32, c.OutC),
-	}
-	copy(f.bias, c.Bias.Value.Data())
-	if bn != nil {
-		wd := f.weight.Data()
-		cols := f.weight.Dim(1)
-		for o := 0; o < f.outC; o++ {
-			variance := bn.RunningVar.Data()[o]
-			scale := bn.Gamma.Value.Data()[o] / sqrtf(variance+bn.Eps)
-			for j := 0; j < cols; j++ {
-				wd[o*cols+j] *= scale
-			}
-			f.bias[o] = (f.bias[o]-bn.RunningMean.Data()[o])*scale + bn.Beta.Value.Data()[o]
-		}
-	}
-	return f
-}
-
-func sqrtf(v float32) float32 {
-	if v <= 0 {
-		return 0
-	}
-	x := v
-	for i := 0; i < 20; i++ {
-		x = 0.5 * (x + v/x)
-	}
-	return x
-}
-
-// Compiled convolutions draw their im2col and matmul workspace from the
-// tensor package's shared buffer arena (tensor.GetTensorDirty/PutBuf), the
-// same allocator the training path and GEMM pack buffers use. Buffers are
-// returned before apply exits, so concurrent Forward calls remain safe.
-
-// apply runs the folded convolution; relu fuses the activation into the
-// output pass.
-func (f *foldedConv) apply(x *tensor.Tensor, relu bool) *tensor.Tensor {
-	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
-	oh := tensor.ConvOut(h, f.k, f.stride, f.pad)
-	ow := tensor.ConvOut(w, f.k, f.stride, f.pad)
-	cols, colsBuf := tensor.GetTensorDirty(n*oh*ow, f.inC*f.k*f.k)
-	defer tensor.PutBuf(colsBuf)
-	tensor.Im2ColInto(cols, x, f.k, f.k, f.stride, f.pad)
-	flat, flatBuf := tensor.GetTensorDirty(n*oh*ow, f.outC)
-	defer tensor.PutBuf(flatBuf)
-	tensor.MatMulTransBInto(flat, cols, f.weight)
-	out := tensor.New(n, f.outC, oh, ow)
-	fd, od := flat.Data(), out.Data()
-	outC, bias := f.outC, f.bias
-	tensor.ParallelFor(n*oh, func(lo, hi int) {
-		for noy := lo; noy < hi; noy++ {
-			ni, oy := noy/oh, noy%oh
-			for ox := 0; ox < ow; ox++ {
-				src := fd[(noy*ow+ox)*outC:][:outC]
-				for oc, v := range src {
-					v += bias[oc]
-					if relu && v < 0 {
-						v = 0
-					}
-					od[((ni*outC+oc)*oh+oy)*ow+ox] = v
-				}
-			}
-		}
-	})
-	return out
-}
-
-// maxPoolEval is inference-only pooling without argmax bookkeeping.
-func maxPoolEval(x *tensor.Tensor, k, stride int) (*tensor.Tensor, []int32) {
-	return tensor.MaxPool(x, k, stride)
-}
-
-// Measure times an engine over the given input shape, reporting a trimmed
-// mean of wall-clock runs.
+// Measure times an engine over the given input shape, reporting the
+// minimum of wall-clock runs (see internal/timing for why min, not mean).
 func Measure(e Engine, inputShape graph.Shape, batch, warmup, runs int) time.Duration {
 	if batch <= 0 {
 		batch = 8
@@ -277,22 +234,5 @@ func Measure(e Engine, inputShape graph.Shape, batch, warmup, runs int) time.Dur
 	if len(inputShape) != 1 {
 		tensor.NewRNG(7).FillNormal(x, 0, 1)
 	}
-	for i := 0; i < warmup; i++ {
-		e.Forward(x)
-	}
-	times := make([]time.Duration, runs)
-	for i := range times {
-		t0 := time.Now()
-		e.Forward(x)
-		times[i] = time.Since(t0)
-	}
-	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-	if runs >= 4 {
-		times = times[1 : len(times)-1]
-	}
-	var sum time.Duration
-	for _, t := range times {
-		sum += t
-	}
-	return sum / time.Duration(len(times))
+	return timing.MinOfRuns(warmup, runs, func() { e.Forward(x) })
 }

@@ -11,7 +11,9 @@ import (
 	"repro/internal/distill"
 	"repro/internal/filter"
 	"repro/internal/graph"
+	"repro/internal/plan"
 	"repro/internal/tensor"
+	"repro/internal/timing"
 )
 
 // FLOPs returns the analytic per-sample floating point operation count of
@@ -24,9 +26,13 @@ type LatencyOptions struct {
 	Batch int
 	// Warmup executions are discarded (default 1).
 	Warmup int
-	// Runs timed executions are performed; the minimum is reported, which
-	// is robust against interference from concurrent load. Default 5.
+	// Runs timed executions are performed; the minimum is reported (see
+	// internal/timing for the rationale). Default 5.
 	Runs int
+	// Compiled times a compiled execution plan (what cmd/serve deploys)
+	// instead of the eager graph walk. Compilation happens outside the
+	// timing loop, so the measurement reflects steady-state serving cost.
+	Compiled bool
 }
 
 func (o LatencyOptions) withDefaults() LatencyOptions {
@@ -43,23 +49,17 @@ func (o LatencyOptions) withDefaults() LatencyOptions {
 }
 
 // Latency measures the graph's inference wall-clock on a synthetic batch
-// shaped like the graph input.
+// shaped like the graph input. With opts.Compiled it measures a compiled
+// plan instance rather than the eager walk.
 func Latency(g *graph.Graph, opts LatencyOptions) time.Duration {
 	opts = opts.withDefaults()
 	x, handle := inputBatch(g, opts.Batch)
 	defer tensor.PutBuf(handle)
-	for i := 0; i < opts.Warmup; i++ {
-		g.Forward(x, false)
+	if opts.Compiled {
+		inst := plan.Compile(g).NewInstance()
+		return timing.MinOfRuns(opts.Warmup, opts.Runs, func() { inst.Execute(x) })
 	}
-	best := time.Duration(1<<63 - 1)
-	for i := 0; i < opts.Runs; i++ {
-		start := time.Now()
-		g.Forward(x, false)
-		if d := time.Since(start); d < best {
-			best = d
-		}
-	}
-	return best
+	return timing.MinOfRuns(opts.Warmup, opts.Runs, func() { g.Forward(x, false) })
 }
 
 // inputBatch builds a batch matching the graph's input domain: gaussian

@@ -49,6 +49,17 @@ func TestLatencyPositiveAndOrdered(t *testing.T) {
 	}
 }
 
+// Compiled mode times the execution plan the serving path deploys; it must
+// work on the same graphs the eager mode does.
+func TestLatencyCompiledMode(t *testing.T) {
+	ds := testutil.TinyFace(6, 8, 8)
+	g := testutil.TinyMultiDNN(7, ds)
+	opts := estimator.LatencyOptions{Batch: 4, Warmup: 1, Runs: 3, Compiled: true}
+	if lat := estimator.Latency(g, opts); lat <= 0 {
+		t.Fatal("compiled latency must be positive")
+	}
+}
+
 func TestAccuracyEstimatorRuleFilterAndStats(t *testing.T) {
 	ds := testutil.TinyFace(7, 64, 32)
 	teacher := testutil.TinyMultiDNN(8, ds)

@@ -65,6 +65,10 @@ type Server struct {
 	vocab   int // token vocabulary for 1-D inputs; 0 for image models
 	opts    Options
 	batcher *batcher.Batcher
+	// fused holds the pool's plan-backed engines (possibly empty when the
+	// caller injected custom engines); /v1/stats aggregates their per-op
+	// timing counters.
+	fused []*engine.Fused
 
 	failures atomic.Int64
 	rejected atomic.Int64
@@ -102,7 +106,13 @@ func New(model *graph.Graph, opts Options) (*Server, error) {
 	if len(shape) == 1 {
 		vocab = serve.VocabOf(model)
 	}
-	return &Server{model: model, shape: shape, per: per, vocab: vocab, opts: opts, batcher: b}, nil
+	var fused []*engine.Fused
+	for _, e := range engines {
+		if f, ok := e.(*engine.Fused); ok {
+			fused = append(fused, f)
+		}
+	}
+	return &Server{model: model, shape: shape, per: per, vocab: vocab, opts: opts, batcher: b, fused: fused}, nil
 }
 
 // Handler returns the HTTP handler.
@@ -241,7 +251,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Batches:    bst.Batches,
 		MeanBatch:  bst.MeanBatch,
 		BatchHist:  bst.BatchHist,
+		Plan:       s.planStats(),
 	})
+}
+
+// planStats aggregates the per-op timing counters of every plan-backed
+// engine in the pool. All pool engines compile the same model, so the op
+// lists align index-for-index; schedule metadata comes from the first.
+func (s *Server) planStats() *api.PlanStats {
+	if len(s.fused) == 0 {
+		return nil
+	}
+	r := s.fused[0].Plan().Report()
+	ps := &api.PlanStats{
+		Waves: len(r.Waves), Slabs: r.Slabs,
+		PeakBytes: r.PeakBytes, NaiveBytes: r.NaiveBytes,
+		Ops: make([]api.PlanOpStat, len(r.Ops)),
+	}
+	for i, o := range r.Ops {
+		ps.Ops[i] = api.PlanOpStat{Name: o.Name, Kind: o.Kind, Wave: o.Wave}
+	}
+	for _, f := range s.fused {
+		for i, st := range f.OpStats() {
+			ps.Ops[i].Calls += st.Calls
+			ps.Ops[i].Micros += st.Nanos / 1e3
+		}
+	}
+	return ps
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

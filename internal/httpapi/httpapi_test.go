@@ -181,6 +181,39 @@ func TestModelAndStatsEndpoints(t *testing.T) {
 	}
 }
 
+// The stats endpoint must surface the compiled plan's schedule and per-op
+// counters, aggregated across the whole engine pool.
+func TestStatsPlanSection(t *testing.T) {
+	c, _, per := newTestServer(t, httpapi.Options{Pool: 2})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Infer(ctx, sampleInput(per)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := st.Plan
+	if p == nil {
+		t.Fatal("stats carry no plan section for a plan-backed pool")
+	}
+	if len(p.Ops) == 0 || p.Waves <= 0 || p.Slabs <= 0 {
+		t.Fatalf("plan schedule metadata missing: %+v", p)
+	}
+	if p.PeakBytes <= 0 || p.PeakBytes > p.NaiveBytes {
+		t.Fatalf("planned bytes %d vs naive %d", p.PeakBytes, p.NaiveBytes)
+	}
+	// Every op runs exactly once per fused pass, whichever pool engine took
+	// the batch, so pool-aggregated calls must equal the batch count.
+	for _, op := range p.Ops {
+		if op.Calls != st.Batches {
+			t.Fatalf("op %q calls = %d, batches = %d", op.Name, op.Calls, st.Batches)
+		}
+	}
+}
+
 // Concurrent clients must all be served correctly through the batcher.
 func TestConcurrentInference(t *testing.T) {
 	c, _, per := newTestServer(t, httpapi.Options{Pool: 2, MaxBatch: 4})

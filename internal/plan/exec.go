@@ -1,0 +1,378 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Instance is the runtime state for executing one Plan: arena-leased slabs,
+// tensor registers viewing them, prebuilt op runners, and per-op timing
+// counters. Building the register file and runner closures happens once (and
+// again only when the batch size changes), so a steady-state Execute
+// performs zero tensor allocations: every op writes into its planned slab
+// through a pre-wired kernel.
+//
+// An Instance is not safe for concurrent Execute calls — returned outputs
+// alias plan-owned slabs that the next Execute overwrites. The timing
+// counters ARE safe to read concurrently (they are atomics, because wave
+// ops run on pool workers and stats endpoints poll during execution).
+type Instance struct {
+	p     *Plan
+	batch int // bound batch size; 0 before the first Execute
+
+	slabs []*[]float32     // arena leases, one per plan slab
+	regs  []*tensor.Tensor // value id -> tensor view over its slab
+	outs  map[int]*tensor.Tensor
+
+	runners    []func()      // op id -> bound kernel
+	waveBodies []func(i int) // per wave, dispatch body for ParallelTasks
+
+	nanos []atomic.Int64 // op id -> cumulative execution nanoseconds
+	calls []atomic.Int64 // op id -> cumulative invocations
+}
+
+// NewInstance builds runtime state for the plan. Buffers are leased lazily
+// on the first Execute, so idle pool slots cost nothing.
+func (p *Plan) NewInstance() *Instance {
+	inst := &Instance{
+		p:     p,
+		slabs: make([]*[]float32, len(p.SlabElems)),
+		regs:  make([]*tensor.Tensor, len(p.Values)),
+		outs:  make(map[int]*tensor.Tensor, len(p.Heads)),
+		nanos: make([]atomic.Int64, len(p.Ops)),
+		calls: make([]atomic.Int64, len(p.Ops)),
+	}
+	inst.runners = make([]func(), len(p.Ops))
+	for _, o := range p.Ops {
+		inst.runners[o.ID] = o.spec.build(inst, o)
+	}
+	inst.waveBodies = make([]func(i int), len(p.Waves))
+	for w, ops := range p.Waves {
+		if len(ops) > 1 {
+			ops := ops
+			inst.waveBodies[w] = func(i int) { inst.runOp(ops[i]) }
+		}
+	}
+	return inst
+}
+
+// Plan returns the compiled plan the instance executes.
+func (inst *Instance) Plan() *Plan { return inst.p }
+
+// bind (re)leases slabs and rebuilds the register file for a batch size.
+// Called only when the batch changes; GrowBuf keeps existing leases when
+// they are already large enough.
+func (inst *Instance) bind(n int) {
+	inst.batch = n
+	for i, elems := range inst.p.SlabElems {
+		inst.slabs[i] = tensor.GrowBuf(inst.slabs[i], elems*n)
+	}
+	for _, v := range inst.p.Values {
+		if v.Producer < 0 {
+			continue // the input register is rebound on every Execute
+		}
+		buf := (*inst.slabs[v.Slab])[:v.Elems()*n]
+		if v.Rows2D {
+			inst.regs[v.ID] = tensor.FromSlice(buf, n*v.Shape[0], v.Shape[1])
+		} else {
+			inst.regs[v.ID] = tensor.FromSlice(buf, append([]int{n}, v.Shape...)...)
+		}
+	}
+	for task, vid := range inst.p.Heads {
+		inst.outs[task] = inst.regs[vid]
+	}
+}
+
+// runOp executes one op through its prebuilt runner, accumulating wall time.
+func (inst *Instance) runOp(id int) {
+	start := time.Now()
+	inst.runners[id]()
+	inst.nanos[id].Add(int64(time.Since(start)))
+	inst.calls[id].Add(1)
+}
+
+// Execute runs the plan on x (shape [N, InShape...]) and returns the head
+// outputs by task id. The returned tensors alias plan-owned buffers that the
+// next Execute overwrites; callers that retain outputs must clone them. The
+// map itself is also reused across calls.
+func (inst *Instance) Execute(x *tensor.Tensor) map[int]*tensor.Tensor {
+	want := inst.p.InShape
+	if x.Rank() != len(want)+1 {
+		panic(fmt.Sprintf("plan: Execute input %v, want [N %v]", x.Shape(), want))
+	}
+	for i, d := range want {
+		if x.Dim(i+1) != d {
+			panic(fmt.Sprintf("plan: Execute input %v, want [N %v]", x.Shape(), want))
+		}
+	}
+	if n := x.Dim(0); n != inst.batch {
+		inst.bind(n)
+	}
+	inst.regs[inst.p.InValue] = x
+	for w, ops := range inst.p.Waves {
+		if len(ops) == 1 {
+			inst.runOp(ops[0])
+		} else {
+			tensor.ParallelTasks(len(ops), inst.waveBodies[w])
+		}
+	}
+	return inst.outs
+}
+
+// OpStat is one op's cumulative execution record.
+type OpStat struct {
+	ID    int
+	Name  string
+	Kind  string
+	Wave  int
+	Calls int64
+	Nanos int64
+}
+
+// OpStats snapshots the per-op timing counters. Safe to call concurrently
+// with Execute.
+func (inst *Instance) OpStats() []OpStat {
+	stats := make([]OpStat, len(inst.p.Ops))
+	for _, o := range inst.p.Ops {
+		stats[o.ID] = OpStat{
+			ID: o.ID, Name: o.Name, Kind: o.Kind, Wave: o.Wave,
+			Calls: inst.calls[o.ID].Load(),
+			Nanos: inst.nanos[o.ID].Load(),
+		}
+	}
+	return stats
+}
+
+// ---- kernel specs ----
+//
+// Each spec's build returns a runner closure bound to the instance. Runners
+// read inst.regs at call time (registers are swapped on batch rebinds), and
+// any ParallelFor bodies are created here, once, so the hot path allocates
+// nothing.
+
+// convSpec is the fused conv(+BN)(+ReLU)(+maxpool) kernel.
+type convSpec struct {
+	f            *FoldedConv
+	relu         bool
+	cols, flat   int // scratch value ids
+	pre          int // pre-pool scratch value id, -1 without pooling
+	poolK, poolS int
+}
+
+func (s *convSpec) build(inst *Instance, o *Op) func() {
+	in, out := o.In, o.Out
+	return func() {
+		x := inst.regs[in]
+		dst := inst.regs[out]
+		if s.pre >= 0 {
+			pre := inst.regs[s.pre]
+			s.f.run(pre, x, inst.regs[s.cols], inst.regs[s.flat], s.relu)
+			tensor.MaxPoolEvalInto(dst, pre, s.poolK, s.poolS)
+			return
+		}
+		s.f.run(dst, x, inst.regs[s.cols], inst.regs[s.flat], s.relu)
+	}
+}
+
+// bnSpec is a standalone folded batch norm (op-granularity graphs only;
+// block-granularity BNs fold into their convolution).
+type bnSpec struct {
+	scale, shift []float32
+	c, hw        int
+}
+
+func (s *bnSpec) build(inst *Instance, o *Op) func() {
+	in, out := o.In, o.Out
+	body := func(lo, hi int) {
+		xd := inst.regs[in].Data()
+		dd := inst.regs[out].Data()
+		for nc := lo; nc < hi; nc++ {
+			ch := nc % s.c
+			sc, sh := s.scale[ch], s.shift[ch]
+			xrow := xd[nc*s.hw:][:s.hw]
+			drow := dd[nc*s.hw:][:s.hw]
+			for i, v := range xrow {
+				drow[i] = v*sc + sh
+			}
+		}
+	}
+	return func() { tensor.ParallelFor(inst.batch*s.c, body) }
+}
+
+// ewSpec is an elementwise activation: ReLU when relu is set, GELU (tanh
+// approximation, matching nn.GELU) otherwise.
+type ewSpec struct {
+	relu bool
+}
+
+const (
+	geluC0 = 0.7978845608028654 // sqrt(2/pi)
+	geluC1 = 0.044715
+)
+
+func (s *ewSpec) build(inst *Instance, o *Op) func() {
+	in, out := o.In, o.Out
+	var body func(lo, hi int)
+	if s.relu {
+		body = func(lo, hi int) {
+			xd := inst.regs[in].Data()
+			dd := inst.regs[out].Data()
+			for i := lo; i < hi; i++ {
+				if v := xd[i]; v > 0 {
+					dd[i] = v
+				} else {
+					dd[i] = 0
+				}
+			}
+		}
+	} else {
+		body = func(lo, hi int) {
+			xd := inst.regs[in].Data()
+			dd := inst.regs[out].Data()
+			for i := lo; i < hi; i++ {
+				v := float64(xd[i])
+				t := math.Tanh(geluC0 * (v + geluC1*v*v*v))
+				dd[i] = float32(0.5 * v * (1 + t))
+			}
+		}
+	}
+	return func() { tensor.ParallelFor(inst.regs[out].Size(), body) }
+}
+
+// addReluSpec fuses the residual join: dst = max(a + b, 0).
+type addReluSpec struct{}
+
+func (s *addReluSpec) build(inst *Instance, o *Op) func() {
+	a, b, out := o.In, o.In2, o.Out
+	body := func(lo, hi int) {
+		ad := inst.regs[a].Data()
+		bd := inst.regs[b].Data()
+		dd := inst.regs[out].Data()
+		for i := lo; i < hi; i++ {
+			if v := ad[i] + bd[i]; v > 0 {
+				dd[i] = v
+			} else {
+				dd[i] = 0
+			}
+		}
+	}
+	return func() { tensor.ParallelFor(inst.regs[out].Size(), body) }
+}
+
+// maxPoolSpec is standalone max pooling (op-granularity graphs).
+type maxPoolSpec struct {
+	k, stride int
+}
+
+func (s *maxPoolSpec) build(inst *Instance, o *Op) func() {
+	in, out := o.In, o.Out
+	return func() { tensor.MaxPoolEvalInto(inst.regs[out], inst.regs[in], s.k, s.stride) }
+}
+
+// avgPoolSpec is global average pooling [N,C,H,W] -> [N,C].
+type avgPoolSpec struct{}
+
+func (s *avgPoolSpec) build(inst *Instance, o *Op) func() {
+	in, out := o.In, o.Out
+	return func() { tensor.AvgPoolGlobalInto(inst.regs[out], inst.regs[in]) }
+}
+
+// tokenMeanSpec averages tokens [N,T,D] -> [N,D].
+type tokenMeanSpec struct {
+	t, d int
+}
+
+func (s *tokenMeanSpec) build(inst *Instance, o *Op) func() {
+	in, out := o.In, o.Out
+	inv := 1 / float32(s.t)
+	return func() {
+		xd := inst.regs[in].Data()
+		dd := inst.regs[out].Data()
+		for ni := 0; ni < inst.batch; ni++ {
+			dst := dd[ni*s.d : (ni+1)*s.d]
+			src := xd[ni*s.t*s.d : (ni*s.t+1)*s.d]
+			copy(dst, src)
+			for ti := 1; ti < s.t; ti++ {
+				row := xd[(ni*s.t+ti)*s.d:][:s.d]
+				for p, v := range row {
+					dst[p] += v
+				}
+			}
+			for p := range dst {
+				dst[p] *= inv
+			}
+		}
+	}
+}
+
+// copySpec forwards data unchanged under a new shape (Flatten).
+type copySpec struct{}
+
+func (s *copySpec) build(inst *Instance, o *Op) func() {
+	in, out := o.In, o.Out
+	return func() { copy(inst.regs[out].Data(), inst.regs[in].Data()) }
+}
+
+// linearSpec is a fully connected layer with folded bias; token inputs
+// [N,T,D] are viewed as [N*T,D]. The 2-D views are tensor headers rebuilt
+// only when the batch changes.
+type linearSpec struct {
+	in, out int
+	w       *tensor.Tensor // [in, out], plan-owned copy
+	bias    []float32
+}
+
+func (s *linearSpec) build(inst *Instance, o *Op) func() {
+	inV, outV := o.In, o.Out
+	// A linear fed straight by the graph input sees a different caller
+	// tensor every Execute, so its view can never be cached.
+	inputFed := inV == inst.p.InValue
+	var x2d, y2d *tensor.Tensor
+	bound := -1
+	return func() {
+		x := inst.regs[inV]
+		y := inst.regs[outV]
+		rows := x.Size() / s.in
+		if bound != inst.batch || inputFed {
+			x2d = tensor.FromSlice(x.Data(), rows, s.in)
+			y2d = tensor.FromSlice(y.Data(), rows, s.out)
+			bound = inst.batch
+		}
+		tensor.MatMulInto(y2d, x2d, s.w)
+		yd := y2d.Data()
+		for r := 0; r < rows; r++ {
+			row := yd[r*s.out:][:s.out]
+			for j := range row {
+				row[j] += s.bias[j]
+			}
+		}
+	}
+}
+
+// interpSpec is bilinear spatial resampling (the Rescale2D front half).
+type interpSpec struct{}
+
+func (s *interpSpec) build(inst *Instance, o *Op) func() {
+	in, out := o.In, o.Out
+	return func() { tensor.InterpolateInto(inst.regs[out], inst.regs[in]) }
+}
+
+// eagerSpec runs a private clone of an nn layer and copies the result into
+// the planned register. Correct for any layer, but allocating — used for
+// transformer blocks and embeddings that have no native kernel yet.
+type eagerSpec struct {
+	layer nn.Layer
+}
+
+func (s *eagerSpec) build(inst *Instance, o *Op) func() {
+	in, out := o.In, o.Out
+	return func() {
+		y := s.layer.Forward(inst.regs[in], false)
+		copy(inst.regs[out].Data(), y.Data())
+	}
+}

@@ -1,0 +1,153 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Lowering: one graph node becomes one or more plan ops. Fusion decisions
+// happen here, at compile time — conv+BN+ReLU(+pool) collapse into a single
+// conv op with folded weights, the residual tail becomes one add+relu op,
+// Dropout disappears entirely — so the executor never re-discovers them.
+// Layers without a native kernel (transformer blocks, embeddings) fall back
+// to an eager op that runs a private clone of the nn layer; correct, but
+// allocating, so the zero-allocation guarantee holds only for graphs lowered
+// entirely to native kernels (all CNN-family zoo profiles).
+
+// lowerNode lowers one graph node's layer, returning its output value id.
+func (c *compiler) lowerNode(n *graph.Node, inVal int) int {
+	return c.lowerLayer(fmt.Sprintf("t%d/op%d", n.TaskID, n.OpID), n.Layer, inVal)
+}
+
+// lowerLayer dispatches on the concrete layer type.
+func (c *compiler) lowerLayer(name string, l nn.Layer, inVal int) int {
+	switch l := l.(type) {
+	case *nn.Sequential:
+		v := inVal
+		for i, sub := range l.Layers {
+			v = c.lowerLayer(fmt.Sprintf("%s/%d", name, i), sub, v)
+		}
+		return v
+	case *nn.ConvBlock:
+		poolK, poolS := 0, 0
+		if l.Pool != nil {
+			poolK, poolS = l.Pool.Kernel, l.Pool.Stride
+		}
+		return c.lowerConv(name+" "+l.Name(), FoldConvBN(l.Conv, l.BN), true, poolK, poolS, inVal)
+	case *nn.ResidualBlock:
+		return c.lowerResidual(name, l, inVal)
+	case *nn.Conv2d:
+		return c.lowerConv(name+" "+l.Name(), FoldConvBN(l, nil), false, 0, 0, inVal)
+	case *nn.BatchNorm2d:
+		scale, shift := FoldBN(l)
+		in := c.val(inVal)
+		out := c.newValue(in.Shape, false, -1)
+		return c.addOp(&Op{
+			Name: name + " " + l.Name(), Kind: "bn", In: inVal, In2: -1, Out: out,
+			spec: &bnSpec{scale: scale, shift: shift, c: in.Shape[0], hw: in.Shape[1] * in.Shape[2]},
+		})
+	case *nn.ReLU:
+		out := c.newValue(c.val(inVal).Shape, false, -1)
+		return c.addOp(&Op{Name: name + " ReLU", Kind: "relu", In: inVal, In2: -1, Out: out, spec: &ewSpec{relu: true}})
+	case *nn.GELU:
+		out := c.newValue(c.val(inVal).Shape, false, -1)
+		return c.addOp(&Op{Name: name + " GELU", Kind: "gelu", In: inVal, In2: -1, Out: out, spec: &ewSpec{relu: false}})
+	case *nn.MaxPool2d:
+		in := c.val(inVal)
+		out := c.newValue([]int{
+			in.Shape[0],
+			tensor.ConvOut(in.Shape[1], l.Kernel, l.Stride, 0),
+			tensor.ConvOut(in.Shape[2], l.Kernel, l.Stride, 0),
+		}, false, -1)
+		return c.addOp(&Op{
+			Name: name + " " + l.Name(), Kind: "maxpool", In: inVal, In2: -1, Out: out,
+			spec: &maxPoolSpec{k: l.Kernel, stride: l.Stride},
+		})
+	case *nn.GlobalAvgPool:
+		out := c.newValue([]int{c.val(inVal).Shape[0]}, false, -1)
+		return c.addOp(&Op{Name: name + " GlobalAvgPool", Kind: "avgpool", In: inVal, In2: -1, Out: out, spec: &avgPoolSpec{}})
+	case *nn.TokenMeanPool:
+		in := c.val(inVal)
+		out := c.newValue([]int{in.Shape[1]}, false, -1)
+		return c.addOp(&Op{
+			Name: name + " TokenMeanPool", Kind: "tokenmean", In: inVal, In2: -1, Out: out,
+			spec: &tokenMeanSpec{t: in.Shape[0], d: in.Shape[1]},
+		})
+	case *nn.Flatten:
+		out := c.newValue([]int{c.val(inVal).Elems()}, false, -1)
+		return c.addOp(&Op{Name: name + " Flatten", Kind: "copy", In: inVal, In2: -1, Out: out, spec: &copySpec{}})
+	case *nn.Linear:
+		out := c.newValue(l.OutShape(c.val(inVal).Shape), false, -1)
+		bias := make([]float32, l.Out)
+		copy(bias, l.Bias.Value.Data())
+		return c.addOp(&Op{
+			Name: name + " " + l.Name(), Kind: "linear", In: inVal, In2: -1, Out: out,
+			spec: &linearSpec{in: l.In, out: l.Out, w: l.Weight.Value.Clone(), bias: bias},
+		})
+	case *nn.Rescale2D:
+		v := c.newValue([]int{l.InC, l.OutH, l.OutW}, false, -1)
+		v = c.addOp(&Op{Name: name + " interp", Kind: "interp", In: inVal, In2: -1, Out: v, spec: &interpSpec{}})
+		if l.Proj != nil {
+			v = c.lowerConv(name+" proj "+l.Proj.Name(), FoldConvBN(l.Proj, nil), false, 0, 0, v)
+		}
+		return v
+	case *nn.Dropout:
+		// Identity at inference: the op vanishes and consumers read the
+		// producer's value directly.
+		return inVal
+	default:
+		// Eager fallback: run a private clone of the layer and copy its
+		// output into the planned register.
+		out := c.newValue(l.OutShape(c.val(inVal).Shape), false, -1)
+		return c.addOp(&Op{
+			Name: name + " " + l.Name(), Kind: "eager", In: inVal, In2: -1, Out: out,
+			spec: &eagerSpec{layer: l.Clone()},
+		})
+	}
+}
+
+// val fetches a value by id.
+func (c *compiler) val(id int) *Value { return c.p.Values[id] }
+
+// lowerConv emits one fused convolution op: folded conv (+ReLU) (+max
+// pool), with im2col and GEMM scratch as rows2d workspace values.
+func (c *compiler) lowerConv(name string, f *FoldedConv, relu bool, poolK, poolS int, inVal int) int {
+	in := c.val(inVal)
+	h, w := in.Shape[1], in.Shape[2]
+	oh := tensor.ConvOut(h, f.K, f.Stride, f.Pad)
+	ow := tensor.ConvOut(w, f.K, f.Stride, f.Pad)
+	cols := c.newValue([]int{oh * ow, f.InC * f.K * f.K}, true, -1)
+	flat := c.newValue([]int{oh * ow, f.OutC}, true, -1)
+	scratch := []int{cols, flat}
+	outShape := []int{f.OutC, oh, ow}
+	s := &convSpec{f: f, relu: relu, cols: cols, flat: flat, pre: -1}
+	if poolK > 0 {
+		pre := c.newValue([]int{f.OutC, oh, ow}, false, -1)
+		scratch = append(scratch, pre)
+		s.pre, s.poolK, s.poolS = pre, poolK, poolS
+		outShape = []int{f.OutC, tensor.ConvOut(oh, poolK, poolS, 0), tensor.ConvOut(ow, poolK, poolS, 0)}
+	}
+	out := c.newValue(outShape, false, -1)
+	return c.addOp(&Op{Name: name, Kind: "conv", In: inVal, In2: -1, Out: out, Scratch: scratch, spec: s})
+}
+
+// lowerResidual emits the ResNet basic block as up to four ops. The main
+// path (conv1 -> conv2) and the downsample projection have no mutual data
+// dependency, so the wave scheduler runs conv1 and the downsample in the
+// same wave — intra-block parallelism the closure engine executed serially.
+func (c *compiler) lowerResidual(name string, l *nn.ResidualBlock, inVal int) int {
+	c1 := c.lowerConv(name+" conv1+bn+relu", FoldConvBN(l.Conv1, l.BN1), true, 0, 0, inVal)
+	c2 := c.lowerConv(name+" conv2+bn", FoldConvBN(l.Conv2, l.BN2), false, 0, 0, c1)
+	identity := inVal
+	if l.Down != nil {
+		identity = c.lowerConv(name+" downsample+bn", FoldConvBN(l.Down, l.DownBN), false, 0, 0, inVal)
+	}
+	out := c.newValue(c.val(c2).Shape, false, -1)
+	return c.addOp(&Op{
+		Name: name + " add+relu", Kind: "addrelu", In: c2, In2: identity, Out: out,
+		spec: &addReluSpec{},
+	})
+}

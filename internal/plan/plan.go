@@ -1,0 +1,361 @@
+// Package plan compiles a trained abstract graph into a static execution
+// plan: a flat, topologically ordered op list with all fusion decisions
+// (conv+BN+ReLU folding, linear+bias, residual add+ReLU) made at lowering
+// time, a wave schedule that turns branch parallelism into precomputed
+// stages, and a liveness-based buffer plan that maps every intermediate
+// tensor onto a small set of reusable arena-backed slabs.
+//
+// The package realizes the compiler-runtime split GMorph assumes of its
+// serving substrate (the paper's TensorRT comparison, and DNNFusion-style
+// fusion-plus-memory-planning): Compile runs once per model, Instance
+// executes arbitrarily many forwards with zero steady-state tensor
+// allocations and no per-call graph walk.
+//
+//	Plan     — immutable compile artifact: ops, values, waves, slab sizes.
+//	Instance — per-goroutine runtime state: slab leases, registers, timers.
+//
+// Instances are NOT safe for concurrent use (outputs live in plan-owned
+// slabs); run one instance per concurrent stream, as the serving layer's
+// engine pool does.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Value is one tensor in the plan: the graph input, an op output, or op
+// scratch. Shapes are per-sample; the batch dimension is bound at run time.
+type Value struct {
+	ID int
+	// Shape is the per-sample shape. When Rows2D is set the runtime layout
+	// is [batch*Shape[0], Shape[1]] (im2col scratch rows scale with batch)
+	// instead of [batch, Shape...].
+	Shape  []int
+	Rows2D bool
+	// Producer is the op that writes the value; -1 for the graph input.
+	Producer int
+	// Scratch marks op-private workspace (dead as soon as its op retires).
+	Scratch bool
+	// Head is the task id when the value is a task output, else -1. Head
+	// values are never recycled.
+	Head int
+	// Born and Dies delimit the value's liveness in wave indices:
+	// written during wave Born, last read during wave Dies.
+	Born, Dies int
+	// Slab is the buffer the value is assigned to; -1 for the graph input,
+	// which aliases the caller's tensor.
+	Slab int
+}
+
+// Elems returns the value's per-sample element count.
+func (v *Value) Elems() int {
+	n := 1
+	for _, d := range v.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Op is one fused operation in the flat program.
+type Op struct {
+	ID int
+	// Name locates the op in reports, e.g. "t0/op2 conv3x3(6->12)+bn+relu+pool".
+	Name string
+	// Kind is the kernel family: conv, bn, relu, maxpool, avgpool, addrelu,
+	// linear, interp, tokenmean, copy, eager.
+	Kind string
+	// In is the main input value; In2 is the second input of addrelu (-1
+	// otherwise).
+	In, In2 int
+	// Out is the output value.
+	Out int
+	// Scratch lists op-private workspace values.
+	Scratch []int
+	// Wave is the stage the op executes in; ops sharing a wave have no data
+	// dependencies and run concurrently.
+	Wave int
+
+	spec spec
+}
+
+// spec is the compile-time kernel description; build binds it to an
+// instance's registers, returning the op's runner.
+type spec interface {
+	build(inst *Instance, o *Op) func()
+}
+
+// Plan is the immutable compile artifact. All slices are indexed by the
+// respective ID fields.
+type Plan struct {
+	// InShape is the per-sample input shape the plan accepts.
+	InShape []int
+	// InValue is the value id aliasing the caller's input tensor.
+	InValue int
+
+	Values []*Value
+	Ops    []*Op
+	// Waves groups op ids into execution stages in dependency order.
+	Waves [][]int
+	// SlabElems is each slab's per-sample element capacity; a slab's byte
+	// size at batch B is SlabElems[i]*B*4.
+	SlabElems []int
+	// Heads maps task id to its output value id.
+	Heads map[int]int
+	// TaskNames mirrors the graph's task naming for reports.
+	TaskNames map[int]string
+}
+
+// headAlive marks head values immortal in liveness analysis.
+const headAlive = math.MaxInt32
+
+// Compile lowers a trained graph into an execution plan. The graph is not
+// modified; folded weights are private copies. Like graph.Forward, Compile
+// panics on structurally invalid graphs (Validate catches those earlier).
+func Compile(g *graph.Graph) *Plan {
+	c := &compiler{
+		p: &Plan{
+			InShape:   append([]int(nil), g.Root.InputShape...),
+			Heads:     make(map[int]int, len(g.Heads)),
+			TaskNames: make(map[int]string, len(g.TaskNames)),
+		},
+	}
+	for id, name := range g.TaskNames {
+		c.p.TaskNames[id] = name
+	}
+	c.p.InValue = c.newValue(c.p.InShape, false, -1)
+	c.lowerChildren(g.Root, c.p.InValue)
+	c.schedule()
+	c.liveness()
+	c.assignSlabs()
+	return c.p
+}
+
+// compiler accumulates plan state during lowering.
+type compiler struct {
+	p *Plan
+}
+
+// newValue appends a value and returns its id.
+func (c *compiler) newValue(shape []int, rows2d bool, producer int) int {
+	v := &Value{
+		ID:       len(c.p.Values),
+		Shape:    append([]int(nil), shape...),
+		Rows2D:   rows2d,
+		Producer: producer,
+		Head:     -1,
+		Slab:     -1,
+	}
+	c.p.Values = append(c.p.Values, v)
+	return v.ID
+}
+
+// addOp appends an op (with Out/Scratch producers patched) and returns the
+// output value id.
+func (c *compiler) addOp(o *Op) int {
+	o.ID = len(c.p.Ops)
+	c.p.Ops = append(c.p.Ops, o)
+	c.p.Values[o.Out].Producer = o.ID
+	for _, s := range o.Scratch {
+		sv := c.p.Values[s]
+		sv.Producer = o.ID
+		sv.Scratch = true
+	}
+	return o.Out
+}
+
+// lowerChildren lowers each child branch of n, feeding them the value that
+// holds n's output.
+func (c *compiler) lowerChildren(n *graph.Node, inVal int) {
+	for _, child := range n.Children {
+		out := c.lowerNode(child, inVal)
+		if child.IsHead() {
+			c.p.Values[out].Head = child.TaskID
+			c.p.Heads[child.TaskID] = out
+			continue
+		}
+		c.lowerChildren(child, out)
+	}
+}
+
+// schedule assigns each op to a wave: one past the latest wave among its
+// producers (ASAP leveling). Ops are appended in topological order during
+// lowering, so a single pass suffices. Sibling branches naturally interleave
+// into shared waves; the runtime executes each wave's ops concurrently.
+func (c *compiler) schedule() {
+	valWave := func(id int) int {
+		if id < 0 {
+			return -1
+		}
+		v := c.p.Values[id]
+		if v.Producer < 0 {
+			return -1 // graph input is ready before wave 0
+		}
+		return c.p.Ops[v.Producer].Wave
+	}
+	maxWave := -1
+	for _, o := range c.p.Ops {
+		w := valWave(o.In)
+		if o.In2 >= 0 {
+			if w2 := valWave(o.In2); w2 > w {
+				w = w2
+			}
+		}
+		o.Wave = w + 1
+		if o.Wave > maxWave {
+			maxWave = o.Wave
+		}
+	}
+	c.p.Waves = make([][]int, maxWave+1)
+	for _, o := range c.p.Ops {
+		c.p.Waves[o.Wave] = append(c.p.Waves[o.Wave], o.ID)
+	}
+}
+
+// liveness computes each value's [Born, Dies] wave interval. Scratch lives
+// only during its op's wave; head outputs never die (the caller reads them
+// after Execute returns).
+func (c *compiler) liveness() {
+	for _, v := range c.p.Values {
+		if v.Producer < 0 {
+			v.Born, v.Dies = -1, -1
+		} else {
+			v.Born = c.p.Ops[v.Producer].Wave
+			v.Dies = v.Born // scratch default: dies with its own wave
+		}
+		if v.Head >= 0 {
+			v.Dies = headAlive
+		}
+	}
+	for _, o := range c.p.Ops {
+		for _, in := range []int{o.In, o.In2} {
+			if in < 0 {
+				continue
+			}
+			v := c.p.Values[in]
+			if v.Producer >= 0 && v.Dies != headAlive && o.Wave > v.Dies {
+				v.Dies = o.Wave
+			}
+		}
+	}
+}
+
+// assignSlabs maps values onto reusable slabs with a greedy linear scan
+// over the wave schedule: entering wave w releases every slab whose value
+// made its last read at wave w-1, then each value written during w takes a
+// free slab (or opens a new one). A slab's capacity is the max per-sample
+// element count over the values it ever hosts. Correctness argument: a
+// wave-w op only reads values with Dies >= w, which by construction are
+// never in the free list when wave w's outputs are placed — so no op's
+// output or scratch can alias anything read in the same or a later wave.
+func (c *compiler) assignSlabs() {
+	// expire[w] lists values whose final read is in wave w.
+	expire := make([][]int, len(c.p.Waves))
+	for _, v := range c.p.Values {
+		if v.Producer >= 0 && v.Dies != headAlive {
+			expire[v.Dies] = append(expire[v.Dies], v.ID)
+		}
+	}
+	var free []int
+	for w, ops := range c.p.Waves {
+		if w > 0 {
+			for _, vid := range expire[w-1] {
+				free = append(free, c.p.Values[vid].Slab)
+			}
+		}
+		for _, oid := range ops {
+			o := c.p.Ops[oid]
+			place := func(vid int) {
+				v := c.p.Values[vid]
+				if len(free) > 0 {
+					v.Slab = free[len(free)-1]
+					free = free[:len(free)-1]
+				} else {
+					v.Slab = len(c.p.SlabElems)
+					c.p.SlabElems = append(c.p.SlabElems, 0)
+				}
+				if e := v.Elems(); e > c.p.SlabElems[v.Slab] {
+					c.p.SlabElems[v.Slab] = e
+				}
+			}
+			for _, s := range o.Scratch {
+				place(s)
+			}
+			place(o.Out)
+		}
+	}
+}
+
+// OpReport describes one op for inspection tooling.
+type OpReport struct {
+	ID       int
+	Name     string
+	Kind     string
+	Wave     int
+	Slab     int
+	OutShape []int
+	// OutBytes is the per-sample output footprint.
+	OutBytes int64
+}
+
+// Report summarizes the plan's schedule and memory economics.
+type Report struct {
+	Ops   []OpReport
+	Waves [][]int
+	Slabs int
+	// PeakBytes is the planned per-sample footprint: the sum of slab
+	// capacities. NaiveBytes is what per-op allocation would use: every
+	// value (outputs and scratch alike) with its own buffer.
+	PeakBytes  int64
+	NaiveBytes int64
+}
+
+// Report derives the plan's inspection summary.
+func (p *Plan) Report() Report {
+	r := Report{Waves: p.Waves, Slabs: len(p.SlabElems)}
+	for _, o := range p.Ops {
+		out := p.Values[o.Out]
+		r.Ops = append(r.Ops, OpReport{
+			ID: o.ID, Name: o.Name, Kind: o.Kind, Wave: o.Wave,
+			Slab:     out.Slab,
+			OutShape: out.Shape,
+			OutBytes: int64(out.Elems()) * 4,
+		})
+	}
+	for _, e := range p.SlabElems {
+		r.PeakBytes += int64(e) * 4
+	}
+	for _, v := range p.Values {
+		if v.Producer >= 0 {
+			r.NaiveBytes += int64(v.Elems()) * 4
+		}
+	}
+	return r
+}
+
+// String renders the op list, wave schedule, and slab summary — the
+// `inspect --plan` report body.
+func (p *Plan) String() string {
+	r := p.Report()
+	var b strings.Builder
+	fmt.Fprintf(&b, "execution plan: %d ops, %d waves, %d slabs\n", len(p.Ops), len(p.Waves), r.Slabs)
+	fmt.Fprintf(&b, "planned bytes/sample: %d (naive per-op allocation: %d, %.1fx)\n",
+		r.PeakBytes, r.NaiveBytes, float64(r.NaiveBytes)/float64(r.PeakBytes))
+	for w, ops := range p.Waves {
+		width := ""
+		if len(ops) > 1 {
+			width = fmt.Sprintf("  [%d ops in parallel]", len(ops))
+		}
+		fmt.Fprintf(&b, "wave %d%s\n", w, width)
+		for _, oid := range ops {
+			o := p.Ops[oid]
+			out := p.Values[o.Out]
+			fmt.Fprintf(&b, "  %-3d %-10s slab %-2d out %-14s %s\n",
+				o.ID, o.Kind, out.Slab, fmt.Sprint(out.Shape), o.Name)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,226 @@
+package plan_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/plan"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+// fusedTwoTask builds a multi-branch fused graph: a shared conv stem whose
+// output feeds two task branches — the topology GMorph mutation produces
+// when it merges input-shareable nodes.
+func fusedTwoTask(seed uint64) *graph.Graph {
+	rng := tensor.NewRNG(seed)
+	g := graph.New(graph.Shape{3, 16, 16}, graph.DomainRaw)
+	g.TaskNames[0], g.TaskNames[1] = "a", "b"
+	stem := graph.NewBlockNode(0, 0, "ConvBlock", g.Root.InputShape, graph.DomainRaw,
+		nn.NewConvBlock(rng, 3, 6, true, true)) // 16 -> 8
+	g.AddChild(g.Root, stem)
+	s1 := graph.Shape{6, 8, 8}
+	b1 := graph.NewBlockNode(0, 1, "ConvBlock", s1, graph.DomainSpatial,
+		nn.NewConvBlock(rng, 6, 12, true, true)) // 8 -> 4
+	h0 := graph.NewBlockNode(0, 2, "Head", graph.Shape{12, 4, 4}, graph.DomainSpatial,
+		nn.NewSequential("head", nn.NewGlobalAvgPool(), nn.NewLinear(rng, 12, 2)))
+	g.AppendChain(stem, b1, h0)
+	b2 := graph.NewBlockNode(1, 1, "ConvBlock", s1, graph.DomainSpatial,
+		nn.NewConvBlock(rng, 6, 8, true, false))
+	h1 := graph.NewBlockNode(1, 2, "Head", graph.Shape{8, 8, 8}, graph.DomainSpatial,
+		nn.NewSequential("head", nn.NewGlobalAvgPool(), nn.NewLinear(rng, 8, 3)))
+	g.AppendChain(stem, b2, h1)
+	g.RefreshCapacities()
+	return g
+}
+
+// randomizeBN perturbs batch-norm running statistics so folding is actually
+// exercised (fresh layers have mean 0 / var 1, which folds to near-identity).
+func randomizeBN(g *graph.Graph, seed uint64) {
+	rng := tensor.NewRNG(seed)
+	for _, n := range g.Nodes() {
+		visitBN(n.Layer, func(bn *nn.BatchNorm2d) {
+			rng.FillUniform(bn.RunningMean, -0.3, 0.3)
+			rng.FillUniform(bn.RunningVar, 0.5, 1.5)
+			rng.FillUniform(bn.Gamma.Value, 0.7, 1.3)
+			rng.FillUniform(bn.Beta.Value, -0.2, 0.2)
+		})
+	}
+}
+
+func visitBN(l nn.Layer, f func(*nn.BatchNorm2d)) {
+	switch l := l.(type) {
+	case *nn.BatchNorm2d:
+		f(l)
+	case *nn.ConvBlock:
+		if l.BN != nil {
+			f(l.BN)
+		}
+	case *nn.ResidualBlock:
+		f(l.BN1)
+		f(l.BN2)
+		if l.DownBN != nil {
+			f(l.DownBN)
+		}
+	case *nn.Sequential:
+		for _, s := range l.Layers {
+			visitBN(s, f)
+		}
+	}
+}
+
+func maxDiff(a, b *tensor.Tensor) float64 {
+	ad, bd := a.Data(), b.Data()
+	var m float64
+	for i := range ad {
+		if d := math.Abs(float64(ad[i] - bd[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func checkParity(t *testing.T, g *graph.Graph, x *tensor.Tensor) {
+	t.Helper()
+	inst := plan.Compile(g).NewInstance()
+	got := inst.Execute(x)
+	want := g.Forward(x, false)
+	if len(got) != len(want) {
+		t.Fatalf("plan produced %d heads, graph %d", len(got), len(want))
+	}
+	for task, w := range want {
+		o, ok := got[task]
+		if !ok {
+			t.Fatalf("plan missing head %d", task)
+		}
+		if !tensor.SameShape(o, w) {
+			t.Fatalf("head %d shape %v, want %v", task, o.Shape(), w.Shape())
+		}
+		if d := maxDiff(o, w); d > 1e-4 {
+			t.Errorf("head %d diverges from graph.Forward by %g", task, d)
+		}
+	}
+}
+
+func TestPlanMatchesGraphForward(t *testing.T) {
+	g := testutil.TinyMultiDNN(11, testutil.TinyFace(11, 8, 4))
+	randomizeBN(g, 12)
+	rng := tensor.NewRNG(13)
+	x := tensor.New(4, 3, 16, 16)
+	rng.FillNormal(x, 0, 1)
+	checkParity(t, g, x)
+}
+
+func TestPlanMatchesGraphForwardFused(t *testing.T) {
+	g := fusedTwoTask(21)
+	randomizeBN(g, 22)
+	rng := tensor.NewRNG(23)
+	x := tensor.New(3, 3, 16, 16)
+	rng.FillNormal(x, 0, 1)
+	checkParity(t, g, x)
+}
+
+func TestPlanBatchRebind(t *testing.T) {
+	g := fusedTwoTask(31)
+	randomizeBN(g, 32)
+	inst := plan.Compile(g).NewInstance()
+	rng := tensor.NewRNG(33)
+	for _, batch := range []int{4, 1, 4, 2} {
+		x := tensor.New(batch, 3, 16, 16)
+		rng.FillNormal(x, 0, 1)
+		got := inst.Execute(x)
+		want := g.Forward(x, false)
+		for task, w := range want {
+			if d := maxDiff(got[task], w); d > 1e-4 {
+				t.Errorf("batch %d head %d diverges by %g", batch, task, d)
+			}
+		}
+	}
+}
+
+// TestExecuteZeroAllocs is the acceptance check for the static buffer plan:
+// once an instance is warm, Execute performs zero heap allocations per
+// forward on a CNN profile.
+func TestExecuteZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	g := testutil.TinyMultiDNN(41, testutil.TinyFace(41, 8, 4))
+	inst := plan.Compile(g).NewInstance()
+	x := tensor.New(4, 3, 16, 16)
+	tensor.NewRNG(42).FillNormal(x, 0, 1)
+	inst.Execute(x) // bind slabs and registers
+	if avg := testing.AllocsPerRun(20, func() { inst.Execute(x) }); avg != 0 {
+		t.Errorf("steady-state Execute allocates %.1f objects per run, want 0", avg)
+	}
+}
+
+// TestSlabReuse checks the buffer plan's economics: on a multi-branch fused
+// graph the planned footprint (sum of slab capacities) must be strictly
+// below what naive per-op allocation would use.
+func TestSlabReuse(t *testing.T) {
+	p := plan.Compile(fusedTwoTask(51))
+	r := p.Report()
+	if r.Slabs == 0 || r.Slabs >= len(p.Values) {
+		t.Fatalf("suspicious slab count %d for %d values", r.Slabs, len(p.Values))
+	}
+	if r.PeakBytes >= r.NaiveBytes {
+		t.Errorf("planned bytes %d not below naive per-op sum %d", r.PeakBytes, r.NaiveBytes)
+	}
+}
+
+// TestWaveScheduleParallelism: sibling branches of the fused stem must land
+// in shared waves rather than serializing.
+func TestWaveScheduleParallelism(t *testing.T) {
+	p := plan.Compile(fusedTwoTask(61))
+	multi := 0
+	for _, ops := range p.Waves {
+		if len(ops) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Errorf("no multi-op waves in a two-branch graph; schedule:\n%s", p)
+	}
+}
+
+func TestOpStats(t *testing.T) {
+	g := fusedTwoTask(71)
+	inst := plan.Compile(g).NewInstance()
+	x := tensor.New(2, 3, 16, 16)
+	tensor.NewRNG(72).FillNormal(x, 0, 1)
+	const runs = 3
+	for i := 0; i < runs; i++ {
+		inst.Execute(x)
+	}
+	for _, s := range inst.OpStats() {
+		if s.Calls != runs {
+			t.Errorf("op %d (%s) recorded %d calls, want %d", s.ID, s.Name, s.Calls, runs)
+		}
+	}
+}
+
+// TestOpGranularityLowering exercises the standalone bn / relu / maxpool
+// kernels that block-granularity graphs never emit.
+func TestOpGranularityLowering(t *testing.T) {
+	rng := tensor.NewRNG(81)
+	g := graph.New(graph.Shape{3, 16, 16}, graph.DomainRaw)
+	g.TaskNames[0] = "ops"
+	conv := graph.NewBlockNode(0, 0, "Conv2d", g.Root.InputShape, graph.DomainRaw,
+		nn.NewConv2d(rng, 3, 6, 3, 1, 1))
+	s := graph.Shape{6, 16, 16}
+	bn := graph.NewBlockNode(0, 1, "BatchNorm2d", s, graph.DomainSpatial, nn.NewBatchNorm2d(6))
+	relu := graph.NewBlockNode(0, 2, "ReLU", s, graph.DomainSpatial, nn.NewReLU())
+	pool := graph.NewBlockNode(0, 3, "MaxPool2d", s, graph.DomainSpatial, nn.NewMaxPool2d(2, 2))
+	head := graph.NewBlockNode(0, 4, "Head", graph.Shape{6, 8, 8}, graph.DomainSpatial,
+		nn.NewSequential("head", nn.NewGlobalAvgPool(), nn.NewLinear(rng, 6, 2)))
+	g.AppendChain(g.Root, conv, bn, relu, pool, head)
+	g.RefreshCapacities()
+	randomizeBN(g, 82)
+
+	x := tensor.New(2, 3, 16, 16)
+	rng.FillNormal(x, 0, 1)
+	checkParity(t, g, x)
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package plan_test
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, which would fail the zero-allocation check.
+const raceEnabled = false

@@ -45,7 +45,12 @@ func deepNarrowMLP(depth, width int) *graph.Graph {
 // reports.
 func measureBatchGain(t *testing.T, dur time.Duration) (unbatched, batched serve.Report) {
 	t.Helper()
-	g := deepNarrowMLP(12, 16)
+	// Width 8 keeps per-row arithmetic (width^2 MACs per block) well below
+	// the per-op fixed cost of a compiled-plan pass, so batching's
+	// amortization is what the measurement isolates; the plan executor's
+	// zero-alloc steady state made single-sample forwards cheap enough that
+	// a wider model would no longer be fixed-cost-dominated.
+	g := deepNarrowMLP(24, 8)
 	shape := g.Root.InputShape
 	opts := serve.Options{Clients: 8, Duration: dur, Warmup: 4, Vocab: 8}
 

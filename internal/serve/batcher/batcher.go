@@ -340,9 +340,12 @@ func (b *Batcher) dispatch(batch []*request, rows int) {
 func (b *Batcher) runBatch(eng engine.Engine, batch []*request, rows int) {
 	defer b.wg.Done()
 	x := batch[0].x
+	var gatherBuf *[]float32
 	if len(batch) > 1 {
-		// Gather: concatenate the requests' rows into one input.
-		x = tensor.New(append([]int{rows}, b.sample...)...)
+		// Gather: concatenate the requests' rows into one arena-backed
+		// input. Engines copy their outputs and do not retain the input
+		// past Forward, so the buffer can go back to the arena immediately.
+		x, gatherBuf = tensor.GetTensorDirty(append([]int{rows}, b.sample...)...)
 		off := 0
 		for _, r := range batch {
 			copy(x.Data()[off*b.per:(off+r.rows)*b.per], r.x.Data())
@@ -350,6 +353,9 @@ func (b *Batcher) runBatch(eng engine.Engine, batch []*request, rows int) {
 		}
 	}
 	outs := eng.Forward(x)
+	if gatherBuf != nil {
+		tensor.PutBuf(gatherBuf)
+	}
 	b.engines <- eng // release before scatter so the next batch overlaps
 
 	// Scatter: slice each task's output rows back per request.

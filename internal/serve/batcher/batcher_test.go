@@ -39,7 +39,7 @@ func stopped(t *testing.T, b *batcher.Batcher) {
 // (rows delivered to the wrong waiter) are detectable.
 func distinctInput(client int, shape graph.Shape) *tensor.Tensor {
 	x := tensor.New(append([]int{1}, shape...)...)
-	tensor.NewRNG(uint64(client + 1)).FillNormal(x, 0, 1)
+	tensor.NewRNG(uint64(client+1)).FillNormal(x, 0, 1)
 	return x
 }
 

@@ -43,6 +43,22 @@ func GetBufDirty(n int) *[]float32 {
 	return p
 }
 
+// GrowBuf resizes a long-lived arena lease to length n: the buffer is kept
+// when its capacity already suffices, and exchanged through the arena
+// otherwise. It is the resize primitive for execution-plan slab leases,
+// whose length follows the largest batch an instance has seen. p may be nil
+// (first lease). Contents are unspecified either way.
+func GrowBuf(p *[]float32, n int) *[]float32 {
+	if p != nil && cap(*p) >= n {
+		*p = (*p)[:n]
+		return p
+	}
+	if p != nil {
+		PutBuf(p)
+	}
+	return GetBufDirty(n)
+}
+
 // PutBuf returns a buffer to the arena.
 func PutBuf(p *[]float32) {
 	if p == nil {

@@ -1,6 +1,17 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
+
+// Hot-path kernels in this file hand their parallel bodies to the worker
+// pool through recycled "job" structs: the captured state lives in struct
+// fields and the body is a method value created once when the sync.Pool
+// constructs the job. A plain closure would heap-allocate its capture on
+// every call — visible GC churn under SA search, and a violation of the
+// execution plan's zero-allocations-per-forward contract
+// (internal/plan.Instance.Execute).
 
 // ConvOut returns the output spatial size of a convolution/pool with the
 // given input size, kernel, stride, and padding.
@@ -18,6 +29,56 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	return cols
 }
 
+// im2colJob carries Im2ColInto's parallel-body state through the pool.
+type im2colJob struct {
+	xd, cd                                       []float32
+	c, h, w, oh, ow, kh, kw, stride, pad, rowLen int
+	body                                         func(lo, hi int)
+}
+
+var im2colJobs = sync.Pool{New: func() any {
+	jb := &im2colJob{}
+	jb.body = jb.run
+	return jb
+}}
+
+func (jb *im2colJob) run(lo, hi int) {
+	xd, cd := jb.xd, jb.cd
+	c, h, w, oh, ow := jb.c, jb.h, jb.w, jb.oh, jb.ow
+	kh, kw, stride, pad, rowLen := jb.kh, jb.kw, jb.stride, jb.pad, jb.rowLen
+	for noy := lo; noy < hi; noy++ {
+		ni, oy := noy/oh, noy%oh
+		base := ni * c * h * w
+		for ox := 0; ox < ow; ox++ {
+			dst := cd[(noy*ow+ox)*rowLen : (noy*ow+ox+1)*rowLen]
+			di := 0
+			for ci := 0; ci < c; ci++ {
+				cb := base + ci*h*w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						for kx := 0; kx < kw; kx++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					rb := cb + iy*w
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							dst[di] = 0
+						} else {
+							dst[di] = xd[rb+ix]
+						}
+						di++
+					}
+				}
+			}
+		}
+	}
+}
+
 // Im2ColInto is Im2Col writing into a caller-provided [N*OH*OW, C*KH*KW]
 // tensor, letting hot paths reuse buffers.
 func Im2ColInto(cols, x *Tensor, kh, kw, stride, pad int) {
@@ -29,41 +90,13 @@ func Im2ColInto(cols, x *Tensor, kh, kw, stride, pad int) {
 	if cols.shape[0] != n*oh*ow || cols.shape[1] != c*kh*kw {
 		panic(fmt.Sprintf("tensor: Im2ColInto dst %v, want [%d %d]", cols.shape, n*oh*ow, c*kh*kw))
 	}
-	xd, cd := x.data, cols.data
-	rowLen := c * kh * kw
-	parallelFor(n*oh, func(lo, hi int) {
-		for noy := lo; noy < hi; noy++ {
-			ni, oy := noy/oh, noy%oh
-			base := ni * c * h * w
-			for ox := 0; ox < ow; ox++ {
-				dst := cd[(noy*ow+ox)*rowLen : (noy*ow+ox+1)*rowLen]
-				di := 0
-				for ci := 0; ci < c; ci++ {
-					cb := base + ci*h*w
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*stride + ky - pad
-						if iy < 0 || iy >= h {
-							for kx := 0; kx < kw; kx++ {
-								dst[di] = 0
-								di++
-							}
-							continue
-						}
-						rb := cb + iy*w
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*stride + kx - pad
-							if ix < 0 || ix >= w {
-								dst[di] = 0
-							} else {
-								dst[di] = xd[rb+ix]
-							}
-							di++
-						}
-					}
-				}
-			}
-		}
-	})
+	jb := im2colJobs.Get().(*im2colJob)
+	jb.xd, jb.cd = x.data, cols.data
+	jb.c, jb.h, jb.w, jb.oh, jb.ow = c, h, w, oh, ow
+	jb.kh, jb.kw, jb.stride, jb.pad, jb.rowLen = kh, kw, stride, pad, c*kh*kw
+	parallelFor(n*oh, jb.body)
+	jb.xd, jb.cd = nil, nil
+	im2colJobs.Put(jb)
 }
 
 // Col2Im folds columns [N*OH*OW, C*KH*KW] back into an NCHW tensor of shape
@@ -155,6 +188,59 @@ func MaxPoolBackward(gradOut *Tensor, arg []int32, inputShape []int) *Tensor {
 	return gi
 }
 
+// maxPoolJob carries MaxPoolEvalInto's parallel-body state through the pool.
+type maxPoolJob struct {
+	xd, od              []float32
+	h, w, oh, ow, k, st int
+	body                func(lo, hi int)
+}
+
+var maxPoolJobs = sync.Pool{New: func() any {
+	jb := &maxPoolJob{}
+	jb.body = jb.run
+	return jb
+}}
+
+func (jb *maxPoolJob) run(lo, hi int) {
+	xd, od := jb.xd, jb.od
+	h, w, oh, ow, k, stride := jb.h, jb.w, jb.oh, jb.ow, jb.k, jb.st
+	for nc := lo; nc < hi; nc++ {
+		base := nc * h * w
+		obase := nc * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := xd[base+oy*stride*w+ox*stride]
+				for ky := 0; ky < k; ky++ {
+					row := base + (oy*stride+ky)*w + ox*stride
+					for kx := 0; kx < k; kx++ {
+						if v := xd[row+kx]; v > best {
+							best = v
+						}
+					}
+				}
+				od[obase+oy*ow+ox] = best
+			}
+		}
+	}
+}
+
+// MaxPoolEvalInto is inference-only max pooling of x [N,C,H,W] into a
+// caller-provided [N,C,OH,OW] tensor: no argmax bookkeeping, no
+// allocations. It is the execution-plan counterpart of MaxPool.
+func MaxPoolEvalInto(dst, x *Tensor, k, stride int) {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := ConvOut(h, k, stride, 0), ConvOut(w, k, stride, 0)
+	if dst.shape[0] != n || dst.shape[1] != c || dst.shape[2] != oh || dst.shape[3] != ow {
+		panic(fmt.Sprintf("tensor: MaxPoolEvalInto dst %v, want [%d %d %d %d]", dst.shape, n, c, oh, ow))
+	}
+	jb := maxPoolJobs.Get().(*maxPoolJob)
+	jb.xd, jb.od = x.data, dst.data
+	jb.h, jb.w, jb.oh, jb.ow, jb.k, jb.st = h, w, oh, ow, k, stride
+	parallelFor(n*c, jb.body)
+	jb.xd, jb.od = nil, nil
+	maxPoolJobs.Put(jb)
+}
+
 // AvgPoolGlobal averages x [N,C,H,W] over the spatial dims, returning [N,C].
 func AvgPoolGlobal(x *Tensor) *Tensor {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
@@ -168,6 +254,23 @@ func AvgPoolGlobal(x *Tensor) *Tensor {
 		out.data[nc] = s * inv
 	}
 	return out
+}
+
+// AvgPoolGlobalInto averages x [N,C,H,W] over the spatial dims into a
+// caller-provided [N,C] tensor without allocating.
+func AvgPoolGlobalInto(dst, x *Tensor) {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if dst.shape[0] != n || dst.shape[1] != c {
+		panic(fmt.Sprintf("tensor: AvgPoolGlobalInto dst %v, want [%d %d]", dst.shape, n, c))
+	}
+	inv := 1 / float32(h*w)
+	for nc := 0; nc < n*c; nc++ {
+		var s float32
+		for _, v := range x.data[nc*h*w : (nc+1)*h*w] {
+			s += v
+		}
+		dst.data[nc] = s * inv
+	}
 }
 
 // AvgPoolGlobalBackward spreads gradOut [N,C] uniformly over [N,C,H,W].
@@ -185,6 +288,61 @@ func AvgPoolGlobalBackward(gradOut *Tensor, h, w int) *Tensor {
 	return gi
 }
 
+// interpJob carries InterpolateInto's parallel-body state through the pool.
+type interpJob struct {
+	xd, od           []float32
+	h, w, outH, outW int
+	body             func(lo, hi int)
+}
+
+var interpJobs = sync.Pool{New: func() any {
+	jb := &interpJob{}
+	jb.body = jb.run
+	return jb
+}}
+
+func (jb *interpJob) run(lo, hi int) {
+	xd, od := jb.xd, jb.od
+	h, w, outH, outW := jb.h, jb.w, jb.outH, jb.outW
+	sy := float32(h) / float32(outH)
+	sx := float32(w) / float32(outW)
+	for nc := lo; nc < hi; nc++ {
+		base := nc * h * w
+		obase := nc * outH * outW
+		for oy := 0; oy < outH; oy++ {
+			fy := (float32(oy)+0.5)*sy - 0.5
+			y0 := int(fy)
+			if fy < 0 {
+				fy, y0 = 0, 0
+			}
+			y1 := y0 + 1
+			if y1 >= h {
+				y1 = h - 1
+			}
+			wy := fy - float32(y0)
+			for ox := 0; ox < outW; ox++ {
+				fx := (float32(ox)+0.5)*sx - 0.5
+				x0 := int(fx)
+				if fx < 0 {
+					fx, x0 = 0, 0
+				}
+				x1 := x0 + 1
+				if x1 >= w {
+					x1 = w - 1
+				}
+				wx := fx - float32(x0)
+				v00 := xd[base+y0*w+x0]
+				v01 := xd[base+y0*w+x1]
+				v10 := xd[base+y1*w+x0]
+				v11 := xd[base+y1*w+x1]
+				top := v00 + (v01-v00)*wx
+				bot := v10 + (v11-v10)*wx
+				od[obase+oy*outW+ox] = top + (bot-top)*wy
+			}
+		}
+	}
+}
+
 // Interpolate resizes x [N,C,H,W] to [N,C,outH,outW] with bilinear
 // interpolation (align_corners=false convention).
 func Interpolate(x *Tensor, outH, outW int) *Tensor {
@@ -193,47 +351,29 @@ func Interpolate(x *Tensor, outH, outW int) *Tensor {
 		return x.Clone()
 	}
 	out := New(n, c, outH, outW)
-	sy := float32(h) / float32(outH)
-	sx := float32(w) / float32(outW)
-	xd, od := x.data, out.data
-	parallelFor(n*c, func(lo, hi int) {
-		for nc := lo; nc < hi; nc++ {
-			base := nc * h * w
-			obase := nc * outH * outW
-			for oy := 0; oy < outH; oy++ {
-				fy := (float32(oy)+0.5)*sy - 0.5
-				y0 := int(fy)
-				if fy < 0 {
-					fy, y0 = 0, 0
-				}
-				y1 := y0 + 1
-				if y1 >= h {
-					y1 = h - 1
-				}
-				wy := fy - float32(y0)
-				for ox := 0; ox < outW; ox++ {
-					fx := (float32(ox)+0.5)*sx - 0.5
-					x0 := int(fx)
-					if fx < 0 {
-						fx, x0 = 0, 0
-					}
-					x1 := x0 + 1
-					if x1 >= w {
-						x1 = w - 1
-					}
-					wx := fx - float32(x0)
-					v00 := xd[base+y0*w+x0]
-					v01 := xd[base+y0*w+x1]
-					v10 := xd[base+y1*w+x0]
-					v11 := xd[base+y1*w+x1]
-					top := v00 + (v01-v00)*wx
-					bot := v10 + (v11-v10)*wx
-					od[obase+oy*outW+ox] = top + (bot-top)*wy
-				}
-			}
-		}
-	})
+	InterpolateInto(out, x)
 	return out
+}
+
+// InterpolateInto bilinearly resizes x [N,C,H,W] into a caller-provided
+// [N,C,outH,outW] tensor without allocating. Identical spatial sizes
+// degrade to a copy.
+func InterpolateInto(dst, x *Tensor) {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	outH, outW := dst.shape[2], dst.shape[3]
+	if dst.shape[0] != n || dst.shape[1] != c {
+		panic(fmt.Sprintf("tensor: InterpolateInto dst %v for input %v", dst.shape, x.shape))
+	}
+	if outH == h && outW == w {
+		copy(dst.data, x.data)
+		return
+	}
+	jb := interpJobs.Get().(*interpJob)
+	jb.xd, jb.od = x.data, dst.data
+	jb.h, jb.w, jb.outH, jb.outW = h, w, outH, outW
+	parallelFor(n*c, jb.body)
+	jb.xd, jb.od = nil, nil
+	interpJobs.Put(jb)
 }
 
 // InterpolateBackward computes the adjoint of Interpolate: it scatters

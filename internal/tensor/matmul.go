@@ -1,6 +1,9 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // GEMM kernels. The implementation is cache-blocked: B is processed in
 // KC x NC panels (packed into a contiguous arena buffer when the panel is
@@ -22,6 +25,33 @@ const (
 	gemmNC = 256
 )
 
+// gemmJob carries MatMulInto's parallel-body state (the zeroing pass and
+// the per-panel accumulate pass) through the worker pool without per-call
+// closure captures.
+type gemmJob struct {
+	dd, ad, panel        []float32
+	n, k, j0, jw, p0, p1 int
+	zero, accum          func(lo, hi int)
+}
+
+var gemmJobs = sync.Pool{New: func() any {
+	jb := &gemmJob{}
+	jb.zero = jb.runZero
+	jb.accum = jb.runAccum
+	return jb
+}}
+
+func (jb *gemmJob) runZero(lo, hi int) {
+	row := jb.dd[lo*jb.n : hi*jb.n]
+	for x := range row {
+		row[x] = 0
+	}
+}
+
+func (jb *gemmJob) runAccum(lo, hi int) {
+	gemmAccum(jb.dd, jb.ad, jb.panel, lo, hi, jb.n, jb.k, jb.j0, jb.jw, jb.p0, jb.p1)
+}
+
 // MatMulInto computes dst = a @ b for 2-D tensors: a is [m,k], b is [k,n],
 // dst is [m,n]. dst is overwritten.
 func MatMulInto(dst, a, b *Tensor) {
@@ -34,11 +64,9 @@ func MatMulInto(dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %v @ %v -> %v", a.shape, b.shape, dst.shape))
 	}
 	ad, bd, dd := a.data, b.data, dst.data
-	parallelFor(m, func(lo, hi int) {
-		for x := range dd[lo*n : hi*n] {
-			dd[lo*n+x] = 0
-		}
-	})
+	jb := gemmJobs.Get().(*gemmJob)
+	jb.dd, jb.ad, jb.n, jb.k = dd, ad, n, k
+	parallelFor(m, jb.zero)
 	var panelBuf *[]float32
 	for j0 := 0; j0 < n; j0 += gemmNC {
 		j1 := min(j0+gemmNC, n)
@@ -58,14 +86,15 @@ func MatMulInto(dst, a, b *Tensor) {
 					copy(panel[(p-p0)*jw:(p-p0+1)*jw], bd[p*n+j0:p*n+j1])
 				}
 			}
-			parallelFor(m, func(lo, hi int) {
-				gemmAccum(dd, ad, panel, lo, hi, n, k, j0, jw, p0, p1)
-			})
+			jb.panel, jb.j0, jb.jw, jb.p0, jb.p1 = panel, j0, jw, p0, p1
+			parallelFor(m, jb.accum)
 		}
 	}
 	if panelBuf != nil {
 		PutBuf(panelBuf)
 	}
+	jb.dd, jb.ad, jb.panel = nil, nil, nil
+	gemmJobs.Put(jb)
 }
 
 // gemmAccum accumulates dst[i0:i1, j0:j0+jw] += a[i0:i1, p0:p1] @ panel,
@@ -171,39 +200,58 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransBInto shape mismatch %v @ %vᵀ -> %v", a.shape, b.shape, dst.shape))
 	}
-	ad, bd, dd := a.data, b.data, dst.data
-	parallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := ad[i*k:][:k]
-			drow := dd[i*n : (i+1)*n]
-			j := 0
-			for ; j+3 < n; j += 4 {
-				b0 := bd[j*k:][:k]
-				b1 := bd[(j+1)*k:][:k]
-				b2 := bd[(j+2)*k:][:k]
-				b3 := bd[(j+3)*k:][:k]
-				var s0, s1, s2, s3 float32
-				for p, av := range arow {
-					s0 += av * b0[p]
-					s1 += av * b1[p]
-					s2 += av * b2[p]
-					s3 += av * b3[p]
-				}
-				drow[j] = s0
-				drow[j+1] = s1
-				drow[j+2] = s2
-				drow[j+3] = s3
+	jb := gemmTBJobs.Get().(*gemmTBJob)
+	jb.ad, jb.bd, jb.dd, jb.k, jb.n = a.data, b.data, dst.data, k, n
+	parallelFor(m, jb.body)
+	jb.ad, jb.bd, jb.dd = nil, nil, nil
+	gemmTBJobs.Put(jb)
+}
+
+// gemmTBJob carries MatMulTransBInto's parallel-body state through the pool.
+type gemmTBJob struct {
+	ad, bd, dd []float32
+	k, n       int
+	body       func(lo, hi int)
+}
+
+var gemmTBJobs = sync.Pool{New: func() any {
+	jb := &gemmTBJob{}
+	jb.body = jb.run
+	return jb
+}}
+
+func (jb *gemmTBJob) run(lo, hi int) {
+	ad, bd, dd, k, n := jb.ad, jb.bd, jb.dd, jb.k, jb.n
+	for i := lo; i < hi; i++ {
+		arow := ad[i*k:][:k]
+		drow := dd[i*n : (i+1)*n]
+		j := 0
+		for ; j+3 < n; j += 4 {
+			b0 := bd[j*k:][:k]
+			b1 := bd[(j+1)*k:][:k]
+			b2 := bd[(j+2)*k:][:k]
+			b3 := bd[(j+3)*k:][:k]
+			var s0, s1, s2, s3 float32
+			for p, av := range arow {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
 			}
-			for ; j < n; j++ {
-				brow := bd[j*k : (j+1)*k]
-				var s float32
-				for p, av := range arow {
-					s += av * brow[p]
-				}
-				drow[j] = s
-			}
+			drow[j] = s0
+			drow[j+1] = s1
+			drow[j+2] = s2
+			drow[j+3] = s3
 		}
-	})
+		for ; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			drow[j] = s
+		}
+	}
 }
 
 // Transpose2D returns the transpose of a 2-D tensor as a new tensor.

@@ -19,24 +19,49 @@ import (
 // inline). The ParallelOptimizer determinism test in internal/core relies
 // on this.
 
-// join tracks the outstanding chunks of one ParallelFor call. done is
-// closed by whichever goroutine finishes the last chunk.
+// join tracks the outstanding tasks of one ParallelFor/ParallelTasks call.
+// Joins are recycled through a sync.Pool so the steady-state execution-plan
+// path (plan.Instance.Execute) performs zero allocations per forward; done
+// therefore carries a single completion token — sent by whichever goroutine
+// finishes the last task, consumed exactly once by the waiter — instead of
+// being closed (a closed channel could not be reused).
 type join struct {
 	remaining atomic.Int32
 	done      chan struct{}
 }
 
+var joinPool = sync.Pool{New: func() any {
+	return &join{done: make(chan struct{}, 1)}
+}}
+
+// newJoin leases a join expecting n task completions.
+func newJoin(n int32) *join {
+	j := joinPool.Get().(*join)
+	j.remaining.Store(n)
+	return j
+}
+
 func (j *join) finish() {
 	if j.remaining.Add(-1) == 0 {
-		close(j.done)
+		j.done <- struct{}{}
 	}
 }
 
-// poolTask is one chunk of a parallelFor body.
+// poolTask is one unit of pool work: either a [lo,hi) chunk of a
+// ParallelFor body, or (when idxBody is set) a single ParallelTasks index.
 type poolTask struct {
-	lo, hi int
-	body   func(lo, hi int)
-	join   *join
+	lo, hi  int
+	body    func(lo, hi int)
+	idxBody func(i int)
+	join    *join
+}
+
+func (t *poolTask) run() {
+	if t.idxBody != nil {
+		t.idxBody(t.lo)
+	} else {
+		t.body(t.lo, t.hi)
+	}
 }
 
 var (
@@ -55,7 +80,7 @@ func startPool() {
 		for i := 0; i < poolWorkers; i++ {
 			go func() {
 				for t := range poolTasks {
-					t.body(t.lo, t.hi)
+					t.run()
 					t.join.finish()
 				}
 			}()
@@ -69,6 +94,31 @@ func Workers() int {
 	return poolWorkers
 }
 
+// waitJoin blocks until j's completion token arrives, then recycles j.
+// While waiting it executes whatever is queued — its own tasks, or another
+// caller's. A nested parallel call whose tasks were stolen by workers that
+// are themselves blocked here still completes, because those workers are
+// draining the queue too; every waiter makes global progress, which is what
+// rules out deadlock under nesting.
+func waitJoin(j *join) {
+	for {
+		select {
+		case <-j.done:
+			joinPool.Put(j)
+			return
+		default:
+		}
+		select {
+		case <-j.done:
+			joinPool.Put(j)
+			return
+		case t := <-poolTasks:
+			t.run()
+			t.join.finish()
+		}
+	}
+}
+
 // ParallelFor splits [0,n) into chunks and runs body on each concurrently
 // using the shared worker pool. body must treat its [lo,hi) range as
 // exclusive: ranges never overlap, and every index in [0,n) is covered
@@ -78,10 +128,7 @@ func Workers() int {
 // bodies may themselves call ParallelFor (the fused-engine branch pattern).
 // Chunks are enqueued without blocking — a full queue falls back to inline
 // execution — and a caller waiting for its chunks helps drain the shared
-// queue instead of parking. Every waiter therefore makes global progress,
-// which is what rules out deadlock under nesting, and independent top-level
-// callers keep sharing the pool rather than one of them degrading to
-// single-threaded inline execution.
+// queue instead of parking (see waitJoin).
 func ParallelFor(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -101,8 +148,7 @@ func ParallelFor(n int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	j := &join{done: make(chan struct{})}
-	j.remaining.Store(int32(nsub))
+	j := newJoin(int32(nsub))
 	for lo := chunk; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -119,24 +165,37 @@ func ParallelFor(n int, body func(lo, hi int)) {
 	// Run the first chunk inline so the submitting goroutine contributes
 	// work instead of just blocking.
 	body(0, chunk)
-	// Helping wait: until our own chunks are done, execute whatever is
-	// queued — our chunks, or another caller's. A nested ParallelFor whose
-	// chunks were stolen by workers that are themselves blocked here still
-	// completes, because those workers are draining the queue too.
-	for {
-		select {
-		case <-j.done:
-			return
-		default:
+	waitJoin(j)
+}
+
+// ParallelTasks runs body(i) for each i in [0,n) concurrently, dispatching
+// every index as its own pool task. Unlike ParallelFor — whose n<64 inline
+// cutoff is tuned for per-element loops — ParallelTasks parallelizes even
+// tiny n, because each index is a coarse work item: the execution plan's
+// wave schedule runs two or three whole fused ops per call. Index 0 runs on
+// the caller; the wait helps drain the shared queue like ParallelFor.
+func ParallelTasks(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	startPool()
+	if n == 1 || poolWorkers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
 		}
+		return
+	}
+	j := newJoin(int32(n - 1))
+	for i := 1; i < n; i++ {
 		select {
-		case <-j.done:
-			return
-		case t := <-poolTasks:
-			t.body(t.lo, t.hi)
-			t.join.finish()
+		case poolTasks <- poolTask{lo: i, idxBody: body, join: j}:
+		default:
+			body(i)
+			j.finish()
 		}
 	}
+	body(0)
+	waitJoin(j)
 }
 
 // parallelFor is the package-internal spelling used by the kernels.
