@@ -26,6 +26,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/estimator"
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 )
 
 // benchScale is the miniature scale used inside testing.B; each benchmark
@@ -244,6 +245,47 @@ func benchmarkMatMulSize(b *testing.B, n int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.MatMulInto(out, x, y)
+	}
+}
+
+// BenchmarkFuseSearchMemo measures the end-to-end Fuse wall-clock of a
+// duplicate-dominated search with and without the fingerprint memo cache
+// (BENCH_PR4.json records the comparison). MaxPairsPerPass=1 with the random
+// policy keeps the candidate space to single-pair mutations of the original
+// graph, so a 24-round search revisits structures heavily — the regime the
+// cache targets. The hit rate is reported as a custom metric.
+func BenchmarkFuseSearchMemo(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"memo", false}, {"nomemo", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ds := testutil.TinyFace(141, 64, 32)
+			teachers := testutil.TinyMultiDNN(142, ds)
+			testutil.PretrainTeachers(teachers, ds, 6, 0.004, 143)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := gmorph.Fuse(teachers, ds, gmorph.Config{
+					AccuracyDrop:       0.10,
+					Rounds:             24,
+					MaxPairsPerPass:    1,
+					FineTuneEpochs:     8,
+					LearningRate:       0.003,
+					EvalEvery:          2,
+					RandomPolicy:       true,
+					Seed:               17,
+					DisableSearchCache: mode.disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total := res.Stats.CacheHits + res.Stats.CacheMisses
+				if total > 0 {
+					b.ReportMetric(float64(res.Stats.CacheHits)/float64(total), "cache-hit-rate")
+				}
+				b.ReportMetric(float64(res.Stats.TotalEpochs), "fine-tune-epochs")
+			}
+		})
 	}
 }
 

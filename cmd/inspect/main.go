@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/fingerprint"
 	"repro/internal/graph"
 	"repro/internal/parser"
 	"repro/internal/plan"
@@ -36,6 +37,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("checkpoint: %s\n", *modelPath)
+	fmt.Printf("fingerprint: %s\n", fingerprint.String(g))
 	fmt.Printf("input shape: %v\n", g.Root.InputShape)
 	fmt.Printf("tasks (%d):\n", len(g.Heads))
 	for _, id := range g.Tasks() {

@@ -36,6 +36,7 @@ import (
 	"repro/internal/distill"
 	"repro/internal/engine"
 	"repro/internal/estimator"
+	"repro/internal/fingerprint"
 	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/mtl"
@@ -62,6 +63,9 @@ type (
 	Elite = core.Elite
 	// Trace records one search round.
 	Trace = core.Trace
+	// SearchStats aggregates a search's filtering, memoization, and
+	// warm-start counters.
+	SearchStats = core.SearchStats
 	// Engine runs inference for a Model.
 	Engine = engine.Engine
 )
@@ -157,6 +161,9 @@ type Config struct {
 	AccuracyDrop float64
 	// Rounds is the number of graph mutation iterations (default 50).
 	Rounds int
+	// MaxPairsPerPass bounds how many node pairs one mutation pass applies
+	// (the paper uses 1-2; default 2).
+	MaxPairsPerPass int
 	// FineTuneEpochs bounds each candidate's fine-tuning (default 10).
 	FineTuneEpochs int
 	// LearningRate for distillation fine-tuning (default 1e-3).
@@ -175,6 +182,14 @@ type Config struct {
 	// RandomPolicy replaces simulated annealing with the random-sampling
 	// baseline.
 	RandomPolicy bool
+	// DisableSearchCache turns off fingerprint-keyed memoization of
+	// candidate outcomes and latency measurements, re-evaluating every
+	// sampled duplicate (the pre-memoization behavior; mainly for A/B
+	// comparisons).
+	DisableSearchCache bool
+	// DisableWarmStart fine-tunes elite-derived candidates under the full
+	// epoch budget instead of the shrunken warm-start budget.
+	DisableWarmStart bool
 	// Seed drives all randomness (default 1).
 	Seed uint64
 	// TimeBudget optionally bounds the search wall-clock.
@@ -211,6 +226,9 @@ type Result struct {
 	Elites []*Elite
 	// Traces are the per-round search records.
 	Traces []Trace
+	// Stats aggregates the search's filtering, memoization, and warm-start
+	// counters (cache hit rates, rule skips, epochs spent, ...).
+	Stats SearchStats
 }
 
 // ErrNoTasks reports a model with no task branches.
@@ -271,10 +289,13 @@ func Fuse(teachers *Model, ds *Dataset, cfg Config) (*Result, error) {
 	})
 
 	coreCfg := core.Config{
-		Rounds:     cfg.Rounds,
-		Seed:       cfg.Seed,
-		TimeBudget: cfg.TimeBudget,
-		OnRound:    cfg.OnRound,
+		Rounds:           cfg.Rounds,
+		MaxPairsPerPass:  cfg.MaxPairsPerPass,
+		Seed:             cfg.Seed,
+		TimeBudget:       cfg.TimeBudget,
+		OnRound:          cfg.OnRound,
+		DisableMemo:      cfg.DisableSearchCache,
+		DisableWarmStart: cfg.DisableWarmStart,
 	}
 	if cfg.OptimizeFLOPs {
 		coreCfg.Metric = core.OptimizeFLOPs
@@ -302,6 +323,7 @@ func Fuse(teachers *Model, ds *Dataset, cfg Config) (*Result, error) {
 		SearchTime: res.SearchTime,
 		Elites:     res.Elites,
 		Traces:     res.Traces,
+		Stats:      res.Stats,
 		Speedup:    1,
 	}
 	out.OriginalLatency = estimator.Latency(teachers, estimator.LatencyOptions{})
@@ -330,6 +352,12 @@ func Latency(m *Model) time.Duration {
 
 // FLOPs returns a model's analytic per-sample floating point operations.
 func FLOPs(m *Model) int64 { return m.FLOPs() }
+
+// Fingerprint returns the model's canonical structural hash — the key the
+// search uses to memoize candidate outcomes. It is stable under node-id
+// relabeling and sibling reordering but changes under any structural
+// mutation (see internal/fingerprint).
+func Fingerprint(m *Model) string { return fingerprint.String(m) }
 
 // Save writes a trained model checkpoint to path.
 func Save(path string, m *Model) error { return parser.SaveFile(path, m) }

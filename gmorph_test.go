@@ -8,8 +8,9 @@ import (
 )
 
 // buildTinyTeachers assembles a two-task VGG-11 pair on the synthetic face
-// stream and pre-trains it. Shared across the public-API tests.
-func buildTinyTeachers(t *testing.T) (*gmorph.Model, *gmorph.Dataset, map[int]float64) {
+// stream and pre-trains it. Shared across the public-API tests and the
+// search benchmarks.
+func buildTinyTeachers(t testing.TB) (*gmorph.Model, *gmorph.Dataset, map[int]float64) {
 	t.Helper()
 	ds := gmorph.NewFaceDataset(96, 48, 32, 11, "gender", "ethnicity")
 	rng := gmorph.NewRNG(12)
@@ -104,6 +105,53 @@ func TestFuseEndToEnd(t *testing.T) {
 				t.Fatal("fused engine diverges from reference")
 			}
 		}
+	}
+}
+
+// TestFuseSearchSmoke drives a short random-policy search through the public
+// API and checks the search-speed surface added with memoization: the
+// fingerprint helper, the Stats counters, and their bookkeeping identity
+// (every consulted candidate is either a hit or a miss, every miss is a
+// fine-tuning run when no filtering is active).
+func TestFuseSearchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	teachers, ds, _ := buildTinyTeachers(t)
+	fp := gmorph.Fingerprint(teachers)
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint %q, want 16 hex digits", fp)
+	}
+	if gmorph.Fingerprint(teachers) != fp {
+		t.Fatal("fingerprint not stable across calls")
+	}
+
+	res, err := gmorph.Fuse(teachers, ds, gmorph.Config{
+		AccuracyDrop:   0.10,
+		Rounds:         6,
+		FineTuneEpochs: 8,
+		LearningRate:   0.003,
+		EvalEvery:      2,
+		RandomPolicy:   true,
+		Seed:           17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.FineTuned == 0 {
+		t.Fatalf("no fine-tuning recorded: %+v", st)
+	}
+	// No rule filter and no early termination in this config: every sampled
+	// candidate consults the cache, and every miss is fine-tuned.
+	if st.CacheHits+st.CacheMisses != len(res.Traces) {
+		t.Fatalf("cache consultations %d+%d don't cover %d rounds", st.CacheHits, st.CacheMisses, len(res.Traces))
+	}
+	if st.CacheMisses != st.FineTuned {
+		t.Fatalf("misses %d != fine-tuned %d", st.CacheMisses, st.FineTuned)
+	}
+	if res.Found && gmorph.Fingerprint(res.Model) == fp {
+		t.Fatal("fused model has the original's fingerprint")
 	}
 }
 

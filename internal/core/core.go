@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/estimator"
+	"repro/internal/fingerprint"
 	"repro/internal/graph"
 	"repro/internal/mutation"
 	"repro/internal/tensor"
@@ -148,6 +149,14 @@ type Config struct {
 	// StartIteration offsets the temperature schedule when resuming; the
 	// first executed round is StartIteration+1.
 	StartIteration int
+	// DisableMemo turns off the fingerprint-keyed candidate and latency
+	// caches, forcing every sampled duplicate to be re-distilled and
+	// re-measured (the pre-memoization behavior; mainly for A/B tests).
+	DisableMemo bool
+	// DisableWarmStart makes candidates mutated from an elite fine-tune
+	// under the full epoch budget instead of the shrunken warm-start budget
+	// (see estimator.AccuracyOptions.WarmStartFraction).
+	DisableWarmStart bool
 }
 
 func (c Config) withDefaults() Config {
@@ -186,6 +195,12 @@ type Trace struct {
 	FineTuneTime time.Duration
 	// EpochsRun is the number of fine-tuning epochs executed.
 	EpochsRun int
+	// CacheHit is true when the candidate's outcome replayed from the
+	// fingerprint-keyed memo cache instead of being fine-tuned.
+	CacheHit bool
+	// WarmStarted is true when fine-tuning ran under the shrunken
+	// warm-start budget (inherited elite weights).
+	WarmStarted bool
 }
 
 // Result is the outcome of a search.
@@ -200,8 +215,11 @@ type Result struct {
 	Traces []Trace
 	// SearchTime is the total wall-clock spent.
 	SearchTime time.Duration
-	// Evaluated counts candidates that entered evaluation (incl. skipped).
+	// Evaluated counts candidates that entered evaluation (incl. skipped
+	// and cache-replayed ones).
 	Evaluated int
+	// Stats aggregates filtering, memoization, and warm-start counters.
+	Stats SearchStats
 }
 
 // Optimizer runs graph mutation optimization (Algorithm 1).
@@ -245,6 +263,24 @@ func (o *Optimizer) Run() *Result {
 		Latency: estimator.Latency(o.original, cfg.Latency),
 		FLOPs:   estimator.FLOPs(o.original),
 	}
+	memo := newSearchCache(!cfg.DisableMemo)
+	// The estimator may be shared across Run calls; snapshot its counters so
+	// Result.Stats reports this run's work only.
+	skip0, term0, ft0, ep0 := o.acc.SkippedByRule, o.acc.EarlyTerminated, o.acc.FineTuned, o.acc.TotalEpochs
+	ws0, wf0 := o.acc.WarmStarted, o.acc.WarmFallbacks
+
+	// addElite appends a target-meeting candidate, trims the list to the
+	// policy capacity, and advances Best past the incumbent guard.
+	addElite := func(el *Elite) {
+		res.Elites = append(res.Elites, el)
+		if len(res.Elites) > maxElites {
+			res.Elites = res.Elites[1:]
+		}
+		if (res.Best == nil && o.better(el, incumbent)) ||
+			(res.Best != nil && o.better(el, res.Best)) {
+			res.Best = el
+		}
+	}
 
 	for iter := cfg.StartIteration + 1; iter <= cfg.StartIteration+cfg.Rounds; iter++ {
 		if cfg.TimeBudget > 0 && time.Since(start) > cfg.TimeBudget {
@@ -269,41 +305,77 @@ func (o *Optimizer) Run() *Result {
 		}
 		cand := mres.Graph
 
-		// Step 2: evaluate the candidate (filtering + fine-tuning).
+		// Step 2: evaluate the candidate. The rule filter decides first —
+		// same order as an uncached search — then the fingerprint cache is
+		// consulted, and only a fresh structure pays for fine-tuning.
 		res.Evaluated++
-		out := o.acc.Estimate(cand, rng.Uint64())
-		tr := Trace{Iteration: iter, Skipped: out.Skipped, FromElite: fromElite}
-		if out.Report != nil {
-			tr.Met = out.Report.Met
-			tr.Terminated = out.Report.Terminated
-			tr.FineTuneTime = out.Report.TrainTime
-			tr.EpochsRun = out.Report.EpochsRun
-		}
-
+		cand.RefreshCapacities()
+		profile := cand.Capacity()
+		tr := Trace{Iteration: iter, FromElite: fromElite}
 		drop := 1.0
-		if out.Met {
-			lat := estimator.Latency(cand, cfg.Latency)
-			el := &Elite{
-				Graph:        cand,
-				Latency:      lat,
-				FLOPs:        estimator.FLOPs(cand),
-				Accuracy:     out.Report.Final,
-				FromElite:    fromElite,
-				FineTuneTime: out.Report.TrainTime,
-				Iteration:    iter,
-			}
-			res.Elites = append(res.Elites, el)
-			if len(res.Elites) > maxElites {
-				res.Elites = res.Elites[1:]
-			}
-			if (res.Best == nil && o.better(el, incumbent)) ||
-				(res.Best != nil && o.better(el, res.Best)) {
-				res.Best = el
-			}
-			tr.Latency = lat
-			drop = -o.acc.Eval.MinMargin(out.Report.Final)
-			if drop < 0 {
-				drop = 0
+		met := false
+		switch {
+		case o.acc.SkipByRule(profile):
+			tr.Skipped = true
+
+		default:
+			fp := fingerprint.Hash(cand)
+			if entry := memo.lookup(fp, &res.Stats); entry != nil {
+				// Replay the memoized outcome: round bookkeeping, filter
+				// history, and (for a met candidate) the trained weights all
+				// reproduce the original evaluation without re-distilling.
+				tr.CacheHit = true
+				tr.Met, tr.Terminated = entry.met, entry.terminated
+				tr.EpochsRun, tr.FineTuneTime = entry.epochsRun, entry.trainTime
+				tr.WarmStarted = entry.warmStarted
+				met = entry.met
+				if entry.met {
+					g := replayGraph(cand, entry)
+					lat := memo.latency(fp, &res.Stats, func() time.Duration {
+						return estimator.Latency(g, cfg.Latency)
+					})
+					acc := copyAccuracy(entry.accuracy)
+					addElite(&Elite{
+						Graph: g, Latency: lat, FLOPs: entry.flops, Accuracy: acc,
+						FromElite: fromElite, FineTuneTime: entry.trainTime, Iteration: iter,
+					})
+					tr.Latency = lat
+					if drop = -o.acc.Eval.MinMargin(acc); drop < 0 {
+						drop = 0
+					}
+				} else {
+					o.acc.RecordFailure(profile)
+				}
+			} else {
+				warm := fromElite && !cfg.DisableWarmStart
+				out := o.acc.FineTuneCandidate(cand, profile, memoSeed(cfg.Seed, fp), warm)
+				met = out.Met
+				entry := &memoEntry{met: out.Met}
+				if rep := out.Report; rep != nil {
+					tr.Met, tr.Terminated = rep.Met, rep.Terminated
+					tr.FineTuneTime, tr.EpochsRun = rep.TrainTime, rep.EpochsRun
+					tr.WarmStarted = rep.WarmStarted
+					entry.terminated, entry.epochsRun = rep.Terminated, rep.EpochsRun
+					entry.trainTime = rep.TrainTime
+					entry.warmStarted, entry.warmFellBack = rep.WarmStarted, rep.WarmFellBack
+				}
+				if out.Met {
+					entry.trained = cand
+					entry.flops = estimator.FLOPs(cand)
+					entry.accuracy = copyAccuracy(out.Report.Final)
+					lat := memo.latency(fp, &res.Stats, func() time.Duration {
+						return estimator.Latency(cand, cfg.Latency)
+					})
+					addElite(&Elite{
+						Graph: cand, Latency: lat, FLOPs: entry.flops, Accuracy: out.Report.Final,
+						FromElite: fromElite, FineTuneTime: out.Report.TrainTime, Iteration: iter,
+					})
+					tr.Latency = lat
+					if drop = -o.acc.Eval.MinMargin(out.Report.Final); drop < 0 {
+						drop = 0
+					}
+				}
+				memo.insert(fp, entry)
 			}
 		}
 		if res.Best != nil {
@@ -314,8 +386,14 @@ func (o *Optimizer) Run() *Result {
 		if cfg.OnRound != nil {
 			cfg.OnRound(tr)
 		}
-		cfg.Policy.Observe(iter, drop, out.Met, len(res.Elites))
+		cfg.Policy.Observe(iter, drop, met, len(res.Elites))
 	}
+	res.Stats.SkippedByRule = o.acc.SkippedByRule - skip0
+	res.Stats.EarlyTerminated = o.acc.EarlyTerminated - term0
+	res.Stats.FineTuned = o.acc.FineTuned - ft0
+	res.Stats.TotalEpochs = o.acc.TotalEpochs - ep0
+	res.Stats.WarmStarted = o.acc.WarmStarted - ws0
+	res.Stats.WarmFallbacks = o.acc.WarmFallbacks - wf0
 	res.SearchTime = time.Since(start)
 	return res
 }

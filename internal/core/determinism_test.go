@@ -38,9 +38,13 @@ func TestParallelOptimizerDeterministicAcrossWorkers(t *testing.T) {
 		opt := core.NewParallelOptimizer(teacher, ds, targets, outs, ds.Train.X, accOpts,
 			core.ParallelConfig{
 				Config: core.Config{
-					Rounds:  8,
-					Seed:    7,
-					Latency: estimator.LatencyOptions{Batch: 2, Warmup: 1, Runs: 2},
+					// MaxPairsPerPass 1 keeps the candidate space small enough
+					// that the fixed-seed search re-samples structures, so the
+					// memo cache participates in the determinism contract.
+					Rounds:          16,
+					MaxPairsPerPass: 1,
+					Seed:            7,
+					Latency:         estimator.LatencyOptions{Batch: 2, Warmup: 1, Runs: 2},
 				},
 				Workers:   workers,
 				BatchSize: 4,
@@ -49,6 +53,9 @@ func TestParallelOptimizerDeterministicAcrossWorkers(t *testing.T) {
 	}
 
 	serial := run(1)
+	if serial.Stats.CacheHits == 0 {
+		t.Fatal("fixture produced no cache hits; the test no longer covers memoization")
+	}
 	for _, workers := range []int{2, 4} {
 		parallel := run(workers)
 		compareResults(t, workers, serial, parallel)
@@ -68,9 +75,16 @@ func compareResults(t *testing.T, workers int, serial, parallel *core.Result) {
 	for i := range serial.Traces {
 		s, p := serial.Traces[i], parallel.Traces[i]
 		if s.Iteration != p.Iteration || s.Skipped != p.Skipped || s.FromElite != p.FromElite ||
-			s.Met != p.Met || s.Terminated != p.Terminated || s.EpochsRun != p.EpochsRun {
+			s.Met != p.Met || s.Terminated != p.Terminated || s.EpochsRun != p.EpochsRun ||
+			s.CacheHit != p.CacheHit || s.WarmStarted != p.WarmStarted {
 			t.Fatalf("Workers=%d: trace %d differs:\nWorkers=1: %+v\nWorkers=%d: %+v", workers, i, s, workers, p)
 		}
+	}
+	// Cache consultations, rule skips, warm starts, and epoch totals all
+	// happen in the serial phases, so the aggregated stats are part of the
+	// determinism contract.
+	if serial.Stats != parallel.Stats {
+		t.Fatalf("Stats differ:\nWorkers=1: %+v\nWorkers=%d: %+v", serial.Stats, workers, parallel.Stats)
 	}
 	if len(serial.Elites) != len(parallel.Elites) {
 		t.Fatalf("Workers=%d: elite count differs: %d vs %d", workers, len(serial.Elites), len(parallel.Elites))

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/graph"
+)
+
+// SearchStats aggregates the search-time filtering, memoization, and
+// warm-start counters of one optimization run. The serial optimizer fills it
+// from its single estimator; the parallel optimizer sums per-slot estimator
+// counters at merge time, so the totals are identical for any Workers value.
+type SearchStats struct {
+	// CacheHits / CacheMisses count candidate-outcome cache consultations
+	// (duplicate candidates scored without re-distilling vs. fresh
+	// evaluations). Both stay 0 when memoization is disabled.
+	CacheHits   int
+	CacheMisses int
+	// LatencyHits / LatencyMisses count latency-memo consultations for
+	// candidates that met the targets.
+	LatencyHits   int
+	LatencyMisses int
+	// WarmStarted counts fine-tuning runs that ran under a shrunken
+	// warm-start budget; WarmFallbacks counts those whose first evaluation
+	// regressed and fell back to the full budget.
+	WarmStarted   int
+	WarmFallbacks int
+	// Filtering effectiveness (the estimator counters, aggregated).
+	SkippedByRule   int
+	EarlyTerminated int
+	FineTuned       int
+	TotalEpochs     int
+}
+
+// memoEntry is one cached candidate outcome, keyed by structural
+// fingerprint. It stores everything a replay needs to reproduce the round
+// bookkeeping of the original evaluation: the verdict, the fine-tuning
+// counters, the measured accuracy, and — for candidates that met the
+// targets — the trained graph for direct weight transfer.
+type memoEntry struct {
+	met          bool
+	terminated   bool
+	warmStarted  bool
+	warmFellBack bool
+	epochsRun    int
+	trainTime    time.Duration
+	accuracy     map[int]float64
+	flops        int64
+	trained      *graph.Graph
+}
+
+// searchCache memoizes candidate outcomes and latency measurements by
+// structural fingerprint. It is deliberately unlocked: the optimizers only
+// touch it from their serial sample/merge phases, which is what keeps the
+// search deterministic in the seed regardless of Workers (see the
+// determinism test).
+type searchCache struct {
+	enabled bool
+	entries map[uint64]*memoEntry
+	lat     map[uint64]time.Duration
+}
+
+func newSearchCache(enabled bool) *searchCache {
+	return &searchCache{
+		enabled: enabled,
+		entries: make(map[uint64]*memoEntry),
+		lat:     make(map[uint64]time.Duration),
+	}
+}
+
+// lookup returns the cached outcome for a fingerprint, or nil, counting the
+// consultation. Both counters stay untouched when the cache is disabled.
+func (c *searchCache) lookup(fp uint64, st *SearchStats) *memoEntry {
+	if !c.enabled {
+		return nil
+	}
+	if e := c.entries[fp]; e != nil {
+		st.CacheHits++
+		return e
+	}
+	st.CacheMisses++
+	return nil
+}
+
+// insert stores an outcome. The first evaluation of a fingerprint wins;
+// later inserts (duplicates sampled within one parallel batch, which all
+// evaluate because the cache is only written at merge time) are dropped so
+// replay behavior does not depend on batch composition.
+func (c *searchCache) insert(fp uint64, e *memoEntry) {
+	if !c.enabled {
+		return
+	}
+	if _, ok := c.entries[fp]; !ok {
+		c.entries[fp] = e
+	}
+}
+
+// latency memoizes a latency measurement by fingerprint: structurally
+// identical graphs execute the same op schedule, so re-measuring a duplicate
+// buys noise, not information.
+func (c *searchCache) latency(fp uint64, st *SearchStats, measure func() time.Duration) time.Duration {
+	if !c.enabled {
+		return measure()
+	}
+	if d, ok := c.lat[fp]; ok {
+		st.LatencyHits++
+		return d
+	}
+	st.LatencyMisses++
+	d := measure()
+	c.lat[fp] = d
+	return d
+}
+
+// replayGraph materializes the trained model for a cache-hit elite. The
+// cached trained weights are transplanted into the freshly sampled duplicate
+// (direct weight transfer via graph.InheritWeights); if node identities do
+// not line up — the duplicate is isomorphic but was labeled differently —
+// the cached graph is cloned instead.
+func replayGraph(cand *graph.Graph, e *memoEntry) *graph.Graph {
+	if copied, total := graph.InheritWeights(cand, e.trained); copied == total {
+		return cand
+	}
+	return e.trained.Clone()
+}
+
+// copyAccuracy clones a per-task accuracy map. Cache entries keep their own
+// copy and every replayed elite gets its own, so mutating one elite's map can
+// never corrupt the cache or a sibling elite.
+func copyAccuracy(m map[int]float64) map[int]float64 {
+	acc := make(map[int]float64, len(m))
+	for id, v := range m {
+		acc[id] = v
+	}
+	return acc
+}
+
+// memoSeed derives a candidate's fine-tuning seed from the search seed and
+// the candidate's structural fingerprint (splitmix64 finalizer). Duplicate
+// candidates therefore fine-tune identically, which is what makes their
+// evaluation redundant work the cache can elide without changing the search:
+// with caching off the duplicate re-runs to the same outcome, with caching
+// on the outcome replays from the cache.
+func memoSeed(seed, fp uint64) uint64 {
+	x := seed ^ (fp * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

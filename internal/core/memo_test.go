@@ -1,0 +1,116 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+)
+
+// TestSearchCacheTransparent is the memoization contract: with the random
+// policy (every candidate mutates the original graph, so duplicates start
+// from identical weights) a cached search must retrace an uncached one
+// exactly — same rounds, same verdicts, same elites, same accuracies — while
+// eliding the duplicate fine-tuning runs. MaxPairsPerPass=1 keeps the
+// candidate space small enough that a fixed-seed search revisits structures.
+func TestSearchCacheTransparent(t *testing.T) {
+	run := func(disable bool) *core.Result {
+		teacher, _, _, acc := buildFixture(t)
+		opt := core.NewOptimizer(teacher, acc, core.Config{
+			Rounds:          18,
+			MaxPairsPerPass: 1,
+			Policy:          core.RandomPolicy{},
+			Seed:            5,
+			DisableMemo:     disable,
+			Latency:         estimator.LatencyOptions{Batch: 2, Warmup: 1, Runs: 2},
+		})
+		return opt.Run()
+	}
+	cached := run(false)
+	uncached := run(true)
+
+	if cached.Stats.CacheHits == 0 {
+		t.Fatal("fixture produced no duplicate candidates; the test exercises nothing")
+	}
+	if uncached.Stats.CacheHits != 0 || uncached.Stats.CacheMisses != 0 {
+		t.Fatalf("disabled cache reported consultations: %+v", uncached.Stats)
+	}
+	// Every cache hit is one fine-tuning run the cached search did not pay.
+	if cached.Stats.FineTuned+cached.Stats.CacheHits != uncached.Stats.FineTuned {
+		t.Fatalf("hits don't account for elided fine-tuning: cached %+v vs uncached %+v",
+			cached.Stats, uncached.Stats)
+	}
+
+	if cached.Evaluated != uncached.Evaluated {
+		t.Fatalf("Evaluated differs: cached %d, uncached %d", cached.Evaluated, uncached.Evaluated)
+	}
+	if len(cached.Traces) != len(uncached.Traces) {
+		t.Fatalf("trace count differs: %d vs %d", len(cached.Traces), len(uncached.Traces))
+	}
+	for i := range cached.Traces {
+		c, u := cached.Traces[i], uncached.Traces[i]
+		if c.Iteration != u.Iteration || c.Skipped != u.Skipped || c.FromElite != u.FromElite ||
+			c.Met != u.Met || c.Terminated != u.Terminated || c.EpochsRun != u.EpochsRun {
+			t.Fatalf("trace %d differs:\ncached:   %+v\nuncached: %+v", i, c, u)
+		}
+		if u.CacheHit {
+			t.Fatalf("trace %d: uncached run reported a cache hit", i)
+		}
+	}
+	if len(cached.Elites) != len(uncached.Elites) {
+		t.Fatalf("elite count differs: %d vs %d", len(cached.Elites), len(uncached.Elites))
+	}
+	for i := range cached.Elites {
+		c, u := cached.Elites[i], uncached.Elites[i]
+		if c.Iteration != u.Iteration || c.FLOPs != u.FLOPs || c.FromElite != u.FromElite {
+			t.Fatalf("elite %d differs: iter %d/%d flops %d/%d", i, c.Iteration, u.Iteration, c.FLOPs, u.FLOPs)
+		}
+		// Replayed accuracies are copies of the first evaluation, and fresh
+		// evaluations are bit-deterministic in (seed, fingerprint), so the
+		// maps must match exactly.
+		for id, acc := range c.Accuracy {
+			if acc != u.Accuracy[id] {
+				t.Fatalf("elite %d task %d accuracy differs: %v vs %v", i, id, acc, u.Accuracy[id])
+			}
+		}
+	}
+	if (cached.Best == nil) != (uncached.Best == nil) {
+		t.Fatalf("Best presence differs: cached %v, uncached %v", cached.Best != nil, uncached.Best != nil)
+	}
+}
+
+// TestSearchCacheReplaysTrainedWeights checks that a cache-hit elite carries
+// usable trained weights (direct weight transfer from the memoized run), not
+// the untrained duplicate: every elite produced by a replay must score the
+// accuracy the cache recorded for it.
+func TestSearchCacheReplaysTrainedWeights(t *testing.T) {
+	teacher, _, _, acc := buildFixture(t)
+	opt := core.NewOptimizer(teacher, acc, core.Config{
+		Rounds:          18,
+		MaxPairsPerPass: 1,
+		Policy:          core.RandomPolicy{},
+		Seed:            5,
+		Latency:         estimator.LatencyOptions{Batch: 2, Warmup: 1, Runs: 2},
+	})
+	res := opt.Run()
+	if res.Stats.CacheHits == 0 {
+		t.Skip("no duplicates sampled; nothing to verify")
+	}
+	checked := 0
+	for _, el := range res.Elites {
+		measured, err := acc.Eval.Measure(el.Graph)
+		if err != nil {
+			t.Fatalf("measuring elite from iteration %d: %v", el.Iteration, err)
+		}
+		for id, want := range el.Accuracy {
+			if measured[id] != want {
+				t.Fatalf("elite from iteration %d: task %d measures %v, recorded %v",
+					el.Iteration, id, measured[id], want)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("search produced no elites to verify")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/distill"
 	"repro/internal/estimator"
 	"repro/internal/filter"
+	"repro/internal/fingerprint"
 	"repro/internal/graph"
 	"repro/internal/mutation"
 	"repro/internal/tensor"
@@ -75,14 +76,27 @@ type job struct {
 	iteration int
 	profile   graph.CapacityProfile
 	skipped   bool
+	// fp is the candidate's structural fingerprint (only set when the
+	// candidate was not rule-skipped).
+	fp uint64
+	// warm marks a candidate mutated from a trained elite; it fine-tunes
+	// under the shrunken warm-start budget.
+	warm bool
+	// entry, when non-nil, is the memoized outcome the merge phase replays
+	// instead of evaluating the candidate.
+	entry *memoEntry
 }
 
-// outcome is the result of evaluating (or skipping) one candidate.
+// outcome is the result of evaluating (or skipping) one candidate. The
+// evaluation goroutines only fill rep and met; everything derived from them
+// (elites, latency, cache entries, policy feedback) is computed serially at
+// merge time.
 type outcome struct {
 	trace Trace
 	elite *Elite
 	drop  float64
 	met   bool
+	rep   *distill.Report
 }
 
 // Run executes the parallel search. Rounds is interpreted as the total
@@ -118,6 +132,12 @@ func (o *ParallelOptimizer) Run() *Result {
 	for i := range ests {
 		ests[i] = estimator.NewAccuracyEstimator(o.ds, o.targets, o.outs, o.trainX, slotOpts)
 	}
+	// Like the filter, the memo cache is only read during serial sampling
+	// and only written during serial merging, so cache hits land on the same
+	// candidates for any Workers value. (Duplicates sampled within one batch
+	// all evaluate — the cache cannot see them yet — and first-wins insert
+	// keeps replays independent of merge order.)
+	memo := newSearchCache(!cfg.DisableMemo)
 
 	rounds := cfg.Rounds / cfg.BatchSize
 	if rounds == 0 {
@@ -151,12 +171,24 @@ func (o *ParallelOptimizer) Run() *Result {
 			}
 			j := job{
 				cand: mres.Graph, fromElite: base != o.original,
-				seed: rng.Uint64(), iteration: iter,
+				iteration: iter,
 			}
 			j.cand.RefreshCapacities()
 			j.profile = j.cand.Capacity()
-			if useRule && rule.ShouldSkip(j.profile) {
+			switch {
+			case useRule && rule.ShouldSkip(j.profile):
 				j.skipped = true
+				res.Stats.SkippedByRule++
+			default:
+				j.fp = fingerprint.Hash(j.cand)
+				if j.entry = memo.lookup(j.fp, &res.Stats); j.entry == nil {
+					// The fine-tune seed is a function of the search seed and
+					// the structural fingerprint, so duplicate candidates
+					// train identically — which is what makes replaying a
+					// memoized outcome equivalent to re-evaluating.
+					j.seed = memoSeed(cfg.Seed, j.fp)
+					j.warm = j.fromElite && !cfg.DisableWarmStart
+				}
 			}
 			jobs = append(jobs, j)
 		}
@@ -182,35 +214,16 @@ func (o *ParallelOptimizer) Run() *Result {
 			oc := &outcomes[ji]
 			oc.drop = 1
 			oc.trace = Trace{Iteration: j.iteration, Skipped: j.skipped, FromElite: j.fromElite}
-			if j.skipped {
+			if j.skipped || j.entry != nil {
 				continue
 			}
 			wg.Add(1)
 			slot := <-slotc
 			go func(oc *outcome, j job, slot int) {
 				defer func() { slotc <- slot; wg.Done() }()
-				out := ests[slot].Estimate(j.cand, j.seed)
-				if out.Report != nil {
-					oc.trace.Met = out.Report.Met
-					oc.trace.Terminated = out.Report.Terminated
-					oc.trace.FineTuneTime = out.Report.TrainTime
-					oc.trace.EpochsRun = out.Report.EpochsRun
-				}
+				out := ests[slot].FineTuneCandidate(j.cand, j.profile, j.seed, j.warm)
 				oc.met = out.Met
-				if out.Met {
-					lat := estimator.Latency(j.cand, cfg.Latency)
-					oc.elite = &Elite{
-						Graph: j.cand, Latency: lat, FLOPs: estimator.FLOPs(j.cand),
-						Accuracy: out.Report.Final, FromElite: j.fromElite,
-						FineTuneTime: out.Report.TrainTime, Iteration: j.iteration,
-					}
-					oc.trace.Latency = lat
-					margin := minMargin(o.targets, out.Report.Final)
-					oc.drop = -margin
-					if oc.drop < 0 {
-						oc.drop = 0
-					}
-				}
+				oc.rep = out.Report
 			}(oc, j, slot)
 		}
 		wg.Wait()
@@ -220,11 +233,76 @@ func (o *ParallelOptimizer) Run() *Result {
 		// candidates (see Result.Evaluated).
 		res.Evaluated += len(jobs)
 
-		// Phase 3 (serial): merge outcomes in candidate order.
-		for ji, oc := range outcomes {
-			if !jobs[ji].skipped && !oc.met {
-				rule.RecordFailure(jobs[ji].profile)
+		// Phase 3 (serial): merge outcomes in candidate order. Everything the
+		// next round's sampling can observe — elites, filter history, the
+		// memo cache, latency measurements, policy feedback — is produced
+		// here, in a deterministic order.
+		for ji := range outcomes {
+			oc := &outcomes[ji]
+			j := jobs[ji]
+			switch {
+			case j.skipped:
+				// Rule-skipped candidates record no failure: the rule already
+				// acted on the history that produced it.
+
+			case j.entry != nil:
+				// Replay the memoized outcome.
+				e := j.entry
+				oc.trace.CacheHit = true
+				oc.trace.Met, oc.trace.Terminated = e.met, e.terminated
+				oc.trace.EpochsRun, oc.trace.FineTuneTime = e.epochsRun, e.trainTime
+				oc.trace.WarmStarted = e.warmStarted
+				oc.met = e.met
+				if e.met {
+					g := replayGraph(j.cand, e)
+					lat := memo.latency(j.fp, &res.Stats, func() time.Duration {
+						return estimator.Latency(g, cfg.Latency)
+					})
+					acc := copyAccuracy(e.accuracy)
+					oc.elite = &Elite{
+						Graph: g, Latency: lat, FLOPs: e.flops, Accuracy: acc,
+						FromElite: j.fromElite, FineTuneTime: e.trainTime, Iteration: j.iteration,
+					}
+					oc.trace.Latency = lat
+					if oc.drop = -minMargin(o.targets, acc); oc.drop < 0 {
+						oc.drop = 0
+					}
+				} else {
+					rule.RecordFailure(j.profile)
+				}
+
+			default:
+				// Freshly evaluated: publish the outcome to the cache.
+				e := &memoEntry{met: oc.met}
+				if rep := oc.rep; rep != nil {
+					oc.trace.Met, oc.trace.Terminated = rep.Met, rep.Terminated
+					oc.trace.FineTuneTime, oc.trace.EpochsRun = rep.TrainTime, rep.EpochsRun
+					oc.trace.WarmStarted = rep.WarmStarted
+					e.terminated, e.epochsRun = rep.Terminated, rep.EpochsRun
+					e.trainTime = rep.TrainTime
+					e.warmStarted, e.warmFellBack = rep.WarmStarted, rep.WarmFellBack
+				}
+				if oc.met {
+					e.trained = j.cand
+					e.flops = estimator.FLOPs(j.cand)
+					e.accuracy = copyAccuracy(oc.rep.Final)
+					lat := memo.latency(j.fp, &res.Stats, func() time.Duration {
+						return estimator.Latency(j.cand, cfg.Latency)
+					})
+					oc.elite = &Elite{
+						Graph: j.cand, Latency: lat, FLOPs: e.flops, Accuracy: oc.rep.Final,
+						FromElite: j.fromElite, FineTuneTime: oc.rep.TrainTime, Iteration: j.iteration,
+					}
+					oc.trace.Latency = lat
+					if oc.drop = -minMargin(o.targets, oc.rep.Final); oc.drop < 0 {
+						oc.drop = 0
+					}
+				} else {
+					rule.RecordFailure(j.profile)
+				}
+				memo.insert(j.fp, e)
 			}
+
 			if oc.elite != nil {
 				res.Elites = append(res.Elites, oc.elite)
 				if len(res.Elites) > maxElites {
@@ -246,6 +324,16 @@ func (o *ParallelOptimizer) Run() *Result {
 			}
 			cfg.Policy.Observe(tr.Iteration, oc.drop, oc.elite != nil, len(res.Elites))
 		}
+	}
+	// Aggregate the per-slot estimator counters: the slots partition the
+	// fine-tuning work, so their sums equal a serial run's counters for any
+	// Workers value.
+	for _, est := range ests {
+		res.Stats.EarlyTerminated += est.EarlyTerminated
+		res.Stats.FineTuned += est.FineTuned
+		res.Stats.TotalEpochs += est.TotalEpochs
+		res.Stats.WarmStarted += est.WarmStarted
+		res.Stats.WarmFallbacks += est.WarmFallbacks
 	}
 	res.SearchTime = time.Since(start)
 	return res

@@ -35,7 +35,7 @@ func ComputeTeacherOutputs(teacher *graph.Graph, x *tensor.Tensor, batch int) Te
 		if hi > n {
 			hi = n
 		}
-		xb := sliceBatch(x, lo, hi)
+		xb, handle := sliceBatch(x, lo, hi)
 		res := teacher.Forward(xb, false)
 		for id, o := range res {
 			dst, ok := out[id]
@@ -47,20 +47,22 @@ func ComputeTeacherOutputs(teacher *graph.Graph, x *tensor.Tensor, batch int) Te
 			per := o.Size() / o.Dim(0)
 			copy(dst.Data()[lo*per:hi*per], o.Data())
 		}
+		tensor.PutBuf(handle)
 	}
 	return out
 }
 
-// sliceBatch copies rows [lo,hi) of x into a new tensor.
-func sliceBatch(x *tensor.Tensor, lo, hi int) *tensor.Tensor {
+// sliceBatch copies rows [lo,hi) of x into a tensor drawn from the arena;
+// the handle must be released with tensor.PutBuf once the batch is dead.
+func sliceBatch(x *tensor.Tensor, lo, hi int) (*tensor.Tensor, *[]float32) {
 	shape := append([]int{hi - lo}, x.Shape()[1:]...)
 	per := 1
 	for _, d := range x.Shape()[1:] {
 		per *= d
 	}
-	out := tensor.New(shape...)
+	out, handle := tensor.GetTensorDirty(shape...)
 	copy(out.Data(), x.Data()[lo*per:hi*per])
-	return out
+	return out, handle
 }
 
 // Config controls one fine-tuning run. The defaults mirror the paper's
@@ -79,6 +81,14 @@ type Config struct {
 	TaskWeights map[int]float64
 	// Seed shuffles minibatches deterministically.
 	Seed uint64
+	// WarmEpochs, when in (0, Epochs), marks the run as warm-started: the
+	// graph arrives with trained weights inherited from a parent candidate,
+	// so the effective epoch budget shrinks to WarmEpochs. A baseline
+	// accuracy is measured before training; if the first post-training
+	// evaluation falls below that baseline (the mutation destroyed the
+	// inherited advantage and a short budget will not recover it), the run
+	// falls back to the full Epochs budget. 0 disables warm-start handling.
+	WarmEpochs int
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +136,12 @@ type Report struct {
 	TrainTime time.Duration
 	// FinalLoss is the last epoch's mean distillation loss.
 	FinalLoss float64
+	// WarmStarted reports that the run used a shrunken warm-start budget
+	// (Config.WarmEpochs); the Curve then begins with an Epoch-0 baseline.
+	WarmStarted bool
+	// WarmFellBack reports that the warm-start guard restored the full
+	// epoch budget because the first evaluation regressed below baseline.
+	WarmFellBack bool
 	// Err is set when evaluation failed (e.g. a metric shape mismatch);
 	// the run is aborted and the candidate counts as failed.
 	Err error
@@ -200,7 +216,10 @@ func (e *Evaluator) MinMargin(acc map[int]float64) float64 {
 // FineTune trains g against teacher outputs on the representative inputs x
 // (the dataset's train split), evaluating the test metric every EvalEvery
 // epochs. It stops as soon as every task meets its target (the paper's
-// early-stopping condition), when the hook cancels, or after cfg.Epochs.
+// early-stopping condition), when the hook cancels, or after the epoch
+// budget: cfg.Epochs normally, or cfg.WarmEpochs for warm-started runs
+// (whose inherited weights are expected to need only a short polish — see
+// Config.WarmEpochs for the regression fallback).
 func FineTune(g *graph.Graph, x *tensor.Tensor, teacher TeacherOutputs, eval *Evaluator, cfg Config, hook Hook) *Report {
 	cfg = cfg.withDefaults()
 	start := time.Now()
@@ -209,7 +228,32 @@ func FineTune(g *graph.Graph, x *tensor.Tensor, teacher TeacherOutputs, eval *Ev
 	n := x.Dim(0)
 	rep := &Report{Final: make(map[int]float64)}
 
-	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+	budget := cfg.Epochs
+	var warmBaseline float64
+	if cfg.WarmEpochs > 0 && cfg.WarmEpochs < cfg.Epochs {
+		// Warm start: measure where the inherited weights already stand.
+		// Meeting the targets outright is the paper's direct weight transfer
+		// at its best — zero fine-tuning epochs.
+		acc, err := eval.Measure(g)
+		if err != nil {
+			rep.Err = err
+			rep.TrainTime = time.Since(start)
+			return rep
+		}
+		warmBaseline = eval.MinMargin(acc)
+		rep.WarmStarted = true
+		rep.Final = acc
+		rep.Curve = append(rep.Curve, Sample{Epoch: 0, Accuracy: acc, MinMargin: warmBaseline})
+		if warmBaseline >= 0 {
+			rep.Met = true
+			rep.TrainTime = time.Since(start)
+			return rep
+		}
+		budget = cfg.WarmEpochs
+	}
+
+	warmChecked := false
+	for epoch := 1; epoch <= budget; epoch++ {
 		perm := rng.Perm(n)
 		var epochLoss float64
 		var batches int
@@ -218,12 +262,12 @@ func FineTune(g *graph.Graph, x *tensor.Tensor, teacher TeacherOutputs, eval *Ev
 			if hi > n {
 				hi = n
 			}
-			xb := gatherRows(x, perm[lo:hi])
+			xb, xh := gatherRows(x, perm[lo:hi])
 			opt.ZeroGrad()
 			outs := g.Forward(xb, true)
 			grads := make(map[int]*tensor.Tensor, len(outs))
 			for id, o := range outs {
-				tb := gatherRows(teacher[id], perm[lo:hi])
+				tb, th := gatherRows(teacher[id], perm[lo:hi])
 				w := 1.0
 				if cfg.TaskWeights != nil {
 					if tw, ok := cfg.TaskWeights[id]; ok {
@@ -231,6 +275,7 @@ func FineTune(g *graph.Graph, x *tensor.Tensor, teacher TeacherOutputs, eval *Ev
 					}
 				}
 				l, gr := nn.L1Loss(o, tb)
+				tensor.PutBuf(th)
 				if w != 1.0 {
 					gr.Scale(float32(w))
 				}
@@ -241,17 +286,21 @@ func FineTune(g *graph.Graph, x *tensor.Tensor, teacher TeacherOutputs, eval *Ev
 			if math.IsNaN(epochLoss) || math.IsInf(epochLoss, 0) {
 				// Diverged (e.g. too-high learning rate on an unstable
 				// mutation): abort; the candidate is non-promising.
+				tensor.PutBuf(xh)
 				rep.Diverged = true
 				rep.TrainTime = time.Since(start)
 				return rep
 			}
 			g.Backward(grads)
 			opt.Step()
+			// The layers cached xb for the backward pass, so the buffer can
+			// only return to the arena after Backward has consumed it.
+			tensor.PutBuf(xh)
 		}
 		rep.EpochsRun = epoch
 		rep.FinalLoss = epochLoss / float64(batches)
 
-		if epoch%cfg.EvalEvery == 0 || epoch == cfg.Epochs {
+		if epoch%cfg.EvalEvery == 0 || epoch == budget {
 			acc, err := eval.Measure(g)
 			if err != nil {
 				rep.Err = err
@@ -265,6 +314,17 @@ func FineTune(g *graph.Graph, x *tensor.Tensor, teacher TeacherOutputs, eval *Ev
 				rep.Met = true
 				break
 			}
+			if rep.WarmStarted && !warmChecked {
+				// Guard on the first post-training evaluation: a margin below
+				// the pre-training baseline means training is digging out of
+				// a hole, not polishing inherited weights — give the run the
+				// full budget.
+				warmChecked = true
+				if margin < warmBaseline {
+					rep.WarmFellBack = true
+					budget = cfg.Epochs
+				}
+			}
 			if hook != nil && hook(rep.Curve) {
 				rep.Terminated = true
 				break
@@ -275,12 +335,15 @@ func FineTune(g *graph.Graph, x *tensor.Tensor, teacher TeacherOutputs, eval *Ev
 	return rep
 }
 
-// gatherRows copies the given rows of x into a new tensor.
-func gatherRows(x *tensor.Tensor, rows []int) *tensor.Tensor {
+// gatherRows copies the given rows of x into a tensor drawn from the arena.
+// Fine-tuning gathers one input and one teacher batch per minibatch per
+// epoch — recycled here, those would be the search's dominant allocation
+// source. The handle must be released with tensor.PutBuf.
+func gatherRows(x *tensor.Tensor, rows []int) (*tensor.Tensor, *[]float32) {
 	per := x.Size() / x.Dim(0)
-	out := tensor.New(append([]int{len(rows)}, x.Shape()[1:]...)...)
+	out, handle := tensor.GetTensorDirty(append([]int{len(rows)}, x.Shape()[1:]...)...)
 	for i, r := range rows {
 		copy(out.Data()[i*per:(i+1)*per], x.Data()[r*per:(r+1)*per])
 	}
-	return out
+	return out, handle
 }

@@ -1,0 +1,90 @@
+package distill_test
+
+import (
+	"testing"
+
+	"repro/internal/distill"
+	"repro/internal/testutil"
+)
+
+// A warm-started run whose inherited weights already meet the targets must
+// return immediately: direct weight transfer at its best, zero epochs spent.
+func TestFineTuneWarmStartInstantMet(t *testing.T) {
+	ds := testutil.TinyFace(51, 48, 24)
+	teacher := testutil.TinyMultiDNN(52, ds)
+	testutil.PretrainTeachers(teacher, ds, 6, 0.004, 53)
+	outs := distill.ComputeTeacherOutputs(teacher, ds.Train.X, 24)
+
+	// Accuracy is never negative, so targets of 0 are met before training.
+	eval := &distill.Evaluator{Dataset: ds, Targets: map[int]float64{0: 0, 1: 0}}
+	student := teacher.Clone()
+	rep := distill.FineTune(student, ds.Train.X, outs, eval,
+		distill.Config{LR: 0.002, Epochs: 10, WarmEpochs: 3, Batch: 16, EvalEvery: 1, Seed: 54}, nil)
+	if !rep.Met || rep.EpochsRun != 0 {
+		t.Fatalf("warm start did not short-circuit: met=%v epochs=%d", rep.Met, rep.EpochsRun)
+	}
+	if !rep.WarmStarted || rep.WarmFellBack {
+		t.Fatalf("warm flags wrong: %+v", rep)
+	}
+	if len(rep.Curve) != 1 || rep.Curve[0].Epoch != 0 {
+		t.Fatalf("expected a single epoch-0 baseline sample, got %+v", rep.Curve)
+	}
+}
+
+// When training improves on the baseline but the targets stay out of reach,
+// a warm-started run must stop at the shrunken WarmEpochs budget instead of
+// burning the full one.
+func TestFineTuneWarmStartCapsBudget(t *testing.T) {
+	ds := testutil.TinyFace(61, 48, 24)
+	teacher := testutil.TinyMultiDNN(62, ds)
+	testutil.PretrainTeachers(teacher, ds, 6, 0.004, 63)
+	outs := distill.ComputeTeacherOutputs(teacher, ds.Train.X, 24)
+
+	// A fresh student starts from a poor baseline, so distillation improves
+	// the margin and the regression guard stays quiet; impossible targets
+	// keep the run going to its budget.
+	eval := &distill.Evaluator{Dataset: ds, Targets: map[int]float64{0: 2, 1: 2}}
+	student := testutil.TinyMultiDNN(64, ds)
+	rep := distill.FineTune(student, ds.Train.X, outs, eval,
+		distill.Config{LR: 0.004, Epochs: 12, WarmEpochs: 2, Batch: 16, EvalEvery: 1, Seed: 65}, nil)
+	if rep.Met {
+		t.Fatal("impossible targets reported as met")
+	}
+	if !rep.WarmStarted {
+		t.Fatal("WarmStarted not reported")
+	}
+	if rep.WarmFellBack {
+		t.Fatalf("guard fired although training improved: %+v", rep.Curve)
+	}
+	if rep.EpochsRun != 2 {
+		t.Fatalf("epochs run = %d, want the WarmEpochs budget 2", rep.EpochsRun)
+	}
+}
+
+// When the first evaluation regresses below the pre-training baseline, the
+// guard must restore the full epoch budget: a short polish cannot recover a
+// run that is digging out of a hole.
+func TestFineTuneWarmStartFallsBackOnRegression(t *testing.T) {
+	ds := testutil.TinyFace(71, 48, 24)
+	teacher := testutil.TinyMultiDNN(72, ds)
+	testutil.PretrainTeachers(teacher, ds, 6, 0.004, 73)
+	outs := distill.ComputeTeacherOutputs(teacher, ds.Train.X, 24)
+
+	// A negative learning rate performs gradient ascent: accuracy reliably
+	// degrades from the trained baseline without the loss diverging. The
+	// guard watches the min-margin, so task 0 — the impossible target — must
+	// be the margin-determining task for its regression to register.
+	eval := &distill.Evaluator{Dataset: ds, Targets: map[int]float64{0: 2, 1: 0.5}}
+	student := teacher.Clone()
+	rep := distill.FineTune(student, ds.Train.X, outs, eval,
+		distill.Config{LR: -0.01, Epochs: 5, WarmEpochs: 2, Batch: 16, EvalEvery: 1, Seed: 74}, nil)
+	if rep.Met || rep.Diverged {
+		t.Fatalf("unexpected verdict: %+v", rep)
+	}
+	if !rep.WarmStarted || !rep.WarmFellBack {
+		t.Fatalf("regression guard did not fire: %+v", rep)
+	}
+	if rep.EpochsRun != 5 {
+		t.Fatalf("epochs run = %d, want the full budget 5 after fallback", rep.EpochsRun)
+	}
+}

@@ -86,6 +86,11 @@ type AccuracyOptions struct {
 	UseRuleFilter bool
 	// Slack loosens the early-termination decision (see filter package).
 	Slack float64
+	// WarmStartFraction scales the fine-tuning epoch budget for warm-started
+	// candidates (those mutated from an already-trained elite): the budget
+	// becomes round(Epochs * fraction), with the regression fallback of
+	// distill.Config.WarmEpochs. 0 means the default 0.5.
+	WarmStartFraction float64
 }
 
 // AccuracyEstimator fine-tunes candidates and reports whether they meet the
@@ -104,6 +109,8 @@ type AccuracyEstimator struct {
 	EarlyTerminated int
 	FineTuned       int
 	TotalEpochs     int
+	WarmStarted     int
+	WarmFallbacks   int
 }
 
 // NewAccuracyEstimator builds an estimator over a dataset's train split and
@@ -134,10 +141,38 @@ type Outcome struct {
 func (a *AccuracyEstimator) Estimate(g *graph.Graph, seed uint64) Outcome {
 	g.RefreshCapacities()
 	profile := g.Capacity()
-	if a.Opts.UseRuleFilter && a.rule.ShouldSkip(profile) {
-		a.SkippedByRule++
+	if a.SkipByRule(profile) {
 		return Outcome{Skipped: true}
 	}
+	return a.FineTuneCandidate(g, profile, seed, false)
+}
+
+// SkipByRule applies the capacity-rule filter to a profile, counting a skip.
+// The optimizers call it directly (ahead of their memoization caches, so the
+// skip/evaluate decision order is identical with caching on or off);
+// Estimate composes it with FineTuneCandidate.
+func (a *AccuracyEstimator) SkipByRule(profile graph.CapacityProfile) bool {
+	if !a.Opts.UseRuleFilter || !a.rule.ShouldSkip(profile) {
+		return false
+	}
+	a.SkippedByRule++
+	return true
+}
+
+// RecordFailure feeds a failed capacity profile into the rule history. The
+// optimizers use it when a memoized outcome replays a failure without
+// re-running fine-tuning, keeping the filter history identical to an
+// uncached search.
+func (a *AccuracyEstimator) RecordFailure(profile graph.CapacityProfile) {
+	a.rule.RecordFailure(profile)
+}
+
+// FineTuneCandidate runs distillation fine-tuning for a candidate whose
+// rule-filter decision was already taken. warm marks a candidate mutated
+// from a trained elite: its inherited weights are close, so the epoch budget
+// shrinks to WarmStartFraction of the full budget (with the regression
+// fallback described on distill.Config.WarmEpochs).
+func (a *AccuracyEstimator) FineTuneCandidate(g *graph.Graph, profile graph.CapacityProfile, seed uint64, warm bool) Outcome {
 	var hook distill.Hook
 	if a.Opts.UseEarlyTermination {
 		hook = filter.EarlyTermination{
@@ -148,11 +183,28 @@ func (a *AccuracyEstimator) Estimate(g *graph.Graph, seed uint64) Outcome {
 	}
 	cfg := a.Opts.FineTune
 	cfg.Seed = seed
+	if warm {
+		frac := a.Opts.WarmStartFraction
+		if frac <= 0 {
+			frac = 0.5
+		}
+		we := int(float64(cfg.Epochs)*frac + 0.5)
+		if we < 1 {
+			we = 1
+		}
+		cfg.WarmEpochs = we
+	}
 	rep := distill.FineTune(g, a.TrainX, a.Teacher, a.Eval, cfg, hook)
 	a.FineTuned++
 	a.TotalEpochs += rep.EpochsRun
 	if rep.Terminated {
 		a.EarlyTerminated++
+	}
+	if rep.WarmStarted {
+		a.WarmStarted++
+	}
+	if rep.WarmFellBack {
+		a.WarmFallbacks++
 	}
 	if !rep.Met {
 		a.rule.RecordFailure(profile)

@@ -1,0 +1,111 @@
+// Package fingerprint computes canonical structural hashes of abstract
+// graphs. Two graphs receive the same fingerprint exactly when they are the
+// same fusion candidate: same tree of block kinds, same per-node feature
+// shapes, same parameter capacities, and the same task-head assignment.
+// Node identities (OpID, the TaskID labels of interior nodes) and weight
+// values are deliberately excluded, so the hash is stable under node-ID
+// renaming and under reordering of sibling subtrees.
+//
+// The SA search policy routinely re-samples structurally identical mutation
+// candidates (the same pair applied to the same base); fingerprints let the
+// search pay distillation and latency measurement once per distinct
+// candidate and reuse the outcome for every duplicate (see internal/core).
+// This mirrors DNNFusion's reuse of fusion decisions across isomorphic
+// subgraphs.
+package fingerprint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Hash returns the canonical 64-bit structural fingerprint of g.
+//
+// The hash of a node covers, in order: its op type, feature domain, input
+// shape, output shape, trainable-parameter count, layer name (which encodes
+// the layer configuration, e.g. channel widths), and — for task heads only —
+// the task id it serves. Child hashes are combined in sorted order, which
+// makes the result invariant to sibling ordering; the tree recursion itself
+// encodes the sharing pattern. OpID and interior TaskID labels never enter
+// the hash, so relabeled-but-isomorphic graphs collide by construction.
+func Hash(g *graph.Graph) uint64 {
+	return hashNode(g.Root)
+}
+
+// String renders the fingerprint as a fixed-width hex token for reports and
+// logs (cmd/inspect prints it next to the capacity summary).
+func String(g *graph.Graph) string {
+	return fmt.Sprintf("%016x", Hash(g))
+}
+
+const seed = 0xcbf29ce484222325 // FNV-64 offset basis
+
+func hashNode(n *graph.Node) uint64 {
+	h := combine(seed, hashString(n.OpType))
+	h = combine(h, uint64(n.Domain)+1)
+	h = combine(h, hashShape(n.InputShape))
+	if !n.IsInput() {
+		h = combine(h, hashShape(graph.OutShapeOf(n)))
+	}
+	h = combine(h, uint64(paramCount(n))+1)
+	if n.IsHead() {
+		// Task-head assignment: which task this leaf serves is part of the
+		// candidate's identity (a mirror image that swaps two tasks' branches
+		// is a different fusion).
+		h = combine(h, uint64(int64(n.TaskID))+0x9e3779b97f4a7c15)
+	}
+	if n.Layer != nil {
+		h = combine(h, hashString(n.Layer.Name()))
+	}
+	kids := make([]uint64, len(n.Children))
+	for i, c := range n.Children {
+		kids[i] = hashNode(c)
+	}
+	sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+	for _, k := range kids {
+		h = combine(h, k)
+	}
+	return combine(h, uint64(len(kids)))
+}
+
+func paramCount(n *graph.Node) int64 {
+	if n.Layer == nil {
+		return 0
+	}
+	var total int64
+	for _, p := range n.Layer.Params() {
+		total += int64(p.Value.Size())
+	}
+	return total
+}
+
+func hashShape(s graph.Shape) uint64 {
+	h := uint64(seed)
+	for _, d := range s {
+		h = combine(h, uint64(int64(d)))
+	}
+	return combine(h, uint64(len(s)))
+}
+
+func hashString(s string) uint64 {
+	h := uint64(seed)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 0x100000001b3 // FNV-1a step
+	}
+	return h
+}
+
+// combine folds v into h with full 64-bit avalanche (splitmix64 finalizer),
+// so single-field differences flip about half the output bits and ordered
+// sequences hash differently from their permutations.
+func combine(h, v uint64) uint64 {
+	x := h*0x100000001b3 + v
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,151 @@
+package fingerprint_test
+
+import (
+	"testing"
+
+	"repro/internal/fingerprint"
+	"repro/internal/graph"
+	"repro/internal/mutation"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+func tinyGraph(seed uint64) *graph.Graph {
+	ds := testutil.TinyFace(seed, 8, 4)
+	return testutil.TinyMultiDNN(seed+1, ds)
+}
+
+// relabel renames every node id in place: OpIDs shift by a constant and
+// interior (non-head) TaskID labels are rewritten. This is exactly the
+// isomorphic relabeling the fingerprint must be blind to.
+func relabel(g *graph.Graph) {
+	for _, n := range g.Nodes() {
+		n.OpID += 1000
+		if !n.IsHead() {
+			n.TaskID += 50
+		}
+	}
+}
+
+// reverseChildren flips every sibling list, exercising child-order
+// invariance.
+func reverseChildren(g *graph.Graph) {
+	var walk func(n *graph.Node)
+	walk = func(n *graph.Node) {
+		for i, j := 0, len(n.Children)-1; i < j; i, j = i+1, j-1 {
+			n.Children[i], n.Children[j] = n.Children[j], n.Children[i]
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(g.Root)
+}
+
+func TestFingerprintRelabelInvariance(t *testing.T) {
+	base := tinyGraph(1)
+	h0 := fingerprint.Hash(base)
+
+	re := base.Clone()
+	relabel(re)
+	if got := fingerprint.Hash(re); got != h0 {
+		t.Fatalf("OpID/TaskID relabeling changed the fingerprint: %016x vs %016x", got, h0)
+	}
+
+	ro := base.Clone()
+	reverseChildren(ro)
+	if got := fingerprint.Hash(ro); got != h0 {
+		t.Fatalf("sibling reordering changed the fingerprint: %016x vs %016x", got, h0)
+	}
+}
+
+func TestFingerprintIgnoresWeights(t *testing.T) {
+	a := tinyGraph(3)
+	b := a.Clone()
+	for _, p := range b.Params() {
+		d := p.Value.Data()
+		for i := range d {
+			d[i] += 0.25
+		}
+	}
+	if fingerprint.Hash(a) != fingerprint.Hash(b) {
+		t.Fatal("weight values leaked into the fingerprint")
+	}
+	// Structurally identical graphs built from different init seeds must
+	// also collide: the fingerprint identifies the architecture, not the
+	// parameters.
+	if fingerprint.Hash(tinyGraph(5)) != fingerprint.Hash(tinyGraph(9)) {
+		t.Fatal("same architecture from different seeds fingerprints differently")
+	}
+}
+
+// Every legal mutation — across all pairs the mutator accepts, covering both
+// in-branch and cross-branch rules — must change the fingerprint, and the
+// same mutation applied twice to fresh clones must agree (that collision is
+// what makes duplicate candidates cacheable).
+func TestFingerprintMutationSensitivity(t *testing.T) {
+	base := tinyGraph(7)
+	h0 := fingerprint.Hash(base)
+	pairs := base.ShareablePairs()
+	if len(pairs) == 0 {
+		t.Fatal("fixture has no shareable pairs")
+	}
+	kinds := map[mutation.Kind]int{}
+	applied := 0
+	for i, p := range pairs {
+		mut := mutation.NewMutator(tensor.NewRNG(uint64(100 + i)))
+		m1, err := mut.Apply(base, []graph.Pair{p})
+		if err != nil {
+			continue
+		}
+		applied++
+		kinds[mutation.Classify(p)]++
+		h1 := fingerprint.Hash(m1.Graph)
+		if h1 == h0 {
+			t.Fatalf("pair %d (%s->%s): mutation did not change the fingerprint",
+				i, p.Host.ID(), p.Guest.ID())
+		}
+		// Same pair, fresh mutator, fresh clone: identical candidate.
+		m2, err := mutation.NewMutator(tensor.NewRNG(uint64(900+i))).Apply(base, []graph.Pair{p})
+		if err != nil {
+			t.Fatalf("pair %d applied once but not twice: %v", i, err)
+		}
+		if h2 := fingerprint.Hash(m2.Graph); h2 != h1 {
+			t.Fatalf("pair %d: duplicate candidate fingerprints differ: %016x vs %016x", i, h1, h2)
+		}
+		// Relabeled mutant still collides with the mutant.
+		rel := m1.Graph.Clone()
+		relabel(rel)
+		reverseChildren(rel)
+		if fingerprint.Hash(rel) != h1 {
+			t.Fatalf("pair %d: relabeled mutant fingerprints differently", i)
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no pair was applicable")
+	}
+	if len(kinds) < 2 {
+		t.Fatalf("fixture exercised only %v mutations; want both in-branch and cross-branch", kinds)
+	}
+}
+
+// Architecture details that survive relabeling — layer widths — must still
+// discriminate.
+func TestFingerprintSeesLayerWidths(t *testing.T) {
+	build := func(width int) *graph.Graph {
+		rng := tensor.NewRNG(11)
+		g := graph.New(graph.Shape{3, 16, 16}, graph.DomainRaw)
+		b0 := graph.NewBlockNode(0, 0, "ConvBlock", g.Root.InputShape, graph.DomainRaw,
+			nn.NewConvBlock(rng, 3, width, true, true))
+		s := graph.Shape{width, 8, 8}
+		head := graph.NewBlockNode(0, 1, "Head", s, graph.DomainSpatial,
+			nn.NewSequential("head", nn.NewGlobalAvgPool(), nn.NewLinear(rng, width, 2)))
+		g.AppendChain(g.Root, b0, head)
+		g.RefreshCapacities()
+		return g
+	}
+	if fingerprint.Hash(build(6)) == fingerprint.Hash(build(8)) {
+		t.Fatal("channel width change not reflected in fingerprint")
+	}
+}

@@ -1,0 +1,52 @@
+package fingerprint_test
+
+import (
+	"testing"
+
+	"repro/internal/fingerprint"
+	"repro/internal/graph"
+	"repro/internal/mutation"
+	"repro/internal/tensor"
+)
+
+// FuzzFingerprint drives random mutation sequences and checks the cache-key
+// contract both ways: equal construction ⇒ equal hash (after relabeling and
+// sibling shuffles), and a structural change ⇒ a different hash from the
+// pre-mutation graph.
+func FuzzFingerprint(f *testing.F) {
+	f.Add(uint64(1), uint(0), uint(1))
+	f.Add(uint64(2), uint(3), uint(2))
+	f.Add(uint64(9), uint(7), uint(5))
+	f.Fuzz(func(t *testing.T, seed uint64, pairIdx, steps uint) {
+		g := tinyGraph(seed%16 + 1)
+		for s := uint(0); s < steps%3+1; s++ {
+			pairs := g.ShareablePairs()
+			if len(pairs) == 0 {
+				break
+			}
+			p := pairs[int(pairIdx+s)%len(pairs)]
+			res, err := mutation.NewMutator(tensor.NewRNG(seed+uint64(s))).Apply(g, []graph.Pair{p})
+			if err != nil {
+				continue
+			}
+			before := fingerprint.Hash(g)
+			if after := fingerprint.Hash(res.Graph); after == before {
+				t.Fatalf("step %d: mutation left fingerprint unchanged (%016x)", s, before)
+			}
+			g = res.Graph
+		}
+
+		// Equal graphs ⇒ equal hash: a clone, a relabeled clone, and a
+		// sibling-shuffled clone must all collide with g.
+		h := fingerprint.Hash(g)
+		if got := fingerprint.Hash(g.Clone()); got != h {
+			t.Fatalf("clone hash differs: %016x vs %016x", got, h)
+		}
+		rel := g.Clone()
+		relabel(rel)
+		reverseChildren(rel)
+		if got := fingerprint.Hash(rel); got != h {
+			t.Fatalf("relabeled clone hash differs: %016x vs %016x", got, h)
+		}
+	})
+}

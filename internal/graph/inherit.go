@@ -1,0 +1,69 @@
+package graph
+
+import "repro/internal/nn"
+
+// InheritWeights copies trained parameter values and layer state (batch-norm
+// running statistics) from src into dst wherever the two graphs have
+// matching nodes — the paper's direct weight transfer. Nodes match when they
+// agree on (TaskID, OpID, OpType) and every parameter and state tensor has
+// the same size. It returns the number of scalar values copied and the total
+// number of scalar values in dst, so callers can tell a full transfer
+// (copied == total) from a partial one (e.g. fresh Rescale adapters in dst,
+// or a structurally identical graph whose node ids were assigned
+// differently).
+//
+// Graph mutation already inherits the base graph's weights by deep-cloning
+// it; InheritWeights is the complementary primitive for transferring weights
+// across graphs that were built independently — most importantly replaying a
+// memoized search outcome, where the trained weights of the first evaluation
+// are transplanted into a freshly sampled duplicate candidate.
+func InheritWeights(dst, src *Graph) (copied, total int) {
+	byID := make(map[[2]int]*Node)
+	for _, n := range src.Nodes() {
+		byID[[2]int{n.TaskID, n.OpID}] = n
+	}
+	for _, n := range dst.Nodes() {
+		dp := n.Layer.Params()
+		dstate := nn.StateTensors(n.Layer)
+		for _, p := range dp {
+			total += p.Value.Size()
+		}
+		for _, t := range dstate {
+			total += t.Size()
+		}
+		s, ok := byID[[2]int{n.TaskID, n.OpID}]
+		if !ok || s.OpType != n.OpType || s.Layer == nil {
+			continue
+		}
+		sp := s.Layer.Params()
+		sstate := nn.StateTensors(s.Layer)
+		if len(sp) != len(dp) || len(sstate) != len(dstate) {
+			continue
+		}
+		match := true
+		for i := range dp {
+			if dp[i].Value.Size() != sp[i].Value.Size() {
+				match = false
+				break
+			}
+		}
+		for i := range dstate {
+			if dstate[i].Size() != sstate[i].Size() {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		for i := range dp {
+			copy(dp[i].Value.Data(), sp[i].Value.Data())
+			copied += dp[i].Value.Size()
+		}
+		for i := range dstate {
+			copy(dstate[i].Data(), sstate[i].Data())
+			copied += dstate[i].Size()
+		}
+	}
+	return copied, total
+}

@@ -1,0 +1,86 @@
+package graph_test
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/testutil"
+)
+
+// InheritWeights between two same-structure graphs must transfer every
+// scalar — parameters and batch-norm running statistics — so a replayed
+// search candidate forwards identically to the trained original.
+func TestInheritWeightsFullTransfer(t *testing.T) {
+	ds := testutil.TinyFace(81, 16, 8)
+	src := testutil.TinyMultiDNN(82, ds)
+	testutil.PretrainTeachers(src, ds, 2, 0.004, 83)
+	dst := testutil.TinyMultiDNN(84, ds) // same structure, different weights
+
+	copied, total := graph.InheritWeights(dst, src)
+	if total == 0 {
+		t.Fatal("fixture has no parameters")
+	}
+	if copied != total {
+		t.Fatalf("partial transfer between identical structures: %d of %d", copied, total)
+	}
+
+	x := ds.Test.Batch(0, 4)
+	want := src.Forward(x, false)
+	got := dst.Forward(x, false)
+	for id := range want {
+		a, b := want[id].Data(), got[id].Data()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("task %d output diverges at %d after full transfer: %v vs %v", id, i, b[i], a[i])
+			}
+		}
+	}
+}
+
+// Total must include non-trainable state: a pure-parameter count would let a
+// transfer that skipped batch-norm running statistics masquerade as full.
+func TestInheritWeightsCountsLayerState(t *testing.T) {
+	ds := testutil.TinyFace(85, 8, 4)
+	g := testutil.TinyMultiDNN(86, ds)
+	var params, state int
+	for _, n := range g.Nodes() {
+		for _, p := range n.Layer.Params() {
+			params += p.Value.Size()
+		}
+		for _, s := range nn.StateTensors(n.Layer) {
+			state += s.Size()
+		}
+	}
+	if state == 0 {
+		t.Fatal("fixture carries no layer state; pick one with batch norm")
+	}
+	_, total := graph.InheritWeights(g.Clone(), g)
+	if total != params+state {
+		t.Fatalf("total = %d, want params %d + state %d", total, params, state)
+	}
+}
+
+// Nodes whose identity or shape does not line up must be left alone, and the
+// partial transfer must be visible in the returned counts.
+func TestInheritWeightsPartialOnMismatch(t *testing.T) {
+	ds := testutil.TinyFace(87, 8, 4)
+	src := testutil.TinyMultiDNN(88, ds)
+	dst := testutil.TinyMultiDNN(89, ds)
+
+	// Relabel one head so its (TaskID, OpID) key no longer matches.
+	head := dst.Heads[0]
+	before := append([]float32(nil), head.Layer.Params()[0].Value.Data()...)
+	head.OpID += 1000
+
+	copied, total := graph.InheritWeights(dst, src)
+	if copied >= total {
+		t.Fatalf("mismatched node still counted as transferred: %d of %d", copied, total)
+	}
+	after := head.Layer.Params()[0].Value.Data()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("mismatched node's weights were overwritten")
+		}
+	}
+}

@@ -62,6 +62,14 @@ func (b *ConvBlock) Params() []*Param {
 	return ps
 }
 
+// StateTensors implements Stater.
+func (b *ConvBlock) StateTensors() []*tensor.Tensor {
+	if b.BN == nil {
+		return nil
+	}
+	return b.BN.StateTensors()
+}
+
 // OutShape implements Layer.
 func (b *ConvBlock) OutShape(in []int) []int {
 	out := b.Conv.OutShape(in)
@@ -169,6 +177,15 @@ func (b *ResidualBlock) Params() []*Param {
 		ps = append(ps, b.DownBN.Params()...)
 	}
 	return ps
+}
+
+// StateTensors implements Stater.
+func (b *ResidualBlock) StateTensors() []*tensor.Tensor {
+	ts := append(b.BN1.StateTensors(), b.BN2.StateTensors()...)
+	if b.DownBN != nil {
+		ts = append(ts, b.DownBN.StateTensors()...)
+	}
+	return ts
 }
 
 // OutShape implements Layer.

@@ -60,6 +60,24 @@ type Layer interface {
 	Name() string
 }
 
+// Stater is implemented by layers carrying trained state outside Params()
+// — batch-norm running statistics. Weight-transfer code (graph
+// InheritWeights) copies state tensors alongside parameters; layers without
+// such state simply don't implement the interface.
+type Stater interface {
+	// StateTensors returns the layer's non-trainable trained state.
+	StateTensors() []*tensor.Tensor
+}
+
+// StateTensors returns a layer's trained non-parameter state, or nil when
+// the layer (and, for composites, none of its children) has any.
+func StateTensors(l Layer) []*tensor.Tensor {
+	if s, ok := l.(Stater); ok {
+		return s.StateTensors()
+	}
+	return nil
+}
+
 // ParamCount sums the number of scalar parameters in a layer.
 func ParamCount(l Layer) int64 {
 	var n int64
@@ -143,6 +161,16 @@ func (s *Sequential) FLOPs(in []int) int64 {
 		in = l.OutShape(in)
 	}
 	return f
+}
+
+// StateTensors implements Stater, aggregating child-layer state in layer
+// order.
+func (s *Sequential) StateTensors() []*tensor.Tensor {
+	var ts []*tensor.Tensor
+	for _, l := range s.Layers {
+		ts = append(ts, StateTensors(l)...)
+	}
+	return ts
 }
 
 // Clone implements Layer.

@@ -165,6 +165,13 @@ func (bn *BatchNorm2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 // Params implements Layer.
 func (bn *BatchNorm2d) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
 
+// StateTensors implements Stater: the running statistics are not trainable
+// but are part of the trained model (evaluation-mode forward reads them), so
+// weight transfer between graphs must carry them along.
+func (bn *BatchNorm2d) StateTensors() []*tensor.Tensor {
+	return []*tensor.Tensor{bn.RunningMean, bn.RunningVar}
+}
+
 // OutShape implements Layer.
 func (bn *BatchNorm2d) OutShape(in []int) []int { return append([]int(nil), in...) }
 
