@@ -25,6 +25,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/engine"
 	"repro/internal/estimator"
+	"repro/internal/graph"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 	"repro/internal/testutil"
 )
@@ -349,5 +351,59 @@ func BenchmarkAblationEliteCapacity(b *testing.B) {
 		if len(points) != 2 {
 			b.Fatal("expected 2 ablation points")
 		}
+	}
+}
+
+// BenchmarkPlanQuantVsF32 contrasts the plan executor at int8 versus f32 on
+// conv-heavy sim profiles (BENCH_PR5.json records the comparison). Each
+// profile's teacher is pre-trained, quantized by quant.Apply under the
+// default 1% accuracy budget, and then executed through engine.Compile with
+// and without its annotations — same weights, same plan structure, only the
+// conv/linear kernels differ. The measured accuracy drop and the number of
+// ops left at int8 are reported as custom metrics.
+func BenchmarkPlanQuantVsF32(b *testing.B) {
+	sc := benchScale()
+	// Paper-width profiles: the int8 GEMM's win is memory traffic, so it
+	// needs real channel counts (VGG/ResNet 64..512) — at the sim profiles'
+	// 8x-reduced widths every GEMM is cache-resident and f32 ties. Width
+	// makes pre-training expensive; it is setup, not measurement, so one
+	// epoch suffices (the guard's behavior under pressure has its own test).
+	sc.WidthScale = 1
+	sc.WidthMul = 8
+	sc.Train, sc.Test = 32, 32
+	sc.PretrainEpochs = 1
+	for _, id := range []string{"B2", "B4"} {
+		spec, err := bench.SpecByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := bench.Build(spec, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		quantized := w.Teacher
+		rep, err := gmorph.Quantize(quantized, w.Dataset, gmorph.QuantConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f32g := quantized.Clone()
+		quant.Strip(f32g)
+
+		x := tensor.New(4, 3, sc.ImgSize, sc.ImgSize)
+		tensor.NewRNG(7).FillNormal(x, 0, 1)
+		run := func(name string, g *graph.Graph) {
+			b.Run(id+"/"+name, func(b *testing.B) {
+				eng := engine.Compile(g)
+				eng.Forward(x) // bind buffers outside the measurement
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Forward(x)
+				}
+				b.ReportMetric(float64(rep.QuantizedOps), "int8-ops")
+				b.ReportMetric(rep.Drop, "accuracy-drop")
+			})
+		}
+		run("f32", f32g)
+		run("int8", quantized)
 	}
 }

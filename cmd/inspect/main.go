@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	inspect -model fused.gmck [-dot fused.dot] [-plan]
+//	inspect -model fused.gmck [-dot fused.dot] [-plan] [-quant]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/fingerprint"
 	"repro/internal/graph"
+	"repro/internal/nn"
 	"repro/internal/parser"
 	"repro/internal/plan"
 )
@@ -26,6 +27,7 @@ func main() {
 	modelPath := flag.String("model", "", "checkpoint to inspect (required)")
 	dotPath := flag.String("dot", "", "optional path to write a Graphviz DOT rendering")
 	showPlan := flag.Bool("plan", false, "print the compiled execution plan (op list, wave schedule, buffer plan)")
+	showQuant := flag.Bool("quant", false, "print the quantization report (per-op precision, scales, accuracy delta)")
 	flag.Parse()
 	if *modelPath == "" {
 		flag.Usage()
@@ -65,12 +67,76 @@ func main() {
 		fmt.Println("\n" + plan.Compile(g).String())
 	}
 
+	if *showQuant {
+		printQuant(g)
+	}
+
 	if *dotPath != "" {
 		if err := os.WriteFile(*dotPath, []byte(g.ToDOT(*modelPath)), 0o644); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *dotPath)
 	}
+}
+
+// printQuant reports the checkpoint's quantization state: every
+// quantizable op with its precision and scales, and the accuracy delta the
+// guard recorded at quantization time.
+func printQuant(g *graph.Graph) {
+	p := plan.Compile(g)
+	fmt.Println("\nquantization report:")
+	if len(p.QuantTargets) == 0 {
+		fmt.Println("  no quantizable ops")
+		return
+	}
+	int8Ops := 0
+	for _, t := range p.QuantTargets {
+		q := layerQuant(t.Layer)
+		switch {
+		case q != nil:
+			int8Ops++
+			lo, hi := q.WScale[0], q.WScale[0]
+			for _, s := range q.WScale {
+				if s < lo {
+					lo = s
+				}
+				if s > hi {
+					hi = s
+				}
+			}
+			fmt.Printf("  op %-3d int8  %-40s in_scale %.3e  w_scale [%.3e, %.3e] (%d ch)\n",
+				t.OpID, t.Name, q.InScale, lo, hi, q.Rows)
+		case t.Head:
+			fmt.Printf("  op %-3d f32   %-40s (head output)\n", t.OpID, t.Name)
+		default:
+			fmt.Printf("  op %-3d f32   %-40s\n", t.OpID, t.Name)
+		}
+	}
+	fmt.Printf("  %d of %d quantizable ops at int8\n", int8Ops, len(p.QuantTargets))
+	if q := g.Quant; q != nil {
+		fmt.Printf("  accuracy budget %.4f\n", q.Budget)
+		ids := g.Tasks()
+		for _, id := range ids {
+			base, ok := q.Baseline[id]
+			if !ok {
+				continue
+			}
+			after := q.Quantized[id]
+			fmt.Printf("  task %d (%s): metric %.4f -> %.4f (delta %+.4f)\n",
+				id, g.TaskNames[id], base, after, after-base)
+		}
+	}
+}
+
+// layerQuant extracts the int8 annotation of a quantizable layer.
+func layerQuant(l nn.Layer) *nn.Quant8 {
+	switch l := l.(type) {
+	case *nn.Conv2d:
+		return l.Quant
+	case *nn.Linear:
+		return l.Quant
+	}
+	return nil
 }
 
 func sharedNodes(g *graph.Graph) int {

@@ -33,6 +33,7 @@ import (
 	"repro/api"
 	"repro/internal/httpapi"
 	"repro/internal/parser"
+	"repro/internal/quant"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 	queueCap := flag.Int("queue", 0, "pending-request queue bound (0 = 8*max-batch)")
 	deadline := flag.Duration("deadline", 0, "per-request time budget (0 = none)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain budget")
+	quantized := flag.Bool("quant", false, "serve the checkpoint's int8 quantization (error if absent); default strips annotations and serves f32")
 
 	url := flag.String("url", "", "server URL (client mode)")
 	info := flag.Bool("info", false, "client: print model metadata and stats")
@@ -64,7 +66,7 @@ func main() {
 			MaxWait:  *maxWait,
 			QueueCap: *queueCap,
 			Deadline: *deadline,
-		}, *drain); err != nil {
+		}, *drain, *quantized); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -73,10 +75,24 @@ func main() {
 	}
 }
 
-func runServer(modelPath, addr string, opts httpapi.Options, drain time.Duration) error {
+func runServer(modelPath, addr string, opts httpapi.Options, drain time.Duration, quantized bool) error {
 	g, err := parser.LoadFile(modelPath)
 	if err != nil {
 		return err
+	}
+	if quantized {
+		n := quant.QuantizedOps(g)
+		if n == 0 {
+			return fmt.Errorf("%s carries no int8 quantization (run gmorph.Quantize and re-save)", modelPath)
+		}
+		log.Printf("int8 serving: %d quantized ops", n)
+		if q := g.Quant; q != nil {
+			for id, base := range q.Baseline {
+				log.Printf("  task %d metric %.4f -> %.4f (budget %.4f)", id, base, q.Quantized[id], q.Budget)
+			}
+		}
+	} else if n := quant.Strip(g); n > 0 {
+		log.Printf("stripped %d int8 annotations (pass -quant to serve them)", n)
 	}
 	log.Printf("serving %s: %d tasks, %d blocks, input %v",
 		modelPath, len(g.Heads), g.NodeCount(), g.Root.InputShape)
@@ -110,7 +126,9 @@ func runServer(modelPath, addr string, opts httpapi.Options, drain time.Duration
 		return err
 	}
 	if err := apiSrv.Shutdown(shutdownCtx); err != nil {
-		return fmt.Errorf("draining batcher: %w", err)
+		// The drain budget expired with requests still in flight; those
+		// clients never get an answer, which deserves a hard failure.
+		return fmt.Errorf("drain timed out, abandoning %d in-flight requests: %w", apiSrv.Pending(), err)
 	}
 	log.Printf("drained cleanly")
 	return nil

@@ -41,6 +41,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/mtl"
 	"repro/internal/parser"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 )
 
@@ -337,6 +338,24 @@ func Fuse(teachers *Model, ds *Dataset, cfg Config) (*Result, error) {
 		out.FusedLatency = out.OriginalLatency
 	}
 	return out, nil
+}
+
+// QuantConfig tunes post-training quantization (see quant.Config).
+type QuantConfig = quant.Config
+
+// QuantReport is the outcome of Quantize: the per-op precision map and the
+// measured per-task metrics before and after.
+type QuantReport = quant.Report
+
+// Quantize post-training-quantizes a trained model in place: it calibrates
+// activation ranges on calib's train split, lowers eligible conv/linear
+// layers to int8, and greedily de-quantizes the worst offenders until the
+// held-out metric drop fits cfg.AccuracyDrop (default 1%). Weights are
+// never modified — only annotations are attached — and CompileFused picks
+// them up on the next compile. Quantize is a final step before Save/serve;
+// further training silently invalidates the annotations.
+func Quantize(m *Model, calib *Dataset, cfg QuantConfig) (*QuantReport, error) {
+	return quant.Apply(m, calib, cfg)
 }
 
 // Evaluate measures a model's per-task test metric on the dataset.

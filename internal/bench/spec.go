@@ -26,6 +26,9 @@ type Scale struct {
 	SeqLen int
 	// WidthScale divides model widths (see models.Config).
 	WidthScale int
+	// WidthMul multiplies model widths back up (see models.Config.WidthMul);
+	// 8 restores paper-width channels. The default (0) means 1.
+	WidthMul int
 	// PretrainEpochs trains the teachers.
 	PretrainEpochs int
 	// Rounds is the search iteration count.
@@ -184,7 +187,7 @@ func (s Spec) inputShape(sc Scale) graph.Shape {
 func Build(spec Spec, sc Scale) (*Workload, error) {
 	ds := spec.dataset(sc)
 	rng := tensor.NewRNG(sc.Seed ^ 0xBEEF)
-	cfg := models.Config{WidthScale: sc.WidthScale, Vocab: 40}
+	cfg := models.Config{WidthScale: sc.WidthScale, WidthMul: sc.WidthMul, Vocab: 40}
 	g := graph.New(spec.inputShape(sc), graph.DomainRaw)
 	for i, t := range spec.Tasks {
 		g.TaskNames[i] = t.Name

@@ -1,0 +1,97 @@
+package engine_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/quant"
+	"repro/internal/testutil"
+)
+
+// Quantized leg of the cross-executor parity suite: a trained model is
+// quantized under a real accuracy budget, then the int8 plan, the f32 plan,
+// and the reference engine run the same held-out batch. The f32 executors
+// must agree bit-tightly as always; the int8 plan must stay within the
+// tolerance its own calibration predicts, and its task accuracy must stay
+// within the configured AccuracyDrop of the f32 baseline.
+func TestParityQuantized(t *testing.T) {
+	ds := testutil.TinyFace(201, 96, 64)
+	g := testutil.TinyMultiDNN(202, ds)
+	testutil.PretrainTeachers(g, ds, 4, 1e-2, 203)
+
+	cfg := quant.Config{AccuracyDrop: 0.02}
+	rep, err := quant.Apply(g, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QuantizedOps == 0 {
+		t.Fatal("nothing quantized; parity leg would be vacuous")
+	}
+
+	// f32 twin: identical weights, annotations stripped.
+	f32g := g.Clone()
+	if quant.Strip(f32g) == 0 {
+		t.Fatal("clone carried no annotations to strip")
+	}
+
+	x := ds.Test.X
+	ref := engine.NewReference(f32g).Forward(x)
+	f32Outs := engine.Compile(f32g).Forward(x)
+	int8Outs := engine.Compile(g).Forward(x)
+
+	// The f32 plan keeps the suite's usual 1e-4 agreement with the
+	// reference engine.
+	for task, want := range ref {
+		got := f32Outs[task]
+		if got == nil {
+			t.Fatalf("f32 plan missing head %d", task)
+		}
+		for i := range want.Data() {
+			a, b := float64(want.Data()[i]), float64(got.Data()[i])
+			if math.Abs(a-b) > 1e-4*math.Max(1, math.Abs(a)) {
+				t.Fatalf("f32 plan head %d elem %d: %v vs %v", task, i, a, b)
+			}
+		}
+	}
+
+	// Calibrated tolerance: each quantized op's ErrScore is its predicted
+	// relative noise power, so the per-head relative L2 error should be on
+	// the order of sqrt(sum of scores). Allow 3x for propagation slack.
+	var noise float64
+	for _, d := range rep.Ops {
+		if d.Precision == "int8" {
+			noise += d.ErrScore
+		}
+	}
+	tol := 3*math.Sqrt(noise) + 1e-3
+	for task, want := range f32Outs {
+		got := int8Outs[task]
+		if got == nil {
+			t.Fatalf("int8 plan missing head %d", task)
+		}
+		var errSq, sigSq float64
+		for i := range want.Data() {
+			d := float64(want.Data()[i]) - float64(got.Data()[i])
+			errSq += d * d
+			sigSq += float64(want.Data()[i]) * float64(want.Data()[i])
+		}
+		rel := math.Sqrt(errSq / math.Max(sigSq, 1e-12))
+		if rel > tol {
+			t.Fatalf("int8 head %d relative L2 error %.4f exceeds calibrated tolerance %.4f", task, rel, tol)
+		}
+	}
+
+	// Task accuracy from the int8 engine outputs stays within budget.
+	for task := range ref {
+		base := rep.Baseline[task]
+		acc, err := ds.Score(ds.Test, task, int8Outs[task])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base-acc > cfg.AccuracyDrop+1e-9 {
+			t.Fatalf("int8 task %d accuracy %.4f dropped more than %.4f below baseline %.4f",
+				task, acc, cfg.AccuracyDrop, base)
+		}
+	}
+}

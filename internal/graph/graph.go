@@ -141,6 +141,39 @@ type Graph struct {
 	Heads map[int]*Node
 	// TaskNames maps task id to a human-readable task name.
 	TaskNames map[int]string
+	// Quant records the outcome of post-training quantization (see
+	// internal/quant); nil for full-precision graphs.
+	Quant *QuantNote
+}
+
+// QuantNote summarizes a quantization run for persistence and inspection:
+// the accuracy budget it was given and the measured per-task metrics before
+// and after. The per-op annotations themselves live on the layers.
+type QuantNote struct {
+	// Budget is the Config.AccuracyDrop the guard enforced.
+	Budget float64
+	// Baseline and Quantized map task id to the task metric measured on
+	// held-out data before and after quantization.
+	Baseline, Quantized map[int]float64
+}
+
+// Clone deep-copies the note.
+func (q *QuantNote) Clone() *QuantNote {
+	if q == nil {
+		return nil
+	}
+	nq := &QuantNote{
+		Budget:    q.Budget,
+		Baseline:  make(map[int]float64, len(q.Baseline)),
+		Quantized: make(map[int]float64, len(q.Quantized)),
+	}
+	for k, v := range q.Baseline {
+		nq.Baseline[k] = v
+	}
+	for k, v := range q.Quantized {
+		nq.Quantized[k] = v
+	}
+	return nq
 }
 
 // New creates a graph containing only the input placeholder.
@@ -290,7 +323,7 @@ func OutShapeOf(n *Node) Shape {
 // Clone deep-copies the graph, including layer weights. The returned graph
 // shares nothing with the original.
 func (g *Graph) Clone() *Graph {
-	ng := &Graph{Heads: make(map[int]*Node), TaskNames: make(map[int]string)}
+	ng := &Graph{Heads: make(map[int]*Node), TaskNames: make(map[int]string), Quant: g.Quant.Clone()}
 	for k, v := range g.TaskNames {
 		ng.TaskNames[k] = v
 	}

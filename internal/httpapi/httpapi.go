@@ -133,6 +133,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.batcher.Stop(ctx)
 }
 
+// Pending reports how many admitted requests are still unanswered. After a
+// Shutdown whose context expired, this is the number of in-flight requests
+// the drain abandoned.
+func (s *Server) Pending() int { return s.batcher.Pending() }
+
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)

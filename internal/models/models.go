@@ -48,6 +48,12 @@ type Config struct {
 	// WidthScale divides the reference channel widths; 1 gives the widest
 	// profile the package supports. The default (0) means 1.
 	WidthScale int
+	// WidthMul multiplies the reference channel widths (after WidthScale's
+	// division). The default (0) means 1. The reference widths are the
+	// paper's models shrunk 8x, so WidthMul 8 restores paper-width channels
+	// (VGG/ResNet 64..512) — used by benchmarks whose effect only shows at
+	// real widths, at a cost that rules it out as the test-suite default.
+	WidthMul int
 	// Vocab is the token vocabulary for BERT stems (default 40).
 	Vocab int
 	// Granularity selects block- or operator-level abs-graph nodes.
@@ -59,10 +65,14 @@ func (c Config) widths() []int {
 	if s <= 0 {
 		s = 1
 	}
+	m := c.WidthMul
+	if m <= 0 {
+		m = 1
+	}
 	base := []int{8, 16, 32, 64, 64}
 	out := make([]int, len(base))
 	for i, w := range base {
-		out[i] = maxInt(2, w/s)
+		out[i] = maxInt(2, w/s) * m
 	}
 	return out
 }

@@ -12,6 +12,11 @@ type Conv2d struct {
 	Kernel, Stride, Pad int
 	Weight, Bias        *Param // Weight [OutC, InC*K*K], Bias [OutC]
 
+	// Quant, when non-nil, is the int8 annotation produced by
+	// internal/quant; the plan compiler lowers the layer onto the int8
+	// kernel. Training-mode Forward/Backward ignore it.
+	Quant *Quant8
+
 	// forward cache; colsBuf is the arena handle backing cols, released
 	// once the backward pass (or an eval-mode forward) is done with it.
 	cols    *tensor.Tensor
@@ -150,7 +155,7 @@ func (c *Conv2d) FLOPs(in []int) int64 {
 func (c *Conv2d) Clone() Layer {
 	return &Conv2d{
 		InC: c.InC, OutC: c.OutC, Kernel: c.Kernel, Stride: c.Stride, Pad: c.Pad,
-		Weight: c.Weight.Clone(), Bias: c.Bias.Clone(),
+		Weight: c.Weight.Clone(), Bias: c.Bias.Clone(), Quant: c.Quant.Clone(),
 	}
 }
 

@@ -12,6 +12,11 @@ type Linear struct {
 	In, Out      int
 	Weight, Bias *Param // Weight [In, Out], Bias [Out]
 
+	// Quant, when non-nil, is the int8 annotation produced by
+	// internal/quant (W stored transposed, [Out, In]); the plan compiler
+	// lowers the layer onto the int8 kernel.
+	Quant *Quant8
+
 	in      *tensor.Tensor // cached flattened input [rows, In]
 	inShape []int
 }
@@ -105,7 +110,7 @@ func (l *Linear) FLOPs(in []int) int64 {
 
 // Clone implements Layer.
 func (l *Linear) Clone() Layer {
-	return &Linear{In: l.In, Out: l.Out, Weight: l.Weight.Clone(), Bias: l.Bias.Clone()}
+	return &Linear{In: l.In, Out: l.Out, Weight: l.Weight.Clone(), Bias: l.Bias.Clone(), Quant: l.Quant.Clone()}
 }
 
 // Name implements Layer.

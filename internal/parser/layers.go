@@ -40,11 +40,13 @@ func encodeLayer(w io.Writer, l nn.Layer) error {
 			writeI32(w, int32(d))
 		}
 		writeParams(w, v.Params())
+		writeQuant8(w, v.Quant)
 	case *nn.Linear:
 		writeString(w, tagLinear)
 		writeI32(w, int32(v.In))
 		writeI32(w, int32(v.Out))
 		writeParams(w, v.Params())
+		writeQuant8(w, v.Quant)
 	case *nn.ReLU:
 		writeString(w, tagReLU)
 	case *nn.GELU:
@@ -159,8 +161,35 @@ func encodeLayer(w io.Writer, l nn.Layer) error {
 	return nil
 }
 
+// as checks that a decoded sub-layer has the kind its container expects.
+// A corrupt stream that survives the CRC must fail with an error here, not
+// a type-assertion panic.
+func as[T nn.Layer](l nn.Layer, what string) (T, error) {
+	v, ok := l.(T)
+	if !ok {
+		return v, fmt.Errorf("parser: %s decoded as %T, not the expected layer kind", what, l)
+	}
+	return v, nil
+}
+
+// dimPos reads a dimension that must be at least 1 (strides, pooling
+// kernels, attention head counts — values a later shape computation
+// divides by).
+func (r *reader) dimPos() int {
+	v := r.dim()
+	if r.err == nil && v < 1 {
+		r.err = fmt.Errorf("layer dimension must be positive, got %d", v)
+	}
+	if r.err != nil {
+		return 1
+	}
+	return v
+}
+
 // decodeLayer reads one tagged layer. An empty tag decodes to nil (the
-// input root has no layer).
+// input root has no layer). Dimensions are validated against the remaining
+// buffer (via dim/dimPos/elems) before they reach a constructor, so a
+// corrupt stream cannot trigger huge allocations or divide-by-zero panics.
 func decodeLayer(r *reader) (nn.Layer, error) {
 	tag := r.str()
 	if r.err != nil {
@@ -173,19 +202,36 @@ func decodeLayer(r *reader) (nn.Layer, error) {
 	case "":
 		return nil, nil
 	case tagConv2d:
-		inC, outC, k, s, p := int(r.i32()), int(r.i32()), int(r.i32()), int(r.i32()), int(r.i32())
+		inC, outC, k, s, p := r.dim(), r.dim(), r.dim(), r.dimPos(), r.dim()
+		if !r.elems(mulDims(outC, inC, k, k)) {
+			return nil, r.err
+		}
 		l := nn.NewConv2d(rng, inC, outC, k, s, p)
-		return l, r.readParamsInto(l.Params())
+		if err := r.readParamsInto(l.Params()); err != nil {
+			return nil, err
+		}
+		l.Quant = r.quant8()
+		return l, r.err
 	case tagLinear:
-		in, out := int(r.i32()), int(r.i32())
+		in, out := r.dim(), r.dim()
+		if !r.elems(mulDims(in, out)) {
+			return nil, r.err
+		}
 		l := nn.NewLinear(rng, in, out)
-		return l, r.readParamsInto(l.Params())
+		if err := r.readParamsInto(l.Params()); err != nil {
+			return nil, err
+		}
+		l.Quant = r.quant8()
+		return l, r.err
 	case tagReLU:
 		return nn.NewReLU(), nil
 	case tagGELU:
 		return nn.NewGELU(), nil
 	case tagBatchNorm:
-		c := int(r.i32())
+		c := r.dim()
+		if !r.elems(c) {
+			return nil, r.err
+		}
 		l := nn.NewBatchNorm2d(c)
 		if err := r.readParamsInto(l.Params()); err != nil {
 			return nil, err
@@ -201,60 +247,108 @@ func decodeLayer(r *reader) (nn.Layer, error) {
 		l.RunningVar.CopyFrom(rv)
 		return l, nil
 	case tagLayerNorm:
-		l := nn.NewLayerNorm(int(r.i32()))
+		d := r.dim()
+		if !r.elems(d) {
+			return nil, r.err
+		}
+		l := nn.NewLayerNorm(d)
 		return l, r.readParamsInto(l.Params())
 	case tagMaxPool:
-		return nn.NewMaxPool2d(int(r.i32()), int(r.i32())), nil
+		k, s := r.dimPos(), r.dimPos()
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nn.NewMaxPool2d(k, s), nil
 	case tagGlobalAvg:
 		return nn.NewGlobalAvgPool(), nil
 	case tagFlatten:
 		return nn.NewFlatten(), nil
 	case tagMHA:
-		d, h := int(r.i32()), int(r.i32())
+		d, h := r.dim(), r.dimPos()
+		if r.err == nil && d%h != 0 {
+			r.err = fmt.Errorf("attention dim %d not divisible by %d heads", d, h)
+		}
+		if !r.elems(mulDims(d, d)) {
+			return nil, r.err
+		}
 		l := nn.NewMultiHeadAttention(rng, d, h)
 		return l, r.readParamsInto(l.Params())
 	case tagTransformer:
-		d, h, mlp := int(r.i32()), int(r.i32()), int(r.i32())
+		d, h, mlp := r.dim(), r.dimPos(), r.dim()
+		if r.err == nil && d%h != 0 {
+			r.err = fmt.Errorf("attention dim %d not divisible by %d heads", d, h)
+		}
+		if !r.elems(mulDims(d, d)) || !r.elems(mulDims(d, mlp)) {
+			return nil, r.err
+		}
 		l := nn.NewTransformerBlock(rng, d, h, mlp)
 		return l, r.readParamsInto(l.Params())
 	case tagPatchEmbed:
-		c, p, d, tks := int(r.i32()), int(r.i32()), int(r.i32()), int(r.i32())
+		c, p, d, tks := r.dim(), r.dimPos(), r.dim(), r.dim()
+		if !r.elems(mulDims(c, p, p, d)) || !r.elems(mulDims(tks, d)) {
+			return nil, r.err
+		}
 		l := nn.NewPatchEmbed(rng, c, p, d, tks)
 		return l, r.readParamsInto(l.Params())
 	case tagEmbedding:
-		v, d, tt := int(r.i32()), int(r.i32()), int(r.i32())
+		v, d, tt := r.dim(), r.dim(), r.dim()
+		if !r.elems(mulDims(v, d)) || !r.elems(mulDims(tt, d)) {
+			return nil, r.err
+		}
 		l := nn.NewEmbedding(rng, v, d, tt)
 		return l, r.readParamsInto(l.Params())
 	case tagTokenPool:
 		return nn.NewTokenMeanPool(), nil
 	case tagRescale2D:
-		inC, outC, oh, ow := int(r.i32()), int(r.i32()), int(r.i32()), int(r.i32())
+		inC, outC, oh, ow := r.dim(), r.dim(), r.dim(), r.dim()
+		// The projection conv only exists (and only has stream params)
+		// when the channel counts differ.
+		if inC != outC && !r.elems(mulDims(inC, outC)) {
+			return nil, r.err
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
 		l := nn.NewRescale2D(rng, inC, outC, oh, ow)
 		return l, r.readParamsInto(l.Params())
 	case tagRescaleTok:
-		it, id, ot, od := int(r.i32()), int(r.i32()), int(r.i32()), int(r.i32())
+		it, id, ot, od := r.dim(), r.dim(), r.dim(), r.dim()
+		if id != od && !r.elems(mulDims(id, od)) {
+			return nil, r.err
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
 		l := nn.NewRescaleTokens(rng, it, id, ot, od)
 		return l, r.readParamsInto(l.Params())
 	case tagConvBlock:
 		hasBN, hasPool := r.i32() == 1, r.i32() == 1
-		conv, err := decodeLayer(r)
+		sub, err := decodeLayer(r)
 		if err != nil {
 			return nil, err
 		}
-		b := &nn.ConvBlock{Conv: conv.(*nn.Conv2d), Act: nn.NewReLU()}
+		conv, err := as[*nn.Conv2d](sub, "conv-block conv")
+		if err != nil {
+			return nil, err
+		}
+		b := &nn.ConvBlock{Conv: conv, Act: nn.NewReLU()}
 		if hasBN {
-			bn, err := decodeLayer(r)
+			sub, err := decodeLayer(r)
 			if err != nil {
 				return nil, err
 			}
-			b.BN = bn.(*nn.BatchNorm2d)
+			if b.BN, err = as[*nn.BatchNorm2d](sub, "conv-block batchnorm"); err != nil {
+				return nil, err
+			}
 		}
 		if hasPool {
-			pool, err := decodeLayer(r)
+			sub, err := decodeLayer(r)
 			if err != nil {
 				return nil, err
 			}
-			b.Pool = pool.(*nn.MaxPool2d)
+			if b.Pool, err = as[*nn.MaxPool2d](sub, "conv-block pool"); err != nil {
+				return nil, err
+			}
 		}
 		return b, nil
 	case tagResidual:
@@ -271,21 +365,37 @@ func decodeLayer(r *reader) (nn.Layer, error) {
 			}
 			parts = append(parts, p)
 		}
-		b := &nn.ResidualBlock{
-			Conv1: parts[0].(*nn.Conv2d), BN1: parts[1].(*nn.BatchNorm2d),
-			Conv2: parts[2].(*nn.Conv2d), BN2: parts[3].(*nn.BatchNorm2d),
-			Act1: nn.NewReLU(), Act2: nn.NewReLU(),
+		b := &nn.ResidualBlock{Act1: nn.NewReLU(), Act2: nn.NewReLU()}
+		var err error
+		if b.Conv1, err = as[*nn.Conv2d](parts[0], "residual conv1"); err != nil {
+			return nil, err
+		}
+		if b.BN1, err = as[*nn.BatchNorm2d](parts[1], "residual bn1"); err != nil {
+			return nil, err
+		}
+		if b.Conv2, err = as[*nn.Conv2d](parts[2], "residual conv2"); err != nil {
+			return nil, err
+		}
+		if b.BN2, err = as[*nn.BatchNorm2d](parts[3], "residual bn2"); err != nil {
+			return nil, err
 		}
 		if hasDown {
-			b.Down = parts[4].(*nn.Conv2d)
-			b.DownBN = parts[5].(*nn.BatchNorm2d)
+			if b.Down, err = as[*nn.Conv2d](parts[4], "residual downsample"); err != nil {
+				return nil, err
+			}
+			if b.DownBN, err = as[*nn.BatchNorm2d](parts[5], "residual downsample bn"); err != nil {
+				return nil, err
+			}
 		}
 		return b, nil
 	case tagSequential:
 		id := r.str()
-		count := int(r.u32())
+		count := r.count(4) // each sub-layer costs at least a tag length
 		if count > 1<<16 {
 			return nil, fmt.Errorf("parser: implausible sequential length %d", count)
+		}
+		if r.err != nil {
+			return nil, r.err
 		}
 		ls := make([]nn.Layer, count)
 		for i := range ls {

@@ -24,8 +24,14 @@ import (
 
 // Format constants.
 const (
-	magic   = "GMCK"
-	version = 2
+	magic = "GMCK"
+	// version is the format written by Save. Version 3 added optional int8
+	// quantization payloads (per-layer Quant8 annotations after Conv2d and
+	// Linear parameters, and a graph-level QuantNote after the node tree).
+	// Version-2 checkpoints — everything written before quantization
+	// existed — still load.
+	version    = 3
+	minVersion = 2
 
 	// encF32 and encF16 tag how parameter tensors are encoded.
 	encF32 = uint32(0)
@@ -50,13 +56,20 @@ func Save(w io.Writer, g *graph.Graph) error {
 
 // SaveOpts is Save with explicit encoding options.
 func SaveOpts(w io.Writer, g *graph.Graph, opts Options) error {
+	return saveVersion(w, g, opts, version)
+}
+
+// saveVersion writes the graph in an explicit format version. Only the
+// current version is written by the public API; older versions are kept
+// writable so backward-compatibility tests exercise the real decoder path.
+func saveVersion(w io.Writer, g *graph.Graph, opts Options, ver int) error {
 	crc := crc32.NewIEEE()
 	buf := bufio.NewWriter(io.MultiWriter(w, crc))
-	bw := &paramWriter{Writer: buf, f16: opts.Float16}
+	bw := &paramWriter{Writer: buf, f16: opts.Float16, ver: ver}
 	if _, err := io.WriteString(bw, magic); err != nil {
 		return err
 	}
-	writeU32(bw, version)
+	writeU32(bw, uint32(ver))
 
 	names := make([]int, 0, len(g.TaskNames))
 	for id := range g.TaskNames {
@@ -92,6 +105,9 @@ func SaveOpts(w io.Writer, g *graph.Graph, opts Options) error {
 	if err := writeNode(g.Root); err != nil {
 		return err
 	}
+	if ver >= 3 {
+		writeQuantNote(bw, g.Quant)
+	}
 	if err := buf.Flush(); err != nil {
 		return err
 	}
@@ -119,12 +135,14 @@ func Load(r io.Reader) (*graph.Graph, error) {
 	if string(rd.bytes(len(magic))) != magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
 	}
-	if v := rd.u32(); v != version {
+	v := rd.u32()
+	if v < minVersion || v > version {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, v)
 	}
+	rd.ver = int(v)
 
 	g := &graph.Graph{Heads: map[int]*graph.Node{}, TaskNames: map[int]string{}}
-	nTasks := int(rd.u32())
+	nTasks := rd.count(8) // each task entry costs at least id + name length
 	for i := 0; i < nTasks; i++ {
 		id := int(rd.u32())
 		g.TaskNames[id] = rd.str()
@@ -132,6 +150,9 @@ func Load(r io.Reader) (*graph.Graph, error) {
 
 	var readNode func() (*graph.Node, error)
 	readNode = func() (*graph.Node, error) {
+		if rd.err != nil {
+			return nil, rd.err
+		}
 		n := &graph.Node{
 			TaskID: int(rd.i32()),
 			OpID:   int(rd.i32()),
@@ -141,10 +162,10 @@ func Load(r io.Reader) (*graph.Graph, error) {
 		n.Domain = graph.Domain(rd.u32())
 		layer, err := decodeLayer(rd)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 		}
 		n.Layer = layer
-		kids := int(rd.u32())
+		kids := rd.count(16) // a minimal serialized node is larger than this
 		for i := 0; i < kids; i++ {
 			c, err := readNode()
 			if err != nil {
@@ -162,8 +183,14 @@ func Load(r io.Reader) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	if rd.ver >= 3 {
+		g.Quant = readQuantNote(rd)
+	}
 	if rd.err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, rd.err)
+	}
+	if rd.off != len(rd.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(rd.buf)-rd.off)
 	}
 	g.Root = root
 	g.RefreshCapacities()
@@ -229,10 +256,26 @@ func writeShape(w io.Writer, s graph.Shape) {
 	}
 }
 
-// paramWriter carries the tensor encoding choice alongside the stream.
+func writeU64(w io.Writer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+// paramWriter carries the tensor encoding choice and the format version
+// alongside the stream.
 type paramWriter struct {
 	io.Writer
 	f16 bool
+	ver int
+}
+
+// streamVersion reports the format version the stream is being written in.
+func streamVersion(w io.Writer) int {
+	if pw, ok := w.(*paramWriter); ok {
+		return pw.ver
+	}
+	return version
 }
 
 func writeTensor(w io.Writer, t *tensor.Tensor) {
@@ -326,6 +369,7 @@ type reader struct {
 	buf []byte
 	off int
 	err error
+	ver int
 }
 
 func (r *reader) bytes(n int) []byte {
@@ -347,7 +391,78 @@ func (r *reader) bytes(n int) []byte {
 
 func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.bytes(4)) }
 func (r *reader) i32() int32  { return int32(r.u32()) }
-func (r *reader) str() string { return string(r.bytes(int(r.u32()))) }
+func (r *reader) u64() uint64 { return binary.LittleEndian.Uint64(r.bytes(8)) }
+
+// str validates the length prefix against the remaining buffer before
+// slicing, so a corrupt prefix cannot cause a huge allocation.
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err == nil && n > len(r.buf)-r.off {
+		r.err = fmt.Errorf("string length %d exceeds %d remaining bytes", n, len(r.buf)-r.off)
+	}
+	if r.err != nil {
+		return ""
+	}
+	return string(r.bytes(n))
+}
+
+// count reads an element count and validates it against the remaining
+// buffer, given a conservative lower bound on the encoded size of one
+// element. Corrupt counts otherwise drive loops for billions of
+// iterations even after the underlying reads start failing.
+func (r *reader) count(perElem int) int {
+	n := int(r.u32())
+	if r.err == nil && n > (len(r.buf)-r.off)/perElem {
+		r.err = fmt.Errorf("count %d exceeds remaining checkpoint (%d bytes)", n, len(r.buf)-r.off)
+	}
+	if r.err != nil {
+		return 0
+	}
+	return n
+}
+
+// dim reads a layer dimension, rejecting negative or implausibly large
+// values before they reach a constructor's allocator.
+func (r *reader) dim() int {
+	v := int(r.i32())
+	if r.err == nil && (v < 0 || v > 1<<20) {
+		r.err = fmt.Errorf("implausible layer dimension %d", v)
+	}
+	if r.err != nil {
+		return 0
+	}
+	return v
+}
+
+// elems validates that a parameter of n elements could still be encoded in
+// the remaining buffer (every element costs at least 2 bytes on disk),
+// rejecting corrupt dimension products before they reach an allocator.
+func (r *reader) elems(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if n < 0 || n > (len(r.buf)-r.off)/2 {
+		r.err = fmt.Errorf("parameter of %d elements exceeds %d remaining bytes", n, len(r.buf)-r.off)
+		return false
+	}
+	return true
+}
+
+// mulDims multiplies dimensions with a saturating cap so corrupt values
+// cannot overflow into a small product that passes validation.
+func mulDims(dims ...int) int {
+	p := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return 0
+		}
+		p *= d
+		if p > 1<<40 {
+			return 1 << 40
+		}
+	}
+	return p
+}
 
 func (r *reader) shape() graph.Shape {
 	n := int(r.u32())
@@ -379,12 +494,15 @@ func (r *reader) tensor() *tensor.Tensor {
 			return tensor.New(0)
 		}
 		size *= d
+		if size > 1<<40 { // saturate before the product can overflow
+			size = 1 << 40
+		}
 	}
 	width := 4
 	if enc == encF16 {
 		width = 2
 	}
-	if size > (len(r.buf)-r.off)/width+1 {
+	if size > (len(r.buf)-r.off)/width {
 		r.err = errors.New("tensor larger than remaining checkpoint")
 		return tensor.New(0)
 	}

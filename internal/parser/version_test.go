@@ -1,0 +1,129 @@
+package parser
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/testutil"
+)
+
+// TestLoadAcceptsVersion2 keeps the pre-quantization format loadable:
+// checkpoints written before version 3 existed must keep working.
+func TestLoadAcceptsVersion2(t *testing.T) {
+	ds := testutil.TinyFace(21, 4, 2)
+	g := testutil.TinyMultiDNN(22, ds)
+	var buf bytes.Buffer
+	if err := saveVersion(&buf, g, Options{}, 2); err != nil {
+		t.Fatalf("save v2: %v", err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("load v2: %v", err)
+	}
+	if g2.NodeCount() != g.NodeCount() {
+		t.Fatalf("node count %d != %d", g2.NodeCount(), g.NodeCount())
+	}
+	want, got := g.Params(), g2.Params()
+	if len(want) != len(got) {
+		t.Fatalf("param count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		a, b := want[i].Value.Data(), got[i].Value.Data()
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("param %q diverges at %d", want[i].Name, j)
+			}
+		}
+	}
+	if g2.Quant != nil {
+		t.Fatal("v2 checkpoint produced a quant note")
+	}
+}
+
+// TestVersion2DropsQuantPayloads: writing an annotated graph in the legacy
+// format silently drops the annotations (v2 has nowhere to put them), and
+// the result still loads.
+func TestVersion2DropsQuantPayloads(t *testing.T) {
+	ds := testutil.TinyFace(23, 4, 2)
+	g := testutil.TinyMultiDNN(24, ds)
+	annotated := false
+	for _, l := range graphLinears(g) {
+		q := &nn.Quant8{
+			Rows: l.Out, K: l.In,
+			W:       make([]int8, l.Out*l.In),
+			WScale:  make([]float32, l.Out),
+			Bias:    make([]float32, l.Out),
+			InScale: 0.02,
+		}
+		for i := range q.W {
+			q.W[i] = int8(i%255 - 127)
+		}
+		l.Quant = q
+		annotated = true
+		break
+	}
+	if !annotated {
+		t.Fatal("fixture has no linear layer to annotate")
+	}
+	var buf bytes.Buffer
+	if err := saveVersion(&buf, g, Options{}, 2); err != nil {
+		t.Fatalf("save v2: %v", err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("load v2: %v", err)
+	}
+	for _, l := range graphLinears(g2) {
+		if l.Quant != nil {
+			t.Fatal("quant annotation survived a v2 save")
+		}
+	}
+}
+
+// graphLinears collects every linear layer in the graph, including those
+// nested inside Sequential heads (the fixtures wrap the classifier that
+// way).
+func graphLinears(g *graph.Graph) []*nn.Linear {
+	var out []*nn.Linear
+	var walk func(l nn.Layer)
+	walk = func(l nn.Layer) {
+		switch l := l.(type) {
+		case *nn.Linear:
+			out = append(out, l)
+		case *nn.Sequential:
+			for _, inner := range l.Layers {
+				walk(inner)
+			}
+		}
+	}
+	for _, n := range g.Nodes() {
+		if n.Layer != nil {
+			walk(n.Layer)
+		}
+	}
+	return out
+}
+
+// TestLoadRejectsUnknownVersion patches the version field past the current
+// one (with the CRC refixed so the check is reached) and expects a clean
+// rejection.
+func TestLoadRejectsUnknownVersion(t *testing.T) {
+	ds := testutil.TinyFace(25, 4, 2)
+	g := testutil.TinyMultiDNN(26, ds)
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	body := append([]byte(nil), raw[:len(raw)-4]...)
+	binary.LittleEndian.PutUint32(body[len(magic):], version+1)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(body))
+	if _, err := Load(bytes.NewReader(append(body, tail[:]...))); err == nil {
+		t.Fatal("future version accepted")
+	}
+}

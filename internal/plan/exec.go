@@ -34,6 +34,12 @@ type Instance struct {
 
 	nanos []atomic.Int64 // op id -> cumulative execution nanoseconds
 	calls []atomic.Int64 // op id -> cumulative invocations
+
+	// obs, when set, observes each op's main input just before the op
+	// runs; internal/quant's calibration pass records activation ranges
+	// through it. Ops in a shared wave run concurrently, so the callback
+	// must be safe for concurrent use.
+	obs func(opID int, in *tensor.Tensor)
 }
 
 // NewInstance builds runtime state for the plan. Buffers are leased lazily
@@ -88,8 +94,21 @@ func (inst *Instance) bind(n int) {
 	}
 }
 
+// SetObserver installs (or, with nil, removes) a pre-op hook receiving each
+// op's id and main input register. The tensor aliases a plan-owned slab that
+// later waves overwrite; observers needing the data past the op must copy
+// it. Not safe to call concurrently with Execute.
+func (inst *Instance) SetObserver(fn func(opID int, in *tensor.Tensor)) {
+	inst.obs = fn
+}
+
 // runOp executes one op through its prebuilt runner, accumulating wall time.
 func (inst *Instance) runOp(id int) {
+	if inst.obs != nil {
+		if in := inst.p.Ops[id].In; in >= 0 {
+			inst.obs(id, inst.regs[in])
+		}
+	}
 	start := time.Now()
 	inst.runners[id]()
 	inst.nanos[id].Add(int64(time.Since(start)))
@@ -132,6 +151,8 @@ type OpStat struct {
 	Wave  int
 	Calls int64
 	Nanos int64
+	// Precision is "int8" for quantized ops, "f32" otherwise.
+	Precision string
 }
 
 // OpStats snapshots the per-op timing counters. Safe to call concurrently
@@ -141,8 +162,9 @@ func (inst *Instance) OpStats() []OpStat {
 	for _, o := range inst.p.Ops {
 		stats[o.ID] = OpStat{
 			ID: o.ID, Name: o.Name, Kind: o.Kind, Wave: o.Wave,
-			Calls: inst.calls[o.ID].Load(),
-			Nanos: inst.nanos[o.ID].Load(),
+			Calls:     inst.calls[o.ID].Load(),
+			Nanos:     inst.nanos[o.ID].Load(),
+			Precision: o.Precision(),
 		}
 	}
 	return stats

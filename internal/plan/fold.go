@@ -89,11 +89,18 @@ func (f *FoldedConv) Apply(x *tensor.Tensor, relu bool) *tensor.Tensor {
 func (f *FoldedConv) run(dst, x, cols, flat *tensor.Tensor, relu bool) {
 	tensor.Im2ColInto(cols, x, f.K, f.K, f.Stride, f.Pad)
 	tensor.MatMulTransBInto(flat, cols, f.Weight)
-	n, oh, ow := dst.Dim(0), dst.Dim(2), dst.Dim(3)
+	runBiasAct(flat, dst, f.Bias, dst.Dim(2), dst.Dim(3), f.OutC, relu)
+}
+
+// runBiasAct runs the pooled bias+activation+NCHW-rearrange epilogue over a
+// flat GEMM output [N*OH*OW, outC] into dst [N, outC, OH, OW]. Shared by
+// the f32 conv path and the quantized conv spec (whose GEMM epilogue only
+// dequantizes; bias and ReLU land here).
+func runBiasAct(flat, dst *tensor.Tensor, bias []float32, oh, ow, outC int, relu bool) {
 	jb := biasActJobs.Get().(*biasActJob)
-	jb.fd, jb.od, jb.bias = flat.Data(), dst.Data(), f.Bias
-	jb.oh, jb.ow, jb.outC, jb.relu = oh, ow, f.OutC, relu
-	tensor.ParallelFor(n*oh, jb.body)
+	jb.fd, jb.od, jb.bias = flat.Data(), dst.Data(), bias
+	jb.oh, jb.ow, jb.outC, jb.relu = oh, ow, outC, relu
+	tensor.ParallelFor(dst.Dim(0)*oh, jb.body)
 	jb.fd, jb.od, jb.bias = nil, nil, nil
 	biasActJobs.Put(jb)
 }

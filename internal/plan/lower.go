@@ -36,11 +36,11 @@ func (c *compiler) lowerLayer(name string, l nn.Layer, inVal int) int {
 		if l.Pool != nil {
 			poolK, poolS = l.Pool.Kernel, l.Pool.Stride
 		}
-		return c.lowerConv(name+" "+l.Name(), FoldConvBN(l.Conv, l.BN), true, poolK, poolS, inVal)
+		return c.lowerConv(name+" "+l.Name(), l.Conv, FoldConvBN(l.Conv, l.BN), true, poolK, poolS, inVal)
 	case *nn.ResidualBlock:
 		return c.lowerResidual(name, l, inVal)
 	case *nn.Conv2d:
-		return c.lowerConv(name+" "+l.Name(), FoldConvBN(l, nil), false, 0, 0, inVal)
+		return c.lowerConv(name+" "+l.Name(), l, FoldConvBN(l, nil), false, 0, 0, inVal)
 	case *nn.BatchNorm2d:
 		scale, shift := FoldBN(l)
 		in := c.val(inVal)
@@ -80,18 +80,12 @@ func (c *compiler) lowerLayer(name string, l nn.Layer, inVal int) int {
 		out := c.newValue([]int{c.val(inVal).Elems()}, false, -1)
 		return c.addOp(&Op{Name: name + " Flatten", Kind: "copy", In: inVal, In2: -1, Out: out, spec: &copySpec{}})
 	case *nn.Linear:
-		out := c.newValue(l.OutShape(c.val(inVal).Shape), false, -1)
-		bias := make([]float32, l.Out)
-		copy(bias, l.Bias.Value.Data())
-		return c.addOp(&Op{
-			Name: name + " " + l.Name(), Kind: "linear", In: inVal, In2: -1, Out: out,
-			spec: &linearSpec{in: l.In, out: l.Out, w: l.Weight.Value.Clone(), bias: bias},
-		})
+		return c.lowerLinear(name+" "+l.Name(), l, inVal)
 	case *nn.Rescale2D:
 		v := c.newValue([]int{l.InC, l.OutH, l.OutW}, false, -1)
 		v = c.addOp(&Op{Name: name + " interp", Kind: "interp", In: inVal, In2: -1, Out: v, spec: &interpSpec{}})
 		if l.Proj != nil {
-			v = c.lowerConv(name+" proj "+l.Proj.Name(), FoldConvBN(l.Proj, nil), false, 0, 0, v)
+			v = c.lowerConv(name+" proj "+l.Proj.Name(), l.Proj, FoldConvBN(l.Proj, nil), false, 0, 0, v)
 		}
 		return v
 	case *nn.Dropout:
@@ -113,25 +107,84 @@ func (c *compiler) lowerLayer(name string, l nn.Layer, inVal int) int {
 func (c *compiler) val(id int) *Value { return c.p.Values[id] }
 
 // lowerConv emits one fused convolution op: folded conv (+ReLU) (+max
-// pool), with im2col and GEMM scratch as rows2d workspace values.
-func (c *compiler) lowerConv(name string, f *FoldedConv, relu bool, poolK, poolS int, inVal int) int {
+// pool), with im2col and GEMM scratch as rows2d workspace values. src is
+// the originating graph layer (nil when there is no single source conv);
+// when it carries a matching int8 annotation the op lowers onto the
+// quantized kernel, and every quantizable conv is recorded as a
+// QuantTarget either way.
+func (c *compiler) lowerConv(name string, src *nn.Conv2d, f *FoldedConv, relu bool, poolK, poolS int, inVal int) int {
 	in := c.val(inVal)
 	h, w := in.Shape[1], in.Shape[2]
 	oh := tensor.ConvOut(h, f.K, f.Stride, f.Pad)
 	ow := tensor.ConvOut(w, f.K, f.Stride, f.Pad)
-	cols := c.newValue([]int{oh * ow, f.InC * f.K * f.K}, true, -1)
-	flat := c.newValue([]int{oh * ow, f.OutC}, true, -1)
-	scratch := []int{cols, flat}
+	kdim := f.InC * f.K * f.K
 	outShape := []int{f.OutC, oh, ow}
-	s := &convSpec{f: f, relu: relu, cols: cols, flat: flat, pre: -1}
-	if poolK > 0 {
-		pre := c.newValue([]int{f.OutC, oh, ow}, false, -1)
-		scratch = append(scratch, pre)
-		s.pre, s.poolK, s.poolS = pre, poolK, poolS
-		outShape = []int{f.OutC, tensor.ConvOut(oh, poolK, poolS, 0), tensor.ConvOut(ow, poolK, poolS, 0)}
+	var op *Op
+	if q := convQuant(src, f); q != nil {
+		flat := c.newValue([]int{oh * ow, f.OutC}, true, -1)
+		scratch := []int{flat}
+		s := &qconvSpec{
+			q: q, inC: f.InC, k: f.K, stride: f.Stride, pad: f.Pad, outC: f.OutC,
+			relu: relu, flat: flat, pre: -1,
+		}
+		if poolK > 0 {
+			pre := c.newValue([]int{f.OutC, oh, ow}, false, -1)
+			scratch = append(scratch, pre)
+			s.pre, s.poolK, s.poolS = pre, poolK, poolS
+			outShape = []int{f.OutC, tensor.ConvOut(oh, poolK, poolS, 0), tensor.ConvOut(ow, poolK, poolS, 0)}
+		}
+		out := c.newValue(outShape, false, -1)
+		op = &Op{Name: name, Kind: "qconv", In: inVal, In2: -1, Out: out, Scratch: scratch, spec: s}
+	} else {
+		cols := c.newValue([]int{oh * ow, kdim}, true, -1)
+		flat := c.newValue([]int{oh * ow, f.OutC}, true, -1)
+		scratch := []int{cols, flat}
+		s := &convSpec{f: f, relu: relu, cols: cols, flat: flat, pre: -1}
+		if poolK > 0 {
+			pre := c.newValue([]int{f.OutC, oh, ow}, false, -1)
+			scratch = append(scratch, pre)
+			s.pre, s.poolK, s.poolS = pre, poolK, poolS
+			outShape = []int{f.OutC, tensor.ConvOut(oh, poolK, poolS, 0), tensor.ConvOut(ow, poolK, poolS, 0)}
+		}
+		out := c.newValue(outShape, false, -1)
+		op = &Op{Name: name, Kind: "conv", In: inVal, In2: -1, Out: out, Scratch: scratch, spec: s}
 	}
-	out := c.newValue(outShape, false, -1)
-	return c.addOp(&Op{Name: name, Kind: "conv", In: inVal, In2: -1, Out: out, Scratch: scratch, spec: s})
+	v := c.addOp(op)
+	if src != nil && tensor.QuantDepthOK(kdim) {
+		c.p.QuantTargets = append(c.p.QuantTargets, QuantTarget{
+			OpID: op.ID, Name: name, Kind: "conv", Layer: src,
+			W: f.Weight, Bias: f.Bias, Rows: f.OutC, K: kdim,
+		})
+	}
+	return v
+}
+
+// lowerLinear emits one fully connected op, on the int8 kernel when the
+// layer carries a matching annotation, and records the quantization target.
+func (c *compiler) lowerLinear(name string, l *nn.Linear, inVal int) int {
+	out := c.newValue(l.OutShape(c.val(inVal).Shape), false, -1)
+	var op *Op
+	if q := linearQuant(l); q != nil {
+		op = &Op{
+			Name: name, Kind: "qlinear", In: inVal, In2: -1, Out: out,
+			spec: &qlinearSpec{q: q, in: l.In, out: l.Out},
+		}
+	} else {
+		bias := make([]float32, l.Out)
+		copy(bias, l.Bias.Value.Data())
+		op = &Op{
+			Name: name, Kind: "linear", In: inVal, In2: -1, Out: out,
+			spec: &linearSpec{in: l.In, out: l.Out, w: l.Weight.Value.Clone(), bias: bias},
+		}
+	}
+	v := c.addOp(op)
+	if tensor.QuantDepthOK(l.In) {
+		c.p.QuantTargets = append(c.p.QuantTargets, QuantTarget{
+			OpID: op.ID, Name: name, Kind: "linear", Layer: l,
+			W: l.Weight.Value, Bias: l.Bias.Value.Data(), Rows: l.Out, K: l.In,
+		})
+	}
+	return v
 }
 
 // lowerResidual emits the ResNet basic block as up to four ops. The main
@@ -139,11 +192,11 @@ func (c *compiler) lowerConv(name string, f *FoldedConv, relu bool, poolK, poolS
 // dependency, so the wave scheduler runs conv1 and the downsample in the
 // same wave — intra-block parallelism the closure engine executed serially.
 func (c *compiler) lowerResidual(name string, l *nn.ResidualBlock, inVal int) int {
-	c1 := c.lowerConv(name+" conv1+bn+relu", FoldConvBN(l.Conv1, l.BN1), true, 0, 0, inVal)
-	c2 := c.lowerConv(name+" conv2+bn", FoldConvBN(l.Conv2, l.BN2), false, 0, 0, c1)
+	c1 := c.lowerConv(name+" conv1+bn+relu", l.Conv1, FoldConvBN(l.Conv1, l.BN1), true, 0, 0, inVal)
+	c2 := c.lowerConv(name+" conv2+bn", l.Conv2, FoldConvBN(l.Conv2, l.BN2), false, 0, 0, c1)
 	identity := inVal
 	if l.Down != nil {
-		identity = c.lowerConv(name+" downsample+bn", FoldConvBN(l.Down, l.DownBN), false, 0, 0, inVal)
+		identity = c.lowerConv(name+" downsample+bn", l.Down, FoldConvBN(l.Down, l.DownBN), false, 0, 0, inVal)
 	}
 	out := c.newValue(c.val(c2).Shape, false, -1)
 	return c.addOp(&Op{

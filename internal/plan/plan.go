@@ -82,6 +82,15 @@ type Op struct {
 	spec spec
 }
 
+// Precision reports the op's execution precision, derived from its kind:
+// int8 for the quantized kernels, f32 for everything else.
+func (o *Op) Precision() string {
+	if o.Kind == "qconv" || o.Kind == "qlinear" {
+		return "int8"
+	}
+	return "f32"
+}
+
 // spec is the compile-time kernel description; build binds it to an
 // instance's registers, returning the op's runner.
 type spec interface {
@@ -107,6 +116,9 @@ type Plan struct {
 	Heads map[int]int
 	// TaskNames mirrors the graph's task naming for reports.
 	TaskNames map[int]string
+	// QuantTargets lists every op the int8 path could lower, in op order —
+	// the worklist internal/quant calibrates and prunes.
+	QuantTargets []QuantTarget
 }
 
 // headAlive marks head values immortal in liveness analysis.
@@ -128,6 +140,7 @@ func Compile(g *graph.Graph) *Plan {
 	}
 	c.p.InValue = c.newValue(c.p.InShape, false, -1)
 	c.lowerChildren(g.Root, c.p.InValue)
+	c.markQuantHeads()
 	c.schedule()
 	c.liveness()
 	c.assignSlabs()
@@ -299,6 +312,8 @@ type OpReport struct {
 	OutShape []int
 	// OutBytes is the per-sample output footprint.
 	OutBytes int64
+	// Precision is "int8" for quantized ops, "f32" otherwise.
+	Precision string
 }
 
 // Report summarizes the plan's schedule and memory economics.
@@ -320,9 +335,10 @@ func (p *Plan) Report() Report {
 		out := p.Values[o.Out]
 		r.Ops = append(r.Ops, OpReport{
 			ID: o.ID, Name: o.Name, Kind: o.Kind, Wave: o.Wave,
-			Slab:     out.Slab,
-			OutShape: out.Shape,
-			OutBytes: int64(out.Elems()) * 4,
+			Slab:      out.Slab,
+			OutShape:  out.Shape,
+			OutBytes:  int64(out.Elems()) * 4,
+			Precision: o.Precision(),
 		})
 	}
 	for _, e := range p.SlabElems {

@@ -1,0 +1,149 @@
+package plan
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Quantization hooks for the plan compiler. Lowering inspects each conv and
+// linear layer for an nn.Quant8 annotation (attached by internal/quant) and,
+// when present, emits a qconv/qlinear op running on the int8 SWAR GEMM
+// instead of the float32 kernel. Quant/dequant boundaries are part of the op
+// itself: the runner quantizes its float32 input register on entry and the
+// kernel's fused epilogue dequantizes back to float32, so neighbouring ops —
+// norms, attention, heads, anything left at full precision — are untouched.
+// Lowering also records a QuantTarget for every quantizable op, annotated or
+// not, which is the worklist internal/quant calibrates and greedily prunes.
+
+// QuantTarget describes one plan op that post-training quantization can
+// lower to the int8 kernel, as recorded during lowering.
+type QuantTarget struct {
+	// OpID is the emitted op (Kind "conv"/"qconv"/"linear"/"qlinear").
+	OpID int
+	// Name matches the op's Name for reports.
+	Name string
+	// Kind is "conv" or "linear".
+	Kind string
+	// Layer is the graph layer an int8 annotation attaches to: a
+	// *nn.Conv2d for conv targets, a *nn.Linear for linear targets.
+	Layer nn.Layer
+	// W is the op's effective float32 weight: for convs the BN-folded
+	// [Rows, K] matrix (a plan-owned copy), for linears the layer's live
+	// [K, Rows] weight (callers transpose into kernel layout).
+	W *tensor.Tensor
+	// Bias is the effective float32 bias (folded for convs).
+	Bias []float32
+	// Rows is the output-channel count, K the GEMM depth.
+	Rows, K int
+	// Head marks ops producing a task output; the accuracy guard keeps
+	// those at full precision.
+	Head bool
+}
+
+// convQuant returns the conv's annotation when it is usable for the folded
+// geometry, nil otherwise (absent, or stale after a structural mutation).
+func convQuant(src *nn.Conv2d, f *FoldedConv) *nn.Quant8 {
+	if src == nil || src.Quant == nil {
+		return nil
+	}
+	if q := src.Quant; q.Rows == f.OutC && q.K == f.InC*f.K*f.K {
+		return q
+	}
+	return nil
+}
+
+// linearQuant returns the layer's annotation when it matches its shape.
+func linearQuant(l *nn.Linear) *nn.Quant8 {
+	if q := l.Quant; q != nil && q.Rows == l.Out && q.K == l.In {
+		return q
+	}
+	return nil
+}
+
+// markQuantHeads stamps the Head flag on recorded targets; head values are
+// only identified after the whole graph is lowered.
+func (c *compiler) markQuantHeads() {
+	for i := range c.p.QuantTargets {
+		t := &c.p.QuantTargets[i]
+		t.Head = c.p.Values[c.p.Ops[t.OpID].Out].Head >= 0
+	}
+}
+
+// combinedScales folds the activation scale into the per-channel weight
+// scales, the form the kernel's requantize epilogue consumes.
+func combinedScales(q *nn.Quant8) []float32 {
+	s := make([]float32, q.Rows)
+	for j, ws := range q.WScale {
+		s[j] = q.InScale * ws
+	}
+	return s
+}
+
+// qconvSpec is the int8 counterpart of convSpec: quantize input, byte
+// im2col, SWAR GEMM with fused requantize, then the shared bias+ReLU+NCHW
+// epilogue (and optional max pool). The float32 cols scratch value
+// disappears; byte workspace comes from the uint8 arena per call.
+type qconvSpec struct {
+	q                         *nn.Quant8
+	inC, k, stride, pad, outC int
+	relu                      bool
+	flat                      int // [oh*ow, outC] Rows2D scratch value id
+	pre                       int // pre-pool scratch value id, -1 without pooling
+	poolK, poolS              int
+}
+
+func (s *qconvSpec) build(inst *Instance, o *Op) func() {
+	in, out := o.In, o.Out
+	qw := s.q.Packed()
+	scales := combinedScales(s.q)
+	return func() {
+		x := inst.regs[in]
+		dst := inst.regs[out]
+		if s.pre >= 0 {
+			dst = inst.regs[s.pre]
+		}
+		flat := inst.regs[s.flat]
+		n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+		oh, ow := dst.Dim(2), dst.Dim(3)
+		xq := tensor.GetBufU8(x.Size())
+		tensor.QuantizeU8Into(*xq, x.Data(), s.q.InScale)
+		cols := tensor.GetBufU8(n * oh * ow * qw.KP)
+		tensor.Im2ColU8Into(*cols, *xq, n, s.inC, h, w, s.k, s.k, s.stride, s.pad)
+		tensor.PutBufU8(xq)
+		tensor.QGEMMInto(flat, *cols, qw, n*oh*ow, scales, nil, false)
+		tensor.PutBufU8(cols)
+		runBiasAct(flat, dst, s.q.Bias, oh, ow, s.outC, s.relu)
+		if s.pre >= 0 {
+			tensor.MaxPoolEvalInto(inst.regs[out], dst, s.poolK, s.poolS)
+		}
+	}
+}
+
+// qlinearSpec is the int8 counterpart of linearSpec; the bias rides the
+// kernel epilogue, so the runner is quantize + GEMM.
+type qlinearSpec struct {
+	q       *nn.Quant8
+	in, out int
+}
+
+func (s *qlinearSpec) build(inst *Instance, o *Op) func() {
+	inV, outV := o.In, o.Out
+	inputFed := inV == inst.p.InValue
+	qw := s.q.Packed()
+	scales := combinedScales(s.q)
+	var y2d *tensor.Tensor
+	bound := -1
+	return func() {
+		x := inst.regs[inV]
+		y := inst.regs[outV]
+		rows := x.Size() / s.in
+		if bound != inst.batch || inputFed {
+			y2d = tensor.FromSlice(y.Data(), rows, s.out)
+			bound = inst.batch
+		}
+		xq := tensor.GetBufU8(rows * qw.KP)
+		tensor.QuantizeRowsU8Into(*xq, x.Data(), rows, s.in, qw.KP, s.q.InScale)
+		tensor.QGEMMInto(y2d, *xq, qw, rows, scales, s.q.Bias, false)
+		tensor.PutBufU8(xq)
+	}
+}

@@ -120,6 +120,7 @@ type Batcher struct {
 	wg      sync.WaitGroup // in-flight runBatch calls
 
 	depth    atomic.Int64
+	active   atomic.Int64 // admitted requests not yet answered
 	requests atomic.Int64
 	canceled atomic.Int64
 	expired  atomic.Int64
@@ -187,6 +188,7 @@ func (b *Batcher) Submit(ctx context.Context, x *tensor.Tensor) (map[int]*tensor
 	select {
 	case b.queue <- req:
 		b.depth.Add(1)
+		b.active.Add(1)
 		b.mu.RUnlock()
 	default:
 		b.mu.RUnlock()
@@ -326,6 +328,7 @@ func (b *Batcher) dropDead(r *request) bool {
 		b.canceled.Add(1)
 	}
 	r.done <- result{err: err}
+	b.active.Add(-1)
 	return true
 }
 
@@ -373,6 +376,7 @@ func (b *Batcher) runBatch(eng engine.Engine, batch []*request, rows int) {
 			res.outs[id] = t
 		}
 		r.done <- res
+		b.active.Add(-1)
 		off += r.rows
 		b.requests.Add(1)
 		b.totalNS.Add(int64(time.Since(r.enq)))
@@ -401,6 +405,11 @@ func (b *Batcher) recordBatch(rows int) {
 
 // QueueDepth reports the number of requests currently waiting.
 func (b *Batcher) QueueDepth() int { return int(b.depth.Load()) }
+
+// Pending reports the number of admitted requests that have not been
+// answered yet — queued or inside an in-flight batch. After a Stop whose
+// context expired, this is the count of requests the drain abandoned.
+func (b *Batcher) Pending() int { return int(b.active.Load()) }
 
 // Stats snapshots the scheduler counters and distributions.
 func (b *Batcher) Stats() Stats {

@@ -263,3 +263,50 @@ func TestStopDrains(t *testing.T) {
 		t.Fatalf("second stop: %v", err)
 	}
 }
+
+// A drain whose context expires leaves unanswered requests behind;
+// Pending must report exactly how many were abandoned so the operator can
+// log them, and must fall back to zero once the drain completes.
+func TestPendingCountsAbandonedOnDrainTimeout(t *testing.T) {
+	engines, g := tinyEngines(t, 1)
+	engines[0] = &slowEngine{inner: engines[0], delay: 50 * time.Millisecond}
+	b, err := batcher.New(g.Root.InputShape, engines, batcher.Options{MaxBatch: 1, MaxWait: time.Millisecond, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	results := make(chan error, n)
+	for c := 0; c < n; c++ {
+		go func(c int) {
+			_, err := b.Submit(context.Background(), distinctInput(c, g.Root.InputShape))
+			results <- err
+		}(c)
+	}
+	// Wait until every request is admitted (queued or in flight).
+	for deadline := time.Now().Add(5 * time.Second); b.Pending() < n; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests admitted", b.Pending(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	expired, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	err = b.Stop(expired)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stop with expired ctx: err %v, want deadline exceeded", err)
+	}
+	if got := b.Pending(); got == 0 {
+		t.Fatal("drain timed out but Pending reports no abandoned requests")
+	}
+	// Draining continues in the background; eventually everything answers
+	// and the abandoned count returns to zero.
+	for i := 0; i < n; i++ {
+		<-results
+	}
+	for deadline := time.Now().Add(5 * time.Second); b.Pending() != 0; {
+		if time.Now().After(deadline) {
+			t.Fatalf("Pending stuck at %d after full drain", b.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,491 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Post-training-quantization kernels: symmetric int8 with zero-point 0.
+// Activations are quantized per tensor (q = clamp(round(x/s), -127, 127)),
+// weights per output channel, and the int8 x int8 GEMM accumulates exactly
+// in int32 with a fused requantize-to-float32 epilogue, so quantized ops
+// read and write the same float32 registers as every other plan op.
+//
+// The GEMM reaches past the scalar-multiply wall with a SWAR layout: both
+// operands are biased into the unsigned range [0, 254] (v' = v + 127), and
+// three weight columns are packed into one uint64 at 21-bit lanes. One
+// 64-bit multiply by a widened activation byte then produces three partial
+// products at once, and because each lane product is at most 254*254 <
+// 2^17, thirty-two of them accumulate in a lane without overflow. After
+// every 32-step block the lanes are unpacked into int32 accumulators; at
+// the end the bias identity
+//
+//	sum(a*b) = sum((a+127)*(b+127)) - 127*sum(a+127) - 127*(sum(b+127) - 127*k)
+//
+// recovers the exact signed dot product (rowOff is the activation-row term,
+// colOff the precomputed weight-column term). Everything up to the final
+// float32 multiply is integer and order-independent, so the optimized
+// kernel agrees bit-exactly with NaiveQGEMMTransBInto — asserted by
+// TestQGEMMParity and FuzzQuantizedGEMMParity — and results are identical
+// across worker counts.
+const (
+	// QuantClip is the symmetric int8 clipping bound. The range is
+	// [-127, 127] (not -128) so negation stays in range and the biased
+	// domain [0, 254] fits lane arithmetic below.
+	QuantClip = 127
+	// quantBias shifts signed int8 values into the unsigned SWAR domain.
+	quantBias = 127
+	// QuantPadByte is the biased encoding of zero: the value quantized
+	// activations are padded with.
+	QuantPadByte = 127
+	// qgemmLaneShift is the bit width of one packed-weight lane; three
+	// lanes fill 63 of a uint64's 64 bits.
+	qgemmLaneShift = 21
+	qgemmLaneMask  = 1<<qgemmLaneShift - 1
+	// QGEMMBlock is the k-step accumulation block: the largest power of
+	// two with QGEMMBlock * 254 * 254 < 2^21, so a lane cannot overflow
+	// within a block. Quantized activation rows are padded to a multiple
+	// of it.
+	QGEMMBlock = 32
+	// qgemmMaxK bounds the padded depth so the unpacked int32 lane
+	// accumulators (at most KP * 254 * 254) cannot overflow.
+	qgemmMaxK = 32768
+)
+
+// PadK rounds a GEMM depth up to the QGEMMBlock stride quantized
+// activation rows are stored at.
+func PadK(k int) int {
+	return (k + QGEMMBlock - 1) / QGEMMBlock * QGEMMBlock
+}
+
+// QuantDepthOK reports whether a GEMM depth fits the int8 kernel's int32
+// accumulation bound; deeper layers must stay float32.
+func QuantDepthOK(k int) bool { return k > 0 && PadK(k) <= qgemmMaxK }
+
+// arenaU8 recycles transient biased-uint8 buffers (quantized activations,
+// quantized im2col columns) the way the float32 arena recycles GEMM
+// scratch.
+var arenaU8 = sync.Pool{New: func() any { return new([]uint8) }}
+
+// GetBufU8 returns a uint8 buffer of length n from the quantized arena.
+// Contents are unspecified; callers overwrite every element before
+// reading. Release with PutBufU8.
+func GetBufU8(n int) *[]uint8 {
+	p := arenaU8.Get().(*[]uint8)
+	if cap(*p) < n {
+		*p = make([]uint8, n)
+	} else {
+		*p = (*p)[:n]
+	}
+	return p
+}
+
+// PutBufU8 returns a buffer to the quantized arena.
+func PutBufU8(p *[]uint8) {
+	if p == nil {
+		return
+	}
+	arenaU8.Put(p)
+}
+
+// QuantScale returns the symmetric quantization scale for a tensor whose
+// values span [-absMax, absMax]: one int8 step in real units. A zero or
+// negative absMax yields scale 1 (everything quantizes to 0).
+func QuantScale(absMax float32) float32 {
+	if absMax <= 0 {
+		return 1
+	}
+	return absMax / QuantClip
+}
+
+// quantizeOne maps one float32 value onto the symmetric int8 grid with
+// round-half-away-from-zero and saturation.
+func quantizeOne(v, invScale float32) int8 {
+	r := v * invScale
+	var q int32
+	if r >= 0 {
+		q = int32(r + 0.5)
+	} else {
+		q = int32(r - 0.5)
+	}
+	if q > QuantClip {
+		q = QuantClip
+	} else if q < -QuantClip {
+		q = -QuantClip
+	}
+	return int8(q)
+}
+
+// quantU8Job carries QuantizeU8Into's parallel-body state through the pool.
+type quantU8Job struct {
+	src  []float32
+	dst  []uint8
+	inv  float32
+	body func(lo, hi int)
+}
+
+var quantU8Jobs = sync.Pool{New: func() any {
+	jb := &quantU8Job{}
+	jb.body = jb.run
+	return jb
+}}
+
+func (jb *quantU8Job) run(lo, hi int) {
+	src, dst, inv := jb.src, jb.dst, jb.inv
+	for i := lo; i < hi; i++ {
+		dst[i] = uint8(int32(quantizeOne(src[i], inv)) + quantBias)
+	}
+}
+
+// QuantizeU8Into quantizes src onto the symmetric int8 grid with step
+// scale and stores the biased encoding: dst[i] = clamp(round(src[i]/scale),
+// -127, 127) + 127, in [0, 254]. len(dst) must equal len(src).
+func QuantizeU8Into(dst []uint8, src []float32, scale float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: QuantizeU8Into length mismatch %d vs %d", len(dst), len(src)))
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	jb := quantU8Jobs.Get().(*quantU8Job)
+	jb.src, jb.dst, jb.inv = src, dst, 1/scale
+	parallelFor(len(src), jb.body)
+	jb.src, jb.dst = nil, nil
+	quantU8Jobs.Put(jb)
+}
+
+// quantRowsJob carries QuantizeRowsU8Into's parallel-body state.
+type quantRowsJob struct {
+	src   []float32
+	dst   []uint8
+	k, kp int
+	inv   float32
+	body  func(lo, hi int)
+}
+
+var quantRowsJobs = sync.Pool{New: func() any {
+	jb := &quantRowsJob{}
+	jb.body = jb.run
+	return jb
+}}
+
+func (jb *quantRowsJob) run(lo, hi int) {
+	src, dst, k, kp, inv := jb.src, jb.dst, jb.k, jb.kp, jb.inv
+	for i := lo; i < hi; i++ {
+		srow := src[i*k : (i+1)*k]
+		drow := dst[i*kp : (i+1)*kp]
+		for j, v := range srow {
+			drow[j] = uint8(int32(quantizeOne(v, inv)) + quantBias)
+		}
+		for j := k; j < kp; j++ {
+			drow[j] = QuantPadByte
+		}
+	}
+}
+
+// QuantizeRowsU8Into quantizes a [rows, k] row-major float32 matrix into
+// biased uint8 rows stored at stride kp (= PadK(k)), padding each row's
+// tail with the biased zero. This is the activation layout QGEMMInto
+// consumes for linear layers. dst must have length rows*kp.
+func QuantizeRowsU8Into(dst []uint8, src []float32, rows, k, kp int, scale float32) {
+	if len(src) != rows*k || len(dst) != rows*kp || kp < k {
+		panic(fmt.Sprintf("tensor: QuantizeRowsU8Into src %d dst %d for [%d,%d] kp=%d", len(src), len(dst), rows, k, kp))
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	jb := quantRowsJobs.Get().(*quantRowsJob)
+	jb.src, jb.dst, jb.k, jb.kp, jb.inv = src, dst, k, kp, 1/scale
+	parallelFor(rows, jb.body)
+	jb.src, jb.dst = nil, nil
+	quantRowsJobs.Put(jb)
+}
+
+// QuantizeChannelsI8 quantizes a [rows, k] row-major float32 weight matrix
+// symmetrically per row (per output channel), returning the int8 payload
+// and one scale per row.
+func QuantizeChannelsI8(w []float32, rows, k int) (q []int8, scales []float32) {
+	if len(w) != rows*k {
+		panic(fmt.Sprintf("tensor: QuantizeChannelsI8 got %d values for [%d,%d]", len(w), rows, k))
+	}
+	q = make([]int8, rows*k)
+	scales = make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		row := w[r*k : (r+1)*k]
+		var m float32
+		for _, v := range row {
+			if v < 0 {
+				v = -v
+			}
+			if v > m {
+				m = v
+			}
+		}
+		s := QuantScale(m)
+		scales[r] = s
+		inv := 1 / s
+		qrow := q[r*k : (r+1)*k]
+		for i, v := range row {
+			qrow[i] = quantizeOne(v, inv)
+		}
+	}
+	return q, scales
+}
+
+// QuantWeights is a weight matrix prepacked for QGEMMInto: rows (output
+// channels) in groups of three across the 21-bit lanes of a uint64 stream,
+// depth padded to KP and encoded in the biased domain, plus per-row
+// correction terms and dequantization scales.
+type QuantWeights struct {
+	Rows, K, KP int
+	Packed      []uint64  // [ceil(Rows/3) * KP], lane l of group g = row g*3+l
+	ColOff      []int32   // [Rows]: 127 * (sum(b+127) - 127*KP)
+	Scales      []float32 // [Rows]: per-row (per-output-channel) weight scale
+}
+
+// PackQuantWeights packs per-channel-quantized int8 weights (row-major
+// [rows, k]) into the SWAR layout. scales is retained, not copied.
+func PackQuantWeights(q []int8, rows, k int, scales []float32) *QuantWeights {
+	if len(q) != rows*k || len(scales) != rows {
+		panic(fmt.Sprintf("tensor: PackQuantWeights got %d values, %d scales for [%d,%d]", len(q), len(scales), rows, k))
+	}
+	kp := PadK(k)
+	if kp > qgemmMaxK {
+		panic(fmt.Sprintf("tensor: PackQuantWeights depth %d exceeds the %d int32-accumulation bound", kp, qgemmMaxK))
+	}
+	groups := (rows + 2) / 3
+	qw := &QuantWeights{
+		Rows: rows, K: k, KP: kp,
+		Packed: make([]uint64, groups*kp),
+		ColOff: make([]int32, rows),
+		Scales: scales,
+	}
+	for j := 0; j < rows; j++ {
+		var sum int32
+		lane := uint(qgemmLaneShift * (j % 3))
+		stream := qw.Packed[(j/3)*kp:][:kp]
+		for p := 0; p < kp; p++ {
+			bp := int32(quantBias)
+			if p < k {
+				bp = int32(q[j*k+p]) + quantBias
+			}
+			sum += bp
+			stream[p] |= uint64(uint32(bp)) << lane
+		}
+		qw.ColOff[j] = quantBias * (sum - quantBias*int32(kp))
+	}
+	return qw
+}
+
+// qgemmJob carries QGEMMInto's parallel-body state through the pool.
+type qgemmJob struct {
+	a            []uint8
+	w            *QuantWeights
+	dd           []float32
+	scales, bias []float32
+	relu         bool
+	body         func(lo, hi int)
+}
+
+var qgemmJobs = sync.Pool{New: func() any {
+	jb := &qgemmJob{}
+	jb.body = jb.run
+	return jb
+}}
+
+// qgemmTileM is the activation-row tile: one pass over a weight group's
+// packed stream is shared by this many rows. Wide layers pack megabytes
+// of weights — far past cache — so per-row streaming makes the kernel
+// memory-bound; tiling divides that weight traffic by the tile size,
+// while the 32-step weight block a tile is working on stays L1-hot.
+const qgemmTileM = 8
+
+func (jb *qgemmJob) run(lo, hi int) {
+	w := jb.w
+	kp, n := w.KP, w.Rows
+	packed, colOff := w.Packed, w.ColOff
+	scales, bias, relu := jb.scales, jb.bias, jb.relu
+	groups := (n + 2) / 3
+	var rowOff [qgemmTileM]int32
+	for i0 := lo; i0 < hi; i0 += qgemmTileM {
+		tm := hi - i0
+		if tm > qgemmTileM {
+			tm = qgemmTileM
+		}
+		for r := 0; r < tm; r++ {
+			arow := jb.a[(i0+r)*kp:][:kp]
+			var sumA int32
+			for _, av := range arow {
+				sumA += int32(av)
+			}
+			rowOff[r] = quantBias * sumA
+		}
+		for g := 0; g < groups; g++ {
+			pk := packed[g*kp:][:kp]
+			var lanes [qgemmTileM][3]int32
+			for p0 := 0; p0 < kp; p0 += QGEMMBlock {
+				q0 := (*[QGEMMBlock]uint64)(pk[p0:])
+				for r := 0; r < tm; r++ {
+					aa := (*[QGEMMBlock]uint8)(jb.a[(i0+r)*kp+p0:])
+					var acc uint64
+					for t := 0; t < QGEMMBlock; t += 4 {
+						acc += uint64(aa[t])*q0[t] + uint64(aa[t+1])*q0[t+1] +
+							uint64(aa[t+2])*q0[t+2] + uint64(aa[t+3])*q0[t+3]
+					}
+					lanes[r][0] += int32(acc & qgemmLaneMask)
+					lanes[r][1] += int32((acc >> qgemmLaneShift) & qgemmLaneMask)
+					lanes[r][2] += int32(acc >> (2 * qgemmLaneShift))
+				}
+			}
+			for r := 0; r < tm; r++ {
+				drow := jb.dd[(i0+r)*n : (i0+r+1)*n]
+				qgemmEpilogue(drow, lanes[r][:], g*3, n, rowOff[r], colOff, scales, bias, relu)
+			}
+		}
+	}
+}
+
+// qgemmEpilogue dequantizes unpacked lane accumulators for columns
+// [j0, min(j0+len(lanes), n)) into drow.
+func qgemmEpilogue(drow []float32, lanes []int32, j0, n int, rowOff int32, colOff []int32, scales, bias []float32, relu bool) {
+	for t, l := range lanes {
+		j := j0 + t
+		if j >= n {
+			break
+		}
+		v := float32(l-rowOff-colOff[j]) * scales[j]
+		if bias != nil {
+			v += bias[j]
+		}
+		if relu && v < 0 {
+			v = 0
+		}
+		drow[j] = v
+	}
+}
+
+// QGEMMInto computes the quantized GEMM dst = a @ wᵀ with a fused
+// requantize epilogue. a holds m biased-uint8 activation rows at stride
+// w.KP (tails padded with QuantPadByte, as produced by QuantizeRowsU8Into
+// or Im2ColU8Into); w is a packed weight matrix; scales must fold the
+// activation scale with the per-channel weight scale (sIn * w.Scales[j]);
+// bias may be nil; relu clamps the epilogue. dst must be [m, w.Rows]
+// float32. Accumulation is exact in int32, so output is bit-identical to
+// NaiveQGEMMTransBInto on the unbiased operands.
+func QGEMMInto(dst *Tensor, a []uint8, w *QuantWeights, m int, scales, bias []float32, relu bool) {
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != w.Rows {
+		panic(fmt.Sprintf("tensor: QGEMMInto dst %v, want [%d %d]", dst.shape, m, w.Rows))
+	}
+	if len(a) != m*w.KP || len(scales) != w.Rows || (bias != nil && len(bias) != w.Rows) {
+		panic(fmt.Sprintf("tensor: QGEMMInto a=%d scales=%d bias=%d for m=%d kp=%d rows=%d", len(a), len(scales), len(bias), m, w.KP, w.Rows))
+	}
+	jb := qgemmJobs.Get().(*qgemmJob)
+	jb.a, jb.w, jb.dd, jb.scales, jb.bias, jb.relu = a, w, dst.data, scales, bias, relu
+	parallelFor(m, jb.body)
+	jb.a, jb.w, jb.dd, jb.scales, jb.bias = nil, nil, nil, nil, nil
+	qgemmJobs.Put(jb)
+}
+
+// im2colU8Job carries Im2ColU8Into's parallel-body state through the pool.
+type im2colU8Job struct {
+	xd, cd                                   []uint8
+	c, h, w, oh, ow, kh, kw, stride, pad, kp int
+	body                                     func(lo, hi int)
+}
+
+var im2colU8Jobs = sync.Pool{New: func() any {
+	jb := &im2colU8Job{}
+	jb.body = jb.run
+	return jb
+}}
+
+func (jb *im2colU8Job) run(lo, hi int) {
+	xd, cd := jb.xd, jb.cd
+	c, h, w, oh, ow := jb.c, jb.h, jb.w, jb.oh, jb.ow
+	kh, kw, stride, pad, kp := jb.kh, jb.kw, jb.stride, jb.pad, jb.kp
+	for noy := lo; noy < hi; noy++ {
+		ni, oy := noy/oh, noy%oh
+		base := ni * c * h * w
+		for ox := 0; ox < ow; ox++ {
+			dst := cd[(noy*ow+ox)*kp:][:kp]
+			di := 0
+			for ci := 0; ci < c; ci++ {
+				cb := base + ci*h*w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						for kx := 0; kx < kw; kx++ {
+							dst[di] = QuantPadByte
+							di++
+						}
+						continue
+					}
+					rb := cb + iy*w
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							dst[di] = QuantPadByte
+						} else {
+							dst[di] = xd[rb+ix]
+						}
+						di++
+					}
+				}
+			}
+			for ; di < kp; di++ {
+				dst[di] = QuantPadByte
+			}
+		}
+	}
+}
+
+// Im2ColU8Into unfolds a quantized NCHW input (flat biased uint8, logical
+// shape [n,c,h,w]) into columns [n*oh*ow, c*kh*kw] stored at row stride
+// kp = PadK(c*kh*kw), the quantized counterpart of Im2ColInto. Spatial
+// padding and the row tail write the biased zero, which is exact under
+// symmetric quantization. Moving bytes instead of float32s cuts the
+// unfold's memory traffic 4x — for a 3x3 stride-1 convolution the columns
+// buffer rewrites each input element nine times, so this is a meaningful
+// share of the int8 path's win.
+func Im2ColU8Into(cols, x []uint8, n, c, h, w, kh, kw, stride, pad int) {
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	kp := PadK(c * kh * kw)
+	if len(x) != n*c*h*w || len(cols) != n*oh*ow*kp {
+		panic(fmt.Sprintf("tensor: Im2ColU8Into x len %d cols len %d for [%d,%d,%d,%d] k=%dx%d kp=%d", len(x), len(cols), n, c, h, w, kh, kw, kp))
+	}
+	jb := im2colU8Jobs.Get().(*im2colU8Job)
+	jb.xd, jb.cd = x, cols
+	jb.c, jb.h, jb.w, jb.oh, jb.ow = c, h, w, oh, ow
+	jb.kh, jb.kw, jb.stride, jb.pad, jb.kp = kh, kw, stride, pad, kp
+	parallelFor(n*oh, jb.body)
+	jb.xd, jb.cd = nil, nil
+	im2colU8Jobs.Put(jb)
+}
+
+// NaiveQGEMMTransBInto is the reference quantized GEMM: signed int8
+// operands (a [m,k], b [n,k] row-major), textbook loops, exact int32
+// accumulation, same epilogue. The packed SWAR kernel must match it
+// bit-exactly — integer accumulation is order-independent and the epilogue
+// performs the identical float operations per element.
+func NaiveQGEMMTransBInto(dst *Tensor, a, b []int8, m, k, n int, scales, bias []float32, relu bool) {
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: NaiveQGEMMTransBInto dst %v, want [%d %d]", dst.shape, m, n))
+	}
+	dd := dst.data
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s int32
+			for p := 0; p < k; p++ {
+				s += int32(a[i*k+p]) * int32(b[j*k+p])
+			}
+			v := float32(s) * scales[j]
+			if bias != nil {
+				v += bias[j]
+			}
+			if relu && v < 0 {
+				v = 0
+			}
+			dd[i*n+j] = v
+		}
+	}
+}
