@@ -26,6 +26,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/estimator"
 	"repro/internal/graph"
+	"repro/internal/models"
 	"repro/internal/quant"
 	"repro/internal/tensor"
 	"repro/internal/testutil"
@@ -351,6 +352,132 @@ func BenchmarkAblationEliteCapacity(b *testing.B) {
 		if len(points) != 2 {
 			b.Fatal("expected 2 ablation points")
 		}
+	}
+}
+
+// transformerBenchGraph builds a paper-width (WidthMul 8) two-task
+// transformer graph shaped like benchmark B6 (ViT-Large + ViT-Base over
+// images) or B7 (BERT-Large + BERT-Base over token ids), plus a matching
+// input batch. Weights are random: these graphs feed latency benchmarks,
+// where pre-training is pure setup cost.
+func transformerBenchGraph(b *testing.B, family string) (*graph.Graph, *tensor.Tensor) {
+	b.Helper()
+	rng := tensor.NewRNG(61)
+	cfg := models.Config{WidthMul: 8, Vocab: 40}
+	add := func(g *graph.Graph, arch string, task, classes int) {
+		if _, err := models.AddBranch(g, rng, cfg, arch, task, classes); err != nil {
+			b.Fatal(err)
+		}
+	}
+	switch family {
+	case "vit":
+		g := graph.New(graph.Shape{3, 64, 64}, graph.DomainRaw) // 64 tokens/branch
+		g.TaskNames[0], g.TaskNames[1] = "object", "salient"
+		add(g, models.ViTLarge, 0, 6)
+		add(g, models.ViTBase, 1, 2)
+		g.RefreshCapacities()
+		x := tensor.New(4, 3, 64, 64)
+		tensor.NewRNG(62).FillNormal(x, 0, 1)
+		return g, x
+	case "bert":
+		g := graph.New(graph.Shape{64}, graph.DomainRaw)
+		g.TaskNames[0], g.TaskNames[1] = "cola", "sst"
+		add(g, models.BERTLarge, 0, 2)
+		add(g, models.BERTBase, 1, 2)
+		g.RefreshCapacities()
+		x := tensor.New(4, 64)
+		for i := range x.Data() {
+			x.Data()[i] = float32((i*7 + 3) % 40)
+		}
+		return g, x
+	}
+	b.Fatalf("unknown transformer bench family %q", family)
+	return nil, nil
+}
+
+// BenchmarkPlanTransformerVsEager contrasts the compiled-plan executor's
+// fused transformer ops (packed QKV GEMM, tiled flash-style attention,
+// LayerNorm+residual epilogues, static buffer plan) against the closure-tree
+// walker, which runs each layer's eager Forward — three separate Q/K/V
+// GEMMs and a fully materialized S×S score matrix per head, with fresh
+// output tensors at every layer. Paper-width profiles so the fusions act on
+// real GEMM shapes (BENCH_PR6.json records the comparison).
+func BenchmarkPlanTransformerVsEager(b *testing.B) {
+	for _, family := range []string{"vit", "bert"} {
+		g, x := transformerBenchGraph(b, family)
+		b.Run(family+"/plan", func(b *testing.B) {
+			eng := engine.Compile(g)
+			eng.Forward(x) // bind buffers outside the measurement
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Forward(x)
+			}
+		})
+		b.Run(family+"/eager", func(b *testing.B) {
+			eng := engine.CompileClosures(g)
+			eng.Forward(x)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Forward(x)
+			}
+		})
+	}
+}
+
+// BenchmarkQuantTransformer is BenchmarkPlanQuantVsF32 for the transformer
+// benchmarks: B6 (ViT) and B7 (BERT) teachers are pre-trained at paper
+// width, quantized under the default accuracy budget — which now covers the
+// packed QKV projection alongside the attention-output and FFN linears —
+// and executed through the plan engine with and without annotations.
+func BenchmarkQuantTransformer(b *testing.B) {
+	sc := benchScale()
+	sc.WidthScale = 1
+	sc.WidthMul = 8
+	sc.Train, sc.Test = 32, 32
+	sc.PretrainEpochs = 1
+	for _, id := range []string{"B6", "B7"} {
+		spec, err := bench.SpecByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := bench.Build(spec, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		quantized := w.Teacher
+		rep, err := gmorph.Quantize(quantized, w.Dataset, gmorph.QuantConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f32g := quantized.Clone()
+		quant.Strip(f32g)
+
+		var x *tensor.Tensor
+		if spec.Family == "text" {
+			x = tensor.New(4, sc.SeqLen)
+			for i := range x.Data() {
+				x.Data()[i] = float32((i*7 + 3) % w.Vocab)
+			}
+		} else {
+			x = tensor.New(4, 3, sc.ImgSize, sc.ImgSize)
+			tensor.NewRNG(7).FillNormal(x, 0, 1)
+		}
+		run := func(name string, g *graph.Graph) {
+			b.Run(id+"/"+name, func(b *testing.B) {
+				eng := engine.Compile(g)
+				eng.Forward(x) // bind buffers outside the measurement
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Forward(x)
+				}
+				b.ReportMetric(float64(rep.QuantizedOps), "int8-ops")
+				b.ReportMetric(rep.Drop, "accuracy-drop")
+			})
+		}
+		run("f32", f32g)
+		run("int8", quantized)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/parser"
 	"repro/internal/plan"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -64,7 +65,11 @@ func main() {
 	fmt.Print(g.String())
 
 	if *showPlan {
-		fmt.Println("\n" + plan.Compile(g).String())
+		p := plan.Compile(g)
+		fmt.Println("\n" + p.String())
+		r := p.Report()
+		fmt.Printf("lowering coverage: %d planned ops, %d eager fallbacks\n", r.Planned, r.Eager)
+		printOpStats(p)
 	}
 
 	if *showQuant {
@@ -76,6 +81,28 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *dotPath)
+	}
+}
+
+// printOpStats runs a few warm forwards on a zero input (valid for image
+// tensors and for token ids, since id 0 is always in vocab) and prints the
+// per-op timing counters, so every op — planned or eager — shows measured
+// calls and nanoseconds rather than a blank row.
+func printOpStats(p *plan.Plan) {
+	const batch, iters = 2, 3
+	inst := p.NewInstance()
+	x := tensor.New(append([]int{batch}, p.InShape...)...)
+	for i := 0; i < iters; i++ {
+		inst.Execute(x)
+	}
+	fmt.Printf("\nper-op timings (%d forwards, batch %d):\n", iters, batch)
+	for _, st := range inst.OpStats() {
+		perCall := int64(0)
+		if st.Calls > 0 {
+			perCall = st.Nanos / st.Calls
+		}
+		fmt.Printf("  %-3d %-10s %-5s calls %-3d %9dns/call  %s\n",
+			st.ID, st.Kind, st.Precision, st.Calls, perCall, st.Name)
 	}
 }
 
@@ -135,6 +162,8 @@ func layerQuant(l nn.Layer) *nn.Quant8 {
 		return l.Quant
 	case *nn.Linear:
 		return l.Quant
+	case *nn.MultiHeadAttention:
+		return l.QKVQuant
 	}
 	return nil
 }

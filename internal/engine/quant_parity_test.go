@@ -5,7 +5,11 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/plan"
 	"repro/internal/quant"
+	"repro/internal/tensor"
 	"repro/internal/testutil"
 )
 
@@ -83,6 +87,112 @@ func TestParityQuantized(t *testing.T) {
 	}
 
 	// Task accuracy from the int8 engine outputs stays within budget.
+	for task := range ref {
+		base := rep.Baseline[task]
+		acc, err := ds.Score(ds.Test, task, int8Outs[task])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base-acc > cfg.AccuracyDrop+1e-9 {
+			t.Fatalf("int8 task %d accuracy %.4f dropped more than %.4f below baseline %.4f",
+				task, acc, cfg.AccuracyDrop, base)
+		}
+	}
+}
+
+// TestParityQuantizedTransformer is the transformer leg of the quantized
+// parity suite: a two-task ViT over the face dataset is quantized — packed
+// QKV projections, WO, and the FFN GEMMs are all int8 candidates — then the
+// int8 plan must stay within its calibration-predicted tolerance of the f32
+// plan, and the fused attention path must keep the usual 1e-4 agreement
+// with the reference engine at full precision.
+func TestParityQuantizedTransformer(t *testing.T) {
+	ds := testutil.TinyFace(211, 96, 64)
+	rng := tensor.NewRNG(212)
+	g := graph.New(graph.Shape{3, 16, 16}, graph.DomainRaw)
+	for i, spec := range ds.Tasks {
+		g.TaskNames[i] = spec.Name
+		if _, err := models.AddBranch(g, rng, models.Config{}, models.ViTBase, i, spec.Classes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.RefreshCapacities()
+	testutil.PretrainTeachers(g, ds, 2, 1e-2, 213)
+
+	cfg := quant.Config{AccuracyDrop: 0.02}
+	rep, err := quant.Apply(g, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QuantizedOps == 0 {
+		t.Fatal("nothing quantized; transformer parity leg would be vacuous")
+	}
+	qkvInt8 := 0
+	for _, d := range rep.Ops {
+		if d.Kind == "qkv" && d.Precision == "int8" {
+			qkvInt8++
+		}
+	}
+
+	f32g := g.Clone()
+	if quant.Strip(f32g) == 0 {
+		t.Fatal("clone carried no annotations to strip")
+	}
+
+	x := ds.Test.X
+	ref := engine.NewReference(f32g).Forward(x)
+	f32Outs := engine.Compile(f32g).Forward(x)
+	int8Outs := engine.Compile(g).Forward(x)
+
+	// The quantized attention projections must actually run on the int8
+	// kernel: the plan should carry one qqkv op per surviving annotation.
+	qqkv := 0
+	for _, o := range plan.Compile(g).Ops {
+		if o.Kind == "qqkv" {
+			qqkv++
+		}
+	}
+	if qqkv != qkvInt8 {
+		t.Errorf("%d qkv targets at int8 but %d qqkv ops lowered", qkvInt8, qqkv)
+	}
+
+	for task, want := range ref {
+		got := f32Outs[task]
+		if got == nil {
+			t.Fatalf("f32 plan missing head %d", task)
+		}
+		for i := range want.Data() {
+			a, b := float64(want.Data()[i]), float64(got.Data()[i])
+			if math.Abs(a-b) > 1e-4*math.Max(1, math.Abs(a)) {
+				t.Fatalf("f32 plan head %d elem %d: %v vs %v", task, i, a, b)
+			}
+		}
+	}
+
+	var noise float64
+	for _, d := range rep.Ops {
+		if d.Precision == "int8" {
+			noise += d.ErrScore
+		}
+	}
+	tol := 3*math.Sqrt(noise) + 1e-3
+	for task, want := range f32Outs {
+		got := int8Outs[task]
+		if got == nil {
+			t.Fatalf("int8 plan missing head %d", task)
+		}
+		var errSq, sigSq float64
+		for i := range want.Data() {
+			d := float64(want.Data()[i]) - float64(got.Data()[i])
+			errSq += d * d
+			sigSq += float64(want.Data()[i]) * float64(want.Data()[i])
+		}
+		rel := math.Sqrt(errSq / math.Max(sigSq, 1e-12))
+		if rel > tol {
+			t.Fatalf("int8 head %d relative L2 error %.4f exceeds calibrated tolerance %.4f", task, rel, tol)
+		}
+	}
+
 	for task := range ref {
 		base := rep.Baseline[task]
 		acc, err := ds.Score(ds.Test, task, int8Outs[task])

@@ -77,6 +77,18 @@ func (c Config) widths() []int {
 	return out
 }
 
+// mul returns the transformer width multiplier: WidthMul scales the ViT and
+// BERT model/MLP dims (head count is unchanged, so the per-head dim grows),
+// restoring paper-width transformers at WidthMul 8 just as it restores
+// paper-width CNN channels. WidthScale is ignored here — the reference
+// transformer dims are already the shrunk test-suite defaults.
+func (c Config) mul() int {
+	if c.WidthMul <= 0 {
+		return 1
+	}
+	return c.WidthMul
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a
@@ -126,7 +138,7 @@ func AddBranch(g *graph.Graph, rng *tensor.RNG, cfg Config, arch string, taskID,
 	case ResNet18, ResNet34:
 		return addResNet(g, rng, cfg, arch, taskID, classes)
 	case ViTBase, ViTLarge:
-		return addViT(g, rng, arch, taskID, classes)
+		return addViT(g, rng, cfg, arch, taskID, classes)
 	case BERTBase, BERTLarge:
 		return addBERT(g, rng, cfg, arch, taskID, classes)
 	}
@@ -213,31 +225,32 @@ func addResNet(g *graph.Graph, rng *tensor.RNG, cfg Config, arch string, taskID,
 	return g.AddChild(cur, head), nil
 }
 
-func addViT(g *graph.Graph, rng *tensor.RNG, arch string, taskID, classes int) (*graph.Node, error) {
+func addViT(g *graph.Graph, rng *tensor.RNG, cfg Config, arch string, taskID, classes int) (*graph.Node, error) {
 	in := g.Root.InputShape
 	p := vitProfiles[arch]
 	if len(in) != 3 || in[1]%p.patch != 0 || in[2]%p.patch != 0 {
 		return nil, fmt.Errorf("models: %s needs [C,S,S] input with S%%%d==0, got %v", arch, p.patch, in)
 	}
+	dim, mlp := p.dim*cfg.mul(), p.mlp*cfg.mul()
 	tokens := (in[1] / p.patch) * (in[2] / p.patch)
 	cur := g.Root
 	opID := 0
 
-	stemLayer := nn.NewPatchEmbed(rng, in[0], p.patch, p.dim, tokens)
+	stemLayer := nn.NewPatchEmbed(rng, in[0], p.patch, dim, tokens)
 	stem := graph.NewBlockNode(taskID, opID, "PatchEmbed", in, graph.DomainRaw, stemLayer)
 	cur = g.AddChild(cur, stem)
-	shape := graph.Shape{tokens, p.dim}
+	shape := graph.Shape{tokens, dim}
 	opID++
 
 	for l := 0; l < p.layers; l++ {
-		layer := nn.NewTransformerBlock(rng, p.dim, p.heads, p.mlp)
+		layer := nn.NewTransformerBlock(rng, dim, p.heads, mlp)
 		n := graph.NewBlockNode(taskID, opID, "TransformerBlock", shape, graph.DomainTokens, layer)
 		cur = g.AddChild(cur, n)
 		opID++
 	}
 	head := graph.NewBlockNode(taskID, opID, "Head", shape, graph.DomainTokens,
 		nn.NewSequential(fmt.Sprintf("%s-head-t%d", arch, taskID),
-			nn.NewTokenMeanPool(), nn.NewLinear(rng, p.dim, classes)))
+			nn.NewTokenMeanPool(), nn.NewLinear(rng, dim, classes)))
 	return g.AddChild(cur, head), nil
 }
 
@@ -251,25 +264,26 @@ func addBERT(g *graph.Graph, rng *tensor.RNG, cfg Config, arch string, taskID, c
 		vocab = 40
 	}
 	p := bertProfiles[arch]
+	dim, mlp := p.dim*cfg.mul(), p.mlp*cfg.mul()
 	t := in[0]
 	cur := g.Root
 	opID := 0
 
-	stemLayer := nn.NewEmbedding(rng, vocab, p.dim, t)
+	stemLayer := nn.NewEmbedding(rng, vocab, dim, t)
 	stem := graph.NewBlockNode(taskID, opID, "Embedding", in, graph.DomainRaw, stemLayer)
 	cur = g.AddChild(cur, stem)
-	shape := graph.Shape{t, p.dim}
+	shape := graph.Shape{t, dim}
 	opID++
 
 	for l := 0; l < p.layers; l++ {
-		layer := nn.NewTransformerBlock(rng, p.dim, p.heads, p.mlp)
+		layer := nn.NewTransformerBlock(rng, dim, p.heads, mlp)
 		n := graph.NewBlockNode(taskID, opID, "TransformerBlock", shape, graph.DomainTokens, layer)
 		cur = g.AddChild(cur, n)
 		opID++
 	}
 	head := graph.NewBlockNode(taskID, opID, "Head", shape, graph.DomainTokens,
 		nn.NewSequential(fmt.Sprintf("%s-head-t%d", arch, taskID),
-			nn.NewTokenMeanPool(), nn.NewLinear(rng, p.dim, classes)))
+			nn.NewTokenMeanPool(), nn.NewLinear(rng, dim, classes)))
 	return g.AddChild(cur, head), nil
 }
 

@@ -13,6 +13,13 @@ type MultiHeadAttention struct {
 
 	WQ, WK, WV, WO *Linear
 
+	// QKVQuant, when set, is the int8 annotation for the PACKED [D, 3D]
+	// Q|K|V projection the plan compiler fuses into one GEMM. It lives on
+	// the attention layer (not the three Linears) because the packed weight
+	// only exists at lowering time. Attached by internal/quant; ignored by
+	// the eager Forward. WO carries its own annotation like any Linear.
+	QKVQuant *Quant8
+
 	// forward cache
 	q, k, v *tensor.Tensor // [N, T, D]
 	attn    *tensor.Tensor // [N*H, T, T] softmax weights
@@ -190,6 +197,7 @@ func (m *MultiHeadAttention) Clone() Layer {
 		D: m.D, Heads: m.Heads,
 		WQ: m.WQ.Clone().(*Linear), WK: m.WK.Clone().(*Linear),
 		WV: m.WV.Clone().(*Linear), WO: m.WO.Clone().(*Linear),
+		QKVQuant: m.QKVQuant.Clone(),
 	}
 }
 

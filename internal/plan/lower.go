@@ -11,11 +11,12 @@ import (
 // Lowering: one graph node becomes one or more plan ops. Fusion decisions
 // happen here, at compile time — conv+BN+ReLU(+pool) collapse into a single
 // conv op with folded weights, the residual tail becomes one add+relu op,
-// Dropout disappears entirely — so the executor never re-discovers them.
-// Layers without a native kernel (transformer blocks, embeddings) fall back
-// to an eager op that runs a private clone of the nn layer; correct, but
-// allocating, so the zero-allocation guarantee holds only for graphs lowered
-// entirely to native kernels (all CNN-family zoo profiles).
+// transformer blocks unroll into packed-QKV/tiled-attention/fused-addln op
+// chains (transformer.go), Dropout disappears entirely — so the executor
+// never re-discovers them. Every zoo layer kind now has a native kernel;
+// the eager fallback (a private clone of the nn layer, correct but
+// allocating) remains only as the safety net for layer types the compiler
+// has never seen.
 
 // lowerNode lowers one graph node's layer, returning its output value id.
 func (c *compiler) lowerNode(n *graph.Node, inVal int) int {
@@ -81,6 +82,16 @@ func (c *compiler) lowerLayer(name string, l nn.Layer, inVal int) int {
 		return c.addOp(&Op{Name: name + " Flatten", Kind: "copy", In: inVal, In2: -1, Out: out, spec: &copySpec{}})
 	case *nn.Linear:
 		return c.lowerLinear(name+" "+l.Name(), l, inVal)
+	case *nn.LayerNorm:
+		return c.lowerLayerNorm(name+" "+l.Name(), l, inVal)
+	case *nn.MultiHeadAttention:
+		return c.lowerAttention(name+" "+l.Name(), l, inVal)
+	case *nn.TransformerBlock:
+		return c.lowerTransformer(name+" "+l.Name(), l, inVal)
+	case *nn.PatchEmbed:
+		return c.lowerPatchEmbed(name+" "+l.Name(), l, inVal)
+	case *nn.Embedding:
+		return c.lowerEmbedding(name+" "+l.Name(), l, inVal)
 	case *nn.Rescale2D:
 		v := c.newValue([]int{l.InC, l.OutH, l.OutW}, false, -1)
 		v = c.addOp(&Op{Name: name + " interp", Kind: "interp", In: inVal, In2: -1, Out: v, spec: &interpSpec{}})

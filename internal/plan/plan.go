@@ -66,13 +66,18 @@ type Op struct {
 	// Name locates the op in reports, e.g. "t0/op2 conv3x3(6->12)+bn+relu+pool".
 	Name string
 	// Kind is the kernel family: conv, bn, relu, maxpool, avgpool, addrelu,
-	// linear, interp, tokenmean, copy, eager.
+	// linear, interp, tokenmean, copy, ln, addln, add, qkv, attn, patch,
+	// embed, eager (plus qconv/qlinear/qqkv for the int8 twins).
 	Kind string
-	// In is the main input value; In2 is the second input of addrelu (-1
-	// otherwise).
+	// In is the main input value; In2 is the second input of the two-operand
+	// ops (addrelu, addln, add; -1 otherwise).
 	In, In2 int
 	// Out is the output value.
 	Out int
+	// Out2 is the secondary output of dual-result ops (addln publishes both
+	// the residual sum and its layer norm). 0 means absent: value 0 is
+	// always the graph input, never an op output.
+	Out2 int
 	// Scratch lists op-private workspace values.
 	Scratch []int
 	// Wave is the stage the op executes in; ops sharing a wave have no data
@@ -85,7 +90,7 @@ type Op struct {
 // Precision reports the op's execution precision, derived from its kind:
 // int8 for the quantized kernels, f32 for everything else.
 func (o *Op) Precision() string {
-	if o.Kind == "qconv" || o.Kind == "qlinear" {
+	if o.Kind == "qconv" || o.Kind == "qlinear" || o.Kind == "qqkv" {
 		return "int8"
 	}
 	return "f32"
@@ -172,6 +177,9 @@ func (c *compiler) addOp(o *Op) int {
 	o.ID = len(c.p.Ops)
 	c.p.Ops = append(c.p.Ops, o)
 	c.p.Values[o.Out].Producer = o.ID
+	if o.Out2 > 0 {
+		c.p.Values[o.Out2].Producer = o.ID
+	}
 	for _, s := range o.Scratch {
 		sv := c.p.Values[s]
 		sv.Producer = o.ID
@@ -298,6 +306,9 @@ func (c *compiler) assignSlabs() {
 				place(s)
 			}
 			place(o.Out)
+			if o.Out2 > 0 {
+				place(o.Out2)
+			}
 		}
 	}
 }
@@ -321,6 +332,10 @@ type Report struct {
 	Ops   []OpReport
 	Waves [][]int
 	Slabs int
+	// Planned counts ops lowered onto native kernels; Eager counts ops that
+	// fell back to running the nn layer directly (allocating per call). The
+	// zero-allocation guarantee holds exactly when Eager is 0.
+	Planned, Eager int
 	// PeakBytes is the planned per-sample footprint: the sum of slab
 	// capacities. NaiveBytes is what per-op allocation would use: every
 	// value (outputs and scratch alike) with its own buffer.
@@ -332,6 +347,11 @@ type Report struct {
 func (p *Plan) Report() Report {
 	r := Report{Waves: p.Waves, Slabs: len(p.SlabElems)}
 	for _, o := range p.Ops {
+		if o.Kind == "eager" {
+			r.Eager++
+		} else {
+			r.Planned++
+		}
 		out := p.Values[o.Out]
 		r.Ops = append(r.Ops, OpReport{
 			ID: o.ID, Name: o.Name, Kind: o.Kind, Wave: o.Wave,
@@ -357,7 +377,8 @@ func (p *Plan) Report() Report {
 func (p *Plan) String() string {
 	r := p.Report()
 	var b strings.Builder
-	fmt.Fprintf(&b, "execution plan: %d ops, %d waves, %d slabs\n", len(p.Ops), len(p.Waves), r.Slabs)
+	fmt.Fprintf(&b, "execution plan: %d ops (%d planned, %d eager), %d waves, %d slabs\n",
+		len(p.Ops), r.Planned, r.Eager, len(p.Waves), r.Slabs)
 	fmt.Fprintf(&b, "planned bytes/sample: %d (naive per-op allocation: %d, %.1fx)\n",
 		r.PeakBytes, r.NaiveBytes, float64(r.NaiveBytes)/float64(r.PeakBytes))
 	for w, ops := range p.Waves {

@@ -1,0 +1,369 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Transformer lowering. A TransformerBlock becomes eight planned ops instead
+// of one eager fallback:
+//
+//	ln -> qkv -> attn -> linear(WO) -> addln -> linear(FC1) -> gelu ->
+//	linear(FC2) -> add
+//
+// with three fusions the eager path cannot express: the Q/K/V projections
+// run as ONE packed [D, 3D] GEMM (kind "qkv", or "qqkv" on the int8 SWAR
+// kernel when calibrated), the attention context is computed by the
+// flash-style tiled kernel streaming over key blocks (kind "attn") whose
+// only working memory is a planned per-(sample,head) workspace slab — the
+// full TxT score matrix never exists — and the first residual join fuses
+// with the second layer norm into one dual-output op (kind "addln") that
+// publishes both the residual sum x1 (Out2, re-read by the closing "add")
+// and LN2(x1) (Out, feeding the MLP). The ViT/BERT stems lower to "patch"
+// and "embed" ops, so whole transformer graphs execute with zero
+// steady-state allocations like the CNN families.
+
+// Attention tile sizes: bq query rows stream over bk-wide key blocks. The
+// workspace per (sample, head) is bq*bk + 2*bq floats (score tile + running
+// max + running sum), accounted as a scratch value so the slab planner
+// reserves it.
+const (
+	attnTileQ = 32
+	attnTileK = 64
+)
+
+// attnTiles clamps the default tiles to the sequence length.
+func attnTiles(t int) (bq, bk int) {
+	bq, bk = attnTileQ, attnTileK
+	if bq > t {
+		bq = t
+	}
+	if bk > t {
+		bk = t
+	}
+	return bq, bk
+}
+
+// lowerLayerNorm emits a standalone layer norm op (op-granularity graphs;
+// block-granularity norms fuse into their transformer block's addln).
+func (c *compiler) lowerLayerNorm(name string, l *nn.LayerNorm, inVal int) int {
+	out := c.newValue(c.val(inVal).Shape, false, -1)
+	return c.addOp(&Op{
+		Name: name, Kind: "ln", In: inVal, In2: -1, Out: out,
+		spec: &lnSpec{d: l.D, eps: l.Eps, gamma: cloneF32(l.Gamma.Value.Data()), beta: cloneF32(l.Beta.Value.Data())},
+	})
+}
+
+// lowerQKV emits the packed Q/K/V projection: the three [D, D] weights
+// concatenate column-wise into one [D, 3D] matrix so a single GEMM produces
+// the [T, 3D] packed projection the attention kernel reads by column band.
+// Column j of the packed weight equals column j of WQ (j < D), WK, or WV,
+// so each output element sees the identical accumulation as the separate
+// GEMMs. The target is recorded for int8 calibration like any linear.
+func (c *compiler) lowerQKV(name string, m *nn.MultiHeadAttention, inVal int) int {
+	in := c.val(inVal)
+	t, d := in.Shape[0], m.D
+	w := tensor.New(d, 3*d)
+	bias := make([]float32, 3*d)
+	wd := w.Data()
+	for bi, l := range []*nn.Linear{m.WQ, m.WK, m.WV} {
+		src := l.Weight.Value.Data()
+		for p := 0; p < d; p++ {
+			copy(wd[p*3*d+bi*d:][:d], src[p*d:][:d])
+		}
+		copy(bias[bi*d:][:d], l.Bias.Value.Data())
+	}
+	out := c.newValue([]int{t, 3 * d}, false, -1)
+	var op *Op
+	if q := qkvQuant(m); q != nil {
+		op = &Op{
+			Name: name, Kind: "qqkv", In: inVal, In2: -1, Out: out,
+			spec: &qlinearSpec{q: q, in: d, out: 3 * d},
+		}
+	} else {
+		op = &Op{
+			Name: name, Kind: "qkv", In: inVal, In2: -1, Out: out,
+			spec: &linearSpec{in: d, out: 3 * d, w: w, bias: bias},
+		}
+	}
+	v := c.addOp(op)
+	if tensor.QuantDepthOK(d) {
+		c.p.QuantTargets = append(c.p.QuantTargets, QuantTarget{
+			OpID: op.ID, Name: name, Kind: "qkv", Layer: m,
+			W: w, Bias: bias, Rows: 3 * d, K: d,
+		})
+	}
+	return v
+}
+
+// lowerAttention emits a standalone multi-head attention: packed QKV, tiled
+// attention, then the output projection (which records its own linear quant
+// target, covering WO).
+func (c *compiler) lowerAttention(name string, m *nn.MultiHeadAttention, inVal int) int {
+	in := c.val(inVal)
+	t, d := in.Shape[0], m.D
+	qkv := c.lowerQKV(fmt.Sprintf("%s qkv(%d->%d)", name, d, 3*d), m, inVal)
+	bq, bk := attnTiles(t)
+	ws := c.newValue([]int{m.Heads * tensor.AttendWorkspace(bq, bk)}, false, -1)
+	ctx := c.newValue([]int{t, d}, false, -1)
+	c.addOp(&Op{
+		Name: fmt.Sprintf("%s attn(h%d,%dx%d)", name, m.Heads, bq, bk),
+		Kind: "attn", In: qkv, In2: -1, Out: ctx, Scratch: []int{ws},
+		spec: &attnSpec{heads: m.Heads, t: t, d: d, bq: bq, bk: bk, ws: ws},
+	})
+	return c.lowerLinear(name+" proj "+m.WO.Name(), m.WO, ctx)
+}
+
+// lowerTransformer emits the pre-norm encoder block. The first residual add
+// fuses with LN2 into the dual-output addln op; FC1/FC2/WO ride the shared
+// linear lowering, so they pick up int8 annotations and record quant targets
+// exactly like CNN classifier layers.
+func (c *compiler) lowerTransformer(name string, b *nn.TransformerBlock, inVal int) int {
+	in := c.val(inVal)
+	ln1 := c.lowerLayerNorm(name+" ln1", b.LN1, inVal)
+	qkv := c.lowerQKV(fmt.Sprintf("%s qkv(%d->%d)", name, b.D, 3*b.D), b.Attn, ln1)
+	bq, bk := attnTiles(in.Shape[0])
+	ws := c.newValue([]int{b.Heads * tensor.AttendWorkspace(bq, bk)}, false, -1)
+	ctx := c.newValue(in.Shape, false, -1)
+	c.addOp(&Op{
+		Name: fmt.Sprintf("%s attn(h%d,%dx%d)", name, b.Heads, bq, bk),
+		Kind: "attn", In: qkv, In2: -1, Out: ctx, Scratch: []int{ws},
+		spec: &attnSpec{heads: b.Heads, t: in.Shape[0], d: b.D, bq: bq, bk: bk, ws: ws},
+	})
+	proj := c.lowerLinear(name+" proj "+b.Attn.WO.Name(), b.Attn.WO, ctx)
+	// addln: Out = LN2(x + proj), Out2 = x + proj (read again by the final
+	// residual add, after the MLP).
+	normed := c.newValue(in.Shape, false, -1)
+	x1 := c.newValue(in.Shape, false, -1)
+	c.addOp(&Op{
+		Name: name + " add+ln2", Kind: "addln", In: inVal, In2: proj, Out: normed, Out2: x1,
+		spec: &addLNSpec{d: b.D, eps: b.LN2.Eps, gamma: cloneF32(b.LN2.Gamma.Value.Data()), beta: cloneF32(b.LN2.Beta.Value.Data())},
+	})
+	h := c.lowerLinear(name+" fc1 "+b.FC1.Name(), b.FC1, normed)
+	g := c.newValue(c.val(h).Shape, false, -1)
+	g = c.addOp(&Op{Name: name + " gelu", Kind: "gelu", In: h, In2: -1, Out: g, spec: &ewSpec{relu: false}})
+	h2 := c.lowerLinear(name+" fc2 "+b.FC2.Name(), b.FC2, g)
+	out := c.newValue(in.Shape, false, -1)
+	return c.addOp(&Op{Name: name + " residual", Kind: "add", In: x1, In2: h2, Out: out, spec: &addSpec{}})
+}
+
+// lowerPatchEmbed emits the ViT stem as one op: strided im2col unfolds the
+// patches into the rows2d cols scratch, one GEMM projects them, and the
+// epilogue adds bias and the positional embedding per token row.
+func (c *compiler) lowerPatchEmbed(name string, pe *nn.PatchEmbed, inVal int) int {
+	in := c.val(inVal)
+	t := (in.Shape[1] / pe.Patch) * (in.Shape[2] / pe.Patch)
+	cols := c.newValue([]int{t, pe.C * pe.Patch * pe.Patch}, true, -1)
+	out := c.newValue([]int{t, pe.D}, false, -1)
+	return c.addOp(&Op{
+		Name: name, Kind: "patch", In: inVal, In2: -1, Out: out, Scratch: []int{cols},
+		spec: &patchSpec{
+			patch: pe.Patch, d: pe.D, t: t,
+			w:    pe.Proj.Weight.Value.Clone(),
+			bias: cloneF32(pe.Proj.Bias.Value.Data()),
+			pos:  cloneF32(pe.Pos.Value.Data()),
+			cols: cols,
+		},
+	})
+}
+
+// lowerEmbedding emits the BERT stem: a table gather plus positional add.
+func (c *compiler) lowerEmbedding(name string, e *nn.Embedding, inVal int) int {
+	out := c.newValue([]int{e.T, e.D}, false, -1)
+	return c.addOp(&Op{
+		Name: name, Kind: "embed", In: inVal, In2: -1, Out: out,
+		spec: &embedSpec{
+			vocab: e.Vocab, d: e.D, t: e.T,
+			table: cloneF32(e.Table.Value.Data()),
+			pos:   cloneF32(e.Pos.Value.Data()),
+		},
+	})
+}
+
+func cloneF32(s []float32) []float32 { return append([]float32(nil), s...) }
+
+// ---- transformer kernel specs ----
+
+// lnRow mirrors nn.LayerNorm.Forward's per-row math exactly: float64
+// sum/square accumulation, biased variance clamped at zero, float32
+// normalize-scale-shift.
+func lnRow(dst, src, gamma, beta []float32, eps float32) {
+	var sum, sq float64
+	for _, v := range src {
+		sum += float64(v)
+		sq += float64(v) * float64(v)
+	}
+	d := float64(len(src))
+	mean := float32(sum / d)
+	variance := float32(sq/d) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	inv := float32(1 / math.Sqrt(float64(variance+eps)))
+	for i, v := range src {
+		dst[i] = (v-mean)*inv*gamma[i] + beta[i]
+	}
+}
+
+// lnSpec is a standalone layer norm over the last dimension.
+type lnSpec struct {
+	d           int
+	eps         float32
+	gamma, beta []float32
+}
+
+func (s *lnSpec) build(inst *Instance, o *Op) func() {
+	in, out := o.In, o.Out
+	body := func(lo, hi int) {
+		xd := inst.regs[in].Data()
+		dd := inst.regs[out].Data()
+		for r := lo; r < hi; r++ {
+			lnRow(dd[r*s.d:][:s.d], xd[r*s.d:][:s.d], s.gamma, s.beta, s.eps)
+		}
+	}
+	return func() { tensor.ParallelFor(inst.regs[out].Size()/s.d, body) }
+}
+
+// addLNSpec fuses the residual join with the following layer norm: it
+// publishes the sum In+In2 through Out2 and its layer norm through Out, one
+// pass over each row instead of two ops and an extra value.
+type addLNSpec struct {
+	d           int
+	eps         float32
+	gamma, beta []float32
+}
+
+func (s *addLNSpec) build(inst *Instance, o *Op) func() {
+	a, b, out, sum := o.In, o.In2, o.Out, o.Out2
+	body := func(lo, hi int) {
+		ad := inst.regs[a].Data()
+		bd := inst.regs[b].Data()
+		sd := inst.regs[sum].Data()
+		dd := inst.regs[out].Data()
+		for r := lo; r < hi; r++ {
+			srow := sd[r*s.d:][:s.d]
+			arow := ad[r*s.d:][:s.d]
+			brow := bd[r*s.d:][:s.d]
+			for i := range srow {
+				srow[i] = arow[i] + brow[i]
+			}
+			lnRow(dd[r*s.d:][:s.d], srow, s.gamma, s.beta, s.eps)
+		}
+	}
+	return func() { tensor.ParallelFor(inst.regs[out].Size()/s.d, body) }
+}
+
+// addSpec is the plain residual join: dst = a + b.
+type addSpec struct{}
+
+func (s *addSpec) build(inst *Instance, o *Op) func() {
+	a, b, out := o.In, o.In2, o.Out
+	body := func(lo, hi int) {
+		ad := inst.regs[a].Data()
+		bd := inst.regs[b].Data()
+		dd := inst.regs[out].Data()
+		for i := lo; i < hi; i++ {
+			dd[i] = ad[i] + bd[i]
+		}
+	}
+	return func() { tensor.ParallelFor(inst.regs[out].Size(), body) }
+}
+
+// attnSpec runs tiled flash attention over the packed [T, 3D] QKV
+// projection. Each (sample, head) unit is an independent task: head h of
+// sample ni reads its hd-wide column band of the Q, K, and V thirds through
+// stride 3D, writes its band of the [T, D] context, and owns a disjoint
+// slice of the planned workspace slab, so the units parallelize freely.
+type attnSpec struct {
+	heads, t, d int
+	bq, bk      int
+	ws          int // workspace scratch value id
+}
+
+func (s *attnSpec) build(inst *Instance, o *Op) func() {
+	in, out := o.In, o.Out
+	hd := s.d / s.heads
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	unit := tensor.AttendWorkspace(s.bq, s.bk)
+	stride := 3 * s.d
+	body := func(u int) {
+		qkv := inst.regs[in].Data()
+		ctx := inst.regs[out].Data()
+		wsd := inst.regs[s.ws].Data()
+		ni, h := u/s.heads, u%s.heads
+		base := ni * s.t * stride
+		q := qkv[base+h*hd:]
+		k := qkv[base+s.d+h*hd:]
+		v := qkv[base+2*s.d+h*hd:]
+		dst := ctx[ni*s.t*s.d+h*hd:]
+		tensor.FlashAttendHead(dst, s.d, q, k, v, stride, s.t, hd, scale, s.bq, s.bk, wsd[u*unit:][:unit])
+	}
+	return func() { tensor.ParallelTasks(inst.batch*s.heads, body) }
+}
+
+// patchSpec is the ViT stem: im2col patch unfold, projection GEMM, then a
+// fused bias+positional epilogue. The 2-D output view is rebuilt only on
+// batch rebinds.
+type patchSpec struct {
+	patch, d, t int
+	w           *tensor.Tensor // [C*P*P, D], plan-owned copy
+	bias, pos   []float32
+	cols        int // rows2d scratch value id
+}
+
+func (s *patchSpec) build(inst *Instance, o *Op) func() {
+	in, out := o.In, o.Out
+	var y2d *tensor.Tensor
+	bound := -1
+	return func() {
+		x := inst.regs[in]
+		y := inst.regs[out]
+		rows := inst.batch * s.t
+		if bound != inst.batch {
+			y2d = tensor.FromSlice(y.Data(), rows, s.d)
+			bound = inst.batch
+		}
+		cols := inst.regs[s.cols]
+		tensor.Im2ColInto(cols, x, s.patch, s.patch, s.patch, 0)
+		tensor.MatMulInto(y2d, cols, s.w)
+		yd := y2d.Data()
+		for r := 0; r < rows; r++ {
+			row := yd[r*s.d:][:s.d]
+			prow := s.pos[(r%s.t)*s.d:][:s.d]
+			for j := range row {
+				row[j] = row[j] + s.bias[j] + prow[j]
+			}
+		}
+	}
+}
+
+// embedSpec is the BERT stem: table gather plus positional add. The loop
+// stays on the Execute goroutine (not a worker pool) so the out-of-vocab
+// panic surfaces to the caller exactly like nn.Embedding.Forward's.
+type embedSpec struct {
+	vocab, d, t int
+	table, pos  []float32
+}
+
+func (s *embedSpec) build(inst *Instance, o *Op) func() {
+	in, out := o.In, o.Out
+	return func() {
+		xd := inst.regs[in].Data()
+		od := inst.regs[out].Data()
+		for i := 0; i < inst.batch*s.t; i++ {
+			id := int(xd[i])
+			if id < 0 || id >= s.vocab {
+				panic(fmt.Sprintf("plan: embed token id %d out of vocab %d", id, s.vocab))
+			}
+			dst := od[i*s.d:][:s.d]
+			src := s.table[id*s.d:][:s.d]
+			prow := s.pos[(i%s.t)*s.d:][:s.d]
+			for p := range dst {
+				dst[p] = src[p] + prow[p]
+			}
+		}
+	}
+}

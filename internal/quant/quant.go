@@ -69,7 +69,7 @@ func (c Config) withDefaults() Config {
 type OpDecision struct {
 	OpID int
 	Name string
-	Kind string // "conv" or "linear"
+	Kind string // "conv", "linear", or "qkv"
 	// Precision is "int8" or "f32".
 	Precision string
 	// Reason explains the choice: "quantized", "head output", "accuracy
@@ -345,8 +345,9 @@ func calibrate(inst *plan.Instance, p *plan.Plan, ds *data.Dataset, cfg Config) 
 // only to order removals; accuracy is always re-measured.
 func quantizeTarget(t *plan.QuantTarget, st *calibStat) (*nn.Quant8, float64) {
 	w := t.W.Data()
-	if t.Kind == "linear" {
-		// The live linear weight is [K, Rows]; the kernel wants [Rows, K].
+	if t.Kind == "linear" || t.Kind == "qkv" {
+		// The live linear weight (and the packed [D, 3D] QKV concatenation)
+		// is [K, Rows]; the kernel wants [Rows, K].
 		wt := make([]float32, t.Rows*t.K)
 		for p := 0; p < t.K; p++ {
 			row := w[p*t.Rows : (p+1)*t.Rows]
@@ -416,6 +417,8 @@ func hasQuant(l nn.Layer) bool {
 		return l.Quant != nil
 	case *nn.Linear:
 		return l.Quant != nil
+	case *nn.MultiHeadAttention:
+		return l.QKVQuant != nil
 	}
 	return false
 }
@@ -428,5 +431,7 @@ func setQuant(l nn.Layer, q *nn.Quant8) {
 		l.Quant = q
 	case *nn.Linear:
 		l.Quant = q
+	case *nn.MultiHeadAttention:
+		l.QKVQuant = q
 	}
 }

@@ -1,0 +1,173 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Attention kernels. FlashAttendHead is the flash-style tiled
+// softmax(Q·Kᵀ)·V for one attention head: it streams over key/value tiles
+// with a running row maximum and running normalizer, rescaling the output
+// accumulator online, so the full TxT score matrix is never materialized —
+// the working set is one Bq x Bk score tile plus two Bq-float vectors,
+// supplied by the caller. NaiveAttendHead is its reference twin (full score
+// matrix, textbook two-pass softmax); attention_test.go and
+// FuzzTiledSoftmaxParity hold the two within 1e-4 across arbitrary sequence
+// lengths, head dims, and tile sizes.
+//
+// Both kernels read Q, K, V rows through a common row stride, so a head can
+// address its hd-wide column band inside a packed [T, 3*D] QKV projection
+// (stride 3*D) or a plain [T, D] tensor (stride D) without any copying.
+
+// AttendWorkspace returns the float32 workspace length FlashAttendHead
+// needs for query tile bq and key tile bk: the score tile plus the running
+// max and running sum vectors.
+func AttendWorkspace(bq, bk int) int { return bq*bk + 2*bq }
+
+// FlashAttendHead computes out = softmax(scale * Q Kᵀ) V for one head over
+// t tokens with head dimension hd. Row i of Q is q[i*stride : i*stride+hd]
+// (likewise k, v), and row i of the output is out[i*outStride :
+// i*outStride+hd]; out rows are overwritten. ws must have at least
+// AttendWorkspace(bq, bk) elements and is clobbered. The kernel is
+// single-threaded by design: callers parallelize over (batch, head) units,
+// each owning disjoint output columns and its own workspace.
+func FlashAttendHead(out []float32, outStride int, q, k, v []float32, stride, t, hd int, scale float32, bq, bk int, ws []float32) {
+	if bq <= 0 || bk <= 0 {
+		panic(fmt.Sprintf("tensor: FlashAttendHead tiles %dx%d", bq, bk))
+	}
+	if bq > t {
+		bq = t
+	}
+	if bk > t {
+		bk = t
+	}
+	if len(ws) < AttendWorkspace(bq, bk) {
+		panic(fmt.Sprintf("tensor: FlashAttendHead workspace %d, need %d", len(ws), AttendWorkspace(bq, bk)))
+	}
+	s := ws[:bq*bk]                // score / probability tile
+	m := ws[bq*bk : bq*bk+bq]      // running row maxima
+	l := ws[bq*bk+bq : bq*bk+2*bq] // running normalizers
+	const negInf = float32(math.MaxFloat32) * -1
+	for i0 := 0; i0 < t; i0 += bq {
+		qn := bq
+		if i0+qn > t {
+			qn = t - i0
+		}
+		for r := 0; r < qn; r++ {
+			m[r] = negInf
+			l[r] = 0
+			orow := out[(i0+r)*outStride:][:hd]
+			for p := range orow {
+				orow[p] = 0
+			}
+		}
+		for j0 := 0; j0 < t; j0 += bk {
+			kn := bk
+			if j0+kn > t {
+				kn = t - j0
+			}
+			// Score tile: s[r][c] = scale * q_{i0+r} · k_{j0+c}.
+			for r := 0; r < qn; r++ {
+				qrow := q[(i0+r)*stride:][:hd]
+				srow := s[r*bk:][:kn]
+				for c := 0; c < kn; c++ {
+					krow := k[(j0+c)*stride:][:hd]
+					var dot float32
+					for p, qv := range qrow {
+						dot += qv * krow[p]
+					}
+					srow[c] = dot * scale
+				}
+			}
+			// Online softmax: fold the tile into the running max/sum and
+			// rescale the accumulated output rows.
+			for r := 0; r < qn; r++ {
+				srow := s[r*bk:][:kn]
+				mNew := m[r]
+				for _, sv := range srow {
+					if sv > mNew {
+						mNew = sv
+					}
+				}
+				corr := float32(math.Exp(float64(m[r] - mNew)))
+				orow := out[(i0+r)*outStride:][:hd]
+				if corr != 1 {
+					l[r] *= corr
+					for p := range orow {
+						orow[p] *= corr
+					}
+				}
+				m[r] = mNew
+				for c := range srow {
+					e := float32(math.Exp(float64(srow[c] - mNew)))
+					srow[c] = e
+					l[r] += e
+				}
+				// Accumulate the probability-weighted value rows.
+				for c := 0; c < kn; c++ {
+					a := srow[c]
+					if a == 0 {
+						continue
+					}
+					vrow := v[(j0+c)*stride:][:hd]
+					for p, vv := range vrow {
+						orow[p] += a * vv
+					}
+				}
+			}
+		}
+		for r := 0; r < qn; r++ {
+			inv := 1 / l[r]
+			orow := out[(i0+r)*outStride:][:hd]
+			for p := range orow {
+				orow[p] *= inv
+			}
+		}
+	}
+}
+
+// NaiveAttendHead is the reference attention for one head: it materializes
+// the full [t, t] score matrix, runs a max-subtracted two-pass softmax per
+// row, then multiplies by V — the same math nn.MultiHeadAttention.Forward
+// performs. It allocates and is single-threaded; reference/test use only.
+func NaiveAttendHead(out []float32, outStride int, q, k, v []float32, stride, t, hd int, scale float32) {
+	scores := make([]float32, t*t)
+	for i := 0; i < t; i++ {
+		qrow := q[i*stride:][:hd]
+		srow := scores[i*t:][:t]
+		maxv := float32(math.MaxFloat32) * -1
+		for j := 0; j < t; j++ {
+			krow := k[j*stride:][:hd]
+			var dot float32
+			for p, qv := range qrow {
+				dot += qv * krow[p]
+			}
+			dot *= scale
+			srow[j] = dot
+			if dot > maxv {
+				maxv = dot
+			}
+		}
+		var sum float32
+		for j := range srow {
+			e := float32(math.Exp(float64(srow[j] - maxv)))
+			srow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		orow := out[i*outStride:][:hd]
+		for p := range orow {
+			orow[p] = 0
+		}
+		for j := 0; j < t; j++ {
+			a := srow[j] * inv
+			if a == 0 {
+				continue
+			}
+			vrow := v[j*stride:][:hd]
+			for p, vv := range vrow {
+				orow[p] += a * vv
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package tensor_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// attendDiff runs both attention kernels on the same strided head view and
+// returns the largest elementwise divergence.
+func attendDiff(t *testing.T, seed uint64, tokens, hd, stride, bq, bk int) float64 {
+	if t != nil {
+		t.Helper()
+	}
+	rng := tensor.NewRNG(seed)
+	qkv := tensor.New(tokens * stride)
+	rng.FillNormal(qkv, 0, 1)
+	d := qkv.Data()
+	// Head band at a nonzero column offset when the stride allows it, so the
+	// strided addressing is actually exercised.
+	off := 0
+	if stride >= 2*hd {
+		off = hd
+	}
+	got := make([]float32, tokens*hd)
+	want := make([]float32, tokens*hd)
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	ws := make([]float32, tensor.AttendWorkspace(bq, bk))
+	tensor.FlashAttendHead(got, hd, d[off:], d[off:], d[off:], stride, tokens, hd, scale, bq, bk, ws)
+	tensor.NaiveAttendHead(want, hd, d[off:], d[off:], d[off:], stride, tokens, hd, scale)
+	var m float64
+	for i := range got {
+		if diff := math.Abs(float64(got[i] - want[i])); diff > m {
+			m = diff
+		}
+	}
+	return m
+}
+
+func TestFlashAttendHeadParity(t *testing.T) {
+	cases := []struct{ tokens, hd, stride, bq, bk int }{
+		{1, 1, 1, 1, 1},
+		{4, 8, 24, 32, 64},  // tiles larger than t
+		{16, 4, 12, 4, 4},   // t divisible by tiles
+		{17, 8, 24, 4, 8},   // ragged tail tiles
+		{33, 16, 48, 8, 32}, // several key tiles per query tile
+		{64, 8, 8, 16, 16},  // dense stride == hd
+		{25, 3, 11, 5, 7},   // odd everything
+	}
+	for _, c := range cases {
+		if d := attendDiff(t, uint64(c.tokens*1000+c.hd), c.tokens, c.hd, c.stride, c.bq, c.bk); d > 1e-4 {
+			t.Errorf("t=%d hd=%d stride=%d tiles %dx%d: flash diverges from naive by %g",
+				c.tokens, c.hd, c.stride, c.bq, c.bk, d)
+		}
+	}
+}
+
+// TestFlashAttendHeadOverwrites: output rows must be fully overwritten, not
+// accumulated into, because plan slabs are recycled dirty.
+func TestFlashAttendHeadOverwrites(t *testing.T) {
+	const tokens, hd = 9, 5
+	rng := tensor.NewRNG(7)
+	qkv := tensor.New(tokens * hd)
+	rng.FillNormal(qkv, 0, 1)
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	ws := make([]float32, tensor.AttendWorkspace(4, 4))
+	clean := make([]float32, tokens*hd)
+	tensor.FlashAttendHead(clean, hd, qkv.Data(), qkv.Data(), qkv.Data(), hd, tokens, hd, scale, 4, 4, ws)
+	dirty := make([]float32, tokens*hd)
+	for i := range dirty {
+		dirty[i] = 1e6
+	}
+	tensor.FlashAttendHead(dirty, hd, qkv.Data(), qkv.Data(), qkv.Data(), hd, tokens, hd, scale, 4, 4, ws)
+	for i := range clean {
+		if clean[i] != dirty[i] {
+			t.Fatalf("elem %d depends on prior output contents: %v vs %v", i, clean[i], dirty[i])
+		}
+	}
+}
+
+// FuzzTiledSoftmaxParity drives the tiled flash kernel against the naive
+// full-matrix reference across random sequence lengths, head dims, strides,
+// and tile sizes.
+func FuzzTiledSoftmaxParity(f *testing.F) {
+	f.Add(uint64(1), 8, 4, 2, 3)
+	f.Add(uint64(2), 33, 7, 8, 16)
+	f.Add(uint64(3), 1, 1, 1, 1)
+	f.Add(uint64(4), 21, 16, 64, 5)
+	f.Fuzz(func(t *testing.T, seed uint64, tokens, hd, bq, bk int) {
+		tokens = 1 + abs(tokens)%48
+		hd = 1 + abs(hd)%24
+		bq = 1 + abs(bq)%(tokens+4)
+		bk = 1 + abs(bk)%(tokens+4)
+		stride := 3 * hd // packed-QKV addressing, the plan executor's layout
+		if d := attendDiff(nil, seed, tokens, hd, stride, bq, bk); d > 1e-4 {
+			t.Fatalf("t=%d hd=%d tiles %dx%d: flash diverges from naive by %g", tokens, hd, bq, bk, d)
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
