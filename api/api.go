@@ -1,8 +1,19 @@
-// Package api defines the stable wire types of the model server's v1 HTTP
-// surface (POST /v1/infer, GET /v1/model, GET /v1/stats) and a small typed
-// client. The server side lives in internal/httpapi; everything a consumer
-// needs to talk to it is exported here so external tools never hand-roll
-// the JSON.
+// Package api defines the stable wire types of the model server's HTTP
+// surface and a small typed client. The server side lives in
+// internal/httpapi; everything a consumer needs to talk to it is exported
+// here so external tools never hand-roll the JSON.
+//
+// The v2 surface is model-scoped — one process serves a fleet:
+//
+//	POST /v2/models/{name}/infer    -> per-task outputs for one model
+//	GET  /v2/models                 -> fleet listing (version, checksum,
+//	                                   plan coverage, queue depth)
+//	GET  /v2/models/{name}          -> one model's metadata
+//	GET  /v2/models/{name}/stats    -> one model's counters + swap history
+//
+// The v1 surface (POST /v1/infer, GET /v1/model, GET /v1/stats) is kept
+// as a permanent alias for the server's default model, so single-model
+// clients written against v1 keep working unchanged.
 package api
 
 // InferRequest is the POST /v1/infer body.
@@ -23,8 +34,14 @@ type InferResponse struct {
 	Micros int64 `json:"latency_us"`
 }
 
-// ModelInfo is the GET /v1/model response.
+// ModelInfo is the GET /v1/model and GET /v2/models/{name} response.
 type ModelInfo struct {
+	// Name is the registry name the model serves under; Version counts its
+	// deploy generations (hot swaps increment it); Checksum is the
+	// checkpoint's content identity ("crc32:xxxxxxxx").
+	Name       string         `json:"name,omitempty"`
+	Version    int            `json:"version,omitempty"`
+	Checksum   string         `json:"checksum,omitempty"`
 	InputShape []int          `json:"input_shape"`
 	Tasks      map[string]int `json:"tasks"` // task name -> output size
 	Blocks     int            `json:"blocks"`
@@ -35,18 +52,23 @@ type ModelInfo struct {
 	Vocab int `json:"vocab,omitempty"`
 }
 
-// Stats is the GET /v1/stats response: request counters, the server-side
-// latency distribution, and the batching scheduler's state.
+// Stats is the GET /v1/stats response: the default model's request
+// counters, latency distribution, and scheduler state, plus the
+// registry-level fleet section. Per-model views of the same counters are
+// served by GET /v2/models/{name}/stats.
 type Stats struct {
 	// Requests counts completed inferences; Failures counts malformed
 	// requests (4xx other than backpressure).
 	Requests int64 `json:"requests"`
 	Failures int64 `json:"failures"`
-	// Rejected counts requests refused with 429 because the batch queue
-	// was full; Expired counts requests failed with 503 because their
-	// deadline elapsed before completion; Canceled counts requests whose
-	// client went away while they waited.
+	// Rejected counts requests refused with 429 because the model's batch
+	// queue was full; SLOShed counts requests refused with 503 because the
+	// model's SLO-aware admission predicted they would queue past their
+	// latency budget; Expired counts requests failed with 503 because
+	// their deadline elapsed before completion; Canceled counts requests
+	// whose client went away while they waited.
 	Rejected int64 `json:"rejected"`
+	SLOShed  int64 `json:"slo_shed"`
 	Expired  int64 `json:"expired"`
 	Canceled int64 `json:"canceled"`
 
@@ -70,6 +92,84 @@ type Stats struct {
 	// with cumulative per-op timings. Absent when the server was built
 	// around engines that do not execute plans.
 	Plan *PlanStats `json:"plan,omitempty"`
+
+	// Registry is the fleet-level section: counters that belong to the
+	// whole process rather than any one model, and every model's queue
+	// depth (the v1 QueueDepth field above covers only the model the
+	// stats are scoped to). Absent in per-model stats responses.
+	Registry *RegistryStats `json:"registry,omitempty"`
+}
+
+// RegistryStats is the fleet-level section of GET /v1/stats.
+type RegistryStats struct {
+	// ModelsLoaded is the number of registered models; SwapsCompleted
+	// counts hot swaps across the fleet; SwapDrainMicros is the cumulative
+	// time old deployments spent draining during those swaps.
+	ModelsLoaded    int   `json:"models_loaded"`
+	SwapsCompleted  int64 `json:"swaps_completed"`
+	SwapDrainMicros int64 `json:"swap_drain_us"`
+	// QueueDepth maps model name to its admission-queue depth at snapshot
+	// time.
+	QueueDepth map[string]int `json:"queue_depth"`
+}
+
+// ModelSummary is one row of the GET /v2/models listing.
+type ModelSummary struct {
+	Name     string `json:"name"`
+	Version  int    `json:"version"`
+	Checksum string `json:"checksum"`
+	// Default marks the model the /v1/* surface aliases.
+	Default bool `json:"default,omitempty"`
+	// Source is the checkpoint path the model was loaded from, empty for
+	// models registered from memory.
+	Source     string   `json:"source,omitempty"`
+	InputShape []int    `json:"input_shape"`
+	Tasks      []string `json:"tasks"`
+	// PlanOps/PlannedOps/EagerOps summarize plan coverage: of PlanOps
+	// compiled ops, PlannedOps run on native fused kernels and EagerOps
+	// fell back to eager layer execution.
+	PlanOps    int `json:"plan_ops"`
+	PlannedOps int `json:"planned_ops"`
+	EagerOps   int `json:"eager_ops"`
+	// QueueDepth and Requests give the listing a live serving pulse.
+	QueueDepth int   `json:"queue_depth"`
+	Requests   int64 `json:"requests"`
+}
+
+// ModelList is the GET /v2/models response.
+type ModelList struct {
+	Models []ModelSummary `json:"models"`
+	// Default names the model the /v1/* surface aliases.
+	Default string `json:"default"`
+}
+
+// SwapRecord is one completed hot swap in a model's history.
+type SwapRecord struct {
+	FromVersion  int    `json:"from_version"`
+	ToVersion    int    `json:"to_version"`
+	FromChecksum string `json:"from_checksum"`
+	ToChecksum   string `json:"to_checksum"`
+	// DrainMicros is how long the old deployment took to finish its
+	// admitted requests after the new version was published; Abandoned
+	// counts in-flight requests the drain gave up on (zero on every clean
+	// swap); UnixMicros timestamps the swap.
+	DrainMicros int64 `json:"drain_us"`
+	Abandoned   int   `json:"abandoned"`
+	UnixMicros  int64 `json:"unix_us"`
+}
+
+// ModelStats is the GET /v2/models/{name}/stats response: the same
+// counters as Stats scoped to one model, plus deploy identity and swap
+// history.
+type ModelStats struct {
+	Name     string `json:"name"`
+	Version  int    `json:"version"`
+	Checksum string `json:"checksum"`
+	// Pending counts admitted requests not yet answered.
+	Pending int `json:"pending"`
+	Stats
+	// Swaps is the model's completed hot-swap history, oldest first.
+	Swaps []SwapRecord `json:"swaps,omitempty"`
 }
 
 // PlanOpStat is one compiled-plan op's cumulative execution record,

@@ -7,10 +7,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 )
 
-// Client is a typed client for the v1 HTTP surface.
+// Client is a typed client for the server's HTTP surface. The model-scoped
+// methods (InferModel, Models, ModelInfo, ModelStats) speak v2; the
+// unscoped methods (Infer, Model, Stats) are shorthands for the server's
+// default model via the v1 alias routes and remain fully supported — they
+// are not deprecated, they simply cannot name a model.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
@@ -29,15 +34,22 @@ type Error struct {
 	StatusCode int
 	// Message is the server's error body.
 	Message string
+	// Model is the model the failed call was scoped to; empty for calls on
+	// the v1 default-model surface and for fleet-level calls.
+	Model string
 }
 
 // Error implements error.
 func (e *Error) Error() string {
+	if e.Model != "" {
+		return fmt.Sprintf("api: model %q: server returned %d: %s", e.Model, e.StatusCode, e.Message)
+	}
 	return fmt.Sprintf("api: server returned %d: %s", e.StatusCode, e.Message)
 }
 
 // IsBackpressure reports whether the error is the server shedding load
-// (queue full or deadline exceeded); such requests are retryable.
+// (queue full, SLO admission, or deadline exceeded); such requests are
+// retryable.
 func (e *Error) IsBackpressure() bool {
 	return e.StatusCode == http.StatusTooManyRequests ||
 		e.StatusCode == http.StatusServiceUnavailable
@@ -50,7 +62,9 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+// do issues one request. model annotates any *Error so callers can tell
+// which model a fleet operation failed on.
+func (c *Client) do(ctx context.Context, method, path, model string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		raw, err := json.Marshal(in)
@@ -73,7 +87,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return &Error{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(msg))}
+		return &Error{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(msg)), Model: model}
 	}
 	if out == nil {
 		return nil
@@ -84,29 +98,74 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return nil
 }
 
-// Infer posts one or more flat row-major samples and returns per-task
-// output rows.
+// modelPath builds a /v2/models/{name}... route with the name escaped.
+func modelPath(model, suffix string) string {
+	return "/v2/models/" + url.PathEscape(model) + suffix
+}
+
+// Infer posts one or more flat row-major samples to the server's default
+// model (v1 shorthand for InferModel with the default model's name).
 func (c *Client) Infer(ctx context.Context, input []float32) (*InferResponse, error) {
 	var out InferResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/infer", &InferRequest{Input: input}, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/infer", "", &InferRequest{Input: input}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Model fetches the served model's metadata.
+// InferModel posts one or more flat row-major samples to a named model
+// and returns per-task output rows.
+func (c *Client) InferModel(ctx context.Context, model string, input []float32) (*InferResponse, error) {
+	var out InferResponse
+	if err := c.do(ctx, http.MethodPost, modelPath(model, "/infer"), model, &InferRequest{Input: input}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Model fetches the default model's metadata (v1 shorthand for ModelInfo
+// with the default model's name).
 func (c *Client) Model(ctx context.Context) (*ModelInfo, error) {
 	var out ModelInfo
-	if err := c.do(ctx, http.MethodGet, "/v1/model", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/model", "", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Stats fetches the serving counters and latency/batch distributions.
+// ModelInfo fetches a named model's metadata.
+func (c *Client) ModelInfo(ctx context.Context, model string) (*ModelInfo, error) {
+	var out ModelInfo
+	if err := c.do(ctx, http.MethodGet, modelPath(model, ""), model, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Models lists every served model with version, checksum, plan coverage,
+// and queue depth.
+func (c *Client) Models(ctx context.Context) (*ModelList, error) {
+	var out ModelList
+	if err := c.do(ctx, http.MethodGet, "/v2/models", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the default model's serving counters plus the fleet-level
+// registry section (v1 shorthand; per-model counters live on ModelStats).
 func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	var out Stats
-	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ModelStats fetches one model's serving counters and swap history.
+func (c *Client) ModelStats(ctx context.Context, model string) (*ModelStats, error) {
+	var out ModelStats
+	if err := c.do(ctx, http.MethodGet, modelPath(model, "/stats"), model, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

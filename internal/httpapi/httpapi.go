@@ -1,19 +1,27 @@
-// Package httpapi exposes a trained (fused) multi-task model over HTTP,
-// realizing the paper's model-serving scenario (Discussion, Section 7):
-// one fused forward pass serves every task of a query, raising throughput
-// over running one DNN per task.
+// Package httpapi exposes a registry of trained (fused) multi-task models
+// over HTTP, realizing the paper's model-serving scenario (Discussion,
+// Section 7) at fleet scale: one process serves many fused models, each
+// behind its own dynamic batcher and admission queue.
 //
 // Endpoints (wire types are exported from repro/api):
 //
-//	POST /v1/infer   {"input": [...]}          -> per-task outputs
-//	GET  /v1/model                             -> model metadata
-//	GET  /v1/stats                             -> serving counters + latency
-//	                                              and batch distributions
+//	POST /v2/models/{model}/infer  {"input": [...]} -> per-task outputs
+//	GET  /v2/models                                 -> fleet listing
+//	GET  /v2/models/{model}                         -> model metadata
+//	GET  /v2/models/{model}/stats                   -> counters + swaps
 //
-// Concurrent requests are coalesced by a dynamic batching scheduler
-// (internal/serve/batcher): up to MaxBatch samples share one forward pass,
-// a full queue sheds load with 429, and a request that misses its deadline
-// fails with 503. Shutdown drains the queue before returning.
+//	POST /v1/infer    GET /v1/model    GET /v1/stats
+//
+// The /v1/* routes are permanent aliases for the registry's default
+// model, so clients written against the single-model surface keep
+// working unchanged; /v1/stats additionally carries the fleet-level
+// registry section.
+//
+// Concurrent requests to one model are coalesced by its batcher (up to
+// MaxBatch samples per fused pass); a full queue sheds load with 429, an
+// SLO-admission shed or missed deadline fails with 503 — all verdicts
+// per model, so a bursty tenant cannot starve the rest. Shutdown drains
+// every model's queue before returning.
 package httpapi
 
 import (
@@ -23,18 +31,21 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/api"
 	"repro/internal/engine"
 	"repro/internal/graph"
-	"repro/internal/serve"
 	"repro/internal/serve/batcher"
+	"repro/internal/serve/registry"
 	"repro/internal/tensor"
 )
 
-// Options configures the server's scheduling policy.
+// DefaultModelName is the registry name New gives a single model.
+const DefaultModelName = "default"
+
+// Options configures one model's scheduling policy (New's single-model
+// path; NewRegistry callers configure models on the registry directly).
 type Options struct {
 	// Pool is the number of compiled engine instances, i.e. the number of
 	// batches that may be in flight at once (default 1).
@@ -47,6 +58,9 @@ type Options struct {
 	// QueueCap bounds the pending-request queue; a full queue fails
 	// requests with 429 (default 8*MaxBatch).
 	QueueCap int
+	// SLOBudget, when positive, sheds arrivals predicted to queue past the
+	// budget with 503 (see registry.ModelOptions.SLOBudget).
+	SLOBudget time.Duration
 	// Deadline is the per-request time budget, queueing included; a
 	// request that exceeds it fails with 503. Zero means no server-side
 	// deadline (the client's context still applies).
@@ -57,138 +71,165 @@ type Options struct {
 	Engines []engine.Engine
 }
 
-// Server serves one model. It is safe for concurrent use.
+// Server serves a model registry. It is safe for concurrent use.
 type Server struct {
-	model   *graph.Graph
-	shape   graph.Shape
-	per     int
-	vocab   int // token vocabulary for 1-D inputs; 0 for image models
-	opts    Options
-	batcher *batcher.Batcher
-	// fused holds the pool's plan-backed engines (possibly empty when the
-	// caller injected custom engines); /v1/stats aggregates their per-op
-	// timing counters.
-	fused []*engine.Fused
-
-	failures atomic.Int64
-	rejected atomic.Int64
+	reg *registry.Registry
+	// deadline is the per-request time budget applied to every model.
+	deadline time.Duration
 
 	mux  *http.ServeMux
 	once sync.Once
 }
 
-// New builds a server around a trained model.
+// New builds a single-model server: the model is registered under
+// DefaultModelName in a fresh registry, which Shutdown owns and drains.
 func New(model *graph.Graph, opts Options) (*Server, error) {
-	if opts.Pool <= 0 {
-		opts.Pool = 1
-	}
-	engines := opts.Engines
-	if len(engines) == 0 {
-		engines = make([]engine.Engine, opts.Pool)
-		for i := range engines {
-			engines[i] = engine.Compile(model)
-		}
-	}
-	shape := model.Root.InputShape
-	b, err := batcher.New(shape, engines, batcher.Options{
-		MaxBatch: opts.MaxBatch,
-		MaxWait:  opts.MaxWait,
-		QueueCap: opts.QueueCap,
+	reg := registry.New()
+	_, err := reg.Register(DefaultModelName, model, registry.ModelOptions{
+		Pool:      opts.Pool,
+		MaxBatch:  opts.MaxBatch,
+		MaxWait:   opts.MaxWait,
+		QueueCap:  opts.QueueCap,
+		SLOBudget: opts.SLOBudget,
+		Engines:   opts.Engines,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: %w", err)
 	}
-	per := 1
-	for _, d := range shape {
-		per *= d
-	}
-	vocab := 0
-	if len(shape) == 1 {
-		vocab = serve.VocabOf(model)
-	}
-	var fused []*engine.Fused
-	for _, e := range engines {
-		if f, ok := e.(*engine.Fused); ok {
-			fused = append(fused, f)
-		}
-	}
-	return &Server{model: model, shape: shape, per: per, vocab: vocab, opts: opts, batcher: b, fused: fused}, nil
+	return NewRegistry(reg, opts.Deadline), nil
 }
+
+// NewRegistry builds a server over an existing registry (models already
+// loaded and configured there). deadline, when positive, bounds every
+// request's total time budget, queueing included.
+func NewRegistry(reg *registry.Registry, deadline time.Duration) *Server {
+	return &Server{reg: reg, deadline: deadline}
+}
+
+// Registry exposes the served registry (for swap endpoints and tests).
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler {
 	s.once.Do(func() {
 		s.mux = http.NewServeMux()
-		s.mux.HandleFunc("/v1/infer", s.handleInfer)
-		s.mux.HandleFunc("/v1/model", s.handleModel)
-		s.mux.HandleFunc("/v1/stats", s.handleStats)
+		// v2: model-scoped surface.
+		s.mux.HandleFunc("POST /v2/models/{model}/infer", s.withModel(s.handleInfer))
+		s.mux.HandleFunc("GET /v2/models", s.handleModels)
+		s.mux.HandleFunc("GET /v2/models/{model}", s.withModel(s.handleModelInfo))
+		s.mux.HandleFunc("GET /v2/models/{model}/stats", s.withModel(s.handleModelStats))
+		// v1: permanent aliases for the default model. The infer route
+		// keeps its original manual method check so the 405 body is
+		// byte-compatible with the pre-registry server.
+		s.mux.HandleFunc("/v1/infer", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			s.onDefault(s.handleInfer, w, r)
+		})
+		s.mux.HandleFunc("GET /v1/model", func(w http.ResponseWriter, r *http.Request) {
+			s.onDefault(s.handleModelInfo, w, r)
+		})
+		s.mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+			s.onDefault(s.handleGlobalStats, w, r)
+		})
 	})
 	return s.mux
 }
 
-// Shutdown drains the batch queue gracefully: queued requests still run,
-// new ones are refused, and Shutdown returns when all in-flight batches
-// finish or ctx ends.
-func (s *Server) Shutdown(ctx context.Context) error {
-	return s.batcher.Stop(ctx)
+type modelHandler func(w http.ResponseWriter, r *http.Request, m *registry.Model)
+
+// withModel resolves the {model} path segment to a registry handle.
+func (s *Server) withModel(h modelHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m, err := s.reg.Get(r.PathValue("model"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		h(w, r, m)
+	}
 }
 
-// Pending reports how many admitted requests are still unanswered. After a
-// Shutdown whose context expired, this is the number of in-flight requests
-// the drain abandoned.
-func (s *Server) Pending() int { return s.batcher.Pending() }
-
-func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+// onDefault routes a v1 alias to the registry's default model.
+func (s *Server) onDefault(h modelHandler, w http.ResponseWriter, r *http.Request) {
+	m, err := s.reg.Get("")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
+	h(w, r, m)
+}
+
+// Shutdown drains every model's batch queue gracefully: queued requests
+// still run, new ones are refused, and Shutdown returns when all
+// in-flight batches finish or ctx ends.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.reg.Close(ctx)
+}
+
+// Pending reports how many admitted requests are still unanswered across
+// the fleet. After a Shutdown whose context expired, this is the number
+// of in-flight requests the drain abandoned.
+func (s *Server) Pending() int { return s.reg.Pending() }
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, m *registry.Model) {
 	t0 := time.Now()
+	snap, err := m.Snapshot()
+	if err != nil {
+		http.Error(w, "model is shutting down", http.StatusServiceUnavailable)
+		return
+	}
 	var req api.InferRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.failures.Add(1)
+		m.RecordFailure()
 		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if s.per == 0 || len(req.Input) == 0 || len(req.Input)%s.per != 0 {
-		s.failures.Add(1)
-		http.Error(w, fmt.Sprintf("input length %d is not a multiple of the sample size %d", len(req.Input), s.per), http.StatusBadRequest)
+	per := snap.SampleSize
+	if per == 0 || len(req.Input) == 0 || len(req.Input)%per != 0 {
+		m.RecordFailure()
+		http.Error(w, fmt.Sprintf("input length %d is not a multiple of the sample size %d", len(req.Input), per), http.StatusBadRequest)
 		return
 	}
-	if s.vocab > 0 {
+	if snap.Vocab > 0 {
 		// Token-id model: reject out-of-vocabulary or fractional ids at
 		// the boundary; the embedding lookup must never see them.
 		for i, v := range req.Input {
-			if v != float32(int(v)) || v < 0 || int(v) >= s.vocab {
-				s.failures.Add(1)
-				http.Error(w, fmt.Sprintf("input[%d] = %g is not a token id in [0, %d)", i, v, s.vocab), http.StatusBadRequest)
+			if v != float32(int(v)) || v < 0 || int(v) >= snap.Vocab {
+				m.RecordFailure()
+				http.Error(w, fmt.Sprintf("input[%d] = %g is not a token id in [0, %d)", i, v, snap.Vocab), http.StatusBadRequest)
 				return
 			}
 		}
 	}
-	batch := len(req.Input) / s.per
-	x := tensor.FromSlice(req.Input, append([]int{batch}, s.shape...)...)
+	batch := len(req.Input) / per
+	x := tensor.FromSlice(req.Input, append([]int{batch}, snap.InputShape...)...)
 
 	// Honor the client's context so an abandoned request stops occupying
 	// a batch slot, and bound the total time budget when configured.
 	ctx := r.Context()
-	if s.opts.Deadline > 0 {
+	if s.deadline > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.opts.Deadline)
+		ctx, cancel = context.WithTimeout(ctx, s.deadline)
 		defer cancel()
 	}
-	outs, err := s.batcher.Submit(ctx, x)
+	outs, err := m.Submit(ctx, x)
 	if err != nil {
 		switch {
 		case errors.Is(err, batcher.ErrQueueFull):
-			s.rejected.Add(1)
 			http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
-		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, batcher.ErrStopped):
+		case errors.Is(err, registry.ErrOverBudget):
+			http.Error(w, "over SLO budget, retry later", http.StatusServiceUnavailable)
+		case errors.Is(err, context.DeadlineExceeded),
+			errors.Is(err, batcher.ErrStopped),
+			errors.Is(err, registry.ErrClosed):
 			http.Error(w, "request deadline exceeded", http.StatusServiceUnavailable)
 		case errors.Is(err, context.Canceled):
 			// Client went away; nothing useful to write.
 		default:
-			s.failures.Add(1)
+			m.RecordFailure()
 			http.Error(w, err.Error(), http.StatusBadRequest)
 		}
 		return
@@ -205,69 +246,147 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		for b := 0; b < batch; b++ {
 			rows[b] = append([]float32(nil), o.Data()[b*k:(b+1)*k]...)
 		}
-		resp.Outputs[s.taskName(id)] = rows
+		resp.Outputs[taskName(snap.Graph, id)] = rows
 	}
 	writeJSON(w, resp)
 }
 
-func (s *Server) taskName(id int) string {
-	if name := s.model.TaskNames[id]; name != "" {
+func taskName(g *graph.Graph, id int) string {
+	if name := g.TaskNames[id]; name != "" {
 		return name
 	}
 	return fmt.Sprintf("task-%d", id)
 }
 
-func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	info := api.ModelInfo{
-		InputShape: append([]int(nil), s.shape...),
-		Tasks:      map[string]int{},
-		Blocks:     s.model.NodeCount(),
-		FLOPs:      s.model.FLOPs(),
-		Vocab:      s.vocab,
+func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request, m *registry.Model) {
+	snap, err := m.Snapshot()
+	if err != nil {
+		http.Error(w, "model is shutting down", http.StatusServiceUnavailable)
+		return
 	}
-	for _, p := range s.model.Params() {
+	info := api.ModelInfo{
+		Name:       snap.Name,
+		Version:    snap.Version,
+		Checksum:   snap.Checksum,
+		InputShape: append([]int(nil), snap.InputShape...),
+		Tasks:      map[string]int{},
+		Blocks:     snap.Graph.NodeCount(),
+		FLOPs:      snap.Graph.FLOPs(),
+		Vocab:      snap.Vocab,
+	}
+	for _, p := range snap.Graph.Params() {
 		info.Params += int64(p.Value.Size())
 	}
-	for _, id := range s.model.Tasks() {
-		head := s.model.Heads[id]
+	for _, id := range snap.Graph.Tasks() {
+		head := snap.Graph.Heads[id]
 		out := graph.OutShapeOf(head)
 		classes := 1
 		for _, d := range out {
 			classes *= d
 		}
-		info.Tasks[s.taskName(id)] = classes
+		info.Tasks[taskName(snap.Graph, id)] = classes
 	}
 	writeJSON(w, info)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	bst := s.batcher.Stats()
-	writeJSON(w, api.Stats{
-		Requests:   bst.Requests,
-		Failures:   s.failures.Load(),
-		Rejected:   s.rejected.Load(),
-		Expired:    bst.Expired,
-		Canceled:   bst.Canceled,
-		MeanMicros: bst.MeanMicros,
-		P50Micros:  bst.P50Micros,
-		P95Micros:  bst.P95Micros,
-		P99Micros:  bst.P99Micros,
-		QueueDepth: bst.QueueDepth,
-		Batches:    bst.Batches,
-		MeanBatch:  bst.MeanBatch,
-		BatchHist:  bst.BatchHist,
-		Plan:       s.planStats(),
-	})
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	list := api.ModelList{Default: s.reg.DefaultName()}
+	for _, m := range s.reg.Models() {
+		snap, err := m.Snapshot()
+		if err != nil {
+			continue // closing; drop from the listing
+		}
+		st := m.Stats()
+		row := api.ModelSummary{
+			Name:       snap.Name,
+			Version:    snap.Version,
+			Checksum:   snap.Checksum,
+			Default:    snap.Name == list.Default,
+			Source:     snap.Source,
+			InputShape: append([]int(nil), snap.InputShape...),
+			PlanOps:    snap.PlanOps,
+			PlannedOps: snap.PlannedOps,
+			EagerOps:   snap.EagerOps,
+			QueueDepth: st.Batcher.QueueDepth,
+			Requests:   st.Batcher.Requests,
+		}
+		for _, id := range snap.Graph.Tasks() {
+			row.Tasks = append(row.Tasks, taskName(snap.Graph, id))
+		}
+		list.Models = append(list.Models, row)
+	}
+	writeJSON(w, list)
+}
+
+// statsFor converts one model's registry counters into the wire Stats.
+func statsFor(m *registry.Model) api.Stats {
+	st := m.Stats()
+	out := api.Stats{
+		Requests:   st.Batcher.Requests,
+		Failures:   st.Failures,
+		Rejected:   st.Rejected,
+		SLOShed:    st.Shed,
+		Expired:    st.Batcher.Expired,
+		Canceled:   st.Batcher.Canceled,
+		MeanMicros: st.Batcher.MeanMicros,
+		P50Micros:  st.Batcher.P50Micros,
+		P95Micros:  st.Batcher.P95Micros,
+		P99Micros:  st.Batcher.P99Micros,
+		QueueDepth: st.Batcher.QueueDepth,
+		Batches:    st.Batcher.Batches,
+		MeanBatch:  st.Batcher.MeanBatch,
+		BatchHist:  st.Batcher.BatchHist,
+		Plan:       planStats(m.Fused()),
+	}
+	return out
+}
+
+func (s *Server) handleModelStats(w http.ResponseWriter, r *http.Request, m *registry.Model) {
+	st := m.Stats()
+	resp := api.ModelStats{
+		Name:     st.Name,
+		Version:  st.Version,
+		Checksum: st.Checksum,
+		Pending:  st.Pending,
+		Stats:    statsFor(m),
+	}
+	for _, rec := range st.Swaps {
+		resp.Swaps = append(resp.Swaps, api.SwapRecord{
+			FromVersion:  rec.FromVersion,
+			ToVersion:    rec.ToVersion,
+			FromChecksum: rec.FromChecksum,
+			ToChecksum:   rec.ToChecksum,
+			DrainMicros:  rec.DrainMicros,
+			Abandoned:    rec.Abandoned,
+			UnixMicros:   rec.UnixMicros,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// handleGlobalStats is GET /v1/stats: the default model's counters plus
+// the fleet-level registry section.
+func (s *Server) handleGlobalStats(w http.ResponseWriter, r *http.Request, m *registry.Model) {
+	out := statsFor(m)
+	rst := s.reg.Stats()
+	out.Registry = &api.RegistryStats{
+		ModelsLoaded:    rst.ModelsLoaded,
+		SwapsCompleted:  rst.SwapsCompleted,
+		SwapDrainMicros: rst.SwapDrainMicros,
+		QueueDepth:      rst.QueueDepth,
+	}
+	writeJSON(w, out)
 }
 
 // planStats aggregates the per-op timing counters of every plan-backed
-// engine in the pool. All pool engines compile the same model, so the op
-// lists align index-for-index; schedule metadata comes from the first.
-func (s *Server) planStats() *api.PlanStats {
-	if len(s.fused) == 0 {
+// engine in a model's pool. All pool engines compile the same model, so
+// the op lists align index-for-index; schedule metadata comes from the
+// first.
+func planStats(fused []*engine.Fused) *api.PlanStats {
+	if len(fused) == 0 {
 		return nil
 	}
-	r := s.fused[0].Plan().Report()
+	r := fused[0].Plan().Report()
 	ps := &api.PlanStats{
 		Waves: len(r.Waves), Slabs: r.Slabs,
 		PeakBytes: r.PeakBytes, NaiveBytes: r.NaiveBytes,
@@ -276,7 +395,7 @@ func (s *Server) planStats() *api.PlanStats {
 	for i, o := range r.Ops {
 		ps.Ops[i] = api.PlanOpStat{Name: o.Name, Kind: o.Kind, Wave: o.Wave}
 	}
-	for _, f := range s.fused {
+	for _, f := range fused {
 		for i, st := range f.OpStats() {
 			ps.Ops[i].Calls += st.Calls
 			ps.Ops[i].Micros += st.Nanos / 1e3

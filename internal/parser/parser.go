@@ -63,11 +63,18 @@ func SaveOpts(w io.Writer, g *graph.Graph, opts Options) error {
 // current version is written by the public API; older versions are kept
 // writable so backward-compatibility tests exercise the real decoder path.
 func saveVersion(w io.Writer, g *graph.Graph, opts Options, ver int) error {
+	_, err := saveVersionSum(w, g, opts, ver)
+	return err
+}
+
+// saveVersionSum is saveVersion returning the payload CRC-32 — the value
+// written as the trailer and reported by LoadSum as the content checksum.
+func saveVersionSum(w io.Writer, g *graph.Graph, opts Options, ver int) (uint32, error) {
 	crc := crc32.NewIEEE()
 	buf := bufio.NewWriter(io.MultiWriter(w, crc))
 	bw := &paramWriter{Writer: buf, f16: opts.Float16, ver: ver}
 	if _, err := io.WriteString(bw, magic); err != nil {
-		return err
+		return 0, err
 	}
 	writeU32(bw, uint32(ver))
 
@@ -103,34 +110,65 @@ func saveVersion(w io.Writer, g *graph.Graph, opts Options, ver int) error {
 		return nil
 	}
 	if err := writeNode(g.Root); err != nil {
-		return err
+		return 0, err
 	}
 	if ver >= 3 {
 		writeQuantNote(bw, g.Quant)
 	}
 	if err := buf.Flush(); err != nil {
-		return err
+		return 0, err
 	}
 	// CRC of the flushed payload.
+	sum := crc.Sum32()
 	var tail [4]byte
-	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	binary.LittleEndian.PutUint32(tail[:], sum)
 	_, err := w.Write(tail[:])
-	return err
+	return sum, err
 }
+
+// ErrChecksumMismatch reports a checkpoint whose content checksum does
+// not match the pin the caller supplied to LoadFilePinned.
+var ErrChecksumMismatch = errors.New("parser: checksum mismatch")
+
+// FormatSum renders a CRC-32 content checksum in the canonical
+// "crc32:xxxxxxxx" form used across the serving API.
+func FormatSum(crc uint32) string { return fmt.Sprintf("crc32:%08x", crc) }
 
 // Load reads a graph previously written by Save.
 func Load(r io.Reader) (*graph.Graph, error) {
+	g, _, err := LoadSum(r)
+	return g, err
+}
+
+// LoadSum is Load returning the checkpoint's content checksum alongside
+// the graph: the CRC-32 trailer in "crc32:xxxxxxxx" form. The checksum
+// identifies the exact serialized bytes, so two saves of the same weights
+// agree and any weight or architecture change produces a new identity —
+// the model registry uses it to version deploys and detect changed
+// checkpoints on reload.
+func LoadSum(r io.Reader) (*graph.Graph, string, error) {
 	payload, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if len(payload) < len(magic)+8 {
-		return nil, fmt.Errorf("%w: truncated", ErrBadCheckpoint)
+		return nil, "", fmt.Errorf("%w: truncated", ErrBadCheckpoint)
 	}
 	body, tail := payload[:len(payload)-4], payload[len(payload)-4:]
-	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
-		return nil, fmt.Errorf("%w: CRC mismatch", ErrBadCheckpoint)
+	want := binary.LittleEndian.Uint32(tail)
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, "", fmt.Errorf("%w: CRC mismatch", ErrBadCheckpoint)
 	}
+	g, err := decodeBody(body)
+	if err != nil {
+		return nil, "", err
+	}
+	return g, FormatSum(want), nil
+}
+
+// decodeBody parses a CRC-validated checkpoint payload (magic through
+// quant note, trailer stripped).
+func decodeBody(body []byte) (*graph.Graph, error) {
 	rd := &reader{buf: body}
 	if string(rd.bytes(len(magic))) != magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
@@ -226,12 +264,48 @@ func SaveFileOpts(path string, g *graph.Graph, opts Options) error {
 
 // LoadFile reads a graph checkpoint from path.
 func LoadFile(path string) (*graph.Graph, error) {
+	g, _, err := LoadFileSum(path)
+	return g, err
+}
+
+// LoadFileSum reads a graph checkpoint from path and returns its content
+// checksum (see LoadSum).
+func LoadFileSum(path string) (*graph.Graph, string, error) {
 	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	return LoadSum(f)
+}
+
+// LoadFilePinned reads a checkpoint and verifies its content checksum
+// against a pin recorded earlier (e.g. at deploy time). A mismatch —
+// the file was replaced or tampered with since the pin was taken — fails
+// with ErrChecksumMismatch even though the checkpoint is internally
+// consistent.
+func LoadFilePinned(path, pin string) (*graph.Graph, error) {
+	g, sum, err := LoadFileSum(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return Load(f)
+	if sum != pin {
+		return nil, fmt.Errorf("%w: %s has checksum %s, pinned %s", ErrChecksumMismatch, path, sum, pin)
+	}
+	return g, nil
+}
+
+// Sum computes the content checksum a graph would have on disk, without
+// materializing the checkpoint: Save's byte stream is fed straight into
+// the CRC and discarded. It lets the registry assign a stable identity to
+// models registered from memory (tests, freshly fused graphs) that
+// matches what LoadFileSum would report after a round trip.
+func Sum(g *graph.Graph) (string, error) {
+	crc, err := saveVersionSum(io.Discard, g, Options{}, version)
+	if err != nil {
+		return "", err
+	}
+	return FormatSum(crc), nil
 }
 
 // --- low-level write helpers ----------------------------------------------

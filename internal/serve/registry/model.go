@@ -1,0 +1,298 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/parser"
+	"repro/internal/serve/batcher"
+	"repro/internal/tensor"
+)
+
+// SwapRecord is one completed hot swap in a model's history.
+type SwapRecord struct {
+	// FromVersion/ToVersion are the registry-assigned deploy generations.
+	FromVersion int `json:"from_version"`
+	ToVersion   int `json:"to_version"`
+	// FromChecksum/ToChecksum are the checkpoint content identities.
+	FromChecksum string `json:"from_checksum"`
+	ToChecksum   string `json:"to_checksum"`
+	// DrainMicros is how long the old deployment took to answer its
+	// admitted requests after the new one was published.
+	DrainMicros int64 `json:"drain_us"`
+	// Abandoned counts in-flight requests the drain gave up on because its
+	// context expired — zero on every clean swap.
+	Abandoned int `json:"abandoned"`
+	// UnixMicros timestamps the swap's completion.
+	UnixMicros int64 `json:"unix_us"`
+}
+
+// Snapshot is a read-only view of a model's current deployment, stable
+// for the duration of one request.
+type Snapshot struct {
+	Name       string
+	Version    int
+	Checksum   string
+	Source     string
+	InputShape graph.Shape
+	SampleSize int
+	Vocab      int
+	Graph      *graph.Graph
+	// PlanOps/PlannedOps/EagerOps describe plan coverage: how many compiled
+	// ops the deployment runs and how many fell back to eager layers.
+	PlanOps, PlannedOps, EagerOps int
+}
+
+// ModelStats is one model's serving snapshot: identity, batcher counters,
+// admission verdicts, and the swap history.
+type ModelStats struct {
+	Name     string
+	Version  int
+	Checksum string
+	Source   string
+	Batcher  batcher.Stats
+	// Rejected counts queue-full sheds (429); Shed counts SLO-admission
+	// sheds (503); Failures counts malformed requests the API layer
+	// recorded against this model.
+	Rejected, Shed, Failures int64
+	Swaps                    []SwapRecord
+	// Pending is the number of admitted-but-unanswered requests.
+	Pending int
+}
+
+// Model is the serving handle for one registered name. The deployment
+// behind it changes across hot swaps; the handle, its counters, and its
+// history persist.
+type Model struct {
+	name string
+	reg  *Registry
+	opts ModelOptions
+	path string // source checkpoint for Reload; "" if registered from memory
+
+	cur    atomic.Pointer[deployment]
+	swapMu sync.Mutex // serializes Swap/Reload/Close for this model
+
+	rejected atomic.Int64 // queue-full sheds
+	shed     atomic.Int64 // SLO-admission sheds
+	failures atomic.Int64 // malformed requests (recorded by the API layer)
+	ewmaNS   atomic.Int64 // recent successful-request latency EWMA
+
+	hmu     sync.Mutex
+	history []SwapRecord
+}
+
+// Name returns the registered model name.
+func (m *Model) Name() string { return m.name }
+
+// Snapshot captures the current deployment. It errs only when the
+// registry has been closed.
+func (m *Model) Snapshot() (Snapshot, error) {
+	d := m.cur.Load()
+	if d == nil {
+		return Snapshot{}, ErrClosed
+	}
+	return Snapshot{
+		Name: m.name, Version: d.version, Checksum: d.checksum, Source: d.source,
+		InputShape: d.shape, SampleSize: d.per, Vocab: d.vocab, Graph: d.graph,
+		PlanOps: d.planOps, PlannedOps: d.plannedOps, EagerOps: d.eagerOps,
+	}, nil
+}
+
+// ewmaAlphaInv is the EWMA smoothing divisor: each observation moves the
+// estimate 1/8 of the way to the new value.
+const ewmaAlphaInv = 8
+
+// Submit admits one batched input [rows, sample...] through the model's
+// SLO budget and bounded queue, and blocks for the scattered outputs.
+// A request that races a hot swap retries transparently on the new
+// deployment, so callers never observe ErrStopped from a swap — the
+// zero-dropped-requests guarantee.
+func (m *Model) Submit(ctx context.Context, x *tensor.Tensor) (map[int]*tensor.Tensor, error) {
+	for {
+		d := m.cur.Load()
+		if d == nil {
+			return nil, ErrClosed
+		}
+		if budget := m.opts.SLOBudget; budget > 0 {
+			if wait := m.predictedWait(d); wait > budget {
+				m.shed.Add(1)
+				return nil, fmt.Errorf("%w: predicted wait %v > budget %v", ErrOverBudget, wait, budget)
+			}
+		}
+		t0 := time.Now()
+		outs, err := d.bat.Submit(ctx, x)
+		switch {
+		case err == nil:
+			m.observe(time.Since(t0))
+			return outs, nil
+		case errors.Is(err, batcher.ErrStopped) && m.cur.Load() != d:
+			continue // swap raced admission; the new deployment takes it
+		case errors.Is(err, batcher.ErrQueueFull):
+			m.rejected.Add(1)
+			return nil, err
+		default:
+			return nil, err
+		}
+	}
+}
+
+// predictedWait estimates how long a new arrival would queue: the recent
+// per-request latency EWMA scaled by the backlog already ahead of it, in
+// units of batches. An empty queue predicts zero — the budget bounds
+// queueing delay, not service time — and under backlog the estimate is
+// deliberately pessimistic (the EWMA itself includes queueing), which is
+// what sheds a flood early enough to hold the admitted requests' p99.
+func (m *Model) predictedWait(d *deployment) time.Duration {
+	ewma := m.ewmaNS.Load()
+	if ewma <= 0 {
+		return 0 // cold start: admit until we have a latency signal
+	}
+	depth := int64(d.bat.QueueDepth())
+	return time.Duration(ewma * depth / int64(d.bat.MaxBatch()))
+}
+
+// observe folds one successful request latency into the admission EWMA.
+// Plain load/store: concurrent updates may lose an observation, which the
+// estimate tolerates.
+func (m *Model) observe(lat time.Duration) {
+	old := m.ewmaNS.Load()
+	m.ewmaNS.Store(old + (int64(lat)-old)/ewmaAlphaInv)
+}
+
+// RecordFailure counts a malformed request (HTTP 400) against the model,
+// so per-model stats include client errors the batcher never saw.
+func (m *Model) RecordFailure() { m.failures.Add(1) }
+
+// Pending reports admitted-but-unanswered requests on the current
+// deployment. During a swap's drain window the old deployment's pending
+// requests are counted too (they are still owed answers).
+func (m *Model) Pending() int {
+	d := m.cur.Load()
+	if d == nil {
+		return 0
+	}
+	return d.bat.Pending()
+}
+
+// Stats snapshots the model's serving counters and swap history.
+func (m *Model) Stats() ModelStats {
+	st := ModelStats{
+		Name:     m.name,
+		Rejected: m.rejected.Load(),
+		Shed:     m.shed.Load(),
+		Failures: m.failures.Load(),
+	}
+	if d := m.cur.Load(); d != nil {
+		st.Version = d.version
+		st.Checksum = d.checksum
+		st.Source = d.source
+		st.Batcher = d.bat.Stats()
+		st.Pending = d.bat.Pending()
+	}
+	m.hmu.Lock()
+	st.Swaps = append([]SwapRecord(nil), m.history...)
+	m.hmu.Unlock()
+	return st
+}
+
+// Fused returns the current deployment's plan-backed engines (possibly
+// empty when the pool was injected), for per-op stats aggregation.
+func (m *Model) Fused() []*engine.Fused {
+	d := m.cur.Load()
+	if d == nil {
+		return nil
+	}
+	return d.fused
+}
+
+// Swap hot-swaps the model to a new graph under load: the new deployment
+// (fresh engine pool + batcher) is published atomically, then the old
+// batcher drains through Stop — requests it already admitted complete on
+// the old engines, and arrivals that race the cutover retry onto the new
+// deployment inside Submit. ctx bounds the drain; on expiry the swap
+// still holds (the new version serves) but the record counts the
+// abandoned in-flight requests and an error is returned.
+//
+// checksum may be "" for an in-memory graph, in which case the identity
+// is computed as parser.Sum would.
+func (m *Model) Swap(ctx context.Context, g *graph.Graph, checksum string) (SwapRecord, error) {
+	if checksum == "" {
+		sum, err := parser.Sum(g)
+		if err != nil {
+			return SwapRecord{}, fmt.Errorf("registry: checksumming swap of %q: %w", m.name, err)
+		}
+		checksum = sum
+	}
+	return m.swapTo(ctx, g, checksum, "")
+}
+
+func (m *Model) swapTo(ctx context.Context, g *graph.Graph, checksum, source string) (SwapRecord, error) {
+	m.swapMu.Lock()
+	defer m.swapMu.Unlock()
+	old := m.cur.Load()
+	if old == nil {
+		return SwapRecord{}, ErrClosed
+	}
+	next, err := deploy(g, checksum, source, old.version+1, m.opts, nil)
+	if err != nil {
+		return SwapRecord{}, err
+	}
+	m.cur.Store(next) // cutover: new arrivals land on the new deployment
+	t0 := time.Now()
+	stopErr := old.bat.Stop(ctx) // drain what the old one already admitted
+	drain := time.Since(t0)
+	rec := SwapRecord{
+		FromVersion: old.version, ToVersion: next.version,
+		FromChecksum: old.checksum, ToChecksum: checksum,
+		DrainMicros: drain.Microseconds(),
+		Abandoned:   old.bat.Pending(),
+		UnixMicros:  time.Now().UnixMicro(),
+	}
+	m.hmu.Lock()
+	m.history = append(m.history, rec)
+	m.hmu.Unlock()
+	m.reg.swaps.Add(1)
+	m.reg.swapDrainNS.Add(int64(drain))
+	if stopErr != nil {
+		return rec, fmt.Errorf("registry: swap of %q: drain abandoned %d in-flight requests: %w",
+			m.name, rec.Abandoned, stopErr)
+	}
+	return rec, nil
+}
+
+// Reload re-reads the model's source checkpoint and hot-swaps to it when
+// the content checksum changed. It reports whether a swap happened;
+// (false, zero, nil) means the file still has the serving version's
+// checksum. Models registered from memory cannot Reload.
+func (m *Model) Reload(ctx context.Context) (bool, SwapRecord, error) {
+	if m.path == "" {
+		return false, SwapRecord{}, fmt.Errorf("registry: model %q has no source checkpoint", m.name)
+	}
+	d := m.cur.Load()
+	if d == nil {
+		return false, SwapRecord{}, ErrClosed
+	}
+	g, sum, err := parser.LoadFileSum(m.path)
+	if err != nil {
+		return false, SwapRecord{}, fmt.Errorf("registry: reloading %q: %w", m.name, err)
+	}
+	if sum == d.checksum {
+		return false, SwapRecord{}, nil
+	}
+	if m.opts.Prepare != nil {
+		if err := m.opts.Prepare(g); err != nil {
+			return false, SwapRecord{}, fmt.Errorf("registry: preparing %q: %w", m.name, err)
+		}
+	}
+	rec, err := m.swapTo(ctx, g, sum, m.path)
+	if err != nil {
+		return true, rec, err
+	}
+	return true, rec, nil
+}

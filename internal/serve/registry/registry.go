@@ -1,0 +1,375 @@
+// Package registry is the fleet-serving core: one process serving many
+// fused models at once, each independently versioned, admitted, and
+// hot-swappable under load.
+//
+// Every registered model owns a bounded admission queue and a dynamic
+// batcher (internal/serve/batcher) over its own engine pool, so
+// backpressure is a per-model verdict — a bursty tenant fills its own
+// queue and eats its own 429/503s instead of starving the fleet behind
+// one global knob. The compute substrate underneath is shared: every
+// engine draws from the process-wide tensor worker pool
+// (tensor.ParallelFor) and buffer arena, so idle models cost nothing and
+// a model's parallelism is bounded by its engine-pool size, not by
+// ownership of threads.
+//
+// Deploys are checksum-verified: models loaded from disk carry the
+// checkpoint's CRC-32 content identity (parser.LoadFileSum), models
+// registered from memory get the identity their bytes would have on disk
+// (parser.Sum). A hot swap (Model.Swap) publishes the new deployment
+// atomically, then drains the old batcher through its Stop/Pending
+// machinery: requests already admitted complete on the old engines,
+// requests that race the swap retry transparently on the new deployment,
+// and the swap record logs how long the drain took and whether anything
+// was abandoned (zero on a clean swap).
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/parser"
+	"repro/internal/serve"
+	"repro/internal/serve/batcher"
+)
+
+var (
+	// ErrUnknownModel reports a lookup for a name never registered.
+	ErrUnknownModel = errors.New("registry: unknown model")
+	// ErrClosed is returned by operations on a closed registry (or a model
+	// handle that outlived it).
+	ErrClosed = errors.New("registry: closed")
+	// ErrOverBudget is returned by Submit when the model's SLO-aware
+	// admission predicts the request would miss its latency budget; the
+	// HTTP layer maps it to 503. It is backpressure, not failure.
+	ErrOverBudget = errors.New("registry: admission budget exceeded")
+	// ErrDuplicateModel reports a Register/Load under a taken name.
+	ErrDuplicateModel = errors.New("registry: model already registered")
+)
+
+// ModelOptions configures one model's serving policy. The zero value is
+// usable: pool of 1, batcher defaults, no SLO budget.
+type ModelOptions struct {
+	// Pool is the number of compiled engine instances — the model's
+	// maximum concurrently in-flight batches (default 1).
+	Pool int
+	// MaxBatch is the sample budget per fused forward pass (default 8).
+	MaxBatch int
+	// MaxWait bounds how long an open batch waits for more samples
+	// (default 2ms).
+	MaxWait time.Duration
+	// QueueCap bounds the model's admission queue; a full queue fails
+	// Submit with batcher.ErrQueueFull (HTTP 429). Default 8*MaxBatch.
+	QueueCap int
+	// SLOBudget, when positive, arms SLO-aware admission: an arriving
+	// request whose predicted queue wait (recent-latency EWMA scaled by
+	// the current backlog) exceeds the budget is shed immediately with
+	// ErrOverBudget (HTTP 503) instead of queueing to miss its SLO. The
+	// estimate is deliberately pessimistic under backlog — shedding early
+	// is what holds the admitted requests' p99 under the budget.
+	SLOBudget time.Duration
+	// Compile builds one engine for a deployment's graph; engine.Compile
+	// when nil. Swaps use it too, so tests can wrap every version's
+	// engines (e.g. to slow them down).
+	Compile func(*graph.Graph) engine.Engine
+	// Engines, when non-empty, supplies pre-built engines for the INITIAL
+	// deployment only; later swaps compile fresh engines for the new graph
+	// via Compile. Test hook.
+	Engines []engine.Engine
+	// Prepare runs on every graph loaded from disk (Load and Reload)
+	// before engines compile — the place to strip or validate int8
+	// annotations. Not applied to graphs handed in directly.
+	Prepare func(*graph.Graph) error
+}
+
+func (o ModelOptions) withDefaults() ModelOptions {
+	if o.Pool <= 0 {
+		o.Pool = 1
+	}
+	if o.Compile == nil {
+		o.Compile = func(g *graph.Graph) engine.Engine { return engine.Compile(g) }
+	}
+	return o
+}
+
+// deployment is one immutable served version of a model: graph, engine
+// pool, batcher. Swaps replace the whole deployment atomically.
+type deployment struct {
+	graph    *graph.Graph
+	bat      *batcher.Batcher
+	fused    []*engine.Fused
+	version  int
+	checksum string
+	source   string // checkpoint path, "" when registered from memory
+
+	shape graph.Shape
+	per   int // elements per sample
+	vocab int // token vocabulary for 1-D inputs, 0 for image models
+
+	planOps, plannedOps, eagerOps int
+}
+
+// Stats is the registry-level snapshot surfaced through GET /v1/stats:
+// fleet counters plus each model's queue depth, so one read shows where
+// backlog lives.
+type Stats struct {
+	ModelsLoaded    int
+	SwapsCompleted  int64
+	SwapDrainMicros int64
+	QueueDepth      map[string]int
+}
+
+// Registry holds the fleet. All methods are safe for concurrent use.
+type Registry struct {
+	mu          sync.RWMutex
+	models      map[string]*Model
+	order       []string // registration order, for stable listings
+	defaultName string
+	closed      bool
+
+	swaps       atomic.Int64
+	swapDrainNS atomic.Int64
+}
+
+// New builds an empty registry.
+func New() *Registry {
+	return &Registry{models: map[string]*Model{}}
+}
+
+// Register adds an in-memory graph under name and starts serving it. The
+// first registered model becomes the default (the one the v1 API
+// aliases). The model's checksum is the identity its checkpoint bytes
+// would have on disk.
+func (r *Registry) Register(name string, g *graph.Graph, opts ModelOptions) (*Model, error) {
+	sum, err := parser.Sum(g)
+	if err != nil {
+		return nil, fmt.Errorf("registry: checksumming %q: %w", name, err)
+	}
+	return r.register(name, g, sum, "", opts)
+}
+
+// Load reads a checksum-verified checkpoint from path and serves it under
+// name. The checkpoint's CRC-32 trailer is validated by the parser and
+// recorded as the deployment's identity; Reload later uses it to detect
+// changed files.
+func (r *Registry) Load(name, path string, opts ModelOptions) (*Model, error) {
+	g, sum, err := parser.LoadFileSum(path)
+	if err != nil {
+		return nil, fmt.Errorf("registry: loading %q: %w", name, err)
+	}
+	if opts.Prepare != nil {
+		if err := opts.Prepare(g); err != nil {
+			return nil, fmt.Errorf("registry: preparing %q: %w", name, err)
+		}
+	}
+	return r.register(name, g, sum, path, opts)
+}
+
+func validName(name string) error {
+	if name == "" {
+		return errors.New("registry: empty model name")
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("registry: model name %q: only [A-Za-z0-9._-] allowed", name)
+		}
+	}
+	return nil
+}
+
+func (r *Registry) register(name string, g *graph.Graph, sum, source string, opts ModelOptions) (*Model, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	d, err := deploy(g, sum, source, 1, opts, opts.Engines)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{name: name, reg: r, opts: opts, path: source}
+	m.cur.Store(d)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		stopDeployment(d)
+		return nil, ErrClosed
+	}
+	if _, ok := r.models[name]; ok {
+		stopDeployment(d)
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateModel, name)
+	}
+	r.models[name] = m
+	r.order = append(r.order, name)
+	if r.defaultName == "" {
+		r.defaultName = name
+	}
+	return m, nil
+}
+
+// stopDeployment abandons a deployment that never served: its batcher has
+// no queued work, so the drain is immediate.
+func stopDeployment(d *deployment) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = d.bat.Stop(ctx)
+}
+
+// deploy compiles a deployment for a graph: engine pool, batcher, plan
+// coverage. engines overrides compilation when non-empty.
+func deploy(g *graph.Graph, sum, source string, version int, opts ModelOptions, engines []engine.Engine) (*deployment, error) {
+	if len(engines) == 0 {
+		engines = make([]engine.Engine, opts.Pool)
+		for i := range engines {
+			engines[i] = opts.Compile(g)
+		}
+	}
+	shape := g.Root.InputShape
+	bat, err := batcher.New(shape, engines, batcher.Options{
+		MaxBatch: opts.MaxBatch,
+		MaxWait:  opts.MaxWait,
+		QueueCap: opts.QueueCap,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	per := 1
+	for _, dim := range shape {
+		per *= dim
+	}
+	d := &deployment{
+		graph: g, bat: bat, version: version, checksum: sum, source: source,
+		shape: shape.Clone(), per: per,
+	}
+	if len(shape) == 1 {
+		d.vocab = serve.VocabOf(g)
+	}
+	for _, e := range engines {
+		if f, ok := e.(*engine.Fused); ok {
+			d.fused = append(d.fused, f)
+		}
+	}
+	if len(d.fused) > 0 {
+		rep := d.fused[0].Plan().Report()
+		d.planOps = len(rep.Ops)
+		d.plannedOps = rep.Planned
+		d.eagerOps = rep.Eager
+	}
+	return d, nil
+}
+
+// Get returns the model registered under name; the empty name resolves to
+// the default model.
+func (r *Registry) Get(name string) (*Model, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		name = r.defaultName
+	}
+	m, ok := r.models[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return m, nil
+}
+
+// DefaultName reports which model the v1 surface aliases ("" while the
+// registry is empty).
+func (r *Registry) DefaultName() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.defaultName
+}
+
+// SetDefault changes which model the v1 surface aliases.
+func (r *Registry) SetDefault(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	r.defaultName = name
+	return nil
+}
+
+// Models returns the registered models in registration order.
+func (r *Registry) Models() []*Model {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Model, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.models[name])
+	}
+	return out
+}
+
+// Names returns the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}
+
+// Stats snapshots the fleet counters and every model's queue depth.
+func (r *Registry) Stats() Stats {
+	st := Stats{
+		SwapsCompleted:  r.swaps.Load(),
+		SwapDrainMicros: r.swapDrainNS.Load() / 1e3,
+		QueueDepth:      map[string]int{},
+	}
+	for _, m := range r.Models() {
+		st.ModelsLoaded++
+		if d := m.cur.Load(); d != nil {
+			st.QueueDepth[m.name] = d.bat.QueueDepth()
+		}
+	}
+	return st
+}
+
+// Close drains every model's batcher and refuses further registration.
+// Queued requests still complete (or are abandoned when ctx ends first,
+// like batcher.Stop).
+func (r *Registry) Close(ctx context.Context) error {
+	r.mu.Lock()
+	r.closed = true
+	models := make([]*Model, 0, len(r.order))
+	for _, name := range r.order {
+		models = append(models, r.models[name])
+	}
+	r.mu.Unlock()
+
+	var firstErr error
+	for _, m := range models {
+		m.swapMu.Lock()
+		d := m.cur.Swap(nil)
+		m.swapMu.Unlock()
+		if d == nil {
+			continue
+		}
+		if err := d.bat.Stop(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Pending sums the admitted-but-unanswered requests across the fleet.
+// After a Close whose context expired, this counts the abandoned ones.
+func (r *Registry) Pending() int {
+	total := 0
+	for _, m := range r.Models() {
+		total += m.Pending()
+	}
+	return total
+}
