@@ -50,6 +50,9 @@ type ModelInfo struct {
 	// Vocab is the token vocabulary for 1-D (token-id) input models;
 	// inputs must be integer ids in [0, Vocab). Zero for image models.
 	Vocab int `json:"vocab,omitempty"`
+	// SharedStem describes the model's shared-stem group, absent while it
+	// serves solo.
+	SharedStem *SharedStem `json:"shared_stem,omitempty"`
 }
 
 // Stats is the GET /v1/stats response: the default model's request
@@ -143,6 +146,31 @@ type ModelList struct {
 	Default string `json:"default"`
 }
 
+// SharedStem describes a model's shared-stem serving group: several
+// registered models whose prefix fingerprint chains match are compiled
+// into one multi-head plan whose stem runs once per coalesced batch.
+// Counters are group-wide — every member reports the same numbers.
+type SharedStem struct {
+	// Members lists the group's model names in membership order.
+	Members []string `json:"members"`
+	// Depth is the number of stem blocks compiled once for the group.
+	Depth int `json:"depth"`
+	// Fingerprint is the stem's cumulative prefix hash, hex-encoded.
+	Fingerprint string `json:"fingerprint"`
+	// MemoHits/MemoMisses/MemoEvictions/MemoEntries describe the
+	// stem-activation memo (all zero when memoisation is disabled).
+	MemoHits      int64 `json:"memo_hits"`
+	MemoMisses    int64 `json:"memo_misses"`
+	MemoEvictions int64 `json:"memo_evictions"`
+	MemoEntries   int   `json:"memo_entries"`
+	// MixedBatches counts fused batches that coalesced requests from more
+	// than one member.
+	MixedBatches int64 `json:"mixed_batches"`
+	// StemBatchHist histograms the stem batch sizes actually computed;
+	// bucket 0 counts batches served entirely from the memo.
+	StemBatchHist map[int]int64 `json:"stem_batch_hist,omitempty"`
+}
+
 // SwapRecord is one completed hot swap in a model's history.
 type SwapRecord struct {
 	FromVersion  int    `json:"from_version"`
@@ -170,6 +198,9 @@ type ModelStats struct {
 	Stats
 	// Swaps is the model's completed hot-swap history, oldest first.
 	Swaps []SwapRecord `json:"swaps,omitempty"`
+	// SharedStem describes the model's shared-stem group, absent while it
+	// serves solo.
+	SharedStem *SharedStem `json:"shared_stem,omitempty"`
 }
 
 // PlanOpStat is one compiled-plan op's cumulative execution record,

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	inspect -model fused.gmck [-dot fused.dot] [-plan] [-quant]
+//	inspect -shared a.gmck b.gmck [...]
+//
+// The -shared form compares two or more checkpoints' prefix fingerprint
+// chains and reports how deep a weight-identical stem they share, each
+// model's divergent remainder, and the FLOPs a shared-stem deployment
+// would save by running the stem once per coalesced batch.
 package main
 
 import (
@@ -29,7 +35,17 @@ func main() {
 	dotPath := flag.String("dot", "", "optional path to write a Graphviz DOT rendering")
 	showPlan := flag.Bool("plan", false, "print the compiled execution plan (op list, wave schedule, buffer plan)")
 	showQuant := flag.Bool("quant", false, "print the quantization report (per-op precision, scales, accuracy delta)")
+	shared := flag.Bool("shared", false, "compare the positional checkpoints' stems and report shared-prefix serving potential")
 	flag.Parse()
+	if *shared {
+		if flag.NArg() < 2 {
+			log.Fatal("-shared wants at least two checkpoint paths")
+		}
+		if err := sharedReport(flag.Args()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *modelPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -166,6 +182,75 @@ func layerQuant(l nn.Layer) *nn.Quant8 {
 		return l.QKVQuant
 	}
 	return nil
+}
+
+// sharedReport loads every checkpoint, intersects their prefix fingerprint
+// chains, and reports the depth of the weight-identical stem, each model's
+// divergent remainder, and the FLOPs a shared-stem deployment would save
+// per mixed batch (the stem runs once instead of once per model).
+func sharedReport(paths []string) error {
+	type entry struct {
+		path  string
+		g     *graph.Graph
+		chain []uint64
+	}
+	entries := make([]*entry, 0, len(paths))
+	for _, path := range paths {
+		g, err := parser.LoadFile(path)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, &entry{path: path, g: g, chain: fingerprint.PrefixHashes(g)})
+	}
+	depth := len(entries[0].chain)
+	for _, e := range entries[1:] {
+		if d := fingerprint.SharedDepth(entries[0].chain, e.chain); d < depth {
+			depth = d
+		}
+	}
+	fmt.Printf("models: %d\n", len(entries))
+	fmt.Printf("shared stem: %d blocks", depth)
+	if depth > 0 {
+		fmt.Printf(" (fingerprint %016x)", entries[0].chain[depth-1])
+	}
+	fmt.Println()
+
+	stem := fingerprint.StemNodes(entries[0].g)
+	var stemFLOPs int64
+	for i := 0; i < depth; i++ {
+		f := stem[i].Layer.FLOPs(stem[i].InputShape)
+		stemFLOPs += f
+		fmt.Printf("  stem %d: %-12s input %v  %d FLOPs\n", i, stem[i].OpType, stem[i].InputShape, f)
+	}
+
+	var separate, shared int64
+	shared = stemFLOPs
+	for _, e := range entries {
+		total := e.g.FLOPs()
+		head := total - stemFLOPs
+		separate += total
+		shared += head
+		var params int64
+		for _, p := range e.g.Params() {
+			params += int64(p.Value.Size())
+		}
+		fmt.Printf("model %s: %d tasks, %d params, %d FLOPs/sample (%d beyond the stem, %.1f%%)\n",
+			e.path, len(e.g.Heads), params, total, head, pct(head, total))
+	}
+	if depth == 0 {
+		fmt.Println("no shared stem: these models would serve separately")
+		return nil
+	}
+	fmt.Printf("per-sample FLOPs, one request per model: separate %d, shared %d (%.1f%% saved)\n",
+		separate, shared, pct(separate-shared, separate))
+	return nil
+}
+
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
 }
 
 func sharedNodes(g *graph.Graph) int {

@@ -36,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -91,6 +92,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-request time budget (0 = none)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain budget")
 	quantized := flag.Bool("quant", false, "serve each checkpoint's int8 quantization (error if absent); default strips annotations and serves f32")
+	shareStem := flag.Int("share-stem", 0, "fuse models whose weight-identical prefix reaches this depth into one shared-stem plan (0 = off)")
+	stemMemo := flag.Int("stem-memo", 0, "stem-activation memo entries per shared group (0 = no memoisation)")
 
 	url := flag.String("url", "", "server URL (client mode)")
 	name := flag.String("name", "", "client: model name to target (default: server's default model)")
@@ -106,12 +109,14 @@ func main() {
 		}
 	case len(models) > 0:
 		opts := registry.ModelOptions{
-			Pool:      *pool,
-			MaxBatch:  *maxBatch,
-			MaxWait:   *maxWait,
-			QueueCap:  *queueCap,
-			SLOBudget: *slo,
-			Prepare:   prepare(*quantized),
+			Pool:        *pool,
+			MaxBatch:    *maxBatch,
+			MaxWait:     *maxWait,
+			QueueCap:    *queueCap,
+			SLOBudget:   *slo,
+			Prepare:     prepare(*quantized),
+			ShareStem:   *shareStem,
+			StemMemoCap: *stemMemo,
 		}
 		if err := runServer(models, *defaultName, *addr, opts, *deadline, *drain); err != nil {
 			log.Fatal(err)
@@ -163,6 +168,12 @@ func runServer(models modelFlags, defaultName, addr string, opts registry.ModelO
 	if defaultName != "" {
 		if err := reg.SetDefault(defaultName); err != nil {
 			return err
+		}
+	}
+	for _, m := range reg.Models() {
+		if snap, err := m.Snapshot(); err == nil && snap.Shared != nil {
+			log.Printf("model %s shares a depth-%d stem (%s) with %v",
+				m.Name(), snap.Shared.Depth, snap.Shared.Fingerprint, snap.Shared.Members)
 		}
 	}
 
@@ -223,6 +234,21 @@ func runServer(models modelFlags, defaultName, addr string, opts registry.ModelO
 	return nil
 }
 
+// histString renders a batch-size histogram as "size:count" pairs in
+// ascending size order.
+func histString(h map[int]int64) string {
+	sizes := make([]int, 0, len(h))
+	for s := range h {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	var parts []string
+	for _, s := range sizes {
+		parts = append(parts, fmt.Sprintf("%d:%d", s, h[s]))
+	}
+	return strings.Join(parts, " ")
+}
+
 func runClient(url, name string, listModels, info bool, inferRandom int) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -265,6 +291,10 @@ func runClient(url, name string, listModels, info bool, inferRandom int) error {
 		for taskName, classes := range model.Tasks {
 			fmt.Printf("task %-12s -> %d outputs\n", taskName, classes)
 		}
+		if ss := model.SharedStem; ss != nil {
+			fmt.Printf("shared stem: depth %d fingerprint %s members %v\n",
+				ss.Depth, ss.Fingerprint, ss.Members)
+		}
 	}
 	if inferRandom > 0 {
 		per := 1
@@ -301,6 +331,18 @@ func runClient(url, name string, listModels, info bool, inferRandom int) error {
 		fmt.Printf("stats: %d requests, %d rejected, %d slo-shed, %d expired, queue %d, mean batch %.2f, p50 %.0fus p95 %.0fus p99 %.0fus\n",
 			st.Requests, st.Rejected, st.SLOShed, st.Expired, st.QueueDepth, st.MeanBatch,
 			st.P50Micros, st.P95Micros, st.P99Micros)
+		if ss := st.SharedStem; ss != nil {
+			total := ss.MemoHits + ss.MemoMisses
+			rate := 0.0
+			if total > 0 {
+				rate = float64(ss.MemoHits) / float64(total) * 100
+			}
+			fmt.Printf("shared stem: members %v depth %d, memo %d/%d hits (%.1f%%), %d evictions, %d entries, %d mixed batches\n",
+				ss.Members, ss.Depth, ss.MemoHits, total, rate, ss.MemoEvictions, ss.MemoEntries, ss.MixedBatches)
+			if len(ss.StemBatchHist) > 0 {
+				fmt.Printf("stem batches: %s\n", histString(ss.StemBatchHist))
+			}
+		}
 		for _, rec := range st.Swaps {
 			fmt.Printf("swap: v%d -> v%d (%s) drain %dus abandoned %d\n",
 				rec.FromVersion, rec.ToVersion, rec.ToChecksum, rec.DrainMicros, rec.Abandoned)

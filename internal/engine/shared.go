@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/tensor"
+)
+
+// SharedFused is the multi-model counterpart of Fused: one engine executing
+// a shared-stem plan (plan.CompileShared) whose head outputs are keyed by
+// plan-global task ids (see plan.SharedModel.TaskMap). Forward clones
+// outputs out of the reused slabs like Fused does, and like Fused a
+// SharedFused must not run concurrent Forwards — pool one per stream. The
+// memo and stats passed at construction ARE safe to share across the pool.
+type SharedFused struct {
+	inst *plan.SharedInstance
+}
+
+// NewSharedFused wraps one split-execution instance of a shared plan. memo
+// enables stem-activation caching (nil disables), stats collects the stem
+// batch-size histogram (nil disables); both are typically shared across a
+// pool of engines serving the same plan.
+func NewSharedFused(sp *plan.SharedPlan, memo *plan.StemMemo, stats *plan.StemStats) *SharedFused {
+	return &SharedFused{inst: sp.NewInstance(memo, stats)}
+}
+
+// CompileShared lowers graphs with a common stem into one shared plan and
+// wraps it as an engine; see plan.CompileShared for depth semantics and
+// failure modes. The graphs are not modified.
+func CompileShared(gs []*graph.Graph, depth int, memo *plan.StemMemo, stats *plan.StemStats) (*SharedFused, error) {
+	sp, err := plan.CompileShared(gs, depth)
+	if err != nil {
+		return nil, err
+	}
+	return NewSharedFused(sp, memo, stats), nil
+}
+
+// Name implements Engine.
+func (f *SharedFused) Name() string { return "shared-fused" }
+
+// Forward implements Engine: outputs are keyed by plan-global task id.
+func (f *SharedFused) Forward(x *tensor.Tensor) map[int]*tensor.Tensor {
+	outs := f.inst.Execute(x)
+	owned := make(map[int]*tensor.Tensor, len(outs))
+	for task, o := range outs {
+		owned[task] = o.Clone()
+	}
+	return owned
+}
+
+// Plan exposes the shared plan for inspection tooling.
+func (f *SharedFused) Plan() *plan.SharedPlan { return f.inst.Plan() }
+
+// OpStats exposes the instance's cumulative per-op timings.
+func (f *SharedFused) OpStats() []plan.OpStat { return f.inst.OpStats() }

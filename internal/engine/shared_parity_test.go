@@ -1,0 +1,107 @@
+package engine_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fingerprint"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/plan"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+// closeEnough asserts per-element relative agreement at 1e-4, the parity
+// suite's standard wall.
+func closeEnough(t *testing.T, label string, got, want *tensor.Tensor) {
+	t.Helper()
+	if got == nil {
+		t.Fatalf("%s: missing output", label)
+	}
+	if !tensor.SameShape(got, want) {
+		t.Fatalf("%s: shape %v, want %v", label, got.Shape(), want.Shape())
+	}
+	for i := range want.Data() {
+		a, b := float64(want.Data()[i]), float64(got.Data()[i])
+		if math.Abs(a-b) > 1e-4*math.Max(1, math.Abs(a)) {
+			t.Fatalf("%s: elem %d: %v vs %v", label, i, b, a)
+		}
+	}
+}
+
+// The shared-stem engine must match both the eager reference and each
+// model's solo compiled plan — the cross-executor leg of the CompileShared
+// parity wall.
+func TestSharedFusedParityF32(t *testing.T) {
+	g1, g2 := testutil.TinySharedStemPair(301)
+	eng, err := engine.CompileShared([]*graph.Graph{g1, g2}, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(6, 3, 16, 16)
+	tensor.NewRNG(302).FillNormal(x, 0, 1)
+	shared := eng.Forward(x)
+	for mi, g := range []*graph.Graph{g1, g2} {
+		ref := engine.NewReference(g).Forward(x)
+		solo := engine.Compile(g).Forward(x)
+		tm := eng.Plan().Models[mi].TaskMap
+		for lt, gt := range tm {
+			closeEnough(t, "vs reference", shared[gt], ref[lt])
+			closeEnough(t, "vs solo plan", shared[gt], solo[lt])
+		}
+	}
+}
+
+// Int8 must survive shared compilation unchanged: a quantized model's stem
+// lowers onto the same int8 kernels inside the shared plan as in its solo
+// plan, so outputs agree at 1e-4 (identical kernels, identical scales) —
+// and the memoised path preserves that.
+func TestSharedFusedParityQuantized(t *testing.T) {
+	ds := testutil.TinyFace(311, 96, 64)
+	g1, g2 := testutil.TinySharedStemPair(312)
+	rep, err := quant.Apply(g1, ds, quant.Config{AccuracyDrop: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QuantizedOps == 0 {
+		t.Fatal("nothing quantized; shared int8 leg would be vacuous")
+	}
+	// Mirror the stem annotations onto g2 so both solo plans lower the stem
+	// exactly as the shared plan (which takes gs[0]'s stem precision) does.
+	s1, s2 := fingerprint.StemNodes(g1), fingerprint.StemNodes(g2)
+	for i := range s2 {
+		s2[i].Layer.(*nn.ConvBlock).Conv.Quant = s1[i].Layer.(*nn.ConvBlock).Conv.Quant
+	}
+
+	memo := plan.NewStemMemo(256)
+	eng, err := engine.CompileShared([]*graph.Graph{g1, g2}, 0, memo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantStem := false
+	for _, o := range eng.Plan().Ops {
+		if o.Wave < eng.Plan().StemWaves && o.Precision() == "int8" {
+			quantStem = true
+		}
+	}
+	if !quantStem {
+		t.Fatal("shared stem lowered without int8 ops despite annotations")
+	}
+
+	x := ds.Test.X
+	cold := eng.Forward(x)
+	warm := eng.Forward(x) // served from the stem memo
+	if s := memo.Stats(); s.Hits == 0 {
+		t.Fatalf("memo never hit: %+v", s)
+	}
+	for mi, g := range []*graph.Graph{g1, g2} {
+		solo := engine.Compile(g).Forward(x)
+		for lt, gt := range eng.Plan().Models[mi].TaskMap {
+			closeEnough(t, "cold vs solo", cold[gt], solo[lt])
+			closeEnough(t, "warm vs solo", warm[gt], solo[lt])
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package fingerprint
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+)
+
+// Prefix fingerprints: a canonical per-depth hash chain over a graph's
+// stem — the maximal single-path chain of computation nodes hanging off the
+// input placeholder, before the first branch point or task head. Two
+// graphs' longest shared stem is found by comparing chains entry for
+// entry: chain[d] covers the root input plus the first d+1 stem nodes, so
+// the graphs can share the first D stem blocks exactly when their chains
+// agree on the first D entries.
+//
+// Unlike Hash, which identifies a fusion *candidate* and deliberately
+// ignores weight values, the prefix chain identifies a *servable* shared
+// stem: the serving layer reuses one stem forward (and memoised stem
+// activations) across models, which is only sound when the stems compute
+// the same function. Each chain entry therefore folds in the node's weight
+// content (parameters and trained non-parameter state, e.g. BatchNorm
+// running statistics) alongside the structural features. Like Hash, the
+// chain stays stable under node-ID renaming and under reordering of the
+// sibling subtrees that hang off the stem, since neither OpID/TaskID
+// labels nor anything below the stem enters the hash.
+//
+// The chain is cumulative: chain[d] folds chain[d-1] in, so a single
+// uint64 comparison at depth d certifies the whole prefix up to d.
+
+// PrefixHashes returns the graph's canonical stem hash chain. Entry d is
+// the cumulative hash of the root input (shape and domain) and stem nodes
+// 0..d. The chain's length is the stem length; a graph whose input
+// placeholder branches immediately has an empty chain.
+func PrefixHashes(g *graph.Graph) []uint64 {
+	h := combine(seed, hashShape(g.Root.InputShape))
+	h = combine(h, uint64(g.Root.Domain)+1)
+	stem := StemNodes(g)
+	chain := make([]uint64, len(stem))
+	for i, n := range stem {
+		h = combine(h, stemNodeHash(n))
+		chain[i] = h
+	}
+	return chain
+}
+
+// StemNodes returns the graph's stem: the chain of computation nodes from
+// the input placeholder down to (and excluding) the first branch point or
+// task head. Heads are never part of a stem — they stay per-model even
+// when everything above them is shared.
+func StemNodes(g *graph.Graph) []*graph.Node {
+	var stem []*graph.Node
+	for n := g.Root; len(n.Children) == 1 && !n.Children[0].IsHead(); {
+		n = n.Children[0]
+		stem = append(stem, n)
+	}
+	return stem
+}
+
+// SharedDepth returns the length of the longest common prefix of two
+// chains — the number of leading stem blocks the two graphs can share.
+func SharedDepth(a, b []uint64) int {
+	d := 0
+	for d < len(a) && d < len(b) && a[d] == b[d] {
+		d++
+	}
+	return d
+}
+
+// stemNodeHash hashes one stem node in isolation: the structural features
+// Hash uses (op type, domain, shapes, parameter capacity, layer name)
+// plus the weight-content digest. Children are excluded — the chain's
+// recursion carries the sequence — so subtrees below the stem never leak
+// into it.
+func stemNodeHash(n *graph.Node) uint64 {
+	h := combine(seed, hashString(n.OpType))
+	h = combine(h, uint64(n.Domain)+1)
+	h = combine(h, hashShape(n.InputShape))
+	h = combine(h, hashShape(graph.OutShapeOf(n)))
+	h = combine(h, uint64(paramCount(n))+1)
+	if n.Layer != nil {
+		h = combine(h, hashString(n.Layer.Name()))
+		h = combine(h, weightDigest(n))
+	}
+	return h
+}
+
+// weightDigest hashes the node's trained content: every parameter tensor
+// and every non-parameter state tensor (nn.Stater), in the layer's own
+// deterministic order. Float bit patterns are hashed directly, so -0 and
+// +0 differ — acceptable for an identity check whose false negatives only
+// cost a missed sharing opportunity.
+func weightDigest(n *graph.Node) uint64 {
+	h := uint64(seed)
+	for _, p := range n.Layer.Params() {
+		h = combine(h, hashFloats(p.Value.Data()))
+	}
+	for _, s := range nn.StateTensors(n.Layer) {
+		h = combine(h, hashFloats(s.Data()))
+	}
+	return h
+}
+
+func hashFloats(data []float32) uint64 {
+	h := uint64(seed)
+	for _, v := range data {
+		h = (h ^ uint64(math.Float32bits(v))) * 0x100000001b3
+	}
+	return combine(h, uint64(len(data)))
+}

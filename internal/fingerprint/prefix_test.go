@@ -1,0 +1,171 @@
+package fingerprint_test
+
+import (
+	"testing"
+
+	"repro/internal/fingerprint"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// chainLayers builds depth conv-block layers forming a valid stem over a
+// [3,16,16] input (the first block pools 16 -> 8, the rest preserve the
+// spatial dims), returning the layers and the per-block input shapes.
+func chainLayers(rng *tensor.RNG, depth int) ([]nn.Layer, []graph.Shape) {
+	widths := []int{3, 6, 8, 10, 12, 12, 12, 12, 12}
+	layers := make([]nn.Layer, depth)
+	shapes := make([]graph.Shape, depth)
+	shape := graph.Shape{3, 16, 16}
+	for i := 0; i < depth; i++ {
+		layers[i] = nn.NewConvBlock(rng, widths[i], widths[i+1], true, i == 0)
+		shapes[i] = shape.Clone()
+		shape = graph.OutShapeOf(&graph.Node{OpType: "ConvBlock", InputShape: shape, Layer: layers[i]})
+	}
+	return layers, shapes
+}
+
+// assembleChain builds a single-task graph from cloned stem layers plus a
+// fresh head, so callers can share identical stem weights across graphs.
+func assembleChain(layers []nn.Layer, shapes []graph.Shape, headRNG *tensor.RNG, classes int) *graph.Graph {
+	g := graph.New(graph.Shape{3, 16, 16}, graph.DomainRaw)
+	parent := g.Root
+	var out graph.Shape
+	for i, l := range layers {
+		n := graph.NewBlockNode(0, i, "ConvBlock", shapes[i], graph.DomainSpatial, l.Clone())
+		parent = g.AddChild(parent, n)
+		out = graph.OutShapeOf(n)
+	}
+	head := graph.NewBlockNode(0, len(layers), "Head", out, graph.DomainSpatial,
+		nn.NewSequential("head", nn.NewGlobalAvgPool(), nn.NewLinear(headRNG, out[0], classes)))
+	g.AddChild(parent, head)
+	return g
+}
+
+func TestPrefixChainShapeAndSharing(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	layers, shapes := chainLayers(rng, 3)
+	a := assembleChain(layers, shapes, tensor.NewRNG(21), 2)
+	b := assembleChain(layers, shapes, tensor.NewRNG(22), 5)
+
+	ca, cb := fingerprint.PrefixHashes(a), fingerprint.PrefixHashes(b)
+	if len(ca) != 3 || len(cb) != 3 {
+		t.Fatalf("chain lengths %d/%d, want 3 (head excluded)", len(ca), len(cb))
+	}
+	if got := len(fingerprint.StemNodes(a)); got != 3 {
+		t.Fatalf("StemNodes = %d, want 3", got)
+	}
+	// Identical stems, different heads: the full chain is shared.
+	if d := fingerprint.SharedDepth(ca, cb); d != 3 {
+		t.Fatalf("SharedDepth = %d, want 3", d)
+	}
+	// A multi-branch root has no stem at all.
+	multi := tinyGraph(4)
+	if c := fingerprint.PrefixHashes(multi); len(c) != 0 {
+		t.Fatalf("branching-at-root graph has chain length %d, want 0", len(c))
+	}
+}
+
+func TestPrefixChainStableUnderRelabel(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	layers, shapes := chainLayers(rng, 4)
+	g := assembleChain(layers, shapes, tensor.NewRNG(23), 3)
+	want := fingerprint.PrefixHashes(g)
+
+	re := g.Clone()
+	relabel(re)
+	reverseChildren(re)
+	got := fingerprint.PrefixHashes(re)
+	if len(got) != len(want) {
+		t.Fatalf("relabeled chain length %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("relabeling changed chain entry %d: %016x vs %016x", i, got[i], want[i])
+		}
+	}
+}
+
+// Unlike Hash, the prefix chain must see weight content: a stem whose
+// weights differ computes a different function and must not be shared.
+func TestPrefixChainWeightSensitivity(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	layers, shapes := chainLayers(rng, 3)
+	a := assembleChain(layers, shapes, tensor.NewRNG(24), 2)
+
+	b := a.Clone()
+	// Perturb a parameter of the second stem block: entries 0 stays shared,
+	// entries 1.. diverge.
+	stem := fingerprint.StemNodes(b)
+	p := stem[1].Layer.Params()[0]
+	p.Value.Data()[0] += 0.5
+	if d := fingerprint.SharedDepth(fingerprint.PrefixHashes(a), fingerprint.PrefixHashes(b)); d != 1 {
+		t.Fatalf("SharedDepth after weight perturbation at depth 1 = %d, want 1", d)
+	}
+
+	// Non-parameter trained state (BatchNorm running stats) folds into the
+	// folded stem weights at compile time, so it must gate sharing too.
+	c := a.Clone()
+	st := nn.StateTensors(fingerprint.StemNodes(c)[0].Layer)
+	if len(st) == 0 {
+		t.Fatal("fixture stem block carries no state tensors")
+	}
+	st[0].Data()[0] += 1
+	if d := fingerprint.SharedDepth(fingerprint.PrefixHashes(a), fingerprint.PrefixHashes(c)); d != 0 {
+		t.Fatalf("SharedDepth after state perturbation at depth 0 = %d, want 0", d)
+	}
+
+	// Head-only differences leave the whole stem shared.
+	h := a.Clone()
+	hp := h.Heads[0].Layer.Params()[0]
+	hp.Value.Data()[0] += 0.5
+	if d := fingerprint.SharedDepth(fingerprint.PrefixHashes(a), fingerprint.PrefixHashes(h)); d != 3 {
+		t.Fatalf("SharedDepth after head perturbation = %d, want 3", d)
+	}
+}
+
+// FuzzPrefixHashes checks the chain contract under randomized depths and
+// perturbations: stability under node-ID renaming and sibling reordering,
+// the extension property (chain of g is a prefix of the chain of
+// g+suffix), and weight sensitivity at an arbitrary stem depth.
+func FuzzPrefixHashes(f *testing.F) {
+	f.Add(uint64(1), uint(2), uint(0))
+	f.Add(uint64(7), uint(4), uint(3))
+	f.Add(uint64(9), uint(1), uint(1))
+	f.Fuzz(func(t *testing.T, seed uint64, depthRaw, hitRaw uint) {
+		depth := int(depthRaw%4) + 1
+		rng := tensor.NewRNG(seed%64 + 1)
+		layers, shapes := chainLayers(rng, depth+1)
+		g := assembleChain(layers[:depth], shapes[:depth], tensor.NewRNG(seed+100), 2)
+		chain := fingerprint.PrefixHashes(g)
+		if len(chain) != depth {
+			t.Fatalf("chain length %d, want %d", len(chain), depth)
+		}
+
+		// Renaming + sibling reordering never moves the chain.
+		re := g.Clone()
+		relabel(re)
+		reverseChildren(re)
+		rc := fingerprint.PrefixHashes(re)
+		if fingerprint.SharedDepth(chain, rc) != depth || len(rc) != depth {
+			t.Fatalf("relabeled chain diverged: %v vs %v", rc, chain)
+		}
+
+		// Extension: one more stem block on the same weights keeps the
+		// original chain as a strict prefix.
+		ext := assembleChain(layers[:depth+1], shapes[:depth+1], tensor.NewRNG(seed+200), 4)
+		ec := fingerprint.PrefixHashes(ext)
+		if len(ec) != depth+1 || fingerprint.SharedDepth(chain, ec) != depth {
+			t.Fatalf("extension broke the prefix property: %v vs %v", ec, chain)
+		}
+
+		// Weight perturbation at stem depth d cuts sharing to exactly d.
+		hit := int(hitRaw) % depth
+		mut := g.Clone()
+		p := fingerprint.StemNodes(mut)[hit].Layer.Params()[0]
+		p.Value.Data()[0] += 0.25
+		if d := fingerprint.SharedDepth(chain, fingerprint.PrefixHashes(mut)); d != hit {
+			t.Fatalf("perturbation at depth %d shares %d entries", hit, d)
+		}
+	})
+}

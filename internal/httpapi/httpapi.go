@@ -286,7 +286,26 @@ func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request, m *regi
 		}
 		info.Tasks[taskName(snap.Graph, id)] = classes
 	}
+	info.SharedStem = sharedWire(snap.Shared)
 	writeJSON(w, info)
+}
+
+// sharedWire converts the registry's shared-stem view to the wire type.
+func sharedWire(s *registry.SharedStemInfo) *api.SharedStem {
+	if s == nil {
+		return nil
+	}
+	return &api.SharedStem{
+		Members:       append([]string(nil), s.Members...),
+		Depth:         s.Depth,
+		Fingerprint:   s.Fingerprint,
+		MemoHits:      s.MemoHits,
+		MemoMisses:    s.MemoMisses,
+		MemoEvictions: s.MemoEvictions,
+		MemoEntries:   s.MemoEntries,
+		MixedBatches:  s.MixedBatches,
+		StemBatchHist: s.StemBatchHist,
+	}
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -344,11 +363,12 @@ func statsFor(m *registry.Model) api.Stats {
 func (s *Server) handleModelStats(w http.ResponseWriter, r *http.Request, m *registry.Model) {
 	st := m.Stats()
 	resp := api.ModelStats{
-		Name:     st.Name,
-		Version:  st.Version,
-		Checksum: st.Checksum,
-		Pending:  st.Pending,
-		Stats:    statsFor(m),
+		Name:       st.Name,
+		Version:    st.Version,
+		Checksum:   st.Checksum,
+		Pending:    st.Pending,
+		Stats:      statsFor(m),
+		SharedStem: sharedWire(st.Shared),
 	}
 	for _, rec := range st.Swaps {
 		resp.Swaps = append(resp.Swaps, api.SwapRecord{

@@ -346,3 +346,67 @@ func TestV2SwapUnderHTTPLoad(t *testing.T) {
 		}
 	}
 }
+
+// Shared-stem serving shows on the wire: /v2/models/{name} reports the
+// group, /v2/models/{name}/stats reports group-wide memo counters.
+func TestV2SharedStemSurface(t *testing.T) {
+	reg := registry.New()
+	ga, gb := testutil.TinySharedStemPair(71)
+	opts := registry.ModelOptions{Pool: 1, ShareStem: 2, StemMemoCap: 32}
+	if _, err := reg.Register("vit-a", ga, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("vit-b", gb, opts); err != nil {
+		t.Fatal(err)
+	}
+	s := httpapi.NewRegistry(reg, 0)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	c := api.NewClient(srv.URL)
+	ctx := context.Background()
+
+	info, err := c.ModelInfo(ctx, "vit-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SharedStem == nil {
+		t.Fatal("/v2/models/vit-a carries no shared_stem despite the group")
+	}
+	if got := info.SharedStem.Members; len(got) != 2 || got[0] != "vit-a" || got[1] != "vit-b" {
+		t.Fatalf("members = %v", got)
+	}
+	if info.SharedStem.Depth != 2 || info.SharedStem.Fingerprint == "" {
+		t.Fatalf("shared_stem = %+v", info.SharedStem)
+	}
+
+	// Same rows twice: the second batch's stem comes from the memo, and
+	// both members' stats report the same group-wide counters.
+	in := sampleInput(3 * 16 * 16)
+	for i := 0; i < 2; i++ {
+		if _, err := c.InferModel(ctx, "vit-a", in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.ModelStats(ctx, "vit-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SharedStem == nil || st.SharedStem.MemoHits == 0 {
+		t.Fatalf("stats shared_stem = %+v, want memo hits", st.SharedStem)
+	}
+	if len(st.SharedStem.StemBatchHist) == 0 {
+		t.Fatal("stem batch histogram missing from stats")
+	}
+	stB, err := c.ModelStats(ctx, "vit-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stB.SharedStem == nil || stB.SharedStem.MemoHits != st.SharedStem.MemoHits {
+		t.Fatalf("partner reports different group counters: %+v vs %+v", stB.SharedStem, st.SharedStem)
+	}
+}

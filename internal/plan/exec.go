@@ -120,6 +120,17 @@ func (inst *Instance) runOp(id int) {
 // next Execute overwrites; callers that retain outputs must clone them. The
 // map itself is also reused across calls.
 func (inst *Instance) Execute(x *tensor.Tensor) map[int]*tensor.Tensor {
+	inst.checkInput(x)
+	if n := x.Dim(0); n != inst.batch {
+		inst.bind(n)
+	}
+	inst.regs[inst.p.InValue] = x
+	inst.runWaves(0, len(inst.p.Waves))
+	return inst.outs
+}
+
+// checkInput panics unless x has shape [N, InShape...].
+func (inst *Instance) checkInput(x *tensor.Tensor) {
 	want := inst.p.InShape
 	if x.Rank() != len(want)+1 {
 		panic(fmt.Sprintf("plan: Execute input %v, want [N %v]", x.Shape(), want))
@@ -129,18 +140,21 @@ func (inst *Instance) Execute(x *tensor.Tensor) map[int]*tensor.Tensor {
 			panic(fmt.Sprintf("plan: Execute input %v, want [N %v]", x.Shape(), want))
 		}
 	}
-	if n := x.Dim(0); n != inst.batch {
-		inst.bind(n)
-	}
-	inst.regs[inst.p.InValue] = x
-	for w, ops := range inst.p.Waves {
+}
+
+// runWaves executes waves [lo, hi) in schedule order. Callers must have
+// bound the batch and filled every register the ops read (the graph input
+// for wave 0; the stem output value when a shared plan resumes at its head
+// waves).
+func (inst *Instance) runWaves(lo, hi int) {
+	for w := lo; w < hi; w++ {
+		ops := inst.p.Waves[w]
 		if len(ops) == 1 {
 			inst.runOp(ops[0])
 		} else {
 			tensor.ParallelTasks(len(ops), inst.waveBodies[w])
 		}
 	}
-	return inst.outs
 }
 
 // OpStat is one op's cumulative execution record.

@@ -20,7 +20,7 @@ import (
 
 // lowerNode lowers one graph node's layer, returning its output value id.
 func (c *compiler) lowerNode(n *graph.Node, inVal int) int {
-	return c.lowerLayer(fmt.Sprintf("t%d/op%d", n.TaskID, n.OpID), n.Layer, inVal)
+	return c.lowerLayer(fmt.Sprintf("%st%d/op%d", c.prefix, n.TaskID, n.OpID), n.Layer, inVal)
 }
 
 // lowerLayer dispatches on the concrete layer type.

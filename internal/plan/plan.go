@@ -155,6 +155,19 @@ func Compile(g *graph.Graph) *Plan {
 // compiler accumulates plan state during lowering.
 type compiler struct {
 	p *Plan
+	// prefix and task support multi-graph lowering (CompileShared): prefix
+	// namespaces op names per source model and task remaps graph-local task
+	// ids onto plan-global ones. Both stay zero for solo Compile.
+	prefix string
+	task   func(int) int
+}
+
+// taskID maps a graph-local task id to its plan-global id.
+func (c *compiler) taskID(t int) int {
+	if c.task != nil {
+		return c.task(t)
+	}
+	return t
 }
 
 // newValue appends a value and returns its id.
@@ -194,8 +207,9 @@ func (c *compiler) lowerChildren(n *graph.Node, inVal int) {
 	for _, child := range n.Children {
 		out := c.lowerNode(child, inVal)
 		if child.IsHead() {
-			c.p.Values[out].Head = child.TaskID
-			c.p.Heads[child.TaskID] = out
+			t := c.taskID(child.TaskID)
+			c.p.Values[out].Head = t
+			c.p.Heads[t] = out
 			continue
 		}
 		c.lowerChildren(child, out)

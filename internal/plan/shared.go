@@ -1,0 +1,454 @@
+package plan
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fingerprint"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Shared-stem compilation: several graphs whose prefix fingerprint chains
+// (fingerprint.PrefixHashes) agree up to depth D lower into ONE plan — the
+// common stem once, then each model's divergent suffix as an independent
+// head family. The wave scheduler and slab planner need no changes: stem
+// ops occupy the leading waves, every suffix op transitively depends on the
+// stem output, and the slab planner keeps the stem output slab alive until
+// its last suffix reader. One batched stem forward therefore amortises
+// across all member models, which is the serving-time version of GMorph's
+// offline fusion (Jeong et al.).
+//
+// Execution splits at the stem boundary so a memo (StemMemo) can
+// short-circuit repeated inputs: rows whose (stem fingerprint, input hash)
+// key hits the LRU skip the stem entirely and feed the head waves from the
+// cached activation.
+
+// SharedModel records how one member graph's tasks map into the shared plan.
+type SharedModel struct {
+	// Index is the model's position in the CompileShared argument slice.
+	Index int
+	// Prefix namespaces the model's ops and task names in reports ("m0/...").
+	Prefix string
+	// TaskMap maps the model's graph-local task ids to plan-global ids.
+	TaskMap map[int]int
+}
+
+// SharedPlan is a Plan compiled from several graphs with a common stem.
+type SharedPlan struct {
+	*Plan
+	// StemDepth is the number of shared stem nodes lowered once.
+	StemDepth int
+	// StemWaves is the wave index splitting stem from heads: waves
+	// [0, StemWaves) compute the stem, [StemWaves, len(Waves)) the heads.
+	StemWaves int
+	// StemValue is the value id holding the stem output — the register a
+	// memoised execution fills instead of running the stem waves.
+	StemValue int
+	// StemFingerprint is the prefix-chain entry at StemDepth, the memo key's
+	// model-independent half.
+	StemFingerprint uint64
+	// Models maps each member graph's tasks into the plan, in argument order.
+	Models []SharedModel
+}
+
+// StemElems returns the stem output's per-sample element count.
+func (sp *SharedPlan) StemElems() int { return sp.Values[sp.StemValue].Elems() }
+
+// CompileShared lowers graphs sharing a structural-and-weight prefix into
+// one multi-head plan. depth selects how many stem nodes to share; depth <=
+// 0 means "as deep as the fingerprint chains allow". Returns an error when
+// the graphs share no usable stem (fewer than max(depth,1) chain entries in
+// common), so callers can fall back to solo deployments.
+//
+// The stem is lowered from gs[0]; since sharing requires bit-identical
+// weights the choice only matters for int8 annotations, which live on
+// layers and are taken from gs[0]'s stem. Task ids are renumbered into one
+// global space (see SharedModel.TaskMap); op names and task names gain a
+// per-model "m<i>/" prefix, the stem's a "stem/" prefix.
+func CompileShared(gs []*graph.Graph, depth int) (*SharedPlan, error) {
+	if len(gs) < 2 {
+		return nil, fmt.Errorf("plan: CompileShared needs >= 2 graphs, got %d", len(gs))
+	}
+	chains := make([][]uint64, len(gs))
+	for i, g := range gs {
+		chains[i] = fingerprint.PrefixHashes(g)
+	}
+	shared := len(chains[0])
+	for _, c := range chains[1:] {
+		if d := fingerprint.SharedDepth(chains[0], c); d < shared {
+			shared = d
+		}
+	}
+	if depth <= 0 {
+		depth = shared
+	}
+	if depth == 0 || shared < depth {
+		return nil, fmt.Errorf("plan: graphs share %d stem nodes, need %d", shared, max(depth, 1))
+	}
+
+	c := &compiler{
+		p: &Plan{
+			InShape:   append([]int(nil), gs[0].Root.InputShape...),
+			Heads:     make(map[int]int),
+			TaskNames: make(map[int]string),
+		},
+	}
+	c.p.InValue = c.newValue(c.p.InShape, false, -1)
+
+	// Lower the shared stem once, from gs[0].
+	c.prefix = "stem/"
+	stem := fingerprint.StemNodes(gs[0])
+	stemOut := c.p.InValue
+	for i := 0; i < depth; i++ {
+		stemOut = c.lowerNode(stem[i], stemOut)
+	}
+	stemOps := len(c.p.Ops)
+	if stemOps == 0 {
+		// A stem of pure identity nodes (e.g. Dropout) shares no compute.
+		return nil, fmt.Errorf("plan: %d-node stem lowered to zero ops", depth)
+	}
+
+	// Lower each model's suffix against the stem output, remapping its
+	// graph-local task ids onto a plan-global sequence.
+	sp := &SharedPlan{
+		Plan:            c.p,
+		StemDepth:       depth,
+		StemValue:       stemOut,
+		StemFingerprint: chains[0][depth-1],
+	}
+	nextTask := 0
+	for mi, g := range gs {
+		locals := make([]int, 0, len(g.Heads))
+		for t := range g.Heads {
+			locals = append(locals, t)
+		}
+		sort.Ints(locals)
+		tm := make(map[int]int, len(locals))
+		for _, lt := range locals {
+			tm[lt] = nextTask
+			nextTask++
+		}
+		m := SharedModel{Index: mi, Prefix: fmt.Sprintf("m%d/", mi), TaskMap: tm}
+		c.prefix, c.task = m.Prefix, func(t int) int { return tm[t] }
+		anchor := g.Root
+		if depth > 0 {
+			anchor = fingerprint.StemNodes(g)[depth-1]
+		}
+		c.lowerChildren(anchor, stemOut)
+		for _, lt := range locals {
+			name := g.TaskNames[lt]
+			if name == "" {
+				name = fmt.Sprintf("t%d", lt)
+			}
+			c.p.TaskNames[tm[lt]] = m.Prefix + name
+		}
+		sp.Models = append(sp.Models, m)
+	}
+	c.prefix, c.task = "", nil
+
+	c.markQuantHeads()
+	c.schedule()
+	c.liveness()
+	c.assignSlabs()
+
+	// The stem/head wave partition the split executor relies on: every stem
+	// op schedules strictly before every suffix op, because the stem is a
+	// dependency chain and each suffix op transitively reads its final value.
+	sp.StemWaves = c.p.Ops[c.p.Values[stemOut].Producer].Wave + 1
+	for _, o := range c.p.Ops {
+		if (o.ID < stemOps) != (o.Wave < sp.StemWaves) {
+			panic(fmt.Sprintf("plan: op %d (%s) violates the stem wave partition", o.ID, o.Name))
+		}
+	}
+	return sp, nil
+}
+
+// ---- stem-activation memo ----
+
+type stemKey struct {
+	fp  uint64 // stem fingerprint
+	row uint64 // input row content hash
+}
+
+// StemMemo is a thread-safe LRU of stem activations keyed by (stem
+// fingerprint, input-row hash) — CDN-style inference caching for repeated
+// inputs. One memo is shared by every instance serving a stem (and can span
+// multiple shared plans: the fingerprint keeps their entries apart).
+type StemMemo struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent; values are *memoEntry
+	m   map[stemKey]*list.Element
+
+	hits, misses, evictions atomic.Int64
+}
+
+type memoEntry struct {
+	key stemKey
+	act []float32
+}
+
+// NewStemMemo returns a memo bounded to capacity entries (rows, not bytes).
+// capacity <= 0 disables caching: lookups miss, inserts drop.
+func NewStemMemo(capacity int) *StemMemo {
+	return &StemMemo{cap: capacity, ll: list.New(), m: make(map[stemKey]*list.Element)}
+}
+
+// Get returns the cached stem activation row or nil, counting hit/miss.
+// The returned slice is owned by the memo; callers copy out of it.
+func (m *StemMemo) Get(fp, row uint64) []float32 {
+	if m == nil || m.cap <= 0 {
+		return nil
+	}
+	k := stemKey{fp, row}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.m[k]; ok {
+		m.ll.MoveToFront(e)
+		m.hits.Add(1)
+		return e.Value.(*memoEntry).act
+	}
+	m.misses.Add(1)
+	return nil
+}
+
+// Put inserts a stem activation row, taking ownership of act (callers pass
+// a private copy, never a slab-backed slice).
+func (m *StemMemo) Put(fp, row uint64, act []float32) {
+	if m == nil || m.cap <= 0 {
+		return
+	}
+	k := stemKey{fp, row}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.m[k]; ok {
+		m.ll.MoveToFront(e)
+		e.Value.(*memoEntry).act = act
+		return
+	}
+	m.m[k] = m.ll.PushFront(&memoEntry{key: k, act: act})
+	for m.ll.Len() > m.cap {
+		old := m.ll.Back()
+		m.ll.Remove(old)
+		delete(m.m, old.Value.(*memoEntry).key)
+		m.evictions.Add(1)
+	}
+}
+
+// Len returns the current entry count.
+func (m *StemMemo) Len() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}
+
+// MemoStats is a StemMemo counter snapshot.
+type MemoStats struct {
+	Hits, Misses, Evictions int64
+	Entries, Cap            int
+}
+
+// Stats snapshots the memo's counters. Safe under concurrent use.
+func (m *StemMemo) Stats() MemoStats {
+	if m == nil {
+		return MemoStats{}
+	}
+	return MemoStats{
+		Hits: m.hits.Load(), Misses: m.misses.Load(), Evictions: m.evictions.Load(),
+		Entries: m.Len(), Cap: m.cap,
+	}
+}
+
+// HashRow hashes one input row's float bit pattern — the memo key's
+// per-request half (FNV-1a over float bits, like the fingerprint package's
+// weight digests).
+func HashRow(data []float32) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, v := range data {
+		h = (h ^ uint64(math.Float32bits(v))) * 0x100000001b3
+	}
+	return h
+}
+
+// StemStats aggregates stem-level execution counters shared across the
+// instances serving one stem (the engine pool behind a shared deployment).
+type StemStats struct {
+	mu sync.Mutex
+	// hist counts stem forwards by computed batch size; bucket 0 counts
+	// executions fully served from the memo.
+	hist map[int]int64
+}
+
+// NewStemStats returns an empty histogram.
+func NewStemStats() *StemStats { return &StemStats{hist: make(map[int]int64)} }
+
+func (s *StemStats) record(n int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.hist[n]++
+	s.mu.Unlock()
+}
+
+// Hist returns a copy of the stem batch-size histogram: computed stem batch
+// size -> occurrences, with bucket 0 counting fully-memoised executions.
+func (s *StemStats) Hist() map[int]int64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]int64, len(s.hist))
+	for k, v := range s.hist {
+		out[k] = v
+	}
+	return out
+}
+
+// ---- split execution ----
+
+// SharedInstance executes a SharedPlan with the stem/head split: memo hits
+// skip the stem, misses run a compacted stem batch. Like Instance it is
+// single-stream; the memo and stats are shared and thread-safe.
+type SharedInstance struct {
+	sp    *SharedPlan
+	inst  *Instance
+	memo  *StemMemo
+	stats *StemStats
+
+	keys   []uint64    // per-row input hashes, reused across calls
+	cached [][]float32 // per-row memo rows (nil = miss), reused
+	miss   []int       // miss row indices, reused
+	staged [][]float32 // per-miss computed stem rows, reused
+}
+
+// NewInstance builds a split executor over the shared plan. memo and stats
+// may be nil (no caching / no histogram); when set they are typically shared
+// across a pool of instances.
+func (sp *SharedPlan) NewInstance(memo *StemMemo, stats *StemStats) *SharedInstance {
+	return &SharedInstance{sp: sp, inst: sp.Plan.NewInstance(), memo: memo, stats: stats}
+}
+
+// Plan returns the shared plan.
+func (si *SharedInstance) Plan() *SharedPlan { return si.sp }
+
+// OpStats exposes the underlying instance's per-op timing counters.
+func (si *SharedInstance) OpStats() []OpStat { return si.inst.OpStats() }
+
+// Execute runs the shared plan on x (shape [N, InShape...]), returning head
+// outputs by plan-global task id (see SharedModel.TaskMap). Outputs alias
+// plan-owned slabs, as with Instance.Execute.
+//
+// Without a memo this is exactly Instance.Execute. With one, each input row
+// is hashed and looked up; hit rows feed the head waves straight from the
+// cache and only miss rows pay the stem forward, compacted into a smaller
+// batch. The compacted path rebinds the batch size twice, which rebuilds
+// tensor headers — the zero-steady-state-allocation guarantee holds only
+// for the memo-less and all-miss paths.
+func (si *SharedInstance) Execute(x *tensor.Tensor) map[int]*tensor.Tensor {
+	inst := si.inst
+	if si.memo == nil {
+		si.stats.record(x.Dim(0))
+		return inst.Execute(x)
+	}
+	inst.checkInput(x)
+	n := x.Dim(0)
+	inElems := si.rowElems(x)
+
+	// Hash and probe each row.
+	si.keys = si.keys[:0]
+	si.cached = si.cached[:0]
+	si.miss = si.miss[:0]
+	xd := x.Data()
+	for r := 0; r < n; r++ {
+		k := HashRow(xd[r*inElems : (r+1)*inElems])
+		si.keys = append(si.keys, k)
+		act := si.memo.Get(si.sp.StemFingerprint, k)
+		si.cached = append(si.cached, act)
+		if act == nil {
+			si.miss = append(si.miss, r)
+		}
+	}
+	si.stats.record(len(si.miss))
+
+	stemElems := si.sp.StemElems()
+	switch {
+	case len(si.miss) == n:
+		// All miss: one full-batch pass split only to harvest memo inserts.
+		if n != inst.batch {
+			inst.bind(n)
+		}
+		inst.regs[inst.p.InValue] = x
+		inst.runWaves(0, si.sp.StemWaves)
+		stem := inst.regs[si.sp.StemValue].Data()
+		for r := 0; r < n; r++ {
+			act := make([]float32, stemElems)
+			copy(act, stem[r*stemElems:])
+			si.memo.Put(si.sp.StemFingerprint, si.keys[r], act)
+		}
+		inst.runWaves(si.sp.StemWaves, len(inst.p.Waves))
+	case len(si.miss) == 0:
+		// All hit: fill the stem register from the memo, skip the stem waves.
+		if n != inst.batch {
+			inst.bind(n)
+		}
+		inst.regs[inst.p.InValue] = x
+		stem := inst.regs[si.sp.StemValue].Data()
+		for r, act := range si.cached {
+			copy(stem[r*stemElems:(r+1)*stemElems], act)
+		}
+		inst.runWaves(si.sp.StemWaves, len(inst.p.Waves))
+	default:
+		// Mixed: compact miss rows into a small stem batch, then scatter
+		// computed and cached rows into the full-batch stem register.
+		m := len(si.miss)
+		mx := tensor.New(append([]int{m}, inst.p.InShape...)...)
+		md := mx.Data()
+		for i, r := range si.miss {
+			copy(md[i*inElems:], xd[r*inElems:(r+1)*inElems])
+		}
+		inst.bind(m)
+		inst.regs[inst.p.InValue] = mx
+		inst.runWaves(0, si.sp.StemWaves)
+		stem := inst.regs[si.sp.StemValue].Data()
+		si.staged = si.staged[:0]
+		for i, r := range si.miss {
+			act := make([]float32, stemElems)
+			copy(act, stem[i*stemElems:])
+			si.memo.Put(si.sp.StemFingerprint, si.keys[r], act)
+			si.staged = append(si.staged, act)
+		}
+		inst.bind(n)
+		inst.regs[inst.p.InValue] = x
+		stem = inst.regs[si.sp.StemValue].Data()
+		mi := 0
+		for r := 0; r < n; r++ {
+			act := si.cached[r]
+			if act == nil {
+				act = si.staged[mi]
+				mi++
+			}
+			copy(stem[r*stemElems:(r+1)*stemElems], act)
+		}
+		inst.runWaves(si.sp.StemWaves, len(inst.p.Waves))
+	}
+	return inst.outs
+}
+
+// rowElems returns the per-sample element count of the input.
+func (si *SharedInstance) rowElems(x *tensor.Tensor) int {
+	n := x.Dim(0)
+	if n == 0 {
+		return 0
+	}
+	return x.Size() / n
+}

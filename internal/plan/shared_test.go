@@ -1,0 +1,222 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/plan"
+	"repro/internal/tensor"
+)
+
+// sharedStemGraphs builds two independently-headed graphs over bit-identical
+// two-block stems (16->8 conv+pool, then a second conv block), the topology
+// CompileShared exists for. Stem batch-norm statistics are perturbed before
+// cloning so conv+BN folding is exercised identically on both sides.
+func sharedStemGraphs(seed uint64) (*graph.Graph, *graph.Graph) {
+	rng := tensor.NewRNG(seed)
+	stem0 := nn.NewConvBlock(rng, 3, 6, true, true)
+	stem1 := nn.NewConvBlock(rng, 6, 8, true, false)
+	for _, b := range []*nn.ConvBlock{stem0, stem1} {
+		rng.FillUniform(b.BN.RunningMean, -0.3, 0.3)
+		rng.FillUniform(b.BN.RunningVar, 0.5, 1.5)
+		rng.FillUniform(b.BN.Gamma.Value, 0.7, 1.3)
+		rng.FillUniform(b.BN.Beta.Value, -0.2, 0.2)
+	}
+	build := func(tasks int, hr *tensor.RNG) *graph.Graph {
+		g := graph.New(graph.Shape{3, 16, 16}, graph.DomainRaw)
+		s0 := graph.NewBlockNode(0, 0, "ConvBlock", g.Root.InputShape, graph.DomainRaw, stem0.Clone())
+		g.AddChild(g.Root, s0)
+		s1 := graph.NewBlockNode(0, 1, "ConvBlock", graph.Shape{6, 8, 8}, graph.DomainSpatial, stem1.Clone())
+		g.AddChild(s0, s1)
+		for t := 0; t < tasks; t++ {
+			c := 8 + 2*t
+			b := graph.NewBlockNode(t, 2, "ConvBlock", graph.Shape{8, 8, 8}, graph.DomainSpatial,
+				nn.NewConvBlock(hr, 8, c, true, false))
+			h := graph.NewBlockNode(t, 3, "Head", graph.Shape{c, 8, 8}, graph.DomainSpatial,
+				nn.NewSequential("head", nn.NewGlobalAvgPool(), nn.NewLinear(hr, c, 2+t)))
+			g.AppendChain(s1, b, h)
+		}
+		g.RefreshCapacities()
+		return g
+	}
+	return build(1, tensor.NewRNG(seed+1)), build(2, tensor.NewRNG(seed+2))
+}
+
+func sampleInput(seed uint64, n int) *tensor.Tensor {
+	x := tensor.New(n, 3, 16, 16)
+	tensor.NewRNG(seed).FillNormal(x, 0, 1)
+	return x
+}
+
+// The core tentpole contract: the multi-head shared plan produces, per
+// member model and task, the same outputs as that model's solo Compile.
+func TestCompileSharedParityF32(t *testing.T) {
+	g1, g2 := sharedStemGraphs(31)
+	sp, err := plan.CompileShared([]*graph.Graph{g1, g2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.StemDepth != 2 {
+		t.Fatalf("StemDepth = %d, want 2", sp.StemDepth)
+	}
+	if len(sp.Models) != 2 || len(sp.Heads) != 3 {
+		t.Fatalf("models %d heads %d, want 2 and 3", len(sp.Models), len(sp.Heads))
+	}
+
+	x := sampleInput(32, 5)
+	shared := sp.NewInstance(nil, nil).Execute(x)
+	for mi, g := range []*graph.Graph{g1, g2} {
+		solo := plan.Compile(g).NewInstance().Execute(x)
+		tm := sp.Models[mi].TaskMap
+		if len(tm) != len(solo) {
+			t.Fatalf("model %d task map has %d entries, solo plan %d heads", mi, len(tm), len(solo))
+		}
+		for lt, gt := range tm {
+			got, want := shared[gt], solo[lt]
+			if got == nil || want == nil {
+				t.Fatalf("model %d task %d->%d: missing output", mi, lt, gt)
+			}
+			if !tensor.SameShape(got, want) {
+				t.Fatalf("model %d task %d shape %v, want %v", mi, lt, got.Shape(), want.Shape())
+			}
+			if d := maxDiff(got, want); d > 1e-4 {
+				t.Errorf("model %d task %d diverges from solo plan by %g", mi, lt, d)
+			}
+		}
+	}
+}
+
+// Stem ops must fill the leading waves and carry the stem/ prefix; suffix
+// ops follow with their model prefixes — the partition split execution and
+// the memo rely on.
+func TestCompileSharedStemPartition(t *testing.T) {
+	g1, g2 := sharedStemGraphs(41)
+	sp, err := plan.CompileShared([]*graph.Graph{g1, g2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.StemWaves < 1 || sp.StemWaves >= len(sp.Waves) {
+		t.Fatalf("StemWaves = %d of %d waves", sp.StemWaves, len(sp.Waves))
+	}
+	for _, o := range sp.Ops {
+		isStem := o.Wave < sp.StemWaves
+		if isStem != strings.HasPrefix(o.Name, "stem/") {
+			t.Fatalf("op %q in wave %d violates the stem partition (StemWaves=%d)", o.Name, o.Wave, sp.StemWaves)
+		}
+		if !isStem && !strings.HasPrefix(o.Name, "m0/") && !strings.HasPrefix(o.Name, "m1/") {
+			t.Fatalf("suffix op %q lacks a model prefix", o.Name)
+		}
+	}
+	if sp.StemFingerprint == 0 {
+		t.Fatal("StemFingerprint unset")
+	}
+	for task, name := range sp.TaskNames {
+		if !strings.HasPrefix(name, "m0/") && !strings.HasPrefix(name, "m1/") {
+			t.Fatalf("task %d name %q lacks a model prefix", task, name)
+		}
+	}
+}
+
+func TestCompileSharedRejects(t *testing.T) {
+	g1, g2 := sharedStemGraphs(51)
+	if _, err := plan.CompileShared([]*graph.Graph{g1}, 0); err == nil {
+		t.Fatal("single graph accepted")
+	}
+	if _, err := plan.CompileShared([]*graph.Graph{g1, g2}, 3); err == nil {
+		t.Fatal("depth beyond the shared stem accepted")
+	}
+	// Diverged stem weights share nothing.
+	g3 := g1.Clone()
+	g3.Root.Children[0].Layer.Params()[0].Value.Data()[0] += 0.5
+	if _, err := plan.CompileShared([]*graph.Graph{g1, g3}, 1); err == nil {
+		t.Fatal("weight-diverged stems accepted")
+	}
+}
+
+func TestStemMemoLRU(t *testing.T) {
+	m := plan.NewStemMemo(2)
+	if got := m.Get(1, 1); got != nil {
+		t.Fatal("hit on empty memo")
+	}
+	m.Put(1, 1, []float32{1})
+	m.Put(1, 2, []float32{2})
+	if got := m.Get(1, 1); got == nil || got[0] != 1 {
+		t.Fatalf("Get(1,1) = %v", got)
+	}
+	// Key 2 is now least recent; inserting a third entry evicts it.
+	m.Put(1, 3, []float32{3})
+	if m.Get(1, 2) != nil {
+		t.Fatal("evicted entry still present")
+	}
+	if m.Get(1, 1) == nil || m.Get(1, 3) == nil {
+		t.Fatal("recent entries evicted")
+	}
+	// Different stem fingerprints never collide.
+	if m.Get(2, 1) != nil {
+		t.Fatal("cross-fingerprint hit")
+	}
+	s := m.Stats()
+	if s.Evictions != 1 || s.Entries != 2 || s.Cap != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("counters not moving: %+v", s)
+	}
+	// Disabled and nil memos are inert.
+	var nilMemo *plan.StemMemo
+	nilMemo.Put(1, 1, nil)
+	if nilMemo.Get(1, 1) != nil || nilMemo.Stats() != (plan.MemoStats{}) {
+		t.Fatal("nil memo not inert")
+	}
+	off := plan.NewStemMemo(0)
+	off.Put(1, 1, []float32{1})
+	if off.Get(1, 1) != nil {
+		t.Fatal("disabled memo cached")
+	}
+}
+
+// All three memo execution paths — all-miss, all-hit, mixed — must agree
+// with the memo-less executor, and the histogram must record the computed
+// stem batch sizes.
+func TestSharedInstanceMemoPaths(t *testing.T) {
+	g1, g2 := sharedStemGraphs(61)
+	sp, err := plan.CompileShared([]*graph.Graph{g1, g2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo := plan.NewStemMemo(64)
+	stats := plan.NewStemStats()
+	si := sp.NewInstance(memo, stats)
+	plain := sp.NewInstance(nil, nil)
+
+	check := func(x *tensor.Tensor, label string) {
+		t.Helper()
+		got := si.Execute(x)
+		want := plain.Execute(x)
+		for task, w := range want {
+			if d := maxDiff(got[task], w); d > 1e-5 {
+				t.Fatalf("%s: task %d diverges by %g", label, task, d)
+			}
+		}
+	}
+
+	x4 := sampleInput(62, 4)
+	check(x4, "all-miss") // cold: every row computed
+	check(x4, "all-hit")  // warm: every row served from the memo
+
+	// Mixed: rows 0-3 warm, rows 4-5 cold.
+	x6 := sampleInput(63, 6)
+	copy(x6.Data()[:4*3*16*16], x4.Data())
+	check(x6, "mixed")
+
+	ms := memo.Stats()
+	if ms.Hits != 8 || ms.Misses != 4+2 {
+		t.Fatalf("memo counters hits=%d misses=%d, want 8 and 6", ms.Hits, ms.Misses)
+	}
+	hist := stats.Hist()
+	if hist[4] != 1 || hist[0] != 1 || hist[2] != 1 {
+		t.Fatalf("stem batch histogram %v, want {4:1, 0:1, 2:1}", hist)
+	}
+}

@@ -83,6 +83,9 @@ type Stats struct {
 	Batches   int64
 	MeanBatch float64
 	BatchHist map[int]int64
+	// MixedBatches counts passes that coalesced requests from two or more
+	// distinct tags — cross-model stem batches under shared-stem serving.
+	MixedBatches int64
 	// MeanMicros and the percentiles summarize enqueue-to-scatter request
 	// latency over the recent window, in microseconds.
 	MeanMicros float64
@@ -102,6 +105,11 @@ type request struct {
 	rows int
 	done chan result
 	enq  time.Time
+	// tag identifies the submitting model under shared-stem serving (0
+	// otherwise); tasks, when non-nil, filters and renames the engine's
+	// outputs (engine task id -> caller task id) at scatter time.
+	tag   int
+	tasks map[int]int
 }
 
 // Batcher coalesces concurrent inference requests into batched forward
@@ -126,13 +134,14 @@ type Batcher struct {
 	expired  atomic.Int64
 	totalNS  atomic.Int64
 
-	smu      sync.Mutex // guards hist + latency ring
-	batches  int64
-	rowsSum  int64
-	hist     map[int]int64
-	lat      []time.Duration
-	latIdx   int
-	latCount int
+	smu          sync.Mutex // guards hist + latency ring
+	batches      int64
+	rowsSum      int64
+	mixedBatches int64
+	hist         map[int]int64
+	lat          []time.Duration
+	latIdx       int
+	latCount     int
 }
 
 // New builds a batcher over the given engine pool (one in-flight batch per
@@ -174,11 +183,23 @@ func (b *Batcher) MaxBatch() int { return b.opts.MaxBatch }
 // until its outputs are scattered back, the queue rejects it, or ctx ends.
 // The returned per-task tensors hold exactly this request's rows.
 func (b *Batcher) Submit(ctx context.Context, x *tensor.Tensor) (map[int]*tensor.Tensor, error) {
+	return b.SubmitTagged(ctx, x, 0, nil)
+}
+
+// SubmitTagged is Submit for shared-stem serving: tag identifies the
+// submitting model (requests with different tags still coalesce into one
+// stem batch), and tasks — when non-nil — selects which engine outputs this
+// caller receives, renamed from engine task id (key) to caller task id
+// (value). A nil tasks map returns every output under its engine id.
+func (b *Batcher) SubmitTagged(ctx context.Context, x *tensor.Tensor, tag int, tasks map[int]int) (map[int]*tensor.Tensor, error) {
 	rows, err := b.checkShape(x)
 	if err != nil {
 		return nil, err
 	}
-	req := &request{ctx: ctx, x: x, rows: rows, done: make(chan result, 1), enq: time.Now()}
+	req := &request{
+		ctx: ctx, x: x, rows: rows, done: make(chan result, 1), enq: time.Now(),
+		tag: tag, tasks: tasks,
+	}
 
 	b.mu.RLock()
 	if b.stopped {
@@ -361,19 +382,37 @@ func (b *Batcher) runBatch(eng engine.Engine, batch []*request, rows int) {
 	}
 	b.engines <- eng // release before scatter so the next batch overlaps
 
-	// Scatter: slice each task's output rows back per request.
+	// Scatter: slice each task's output rows back per request, filtered and
+	// renamed through the request's task map when it has one.
+	mixed := false
 	off := 0
 	for _, r := range batch {
+		if r.tag != batch[0].tag {
+			mixed = true
+		}
 		res := result{outs: make(map[int]*tensor.Tensor, len(outs))}
-		for id, o := range outs {
+		emit := func(engID, callerID int) {
+			o := outs[engID]
+			if o == nil {
+				return
+			}
 			if len(batch) == 1 {
-				res.outs[id] = o
-				continue
+				res.outs[callerID] = o
+				return
 			}
 			per := o.Size() / rows
 			t := tensor.New(append([]int{r.rows}, o.Shape()[1:]...)...)
 			copy(t.Data(), o.Data()[off*per:(off+r.rows)*per])
-			res.outs[id] = t
+			res.outs[callerID] = t
+		}
+		if r.tasks != nil {
+			for engID, callerID := range r.tasks {
+				emit(engID, callerID)
+			}
+		} else {
+			for id := range outs {
+				emit(id, id)
+			}
 		}
 		r.done <- res
 		b.active.Add(-1)
@@ -382,7 +421,7 @@ func (b *Batcher) runBatch(eng engine.Engine, batch []*request, rows int) {
 		b.totalNS.Add(int64(time.Since(r.enq)))
 		b.recordLatency(time.Since(r.enq))
 	}
-	b.recordBatch(rows)
+	b.recordBatch(rows, mixed)
 }
 
 func (b *Batcher) recordLatency(d time.Duration) {
@@ -395,11 +434,14 @@ func (b *Batcher) recordLatency(d time.Duration) {
 	b.smu.Unlock()
 }
 
-func (b *Batcher) recordBatch(rows int) {
+func (b *Batcher) recordBatch(rows int, mixed bool) {
 	b.smu.Lock()
 	b.batches++
 	b.rowsSum += int64(rows)
 	b.hist[rows]++
+	if mixed {
+		b.mixedBatches++
+	}
 	b.smu.Unlock()
 }
 
@@ -424,6 +466,7 @@ func (b *Batcher) Stats() Stats {
 	}
 	b.smu.Lock()
 	st.Batches = b.batches
+	st.MixedBatches = b.mixedBatches
 	if b.batches > 0 {
 		st.MeanBatch = float64(b.rowsSum) / float64(b.batches)
 	}

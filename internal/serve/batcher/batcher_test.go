@@ -310,3 +310,70 @@ func TestPendingCountsAbandonedOnDrainTimeout(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// Tagged submissions must coalesce across tags into one pass, deliver each
+// caller only the outputs its task map selects (renamed to caller ids), and
+// count the pass as mixed.
+func TestSubmitTaggedScatterAndMixedCount(t *testing.T) {
+	engines, g := tinyEngines(t, 1)
+	shape := g.Root.InputShape
+	b, err := batcher.New(shape, engines, batcher.Options{MaxBatch: 8, MaxWait: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopped(t, b)
+
+	ref := engine.Compile(g)
+	const clients = 6
+	type reply struct {
+		outs map[int]*tensor.Tensor
+		err  error
+	}
+	inputs := make([]*tensor.Tensor, clients)
+	replies := make([]reply, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		inputs[i] = distinctInput(i, shape)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Even clients act as model A (tag 1): engine task 0 renamed to 7.
+			// Odd clients act as model B (tag 2): engine task 1 renamed to 0.
+			tag, tasks := 1, map[int]int{0: 7}
+			if i%2 == 1 {
+				tag, tasks = 2, map[int]int{1: 0}
+			}
+			outs, err := b.SubmitTagged(context.Background(), inputs[i], tag, tasks)
+			replies[i] = reply{outs, err}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		r := replies[i]
+		if r.err != nil {
+			t.Fatalf("client %d: %v", i, r.err)
+		}
+		if len(r.outs) != 1 {
+			t.Fatalf("client %d received %d outputs, want 1 (task-filtered)", i, len(r.outs))
+		}
+		want := ref.Forward(inputs[i])
+		engID, callerID := 0, 7
+		if i%2 == 1 {
+			engID, callerID = 1, 0
+		}
+		got := r.outs[callerID]
+		if got == nil {
+			t.Fatalf("client %d missing renamed task %d", i, callerID)
+		}
+		wd, gd := want[engID].Data(), got.Data()
+		for j := range wd {
+			if wd[j] != gd[j] {
+				t.Fatalf("client %d task %d elem %d: %v vs %v", i, callerID, j, gd[j], wd[j])
+			}
+		}
+	}
+	if st := b.Stats(); st.MixedBatches == 0 {
+		t.Fatalf("no mixed batches recorded: %+v", st)
+	}
+}

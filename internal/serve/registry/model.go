@@ -47,6 +47,8 @@ type Snapshot struct {
 	// PlanOps/PlannedOps/EagerOps describe plan coverage: how many compiled
 	// ops the deployment runs and how many fell back to eager layers.
 	PlanOps, PlannedOps, EagerOps int
+	// Shared describes the model's shared-stem group, nil while solo.
+	Shared *SharedStemInfo
 }
 
 // ModelStats is one model's serving snapshot: identity, batcher counters,
@@ -64,6 +66,9 @@ type ModelStats struct {
 	Swaps                    []SwapRecord
 	// Pending is the number of admitted-but-unanswered requests.
 	Pending int
+	// Shared describes the model's shared-stem group, nil while solo.
+	// Its counters (memo, mixed batches, histogram) are group-wide.
+	Shared *SharedStemInfo
 }
 
 // Model is the serving handle for one registered name. The deployment
@@ -77,6 +82,10 @@ type Model struct {
 
 	cur    atomic.Pointer[deployment]
 	swapMu sync.Mutex // serializes Swap/Reload/Close for this model
+
+	// group is the model's shared-stem group, nil while serving solo.
+	// Guarded by reg.shareMu, NOT swapMu.
+	group *sharedGroup
 
 	rejected atomic.Int64 // queue-full sheds
 	shed     atomic.Int64 // SLO-admission sheds
@@ -101,6 +110,7 @@ func (m *Model) Snapshot() (Snapshot, error) {
 		Name: m.name, Version: d.version, Checksum: d.checksum, Source: d.source,
 		InputShape: d.shape, SampleSize: d.per, Vocab: d.vocab, Graph: d.graph,
 		PlanOps: d.planOps, PlannedOps: d.plannedOps, EagerOps: d.eagerOps,
+		Shared: m.sharedInfo(),
 	}, nil
 }
 
@@ -126,7 +136,7 @@ func (m *Model) Submit(ctx context.Context, x *tensor.Tensor) (map[int]*tensor.T
 			}
 		}
 		t0 := time.Now()
-		outs, err := d.bat.Submit(ctx, x)
+		outs, err := d.submit(ctx, x)
 		switch {
 		case err == nil:
 			m.observe(time.Since(t0))
@@ -198,6 +208,7 @@ func (m *Model) Stats() ModelStats {
 	m.hmu.Lock()
 	st.Swaps = append([]SwapRecord(nil), m.history...)
 	m.hmu.Unlock()
+	st.Shared = m.sharedInfo()
 	return st
 }
 
@@ -232,7 +243,17 @@ func (m *Model) Swap(ctx context.Context, g *graph.Graph, checksum string) (Swap
 	return m.swapTo(ctx, g, checksum, "")
 }
 
+// swapTo routes a swap: share-enabled models go through the registry's
+// shared-stem path (which may recompile a whole group or depart from
+// one); solo models swap in place.
 func (m *Model) swapTo(ctx context.Context, g *graph.Graph, checksum, source string) (SwapRecord, error) {
+	if m.opts.ShareStem > 0 {
+		return m.reg.sharedSwap(ctx, m, g, checksum, source)
+	}
+	return m.soloSwap(ctx, g, checksum, source)
+}
+
+func (m *Model) soloSwap(ctx context.Context, g *graph.Graph, checksum, source string) (SwapRecord, error) {
 	m.swapMu.Lock()
 	defer m.swapMu.Unlock()
 	old := m.cur.Load()

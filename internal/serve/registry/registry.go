@@ -37,6 +37,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/serve"
 	"repro/internal/serve/batcher"
+	"repro/internal/tensor"
 )
 
 var (
@@ -86,6 +87,17 @@ type ModelOptions struct {
 	// before engines compile — the place to strip or validate int8
 	// annotations. Not applied to graphs handed in directly.
 	Prepare func(*graph.Graph) error
+	// ShareStem, when positive, opts the model into shared-stem serving:
+	// if another share-enabled model's prefix fingerprint chain matches
+	// this one's for at least ShareStem stem nodes (weights included —
+	// fingerprint.PrefixHashes), the two route through one shared
+	// multi-head plan whose batcher coalesces cross-model requests into a
+	// single stem batch. 0 keeps the model solo.
+	ShareStem int
+	// StemMemoCap bounds the shared group's stem-activation memo (LRU
+	// entries); the group takes the largest cap among its members. 0
+	// disables memoisation for this model's vote.
+	StemMemoCap int
 }
 
 func (o ModelOptions) withDefaults() ModelOptions {
@@ -113,6 +125,21 @@ type deployment struct {
 	vocab int // token vocabulary for 1-D inputs, 0 for image models
 
 	planOps, plannedOps, eagerOps int
+
+	// shared, when non-nil, marks this deployment as one member of a
+	// shared-stem group: bat is the GROUP batcher (one per group, shared by
+	// every member deployment) and submissions go through SubmitTagged with
+	// the member's task renames.
+	shared *sharedRef
+}
+
+// submit routes one request through the deployment's batcher, tagged and
+// task-filtered when the deployment serves inside a shared-stem group.
+func (d *deployment) submit(ctx context.Context, x *tensor.Tensor) (map[int]*tensor.Tensor, error) {
+	if d.shared != nil {
+		return d.bat.SubmitTagged(ctx, x, d.shared.tag, d.shared.tasks)
+	}
+	return d.bat.Submit(ctx, x)
 }
 
 // Stats is the registry-level snapshot surfaced through GET /v1/stats:
@@ -133,6 +160,12 @@ type Registry struct {
 	defaultName string
 	closed      bool
 
+	// shareMu serializes every shared-stem topology change: group
+	// formation, join, member swap, departure, dissolution. Lock order is
+	// shareMu -> r.mu -> Model.swapMu; nothing may acquire shareMu while
+	// holding either of the others.
+	shareMu sync.Mutex
+
 	swaps       atomic.Int64
 	swapDrainNS atomic.Int64
 }
@@ -151,7 +184,11 @@ func (r *Registry) Register(name string, g *graph.Graph, opts ModelOptions) (*Mo
 	if err != nil {
 		return nil, fmt.Errorf("registry: checksumming %q: %w", name, err)
 	}
-	return r.register(name, g, sum, "", opts)
+	m, err := r.register(name, g, sum, "", opts)
+	if err == nil {
+		r.tryShare(m)
+	}
+	return m, err
 }
 
 // Load reads a checksum-verified checkpoint from path and serves it under
@@ -168,7 +205,11 @@ func (r *Registry) Load(name, path string, opts ModelOptions) (*Model, error) {
 			return nil, fmt.Errorf("registry: preparing %q: %w", name, err)
 		}
 	}
-	return r.register(name, g, sum, path, opts)
+	m, err := r.register(name, g, sum, path, opts)
+	if err == nil {
+		r.tryShare(m)
+	}
+	return m, err
 }
 
 func validName(name string) error {
@@ -366,10 +407,17 @@ func (r *Registry) Close(ctx context.Context) error {
 
 // Pending sums the admitted-but-unanswered requests across the fleet.
 // After a Close whose context expired, this counts the abandoned ones.
+// Shared-stem members serve through one group batcher, counted once.
 func (r *Registry) Pending() int {
 	total := 0
+	seen := map[*batcher.Batcher]bool{}
 	for _, m := range r.Models() {
-		total += m.Pending()
+		d := m.cur.Load()
+		if d == nil || seen[d.bat] {
+			continue
+		}
+		seen[d.bat] = true
+		total += d.bat.Pending()
 	}
 	return total
 }

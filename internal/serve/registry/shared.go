@@ -1,0 +1,491 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fingerprint"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/serve"
+	"repro/internal/serve/batcher"
+)
+
+// sharedRef marks one member deployment of a shared-stem group. The
+// deployment's batcher is the GROUP batcher; tag distinguishes this
+// member's requests inside coalesced batches and tasks renames the shared
+// plan's global task ids back to the member's own (engine id -> caller id,
+// the SubmitTagged contract).
+type sharedRef struct {
+	group *sharedGroup
+	tag   int
+	tasks map[int]int
+}
+
+// sharedGroup is one fused multi-head plan serving several registered
+// models whose prefix fingerprint chains agree. The memo and stats objects
+// persist across rebuilds (joins, member swaps): memo entries are keyed by
+// stem fingerprint, so activations of a replaced stem age out of the LRU
+// instead of poisoning the new one. All fields are guarded by the
+// registry's shareMu.
+type sharedGroup struct {
+	members []*Model // registration order; members[0] is the batcher anchor
+	memo    *plan.StemMemo
+	stats   *plan.StemStats
+	bat     *batcher.Batcher
+	sp      *plan.SharedPlan
+}
+
+// SharedStemInfo is the serving view of a model's shared-stem group,
+// surfaced through Snapshot and ModelStats (and from there the v2 API).
+// Counters are group-wide: every member reports the same numbers.
+type SharedStemInfo struct {
+	// Members lists the group's model names in membership order.
+	Members []string `json:"members"`
+	// Depth is the number of stem nodes compiled once for the group.
+	Depth int `json:"depth"`
+	// Fingerprint is the stem's cumulative prefix hash, hex-encoded.
+	Fingerprint string `json:"fingerprint"`
+	// MemoHits/MemoMisses/MemoEvictions/MemoEntries describe the
+	// stem-activation memo (zero when memoisation is disabled).
+	MemoHits      int64 `json:"memo_hits"`
+	MemoMisses    int64 `json:"memo_misses"`
+	MemoEvictions int64 `json:"memo_evictions"`
+	MemoEntries   int   `json:"memo_entries"`
+	// MixedBatches counts fused batches that coalesced requests from more
+	// than one member — the cross-model sharing actually happening.
+	MixedBatches int64 `json:"mixed_batches"`
+	// StemBatchHist histograms the stem batch sizes actually computed;
+	// bucket 0 counts batches served entirely from the memo.
+	StemBatchHist map[int]int64 `json:"stem_batch_hist,omitempty"`
+}
+
+// sharedInfo snapshots the model's group, nil while serving solo. Callers
+// must not hold shareMu, r.mu, or any swapMu.
+func (m *Model) sharedInfo() *SharedStemInfo {
+	m.reg.shareMu.Lock()
+	defer m.reg.shareMu.Unlock()
+	g := m.group
+	if g == nil || g.sp == nil {
+		return nil
+	}
+	info := &SharedStemInfo{
+		Depth:       g.sp.StemDepth,
+		Fingerprint: fmt.Sprintf("%016x", g.sp.StemFingerprint),
+	}
+	for _, mm := range g.members {
+		info.Members = append(info.Members, mm.name)
+	}
+	if g.memo != nil {
+		s := g.memo.Stats()
+		info.MemoHits, info.MemoMisses = s.Hits, s.Misses
+		info.MemoEvictions, info.MemoEntries = s.Evictions, s.Entries
+	}
+	if g.stats != nil {
+		info.StemBatchHist = g.stats.Hist()
+	}
+	if g.bat != nil {
+		info.MixedBatches = g.bat.Stats().MixedBatches
+	}
+	return info
+}
+
+// memberState pins the graph identity one member will serve after a group
+// rebuild — copied from its current deployment except for a swapped
+// member, which brings the new graph and a bumped version.
+type memberState struct {
+	g        *graph.Graph
+	checksum string
+	source   string
+	version  int
+}
+
+func stateOf(d *deployment) memberState {
+	return memberState{g: d.graph, checksum: d.checksum, source: d.source, version: d.version}
+}
+
+// tryShare attempts to move a freshly registered share-enabled model into
+// a shared-stem group. Failures are silent: the model simply keeps its
+// solo deployment.
+func (r *Registry) tryShare(m *Model) {
+	if m.opts.ShareStem <= 0 {
+		return
+	}
+	r.shareMu.Lock()
+	defer r.shareMu.Unlock()
+	r.tryShareLocked(m)
+}
+
+// tryShareLocked scans the fleet in registration order for the first
+// share-enabled partner (or existing group) whose prefix chain matches m's
+// deeply enough, and rebuilds the group to include m. Caller holds shareMu.
+func (r *Registry) tryShareLocked(m *Model) {
+	d := m.cur.Load()
+	if d == nil || m.group != nil {
+		return
+	}
+	chain := fingerprint.PrefixHashes(d.graph)
+	seenGroups := map[*sharedGroup]bool{}
+	for _, c := range r.Models() {
+		if c == m || c.opts.ShareStem <= 0 {
+			continue
+		}
+		cd := c.cur.Load()
+		if cd == nil {
+			continue
+		}
+		if g := c.group; g != nil {
+			if seenGroups[g] {
+				continue
+			}
+			seenGroups[g] = true
+			if r.joinGroup(g, m, d, chain) {
+				return
+			}
+			continue
+		}
+		need := m.opts.ShareStem
+		if c.opts.ShareStem > need {
+			need = c.opts.ShareStem
+		}
+		if fingerprint.SharedDepth(chain, fingerprint.PrefixHashes(cd.graph)) < need {
+			continue
+		}
+		g2 := &sharedGroup{members: []*Model{c, m}}
+		old, err := r.rebuildGroup(g2, []memberState{stateOf(cd), stateOf(d)})
+		if err != nil {
+			continue // pair doesn't compile together; both stay solo
+		}
+		drainBatchers(context.Background(), old)
+		return
+	}
+}
+
+// joinGroup admits m into an existing group when m's chain matches every
+// member at the group's required depth. Reports whether the join happened.
+func (r *Registry) joinGroup(g *sharedGroup, m *Model, d *deployment, chain []uint64) bool {
+	need := m.opts.ShareStem
+	for _, mm := range g.members {
+		if mm.opts.ShareStem > need {
+			need = mm.opts.ShareStem
+		}
+	}
+	states := make([]memberState, 0, len(g.members)+1)
+	for _, mm := range g.members {
+		dd := mm.cur.Load()
+		if dd == nil {
+			return false
+		}
+		if fingerprint.SharedDepth(chain, fingerprint.PrefixHashes(dd.graph)) < need {
+			return false
+		}
+		states = append(states, stateOf(dd))
+	}
+	g2 := &sharedGroup{
+		members: append(append([]*Model(nil), g.members...), m),
+		memo:    g.memo,
+		stats:   g.stats,
+	}
+	old, err := r.rebuildGroup(g2, append(states, stateOf(d)))
+	if err != nil {
+		return false
+	}
+	drainBatchers(context.Background(), old)
+	return true
+}
+
+// rebuildGroup compiles the shared plan over states' graphs, builds one
+// engine pool + group batcher, and publishes a fresh member deployment per
+// model — new arrivals land on the shared plan immediately; requests the
+// replaced batchers already admitted complete during the caller's drain,
+// so no request is ever dropped. Returns the replaced batchers (deduped)
+// for the caller to drain. Caller holds shareMu; nothing else is held.
+func (r *Registry) rebuildGroup(g *sharedGroup, states []memberState) ([]*batcher.Batcher, error) {
+	graphs := make([]*graph.Graph, len(states))
+	for i, s := range states {
+		graphs[i] = s.g
+	}
+	sp, err := plan.CompileShared(graphs, 0)
+	if err != nil {
+		return nil, err
+	}
+	need, pool, memoCap := 0, 0, 0
+	for _, mm := range g.members {
+		if mm.opts.ShareStem > need {
+			need = mm.opts.ShareStem
+		}
+		if mm.opts.Pool > pool {
+			pool = mm.opts.Pool
+		}
+		if mm.opts.StemMemoCap > memoCap {
+			memoCap = mm.opts.StemMemoCap
+		}
+	}
+	if sp.StemDepth < need {
+		return nil, fmt.Errorf("registry: shared stem depth %d below required %d", sp.StemDepth, need)
+	}
+	if memoCap > 0 && (g.memo == nil || g.memo.Stats().Cap < memoCap) {
+		g.memo = plan.NewStemMemo(memoCap) // grow: fresh LRU at the larger cap
+	}
+	if g.stats == nil {
+		g.stats = plan.NewStemStats()
+	}
+	engines := make([]engine.Engine, pool)
+	for i := range engines {
+		engines[i] = engine.NewSharedFused(sp, g.memo, g.stats)
+	}
+	anchor := g.members[0].opts
+	shape := graphs[0].Root.InputShape
+	bat, err := batcher.New(shape, engines, batcher.Options{
+		MaxBatch: anchor.MaxBatch,
+		MaxWait:  anchor.MaxWait,
+		QueueCap: anchor.QueueCap,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+
+	rep := sp.Report()
+	per := 1
+	for _, dim := range shape {
+		per *= dim
+	}
+	var old []*batcher.Batcher
+	seen := map[*batcher.Batcher]bool{}
+	published := 0
+	for i, mm := range g.members {
+		tasks := make(map[int]int, len(sp.Models[i].TaskMap))
+		for local, global := range sp.Models[i].TaskMap {
+			tasks[global] = local
+		}
+		nd := &deployment{
+			graph: states[i].g, bat: bat, version: states[i].version,
+			checksum: states[i].checksum, source: states[i].source,
+			shape: shape.Clone(), per: per,
+			planOps: len(rep.Ops), plannedOps: rep.Planned, eagerOps: rep.Eager,
+			shared: &sharedRef{group: g, tag: i + 1, tasks: tasks},
+		}
+		if len(shape) == 1 {
+			nd.vocab = serve.VocabOf(states[i].g)
+		}
+		mm.swapMu.Lock()
+		prev := mm.cur.Load()
+		if prev == nil { // closed underneath us: don't resurrect it
+			mm.swapMu.Unlock()
+			continue
+		}
+		mm.cur.Store(nd)
+		mm.swapMu.Unlock()
+		mm.group = g
+		published++
+		if !seen[prev.bat] {
+			seen[prev.bat] = true
+			old = append(old, prev.bat)
+		}
+	}
+	if published == 0 {
+		drainBatchers(context.Background(), []*batcher.Batcher{bat})
+		return nil, ErrClosed
+	}
+	g.sp = sp
+	g.bat = bat
+	return old, nil
+}
+
+// drainBatchers stops each batcher once, bounded by ctx (plus a fallback
+// timeout when ctx has no deadline). Stop is idempotent, so batchers
+// shared by several replaced deployments drain exactly once.
+func drainBatchers(ctx context.Context, bats []*batcher.Batcher) (abandoned int, err error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+	}
+	seen := map[*batcher.Batcher]bool{}
+	for _, b := range bats {
+		if b == nil || seen[b] {
+			continue
+		}
+		seen[b] = true
+		if e := b.Stop(ctx); e != nil && err == nil {
+			err = e
+		}
+		abandoned += b.Pending()
+	}
+	return abandoned, err
+}
+
+// sharedSwap hot-swaps one model that opted into stem sharing. While the
+// new graph still shares with every partner at the required depth, the
+// whole group recompiles onto the new stem (partners keep their versions
+// and never observe a failed request — publish first, drain after).
+// Otherwise the swapped model departs to a solo deployment and the
+// remainder regroups (or dissolves to solo when only one partner is left).
+func (r *Registry) sharedSwap(ctx context.Context, m *Model, g *graph.Graph, checksum, source string) (SwapRecord, error) {
+	r.shareMu.Lock()
+	defer r.shareMu.Unlock()
+	grp := m.group
+	if grp == nil {
+		rec, err := m.soloSwap(ctx, g, checksum, source)
+		if err == nil {
+			r.tryShareLocked(m) // the new graph may share with someone now
+		}
+		return rec, err
+	}
+	old := m.cur.Load()
+	if old == nil {
+		return SwapRecord{}, ErrClosed
+	}
+	chain := fingerprint.PrefixHashes(g)
+	need := 0
+	for _, mm := range grp.members {
+		if mm.opts.ShareStem > need {
+			need = mm.opts.ShareStem
+		}
+	}
+	still := true
+	for _, mm := range grp.members {
+		if mm == m {
+			continue
+		}
+		dd := mm.cur.Load()
+		if dd == nil || fingerprint.SharedDepth(chain, fingerprint.PrefixHashes(dd.graph)) < need {
+			still = false
+			break
+		}
+	}
+
+	t0 := time.Now()
+	var toDrain []*batcher.Batcher
+	if still {
+		g2 := &sharedGroup{
+			members: append([]*Model(nil), grp.members...),
+			memo:    grp.memo,
+			stats:   grp.stats,
+		}
+		states := make([]memberState, len(g2.members))
+		for i, mm := range g2.members {
+			if mm == m {
+				states[i] = memberState{g: g, checksum: checksum, source: source, version: old.version + 1}
+				continue
+			}
+			dd := mm.cur.Load()
+			if dd == nil {
+				still = false
+				break
+			}
+			states[i] = stateOf(dd)
+		}
+		if still {
+			bats, err := r.rebuildGroup(g2, states)
+			if err != nil {
+				still = false // stem diverged in a way only compilation sees
+			} else {
+				toDrain = bats
+			}
+		}
+	}
+	if !still {
+		// Departure: m leaves for a solo deployment of the new graph.
+		nd, err := deploy(g, checksum, source, old.version+1, m.opts, nil)
+		if err != nil {
+			return SwapRecord{}, err
+		}
+		m.swapMu.Lock()
+		if m.cur.Load() == nil {
+			m.swapMu.Unlock()
+			stopDeployment(nd)
+			return SwapRecord{}, ErrClosed
+		}
+		m.cur.Store(nd)
+		m.swapMu.Unlock()
+		m.group = nil
+		rest := make([]*Model, 0, len(grp.members)-1)
+		for _, mm := range grp.members {
+			if mm != m {
+				rest = append(rest, mm)
+			}
+		}
+		movedOff := true
+		if len(rest) >= 2 {
+			g2 := &sharedGroup{members: rest, memo: grp.memo, stats: grp.stats}
+			states := make([]memberState, 0, len(rest))
+			for _, mm := range rest {
+				if dd := mm.cur.Load(); dd != nil {
+					states = append(states, stateOf(dd))
+				}
+			}
+			if len(states) == len(rest) {
+				if bats, err := r.rebuildGroup(g2, states); err != nil {
+					movedOff = r.dissolve(rest)
+				} else {
+					toDrain = append(toDrain, bats...)
+				}
+			} else {
+				movedOff = r.dissolve(rest)
+			}
+		} else {
+			movedOff = r.dissolve(rest)
+		}
+		if movedOff {
+			toDrain = append(toDrain, grp.bat)
+		}
+	}
+
+	abandoned, stopErr := drainBatchers(ctx, toDrain)
+	drain := time.Since(t0)
+	toVersion := old.version + 1
+	if cur := m.cur.Load(); cur != nil {
+		toVersion = cur.version
+	}
+	rec := SwapRecord{
+		FromVersion: old.version, ToVersion: toVersion,
+		FromChecksum: old.checksum, ToChecksum: checksum,
+		DrainMicros: drain.Microseconds(),
+		Abandoned:   abandoned,
+		UnixMicros:  time.Now().UnixMicro(),
+	}
+	m.hmu.Lock()
+	m.history = append(m.history, rec)
+	m.hmu.Unlock()
+	r.swaps.Add(1)
+	r.swapDrainNS.Add(int64(drain))
+	if stopErr != nil {
+		return rec, fmt.Errorf("registry: swap of %q: drain abandoned %d in-flight requests: %w",
+			m.name, rec.Abandoned, stopErr)
+	}
+	return rec, nil
+}
+
+// dissolve returns members to solo deployments of their current graphs
+// (versions unchanged — the served content is identical). Reports whether
+// every member moved off the group batcher, so the caller knows it is
+// safe to stop it. Caller holds shareMu.
+func (r *Registry) dissolve(members []*Model) bool {
+	ok := true
+	for _, mm := range members {
+		dd := mm.cur.Load()
+		if dd == nil {
+			mm.group = nil
+			continue
+		}
+		nd, err := deploy(dd.graph, dd.checksum, dd.source, dd.version, mm.opts, nil)
+		if err != nil {
+			ok = false // keep mm on the group batcher rather than brick it
+			continue
+		}
+		mm.swapMu.Lock()
+		if mm.cur.Load() == nil {
+			mm.swapMu.Unlock()
+			stopDeployment(nd)
+			mm.group = nil
+			continue
+		}
+		mm.cur.Store(nd)
+		mm.swapMu.Unlock()
+		mm.group = nil
+	}
+	return ok
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// traceMagic heads every trace file; bump the version when the format
+// changes incompatibly.
+const traceMagic = "gmorph-trace v1"
+
+// Trace is a recorded per-tenant arrival schedule: for each stream, the
+// offsets (from its window start) at which requests arrived — admitted
+// and dropped alike, since both are part of the offered load. A trace
+// captured from one run (RecordStreams) replays bit-exactly against
+// another configuration (ReplayStreams), which is what makes A/B serving
+// experiments comparable: both sides see the same arrival process instead
+// of two independent samples of it.
+type Trace struct {
+	Streams map[string][]time.Duration
+}
+
+// Save writes the trace as a line-oriented text file:
+//
+//	gmorph-trace v1
+//	stream <name> <count>
+//	<offset-nanoseconds, one per line>
+//
+// Streams are written in sorted name order so identical traces produce
+// identical files.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, traceMagic)
+	names := make([]string, 0, len(t.Streams))
+	for name := range t.Streams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		offs := t.Streams[name]
+		fmt.Fprintf(w, "stream %s %d\n", name, len(offs))
+		for _, off := range offs {
+			fmt.Fprintf(w, "%d\n", off.Nanoseconds())
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// LoadTrace reads a trace file written by Save.
+func LoadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() || sc.Text() != traceMagic {
+		return nil, fmt.Errorf("trace: %s: not a %q file", path, traceMagic)
+	}
+	t := &Trace{Streams: map[string][]time.Duration{}}
+	for sc.Scan() {
+		var name string
+		var n int
+		if _, err := fmt.Sscanf(sc.Text(), "stream %s %d", &name, &n); err != nil {
+			return nil, fmt.Errorf("trace: %s: bad stream header %q", path, sc.Text())
+		}
+		if _, dup := t.Streams[name]; dup {
+			return nil, fmt.Errorf("trace: %s: duplicate stream %q", path, name)
+		}
+		offs := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("trace: %s: stream %q truncated at %d/%d arrivals", path, name, i, n)
+			}
+			var ns int64
+			if _, err := fmt.Sscanf(sc.Text(), "%d", &ns); err != nil {
+				return nil, fmt.Errorf("trace: %s: bad offset %q", path, sc.Text())
+			}
+			offs = append(offs, time.Duration(ns))
+		}
+		t.Streams[name] = offs
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return t, nil
+}
+
+// RecordStreams runs the streams like RunStreams while recording every
+// open-loop arrival into a trace keyed by stream name. Closed-loop
+// streams (no Rate, no Arrivals) record nothing — their arrival process
+// is completion-driven and has no schedule to replay. A caller-supplied
+// OnArrival still fires; the recorder chains it.
+func RecordStreams(ctx context.Context, streams []Stream) (map[string]Report, *Trace) {
+	trace := &Trace{Streams: map[string][]time.Duration{}}
+	var mu sync.Mutex
+	wrapped := make([]Stream, len(streams))
+	for i, s := range streams {
+		name, inner := s.Name, s.Opts.OnArrival
+		s.Opts.OnArrival = func(i int, off time.Duration) {
+			mu.Lock()
+			trace.Streams[name] = append(trace.Streams[name], off)
+			mu.Unlock()
+			if inner != nil {
+				inner(i, off)
+			}
+		}
+		wrapped[i] = s
+	}
+	return RunStreams(ctx, wrapped), trace
+}
+
+// ReplayStreams runs the streams under the trace's recorded arrival
+// schedules: each stream whose name appears in the trace has its Rate
+// replaced by the explicit offsets. Streams absent from the trace run
+// under their own options unchanged.
+func ReplayStreams(ctx context.Context, streams []Stream, trace *Trace) map[string]Report {
+	replayed := make([]Stream, len(streams))
+	for i, s := range streams {
+		if offs, ok := trace.Streams[s.Name]; ok {
+			s.Opts.Arrivals = offs
+			s.Opts.Rate = 0
+		}
+		replayed[i] = s
+	}
+	return RunStreams(ctx, replayed)
+}

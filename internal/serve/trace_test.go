@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	tr := &Trace{Streams: map[string][]time.Duration{
+		"tenant-a": {0, 1500 * time.Microsecond, 3 * time.Millisecond},
+		"tenant-b": {250 * time.Microsecond},
+		"idle":     {},
+	}}
+	path := filepath.Join(t.TempDir(), "arrivals.trace")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An empty stream round-trips as an empty (non-nil) schedule.
+	if got.Streams["idle"] == nil || len(got.Streams["idle"]) != 0 {
+		t.Fatalf("idle stream = %v", got.Streams["idle"])
+	}
+	got.Streams["idle"] = tr.Streams["idle"]
+	if !reflect.DeepEqual(got.Streams, tr.Streams) {
+		t.Fatalf("round trip changed offsets:\n got %v\nwant %v", got.Streams, tr.Streams)
+	}
+}
+
+func TestLoadTraceRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.trace")
+	if err := writeFile(path, "not a trace\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrace(path); err == nil {
+		t.Fatal("garbage file loaded without error")
+	}
+	if err := writeFile(path, traceMagic+"\nstream x 3\n100\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrace(path); err == nil {
+		t.Fatal("truncated stream loaded without error")
+	}
+}
+
+// Recording an open-loop run captures its arrivals; replaying the trace
+// offers the identical schedule — recording the replay reproduces the
+// trace bit-for-bit.
+func TestRecordReplayStreamsBitExact(t *testing.T) {
+	shape := graph.Shape{4}
+	target := func(_ context.Context, _ *tensor.Tensor) error {
+		time.Sleep(200 * time.Microsecond)
+		return nil
+	}
+	streams := []Stream{
+		{Name: "a", Target: target, Shape: shape,
+			Opts: Options{Rate: 400, Duration: 100 * time.Millisecond, Warmup: 1}},
+		{Name: "b", Target: target, Shape: shape,
+			Opts: Options{Rate: 150, Duration: 100 * time.Millisecond, Warmup: 1}},
+	}
+	ctx := context.Background()
+	reports, trace := RecordStreams(ctx, streams)
+	for _, name := range []string{"a", "b"} {
+		if reports[name].Requests == 0 {
+			t.Fatalf("stream %s completed nothing", name)
+		}
+		if len(trace.Streams[name]) == 0 {
+			t.Fatalf("stream %s recorded no arrivals", name)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := trace.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the loaded trace and record THAT run: same schedule in, same
+	// schedule out.
+	replayed := make([]Stream, len(streams))
+	copy(replayed, streams)
+	for i := range replayed {
+		replayed[i].Opts.Arrivals = loaded.Streams[replayed[i].Name]
+		replayed[i].Opts.Rate = 0
+	}
+	reports2, trace2 := RecordStreams(ctx, replayed)
+	for _, name := range []string{"a", "b"} {
+		if !reflect.DeepEqual(trace2.Streams[name], trace.Streams[name]) {
+			t.Fatalf("stream %s replay diverged from recording:\n got %v\nwant %v",
+				name, trace2.Streams[name], trace.Streams[name])
+		}
+		offered := len(trace.Streams[name])
+		if got := reports2[name].Requests + reports2[name].Dropped + reports2[name].Errors; got != offered {
+			t.Fatalf("stream %s replay accounted %d arrivals, offered %d", name, got, offered)
+		}
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

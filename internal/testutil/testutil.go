@@ -112,3 +112,39 @@ func gather(x *tensor.Tensor, rows []int) *tensor.Tensor {
 	}
 	return out
 }
+
+// TinySharedStemPair builds two single-task graphs over a bit-identical
+// two-block stem (3->6 conv+pool, 6->12 conv+pool on [3,16,16] input) that
+// diverge in their third block and head — the shared-stem serving fixture.
+// Stem batch-norm statistics are perturbed before cloning so conv+BN
+// folding is exercised identically on both sides. The first graph has 2
+// classes ("a"), the second 5 ("b").
+func TinySharedStemPair(seed uint64) (*graph.Graph, *graph.Graph) {
+	rng := tensor.NewRNG(seed)
+	stem0 := nn.NewConvBlock(rng, 3, 6, true, true)  // 16 -> 8
+	stem1 := nn.NewConvBlock(rng, 6, 12, true, true) // 8 -> 4
+	for _, b := range []*nn.ConvBlock{stem0, stem1} {
+		rng.FillUniform(b.BN.RunningMean, -0.3, 0.3)
+		rng.FillUniform(b.BN.RunningVar, 0.5, 1.5)
+		rng.FillUniform(b.BN.Gamma.Value, 0.7, 1.3)
+		rng.FillUniform(b.BN.Beta.Value, -0.2, 0.2)
+	}
+	build := func(name string, outC, classes int, hr *tensor.RNG) *graph.Graph {
+		g := graph.New(graph.Shape{3, 16, 16}, graph.DomainRaw)
+		g.TaskNames[0] = name
+		s0 := graph.NewBlockNode(0, 0, "ConvBlock", g.Root.InputShape, graph.DomainRaw, stem0.Clone())
+		g.AddChild(g.Root, s0)
+		s1 := graph.NewBlockNode(0, 1, "ConvBlock", graph.Shape{6, 8, 8}, graph.DomainSpatial, stem1.Clone())
+		g.AddChild(s0, s1)
+		b2 := graph.NewBlockNode(0, 2, "ConvBlock", graph.Shape{12, 4, 4}, graph.DomainSpatial,
+			nn.NewConvBlock(hr, 12, outC, true, false))
+		head := graph.NewBlockNode(0, 3, "Head", graph.Shape{outC, 4, 4}, graph.DomainSpatial,
+			nn.NewSequential("head", nn.NewGlobalAvgPool(), nn.NewLinear(hr, outC, classes)))
+		g.AppendChain(s1, b2, head)
+		g.RefreshCapacities()
+		return g
+	}
+	a := build("a", 12, 2, tensor.NewRNG(seed+1))
+	b := build("b", 10, 5, tensor.NewRNG(seed+2))
+	return a, b
+}
