@@ -158,10 +158,13 @@ type SharedStem struct {
 	// Fingerprint is the stem's cumulative prefix hash, hex-encoded.
 	Fingerprint string `json:"fingerprint"`
 	// MemoHits/MemoMisses/MemoEvictions/MemoEntries describe the
-	// stem-activation memo (all zero when memoisation is disabled).
+	// stem-activation memo (all zero when memoisation is disabled);
+	// MemoFiltered counts rows the admission doorkeeper held out on
+	// their first sighting.
 	MemoHits      int64 `json:"memo_hits"`
 	MemoMisses    int64 `json:"memo_misses"`
 	MemoEvictions int64 `json:"memo_evictions"`
+	MemoFiltered  int64 `json:"memo_filtered"`
 	MemoEntries   int   `json:"memo_entries"`
 	// MixedBatches counts fused batches that coalesced requests from more
 	// than one member.

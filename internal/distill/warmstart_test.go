@@ -73,11 +73,14 @@ func TestFineTuneWarmStartFallsBackOnRegression(t *testing.T) {
 	// A negative learning rate performs gradient ascent: accuracy reliably
 	// degrades from the trained baseline without the loss diverging. The
 	// guard watches the min-margin, so task 0 — the impossible target — must
-	// be the margin-determining task for its regression to register.
+	// be the margin-determining task for its regression to register. The
+	// magnitude is large enough that the first-eval regression is decisive
+	// under either kernel tier's rounding (go8 and avx2 group the GEMM sum
+	// differently), but not so large the divergence guard trips.
 	eval := &distill.Evaluator{Dataset: ds, Targets: map[int]float64{0: 2, 1: 0.5}}
 	student := teacher.Clone()
 	rep := distill.FineTune(student, ds.Train.X, outs, eval,
-		distill.Config{LR: -0.01, Epochs: 5, WarmEpochs: 2, Batch: 16, EvalEvery: 1, Seed: 74}, nil)
+		distill.Config{LR: -0.03, Epochs: 5, WarmEpochs: 2, Batch: 16, EvalEvery: 1, Seed: 74}, nil)
 	if rep.Met || rep.Diverged {
 		t.Fatalf("unexpected verdict: %+v", rep)
 	}

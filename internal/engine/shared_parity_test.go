@@ -93,6 +93,7 @@ func TestSharedFusedParityQuantized(t *testing.T) {
 
 	x := ds.Test.X
 	cold := eng.Forward(x)
+	eng.Forward(x)         // second sighting: the doorkeeper admits the rows
 	warm := eng.Forward(x) // served from the stem memo
 	if s := memo.Stats(); s.Hits == 0 {
 		t.Fatalf("memo never hit: %+v", s)

@@ -1,0 +1,70 @@
+package engine_test
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/plan"
+	"repro/internal/tensor"
+	"repro/internal/tune"
+)
+
+// Tuned-plan parity: compiling with the kernel autotuner installed changes
+// only blocking parameters, never results. Every tunable kernel family
+// (conv im2col GEMM, linear, packed QKV + flash attention via ViT) must
+// produce head outputs identical — to the usual 1e-4 — to an untuned
+// compile of the same graph, across whatever winners this machine measures.
+func TestTunedPlanParity(t *testing.T) {
+	cases := []struct {
+		name  string
+		arch  string
+		shape graph.Shape
+	}{
+		{"resnet18", models.ResNet18, graph.Shape{3, 32, 32}},
+		{"vit", models.ViTBase, graph.Shape{3, 48, 48}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := models.SingleTask(tensor.NewRNG(5), models.Config{}, tc.arch, tc.shape, graph.DomainRaw, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := imageInput(9, 2, tc.shape)
+			primeBN(g, x)
+
+			base := engine.Compile(g).Forward(x)
+
+			tuner, err := tune.New(tune.ModeFull, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan.SetTuner(tuner)
+			defer plan.SetTuner(nil)
+			tuned := engine.Compile(g)
+			if rep := tuned.Plan().Report(); rep.Tuned == 0 {
+				t.Fatal("tuner installed but no ops carry tuned parameters")
+			}
+			got := tuned.Forward(x)
+
+			for task, want := range base {
+				o, ok := got[task]
+				if !ok {
+					t.Fatalf("tuned plan missing head %d", task)
+				}
+				wd, od := want.Data(), o.Data()
+				for i := range wd {
+					d := float64(wd[i] - od[i])
+					if d < 0 {
+						d = -d
+					}
+					if d > 1e-4 {
+						t.Fatalf("head %d diverges at %d: %g vs %g", task, i, od[i], wd[i])
+					}
+				}
+			}
+		})
+	}
+}

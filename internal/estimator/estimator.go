@@ -50,7 +50,13 @@ func (o LatencyOptions) withDefaults() LatencyOptions {
 
 // Latency measures the graph's inference wall-clock on a synthetic batch
 // shaped like the graph input. With opts.Compiled it measures a compiled
-// plan instance rather than the eager walk.
+// plan instance rather than the eager walk. Compilation happens before the
+// timing loop, so when a kernel tuner is installed (plan.SetTuner) the
+// measurement reflects tuned steady-state kernels while any tuning cost —
+// at most one measurement sweep per distinct layer shape, then winner-cache
+// hits — stays outside the timed region. SA search loops that compare
+// thousands of candidates should install a tuner in load (never-measure)
+// mode or prewarm the cache, so candidate latencies stay comparable.
 func Latency(g *graph.Graph, opts LatencyOptions) time.Duration {
 	opts = opts.withDefaults()
 	x, handle := inputBatch(g, opts.Batch)

@@ -1,0 +1,60 @@
+package fingerprint
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Machine signature: the hardware half of the autotune winner-cache key.
+// Tuned tile parameters are only valid on the CPU they were measured on,
+// so the persistent cache (internal/tune) namespaces every entry by this
+// string — moving the cache file to a different machine, changing the
+// core count, or switching kernel tiers (avx2 vs the pure-Go fallback)
+// silently invalidates old winners instead of replaying them.
+
+var (
+	machineOnce sync.Once
+	machineSig  string
+)
+
+// Machine returns a stable signature for the executing machine:
+// GOOS/GOARCH, the logical CPU count, the kernel tier supplied by the
+// caller-visible tensor package at init (folded in by internal/tune, not
+// here, to keep this package dependency-light), and the CPU model name
+// from /proc/cpuinfo when available. The value is computed once; it
+// contains no spaces-sensitive framing beyond single spaces, and is safe
+// to embed in JSON map keys.
+func Machine() string {
+	machineOnce.Do(func() {
+		parts := []string{
+			runtime.GOOS + "/" + runtime.GOARCH,
+			"ncpu=" + strconv.Itoa(runtime.NumCPU()),
+		}
+		if model := cpuModel(); model != "" {
+			parts = append(parts, model)
+		}
+		machineSig = strings.Join(parts, " ")
+	})
+	return machineSig
+}
+
+// cpuModel extracts the first "model name" line from /proc/cpuinfo
+// (Linux); other platforms contribute only GOOS/GOARCH/ncpu.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "model name") {
+			continue
+		}
+		if _, val, ok := strings.Cut(line, ":"); ok {
+			return strings.Join(strings.Fields(val), " ")
+		}
+	}
+	return ""
+}

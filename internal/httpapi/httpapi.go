@@ -302,6 +302,7 @@ func sharedWire(s *registry.SharedStemInfo) *api.SharedStem {
 		MemoHits:      s.MemoHits,
 		MemoMisses:    s.MemoMisses,
 		MemoEvictions: s.MemoEvictions,
+		MemoFiltered:  s.MemoFiltered,
 		MemoEntries:   s.MemoEntries,
 		MixedBatches:  s.MixedBatches,
 		StemBatchHist: s.StemBatchHist,

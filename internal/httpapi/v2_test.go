@@ -384,10 +384,11 @@ func TestV2SharedStemSurface(t *testing.T) {
 		t.Fatalf("shared_stem = %+v", info.SharedStem)
 	}
 
-	// Same rows twice: the second batch's stem comes from the memo, and
-	// both members' stats report the same group-wide counters.
+	// Same rows three times: the doorkeeper admits them on the second
+	// sighting, the third batch's stem comes from the memo, and both
+	// members' stats report the same group-wide counters.
 	in := sampleInput(3 * 16 * 16)
-	for i := 0; i < 2; i++ {
+	for i := 0; i < 3; i++ {
 		if _, err := c.InferModel(ctx, "vit-a", in); err != nil {
 			t.Fatal(err)
 		}

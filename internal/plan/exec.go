@@ -191,13 +191,15 @@ func (inst *Instance) OpStats() []OpStat {
 // any ParallelFor bodies are created here, once, so the hot path allocates
 // nothing.
 
-// convSpec is the fused conv(+BN)(+ReLU)(+maxpool) kernel.
+// convSpec is the fused conv(+BN)(+ReLU)(+maxpool) kernel. gp is the
+// tuner-stamped blocking for the im2col GEMM.
 type convSpec struct {
 	f            *FoldedConv
 	relu         bool
 	cols, flat   int // scratch value ids
 	pre          int // pre-pool scratch value id, -1 without pooling
 	poolK, poolS int
+	gp           tensor.GemmParams
 }
 
 func (s *convSpec) build(inst *Instance, o *Op) func() {
@@ -207,11 +209,11 @@ func (s *convSpec) build(inst *Instance, o *Op) func() {
 		dst := inst.regs[out]
 		if s.pre >= 0 {
 			pre := inst.regs[s.pre]
-			s.f.run(pre, x, inst.regs[s.cols], inst.regs[s.flat], s.relu)
+			s.f.runP(pre, x, inst.regs[s.cols], inst.regs[s.flat], s.relu, s.gp)
 			tensor.MaxPoolEvalInto(dst, pre, s.poolK, s.poolS)
 			return
 		}
-		s.f.run(dst, x, inst.regs[s.cols], inst.regs[s.flat], s.relu)
+		s.f.runP(dst, x, inst.regs[s.cols], inst.regs[s.flat], s.relu, s.gp)
 	}
 }
 
@@ -356,11 +358,12 @@ func (s *copySpec) build(inst *Instance, o *Op) func() {
 
 // linearSpec is a fully connected layer with folded bias; token inputs
 // [N,T,D] are viewed as [N*T,D]. The 2-D views are tensor headers rebuilt
-// only when the batch changes.
+// only when the batch changes. gp is the tuner-stamped GEMM blocking.
 type linearSpec struct {
 	in, out int
 	w       *tensor.Tensor // [in, out], plan-owned copy
 	bias    []float32
+	gp      tensor.GemmParams
 }
 
 func (s *linearSpec) build(inst *Instance, o *Op) func() {
@@ -379,7 +382,7 @@ func (s *linearSpec) build(inst *Instance, o *Op) func() {
 			y2d = tensor.FromSlice(y.Data(), rows, s.out)
 			bound = inst.batch
 		}
-		tensor.MatMulInto(y2d, x2d, s.w)
+		tensor.MatMulIntoP(y2d, x2d, s.w, s.gp)
 		yd := y2d.Data()
 		for r := 0; r < rows; r++ {
 			row := yd[r*s.out:][:s.out]

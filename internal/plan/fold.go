@@ -87,8 +87,14 @@ func (f *FoldedConv) Apply(x *tensor.Tensor, relu bool) *tensor.Tensor {
 // the [N*OH*OW, InC*K*K] im2col buffer, flat the [N*OH*OW, OutC] GEMM
 // output, dst the [N, OutC, OH, OW] destination.
 func (f *FoldedConv) run(dst, x, cols, flat *tensor.Tensor, relu bool) {
+	f.runP(dst, x, cols, flat, relu, tensor.DefaultGemmParams())
+}
+
+// runP is run with explicit GEMM blocking parameters — the planned conv
+// spec calls it with its tuner-stamped winners.
+func (f *FoldedConv) runP(dst, x, cols, flat *tensor.Tensor, relu bool, gp tensor.GemmParams) {
 	tensor.Im2ColInto(cols, x, f.K, f.K, f.Stride, f.Pad)
-	tensor.MatMulTransBInto(flat, cols, f.Weight)
+	tensor.MatMulTransBIntoP(flat, cols, f.Weight, gp)
 	runBiasAct(flat, dst, f.Bias, dst.Dim(2), dst.Dim(3), f.OutC, relu)
 }
 

@@ -132,11 +132,12 @@ func (c *compiler) lowerConv(name string, src *nn.Conv2d, f *FoldedConv, relu bo
 	outShape := []int{f.OutC, oh, ow}
 	var op *Op
 	if q := convQuant(src, f); q != nil {
+		qp, prov := tuneQGemm(oh*ow, f.OutC, kdim)
 		flat := c.newValue([]int{oh * ow, f.OutC}, true, -1)
 		scratch := []int{flat}
 		s := &qconvSpec{
 			q: q, inC: f.InC, k: f.K, stride: f.Stride, pad: f.Pad, outC: f.OutC,
-			relu: relu, flat: flat, pre: -1,
+			relu: relu, flat: flat, pre: -1, qp: qp,
 		}
 		if poolK > 0 {
 			pre := c.newValue([]int{f.OutC, oh, ow}, false, -1)
@@ -145,12 +146,14 @@ func (c *compiler) lowerConv(name string, src *nn.Conv2d, f *FoldedConv, relu bo
 			outShape = []int{f.OutC, tensor.ConvOut(oh, poolK, poolS, 0), tensor.ConvOut(ow, poolK, poolS, 0)}
 		}
 		out := c.newValue(outShape, false, -1)
-		op = &Op{Name: name, Kind: "qconv", In: inVal, In2: -1, Out: out, Scratch: scratch, spec: s}
+		op = &Op{Name: name, Kind: "qconv", In: inVal, In2: -1, Out: out, Scratch: scratch,
+			Tune: prov, TuneParams: qp.String(), spec: s}
 	} else {
+		gp, prov := tuneGemm(oh*ow, f.OutC, kdim, true)
 		cols := c.newValue([]int{oh * ow, kdim}, true, -1)
 		flat := c.newValue([]int{oh * ow, f.OutC}, true, -1)
 		scratch := []int{cols, flat}
-		s := &convSpec{f: f, relu: relu, cols: cols, flat: flat, pre: -1}
+		s := &convSpec{f: f, relu: relu, cols: cols, flat: flat, pre: -1, gp: gp}
 		if poolK > 0 {
 			pre := c.newValue([]int{f.OutC, oh, ow}, false, -1)
 			scratch = append(scratch, pre)
@@ -158,7 +161,8 @@ func (c *compiler) lowerConv(name string, src *nn.Conv2d, f *FoldedConv, relu bo
 			outShape = []int{f.OutC, tensor.ConvOut(oh, poolK, poolS, 0), tensor.ConvOut(ow, poolK, poolS, 0)}
 		}
 		out := c.newValue(outShape, false, -1)
-		op = &Op{Name: name, Kind: "conv", In: inVal, In2: -1, Out: out, Scratch: scratch, spec: s}
+		op = &Op{Name: name, Kind: "conv", In: inVal, In2: -1, Out: out, Scratch: scratch,
+			Tune: prov, TuneParams: gp.String(), spec: s}
 	}
 	v := c.addOp(op)
 	if src != nil && tensor.QuantDepthOK(kdim) {
@@ -173,19 +177,26 @@ func (c *compiler) lowerConv(name string, src *nn.Conv2d, f *FoldedConv, relu bo
 // lowerLinear emits one fully connected op, on the int8 kernel when the
 // layer carries a matching annotation, and records the quantization target.
 func (c *compiler) lowerLinear(name string, l *nn.Linear, inVal int) int {
+	// rows is the per-sample GEMM row count (token count for [T,D] inputs,
+	// 1 for flat vectors) — the m the tuner keys the layer shape on.
+	rows := c.val(inVal).Elems() / l.In
 	out := c.newValue(l.OutShape(c.val(inVal).Shape), false, -1)
 	var op *Op
 	if q := linearQuant(l); q != nil {
+		qp, prov := tuneQGemm(rows, l.Out, l.In)
 		op = &Op{
 			Name: name, Kind: "qlinear", In: inVal, In2: -1, Out: out,
-			spec: &qlinearSpec{q: q, in: l.In, out: l.Out},
+			Tune: prov, TuneParams: qp.String(),
+			spec: &qlinearSpec{q: q, in: l.In, out: l.Out, qp: qp},
 		}
 	} else {
+		gp, prov := tuneGemm(rows, l.Out, l.In, false)
 		bias := make([]float32, l.Out)
 		copy(bias, l.Bias.Value.Data())
 		op = &Op{
 			Name: name, Kind: "linear", In: inVal, In2: -1, Out: out,
-			spec: &linearSpec{in: l.In, out: l.Out, w: l.Weight.Value.Clone(), bias: bias},
+			Tune: prov, TuneParams: gp.String(),
+			spec: &linearSpec{in: l.In, out: l.Out, w: l.Weight.Value.Clone(), bias: bias, gp: gp},
 		}
 	}
 	v := c.addOp(op)

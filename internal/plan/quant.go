@@ -101,6 +101,7 @@ type qconvSpec struct {
 	flat                      int // [oh*ow, outC] Rows2D scratch value id
 	pre                       int // pre-pool scratch value id, -1 without pooling
 	poolK, poolS              int
+	qp                        tensor.QGemmParams
 }
 
 func (s *qconvSpec) build(inst *Instance, o *Op) func() {
@@ -121,7 +122,7 @@ func (s *qconvSpec) build(inst *Instance, o *Op) func() {
 		cols := tensor.GetBufU8(n * oh * ow * qw.KP)
 		tensor.Im2ColU8Into(*cols, *xq, n, s.inC, h, w, s.k, s.k, s.stride, s.pad)
 		tensor.PutBufU8(xq)
-		tensor.QGEMMInto(flat, *cols, qw, n*oh*ow, scales, nil, false)
+		tensor.QGEMMIntoP(flat, *cols, qw, n*oh*ow, scales, nil, false, s.qp)
 		tensor.PutBufU8(cols)
 		runBiasAct(flat, dst, s.q.Bias, oh, ow, s.outC, s.relu)
 		if s.pre >= 0 {
@@ -135,6 +136,7 @@ func (s *qconvSpec) build(inst *Instance, o *Op) func() {
 type qlinearSpec struct {
 	q       *nn.Quant8
 	in, out int
+	qp      tensor.QGemmParams
 }
 
 func (s *qlinearSpec) build(inst *Instance, o *Op) func() {
@@ -154,7 +156,7 @@ func (s *qlinearSpec) build(inst *Instance, o *Op) func() {
 		}
 		xq := tensor.GetBufU8(rows * qw.KP)
 		tensor.QuantizeRowsU8Into(*xq, x.Data(), rows, s.in, qw.KP, s.q.InScale)
-		tensor.QGEMMInto(y2d, *xq, qw, rows, scales, s.q.Bias, false)
+		tensor.QGEMMIntoP(y2d, *xq, qw, rows, scales, s.q.Bias, false, s.qp)
 		tensor.PutBufU8(xq)
 	}
 }

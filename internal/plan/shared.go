@@ -184,9 +184,20 @@ type StemMemo struct {
 	cap int
 	ll  *list.List // front = most recent; values are *memoEntry
 	m   map[stemKey]*list.Element
+	// seen is the doorkeeper: keys sighted exactly once. A brand-new key's
+	// first Put records a sighting and drops the row; only a second sighting
+	// admits it into the LRU. A stream of unique inputs therefore cannot
+	// flush the working set — every one-hit wonder stops at the door.
+	seen map[stemKey]struct{}
 
-	hits, misses, evictions atomic.Int64
+	hits, misses, evictions, filtered atomic.Int64
 }
+
+// seenFactor bounds the doorkeeper set to seenFactor*cap sightings; past
+// that the set is rotated (cleared), forgetting pending first sightings.
+// A forgotten key pays one extra sighting before admission, which is the
+// usual sketch-decay trade: bounded memory over perfect recall.
+const seenFactor = 8
 
 type memoEntry struct {
 	key stemKey
@@ -196,7 +207,12 @@ type memoEntry struct {
 // NewStemMemo returns a memo bounded to capacity entries (rows, not bytes).
 // capacity <= 0 disables caching: lookups miss, inserts drop.
 func NewStemMemo(capacity int) *StemMemo {
-	return &StemMemo{cap: capacity, ll: list.New(), m: make(map[stemKey]*list.Element)}
+	return &StemMemo{
+		cap:  capacity,
+		ll:   list.New(),
+		m:    make(map[stemKey]*list.Element),
+		seen: make(map[stemKey]struct{}),
+	}
 }
 
 // Get returns the cached stem activation row or nil, counting hit/miss.
@@ -217,8 +233,12 @@ func (m *StemMemo) Get(fp, row uint64) []float32 {
 	return nil
 }
 
-// Put inserts a stem activation row, taking ownership of act (callers pass
-// a private copy, never a slab-backed slice).
+// Put offers a stem activation row, taking ownership of act (callers pass
+// a private copy, never a slab-backed slice). Admission is gated by the
+// doorkeeper: the first Put of a never-seen key only records the sighting
+// and drops the row; the second Put inserts. Sightings are recorded here —
+// never in Get — so probing alone (a unique-input stream that always
+// misses) can't accumulate admission credit.
 func (m *StemMemo) Put(fp, row uint64, act []float32) {
 	if m == nil || m.cap <= 0 {
 		return
@@ -231,6 +251,15 @@ func (m *StemMemo) Put(fp, row uint64, act []float32) {
 		e.Value.(*memoEntry).act = act
 		return
 	}
+	if _, ok := m.seen[k]; !ok {
+		if len(m.seen) >= seenFactor*m.cap {
+			m.seen = make(map[stemKey]struct{}, m.cap) // rotate: bounded memory
+		}
+		m.seen[k] = struct{}{}
+		m.filtered.Add(1)
+		return
+	}
+	delete(m.seen, k)
 	m.m[k] = m.ll.PushFront(&memoEntry{key: k, act: act})
 	for m.ll.Len() > m.cap {
 		old := m.ll.Back()
@@ -250,10 +279,11 @@ func (m *StemMemo) Len() int {
 	return m.ll.Len()
 }
 
-// MemoStats is a StemMemo counter snapshot.
+// MemoStats is a StemMemo counter snapshot. Filtered counts rows the
+// doorkeeper held out on their first sighting.
 type MemoStats struct {
-	Hits, Misses, Evictions int64
-	Entries, Cap            int
+	Hits, Misses, Evictions, Filtered int64
+	Entries, Cap                      int
 }
 
 // Stats snapshots the memo's counters. Safe under concurrent use.
@@ -263,7 +293,8 @@ func (m *StemMemo) Stats() MemoStats {
 	}
 	return MemoStats{
 		Hits: m.hits.Load(), Misses: m.misses.Load(), Evictions: m.evictions.Load(),
-		Entries: m.Len(), Cap: m.cap,
+		Filtered: m.filtered.Load(),
+		Entries:  m.Len(), Cap: m.cap,
 	}
 }
 

@@ -135,18 +135,29 @@ func TestCompileSharedRejects(t *testing.T) {
 	}
 }
 
+// put admits a key through the doorkeeper: the first Put records a
+// sighting, the second inserts.
+func put(m *plan.StemMemo, fp, row uint64, act []float32) {
+	m.Put(fp, row, act)
+	m.Put(fp, row, act)
+}
+
 func TestStemMemoLRU(t *testing.T) {
 	m := plan.NewStemMemo(2)
 	if got := m.Get(1, 1); got != nil {
 		t.Fatal("hit on empty memo")
 	}
 	m.Put(1, 1, []float32{1})
-	m.Put(1, 2, []float32{2})
+	if m.Len() != 0 {
+		t.Fatal("doorkeeper admitted a first sighting")
+	}
+	m.Put(1, 1, []float32{1}) // second sighting: admitted
+	put(m, 1, 2, []float32{2})
 	if got := m.Get(1, 1); got == nil || got[0] != 1 {
 		t.Fatalf("Get(1,1) = %v", got)
 	}
-	// Key 2 is now least recent; inserting a third entry evicts it.
-	m.Put(1, 3, []float32{3})
+	// Key 2 is now least recent; admitting a third entry evicts it.
+	put(m, 1, 3, []float32{3})
 	if m.Get(1, 2) != nil {
 		t.Fatal("evicted entry still present")
 	}
@@ -161,7 +172,7 @@ func TestStemMemoLRU(t *testing.T) {
 	if s.Evictions != 1 || s.Entries != 2 || s.Cap != 2 {
 		t.Fatalf("stats %+v", s)
 	}
-	if s.Hits == 0 || s.Misses == 0 {
+	if s.Hits == 0 || s.Misses == 0 || s.Filtered != 3 {
 		t.Fatalf("counters not moving: %+v", s)
 	}
 	// Disabled and nil memos are inert.
@@ -203,20 +214,57 @@ func TestSharedInstanceMemoPaths(t *testing.T) {
 	}
 
 	x4 := sampleInput(62, 4)
-	check(x4, "all-miss") // cold: every row computed
-	check(x4, "all-hit")  // warm: every row served from the memo
+	check(x4, "all-miss")  // cold: every row computed, doorkeeper sightings only
+	check(x4, "all-miss2") // recomputed; second sightings admit every row
+	check(x4, "all-hit")   // warm: every row served from the memo
 
-	// Mixed: rows 0-3 warm, rows 4-5 cold.
+	// Mixed: rows 0-3 warm, rows 4-5 cold (held out by the doorkeeper).
 	x6 := sampleInput(63, 6)
 	copy(x6.Data()[:4*3*16*16], x4.Data())
 	check(x6, "mixed")
 
 	ms := memo.Stats()
-	if ms.Hits != 8 || ms.Misses != 4+2 {
-		t.Fatalf("memo counters hits=%d misses=%d, want 8 and 6", ms.Hits, ms.Misses)
+	if ms.Hits != 8 || ms.Misses != 4+4+2 || ms.Filtered != 4+2 {
+		t.Fatalf("memo counters hits=%d misses=%d filtered=%d, want 8, 10, 6", ms.Hits, ms.Misses, ms.Filtered)
 	}
 	hist := stats.Hist()
-	if hist[4] != 1 || hist[0] != 1 || hist[2] != 1 {
-		t.Fatalf("stem batch histogram %v, want {4:1, 0:1, 2:1}", hist)
+	if hist[4] != 2 || hist[0] != 1 || hist[2] != 1 {
+		t.Fatalf("stem batch histogram %v, want {4:2, 0:1, 2:1}", hist)
+	}
+}
+
+// A stream of unique inputs — the scan that would flush a plain LRU — must
+// leave the memo essentially empty: every one-hit wonder stops at the
+// doorkeeper, and only keys sighted twice are admitted.
+func TestStemMemoDoorkeeperScanResistance(t *testing.T) {
+	m := plan.NewStemMemo(32)
+	// A small working set, admitted the usual way (two sightings each).
+	for row := uint64(0); row < 8; row++ {
+		put(m, 1, row, []float32{float32(row)})
+	}
+	if m.Len() != 8 {
+		t.Fatalf("working set not admitted: Len=%d", m.Len())
+	}
+	// 10k unique rows: none may enter, and the working set must survive.
+	for row := uint64(1000); row < 11000; row++ {
+		m.Put(1, row, []float32{0})
+	}
+	s := m.Stats()
+	if s.Entries != 8 || s.Evictions != 0 {
+		t.Fatalf("unique-input scan polluted the memo: %+v", s)
+	}
+	if s.Filtered < 10000 {
+		t.Fatalf("filtered %d of 10000 unique inserts", s.Filtered)
+	}
+	for row := uint64(0); row < 8; row++ {
+		if m.Get(1, row) == nil {
+			t.Fatalf("working-set row %d lost during the scan", row)
+		}
+	}
+	// Repeats still get in: a scanned key seen a second time is admitted
+	// (unless its sighting fell to a doorkeeper rotation — pick a recent one).
+	m.Put(1, 10999, []float32{9})
+	if m.Get(1, 10999) == nil {
+		t.Fatal("second sighting not admitted after the scan")
 	}
 }

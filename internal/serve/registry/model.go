@@ -47,6 +47,10 @@ type Snapshot struct {
 	// PlanOps/PlannedOps/EagerOps describe plan coverage: how many compiled
 	// ops the deployment runs and how many fell back to eager layers.
 	PlanOps, PlannedOps, EagerOps int
+	// TunedOps/CachedOps/DefaultOps split the plan's tunable-kernel ops by
+	// parameter provenance: autotuned during this deployment's compile,
+	// replayed from the winner cache, or running shipped defaults.
+	TunedOps, CachedOps, DefaultOps int
 	// Shared describes the model's shared-stem group, nil while solo.
 	Shared *SharedStemInfo
 }
@@ -110,6 +114,7 @@ func (m *Model) Snapshot() (Snapshot, error) {
 		Name: m.name, Version: d.version, Checksum: d.checksum, Source: d.source,
 		InputShape: d.shape, SampleSize: d.per, Vocab: d.vocab, Graph: d.graph,
 		PlanOps: d.planOps, PlannedOps: d.plannedOps, EagerOps: d.eagerOps,
+		TunedOps: d.tunedOps, CachedOps: d.cachedOps, DefaultOps: d.defaultOps,
 		Shared: m.sharedInfo(),
 	}, nil
 }

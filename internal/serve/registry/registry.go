@@ -125,6 +125,10 @@ type deployment struct {
 	vocab int // token vocabulary for 1-D inputs, 0 for image models
 
 	planOps, plannedOps, eagerOps int
+	// tunedOps/cachedOps/defaultOps split the plan's tunable-kernel ops by
+	// parameter provenance (autotuned this compile / winner-cache hit /
+	// shipped defaults).
+	tunedOps, cachedOps, defaultOps int
 
 	// shared, when non-nil, marks this deployment as one member of a
 	// shared-stem group: bat is the GROUP batcher (one per group, shared by
@@ -304,6 +308,7 @@ func deploy(g *graph.Graph, sum, source string, version int, opts ModelOptions, 
 		d.planOps = len(rep.Ops)
 		d.plannedOps = rep.Planned
 		d.eagerOps = rep.Eager
+		d.tunedOps, d.cachedOps, d.defaultOps = rep.Tuned, rep.Cached, rep.Defaulted
 	}
 	return d, nil
 }

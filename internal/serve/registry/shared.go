@@ -49,10 +49,13 @@ type SharedStemInfo struct {
 	// Fingerprint is the stem's cumulative prefix hash, hex-encoded.
 	Fingerprint string `json:"fingerprint"`
 	// MemoHits/MemoMisses/MemoEvictions/MemoEntries describe the
-	// stem-activation memo (zero when memoisation is disabled).
+	// stem-activation memo (zero when memoisation is disabled);
+	// MemoFiltered counts rows the admission doorkeeper held out on
+	// their first sighting.
 	MemoHits      int64 `json:"memo_hits"`
 	MemoMisses    int64 `json:"memo_misses"`
 	MemoEvictions int64 `json:"memo_evictions"`
+	MemoFiltered  int64 `json:"memo_filtered"`
 	MemoEntries   int   `json:"memo_entries"`
 	// MixedBatches counts fused batches that coalesced requests from more
 	// than one member — the cross-model sharing actually happening.
@@ -82,6 +85,7 @@ func (m *Model) sharedInfo() *SharedStemInfo {
 		s := g.memo.Stats()
 		info.MemoHits, info.MemoMisses = s.Hits, s.Misses
 		info.MemoEvictions, info.MemoEntries = s.Evictions, s.Entries
+		info.MemoFiltered = s.Filtered
 	}
 	if g.stats != nil {
 		info.StemBatchHist = g.stats.Hist()
@@ -265,6 +269,7 @@ func (r *Registry) rebuildGroup(g *sharedGroup, states []memberState) ([]*batche
 			checksum: states[i].checksum, source: states[i].source,
 			shape: shape.Clone(), per: per,
 			planOps: len(rep.Ops), plannedOps: rep.Planned, eagerOps: rep.Eager,
+			tunedOps: rep.Tuned, cachedOps: rep.Cached, defaultOps: rep.Defaulted,
 			shared: &sharedRef{group: g, tag: i + 1, tasks: tasks},
 		}
 		if len(shape) == 1 {

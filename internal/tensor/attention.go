@@ -66,17 +66,14 @@ func FlashAttendHead(out []float32, outStride int, q, k, v []float32, stride, t,
 			if j0+kn > t {
 				kn = t - j0
 			}
-			// Score tile: s[r][c] = scale * q_{i0+r} · k_{j0+c}.
+			// Score tile: s[r][c] = scale * q_{i0+r} · k_{j0+c}, through the
+			// bound dot kernel (vec.go).
 			for r := 0; r < qn; r++ {
 				qrow := q[(i0+r)*stride:][:hd]
 				srow := s[r*bk:][:kn]
 				for c := 0; c < kn; c++ {
 					krow := k[(j0+c)*stride:][:hd]
-					var dot float32
-					for p, qv := range qrow {
-						dot += qv * krow[p]
-					}
-					srow[c] = dot * scale
+					srow[c] = vdot(qrow, krow) * scale
 				}
 			}
 			// Online softmax: fold the tile into the running max/sum and
@@ -93,9 +90,7 @@ func FlashAttendHead(out []float32, outStride int, q, k, v []float32, stride, t,
 				orow := out[(i0+r)*outStride:][:hd]
 				if corr != 1 {
 					l[r] *= corr
-					for p := range orow {
-						orow[p] *= corr
-					}
+					vscale(orow, corr)
 				}
 				m[r] = mNew
 				for c := range srow {
@@ -109,19 +104,12 @@ func FlashAttendHead(out []float32, outStride int, q, k, v []float32, stride, t,
 					if a == 0 {
 						continue
 					}
-					vrow := v[(j0+c)*stride:][:hd]
-					for p, vv := range vrow {
-						orow[p] += a * vv
-					}
+					vaxpy(orow, a, v[(j0+c)*stride:][:hd])
 				}
 			}
 		}
 		for r := 0; r < qn; r++ {
-			inv := 1 / l[r]
-			orow := out[(i0+r)*outStride:][:hd]
-			for p := range orow {
-				orow[p] *= inv
-			}
+			vscale(out[(i0+r)*outStride:][:hd], 1/l[r])
 		}
 	}
 }

@@ -51,6 +51,58 @@ func FuzzMatMulParity(f *testing.F) {
 	})
 }
 
+// FuzzGemmParamsParity checks the parameterised blocked GEMM — both the
+// plain and the transposed-B entry points — against the naive reference
+// under fuzzed tile parameters. Dimensions reach past the packed-panel
+// extents the fuzzed KC/NC select, so panel seams, ragged tail tiles, and
+// both microkernel register blocks are all crossed. Any parameter choice
+// must agree with the naive reference AND with the default parameters to
+// the parity tolerance (panel seams regroup the k sum, so agreement is
+// within rounding, not bit-exact).
+func FuzzGemmParamsParity(f *testing.F) {
+	// Panel-crossing seeds: k and n past one KC/NC panel, ragged remainders
+	// against both register blocks, and degenerate single-element shapes.
+	f.Add(uint16(65), uint16(129), uint16(37), uint8(0), uint8(1), true, uint64(1), false)
+	f.Add(uint16(17), uint16(150), uint16(140), uint8(1), uint8(0), false, uint64(2), true)
+	f.Add(uint16(4), uint16(96), uint16(8), uint8(3), uint8(2), true, uint64(3), false)
+	f.Add(uint16(1), uint16(1), uint16(1), uint8(0), uint8(0), false, uint64(4), false)
+	f.Fuzz(func(t *testing.T, mRaw, kRaw, nRaw uint16, kcRaw, ncRaw uint8, transB bool, seed uint64, eightWide bool) {
+		m := int(mRaw)%80 + 1
+		k := int(kRaw)%160 + 1
+		n := int(nRaw)%160 + 1
+		// Small panels force seam crossings inside fuzz-sized problems; zero
+		// fields exercise the norm()-to-default path.
+		gp := GemmParams{KC: int(kcRaw) % 4 * 32, NC: int(ncRaw) % 4 * 32}
+		if eightWide {
+			gp.Kernel = Kernel8x8
+		}
+		rng := NewRNG(seed)
+		want := New(m, n)
+		got, gotDefault := New(m, n), New(m, n)
+		if transB {
+			a, b := New(m, k), New(n, k)
+			rng.FillNormal(a, 0, 1)
+			rng.FillNormal(b, 0, 1)
+			MatMulTransBIntoP(got, a, b, gp)
+			MatMulTransBIntoP(gotDefault, a, b, DefaultGemmParams())
+			NaiveMatMulTransBInto(want, a, b)
+		} else {
+			a, b := New(m, k), New(k, n)
+			rng.FillNormal(a, 0, 1)
+			rng.FillNormal(b, 0, 1)
+			MatMulIntoP(got, a, b, gp)
+			MatMulIntoP(gotDefault, a, b, DefaultGemmParams())
+			NaiveMatMulInto(want, a, b)
+		}
+		if d := maxAbsDiff(got, want); d > parityTol*math.Sqrt(float64(k)) {
+			t.Fatalf("GEMM m%d k%d n%d transB=%v %s: max diff vs naive %g", m, k, n, transB, gp.String(), d)
+		}
+		if d := maxAbsDiff(got, gotDefault); d > parityTol*math.Sqrt(float64(k)) {
+			t.Fatalf("GEMM m%d k%d n%d transB=%v %s: max diff vs default params %g", m, k, n, transB, gp.String(), d)
+		}
+	})
+}
+
 // FuzzConv2dParity checks the im2col+GEMM convolution pipeline against the
 // direct seven-loop NaiveConv2d over random geometries, strides, and pads.
 func FuzzConv2dParity(f *testing.F) {

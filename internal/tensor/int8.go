@@ -284,6 +284,7 @@ type qgemmJob struct {
 	dd           []float32
 	scales, bias []float32
 	relu         bool
+	tileM        int
 	body         func(lo, hi int)
 }
 
@@ -293,24 +294,26 @@ var qgemmJobs = sync.Pool{New: func() any {
 	return jb
 }}
 
-// qgemmTileM is the activation-row tile: one pass over a weight group's
-// packed stream is shared by this many rows. Wide layers pack megabytes
-// of weights — far past cache — so per-row streaming makes the kernel
-// memory-bound; tiling divides that weight traffic by the tile size,
-// while the 32-step weight block a tile is working on stays L1-hot.
-const qgemmTileM = 8
+// The activation-row tile (QGemmParams.TileM, default 8): one pass over a
+// weight group's packed stream is shared by this many rows. Wide layers
+// pack megabytes of weights — far past cache — so per-row streaming makes
+// the kernel memory-bound; tiling divides that weight traffic by the tile
+// size, while the 32-step weight block a tile is working on stays L1-hot.
+// The on-stack accumulators are sized for QGemmMaxTileM (params.go) so the
+// tile is a runtime knob the autotuner can search.
 
 func (jb *qgemmJob) run(lo, hi int) {
 	w := jb.w
 	kp, n := w.KP, w.Rows
 	packed, colOff := w.Packed, w.ColOff
 	scales, bias, relu := jb.scales, jb.bias, jb.relu
+	tileM := jb.tileM
 	groups := (n + 2) / 3
-	var rowOff [qgemmTileM]int32
-	for i0 := lo; i0 < hi; i0 += qgemmTileM {
+	var rowOff [QGemmMaxTileM]int32
+	for i0 := lo; i0 < hi; i0 += tileM {
 		tm := hi - i0
-		if tm > qgemmTileM {
-			tm = qgemmTileM
+		if tm > tileM {
+			tm = tileM
 		}
 		for r := 0; r < tm; r++ {
 			arow := jb.a[(i0+r)*kp:][:kp]
@@ -322,7 +325,7 @@ func (jb *qgemmJob) run(lo, hi int) {
 		}
 		for g := 0; g < groups; g++ {
 			pk := packed[g*kp:][:kp]
-			var lanes [qgemmTileM][3]int32
+			var lanes [QGemmMaxTileM][3]int32
 			for p0 := 0; p0 < kp; p0 += QGEMMBlock {
 				q0 := (*[QGEMMBlock]uint64)(pk[p0:])
 				for r := 0; r < tm; r++ {
@@ -373,6 +376,13 @@ func qgemmEpilogue(drow []float32, lanes []int32, j0, n int, rowOff int32, colOf
 // float32. Accumulation is exact in int32, so output is bit-identical to
 // NaiveQGEMMTransBInto on the unbiased operands.
 func QGEMMInto(dst *Tensor, a []uint8, w *QuantWeights, m int, scales, bias []float32, relu bool) {
+	QGEMMIntoP(dst, a, w, m, scales, bias, relu, DefaultQGemmParams())
+}
+
+// QGEMMIntoP is QGEMMInto with an explicit activation-row tile parameter.
+// The tile only changes the work schedule — accumulation stays exact in
+// int32 — so output is bit-identical across tile sizes.
+func QGEMMIntoP(dst *Tensor, a []uint8, w *QuantWeights, m int, scales, bias []float32, relu bool, qp QGemmParams) {
 	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != w.Rows {
 		panic(fmt.Sprintf("tensor: QGEMMInto dst %v, want [%d %d]", dst.shape, m, w.Rows))
 	}
@@ -381,6 +391,7 @@ func QGEMMInto(dst *Tensor, a []uint8, w *QuantWeights, m int, scales, bias []fl
 	}
 	jb := qgemmJobs.Get().(*qgemmJob)
 	jb.a, jb.w, jb.dd, jb.scales, jb.bias, jb.relu = a, w, dst.data, scales, bias, relu
+	jb.tileM = qp.norm()
 	parallelFor(m, jb.body)
 	jb.a, jb.w, jb.dd, jb.scales, jb.bias = nil, nil, nil, nil, nil
 	qgemmJobs.Put(jb)

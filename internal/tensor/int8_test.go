@@ -128,7 +128,7 @@ func biasRows(a []int8, rows, k, kp int) []uint8 {
 	return out
 }
 
-func qgemmCase(t *testing.T, seed int64, m, k, n int, bias, relu bool) {
+func qgemmCase(t *testing.T, seed int64, m, k, n int, bias, relu bool, qp QGemmParams) {
 	t.Helper()
 	rng := NewRNG(uint64(seed))
 	a := make([]int8, m*k)
@@ -158,12 +158,12 @@ func qgemmCase(t *testing.T, seed int64, m, k, n int, bias, relu bool) {
 	qw := PackQuantWeights(b, n, k, wScales)
 	ap := biasRows(a, m, k, qw.KP)
 	got, want := New(m, n), New(m, n)
-	QGEMMInto(got, ap, qw, m, scales, bs, relu)
+	QGEMMIntoP(got, ap, qw, m, scales, bs, relu, qp)
 	NaiveQGEMMTransBInto(want, a, b, m, k, n, scales, bs, relu)
 	for i := range got.Data() {
 		if got.Data()[i] != want.Data()[i] {
-			t.Fatalf("m=%d k=%d n=%d bias=%v relu=%v: dst[%d] = %g, want %g (exact match required)",
-				m, k, n, bias, relu, i, got.Data()[i], want.Data()[i])
+			t.Fatalf("m=%d k=%d n=%d bias=%v relu=%v %s: dst[%d] = %g, want %g (exact match required)",
+				m, k, n, bias, relu, qp.String(), i, got.Data()[i], want.Data()[i])
 		}
 	}
 }
@@ -175,7 +175,7 @@ func TestQGEMMParity(t *testing.T) {
 	} {
 		for _, bias := range []bool{false, true} {
 			for _, relu := range []bool{false, true} {
-				qgemmCase(t, int64(tc.m*1000+tc.k*10+tc.n), tc.m, tc.k, tc.n, bias, relu)
+				qgemmCase(t, int64(tc.m*1000+tc.k*10+tc.n), tc.m, tc.k, tc.n, bias, relu, DefaultQGemmParams())
 			}
 		}
 	}
@@ -211,14 +211,19 @@ func TestQGEMMSaturatedExtremes(t *testing.T) {
 	}
 }
 
+// FuzzQuantizedGEMMParity fuzzes shapes AND the activation-row tile: the
+// int8 kernel must be bit-exact against the naive reference for every
+// TileM, including tiles larger than m and the zero value (normed to the
+// default), with ragged row remainders in between.
 func FuzzQuantizedGEMMParity(f *testing.F) {
-	f.Add(int64(1), 4, 9, 6, true, true)
-	f.Add(int64(2), 1, 1, 1, false, false)
-	f.Add(int64(3), 7, 33, 5, true, false)
-	f.Add(int64(4), 2, 64, 3, false, true)
-	f.Fuzz(func(t *testing.T, seed int64, m, k, n int, bias, relu bool) {
-		m, k, n = 1+absInt(m)%24, 1+absInt(k)%96, 1+absInt(n)%24
-		qgemmCase(t, seed, m, k, n, bias, relu)
+	f.Add(int64(1), 4, 9, 6, true, true, 0)
+	f.Add(int64(2), 1, 1, 1, false, false, 1)
+	f.Add(int64(3), 7, 33, 5, true, false, 3)
+	f.Add(int64(4), 2, 64, 3, false, true, 32)
+	f.Add(int64(5), 29, 80, 7, true, true, 16)
+	f.Fuzz(func(t *testing.T, seed int64, m, k, n int, bias, relu bool, tileM int) {
+		m, k, n = 1+absInt(m)%40, 1+absInt(k)%96, 1+absInt(n)%24
+		qgemmCase(t, seed, m, k, n, bias, relu, QGemmParams{TileM: absInt(tileM) % (QGemmMaxTileM + 2)})
 	})
 }
 

@@ -13,13 +13,17 @@ import (
 
 const parityTol = 1e-4
 
-// parityDims exercises the unroll remainder (1, 3), an exact unroll
-// multiple (64), and an odd size past a power of two (17, 129).
-var parityDims = []int{1, 3, 17, 64, 129}
+// parityDims exercises the microkernel tails: below one vector lane (1,
+// 3, 5), one short of a lane (7), one short of the 16-wide strip (15), an
+// exact tile multiple (64), and odd sizes past tile boundaries (17, 33,
+// 129) — so M tails (rows % MR), N tails (cols % NR), and K oddness all
+// run under both kernel tiers.
+var parityDims = []int{1, 3, 5, 7, 15, 17, 33, 64, 129}
 
-// panelDims adds sizes that straddle the KC/NC panel boundaries so the
-// packed-panel path (jw < n) and multi-panel accumulation both run.
-var panelDims = []int{gemmNC - 1, gemmNC, gemmNC + 7, 2*gemmKC + 5}
+// panelDims adds sizes that straddle the default KC/NC panel boundaries
+// (256) so strip packing of partial panels and multi-panel accumulation
+// both run.
+var panelDims = []int{255, 256, 263, 517}
 
 func maxAbsDiff(a, b *Tensor) float64 {
 	var m float64

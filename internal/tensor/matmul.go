@@ -5,56 +5,196 @@ import (
 	"sync"
 )
 
-// GEMM kernels. The implementation is cache-blocked: B is processed in
-// KC x NC panels (packed into a contiguous arena buffer when the panel is
-// narrower than B, so the inner loops stream unit-stride memory), and the
-// float32 inner kernel consumes four k-steps per pass over the destination
-// row, which cuts destination-row read/write traffic 4x versus the naive
-// triple loop and gives the compiler independent multiply-add chains to
-// schedule. Rows of the destination are distributed over the shared worker
-// pool; every output element is accumulated in the same order no matter how
-// rows are chunked, so results are deterministic across GOMAXPROCS
-// settings. NaiveMatMulInto in naive.go preserves the reference semantics;
-// kernels_parity_test.go holds the two within 1e-4.
-const (
-	// gemmKC is the k-extent of a packed B panel (rows of B per panel).
-	gemmKC = 256
-	// gemmNC is the n-extent of a packed B panel (columns of B per panel).
-	// A full panel is gemmKC*gemmNC*4 bytes = 256 KiB, sized to stay
-	// L2-resident while the four active panel rows (4 KiB) sit in L1.
-	gemmNC = 256
-)
+// GEMM driver. The implementation is cache-blocked in the BLIS style: B is
+// packed into KC x NC panels laid out as NR-wide column strips (zero-padded
+// to NR, so every strip row is a full vector row), and an MR x NR
+// register-blocked microkernel — AVX2 assembly when bound, pure-Go
+// [8]float32 lanes otherwise; see vec.go — sweeps the panel for each MR-row
+// tile of the destination. Destination tiles are distributed over the
+// shared worker pool by absolute tile index, and every kernel accumulates k
+// in ascending order, so each output element sees an identical accumulation
+// order no matter how tiles are chunked: results are deterministic across
+// GOMAXPROCS settings. NaiveMatMulInto in naive.go preserves the reference
+// semantics; kernels_parity_test.go holds the two within 1e-4 across both
+// kernel tiers and arbitrary GemmParams.
+//
+// MatMulInto/MatMulTransBInto run the shipped default parameters; the
+// *P variants take explicit GemmParams so the autotuner (internal/tune)
+// can stamp per-layer-shape winners into compiled plans.
 
-// gemmJob carries MatMulInto's parallel-body state (the zeroing pass and
-// the per-panel accumulate pass) through the worker pool without per-call
-// closure captures.
-type gemmJob struct {
-	dd, ad, panel        []float32
-	n, k, j0, jw, p0, p1 int
-	zero, accum          func(lo, hi int)
+// gemmEngine carries the blocked driver's parallel-body state (the zeroing
+// pass and the per-panel tile sweep) through the worker pool without
+// per-call closure captures.
+type gemmEngine struct {
+	dd, ad, panel []float32
+	m, n, lda     int
+	j0, jw        int // current column panel
+	p0, kw        int // current k panel
+	mr, nr        int
+	nstrips       int
+	kern          microFn  // full-tile kernel, assembly tier (nil when unbound)
+	kern1         micro1Fn // single-row M-tail kernel, assembly tier
+	goFull        microFn  // full-tile kernel, pure-Go lane tier
+	zero          func(lo, hi int)
+	tiles         func(lo, hi int)
 }
 
-var gemmJobs = sync.Pool{New: func() any {
-	jb := &gemmJob{}
-	jb.zero = jb.runZero
-	jb.accum = jb.runAccum
-	return jb
+var gemmEngines = sync.Pool{New: func() any {
+	e := &gemmEngine{}
+	e.zero = e.runZero
+	e.tiles = e.runTiles
+	return e
 }}
 
-func (jb *gemmJob) runZero(lo, hi int) {
-	row := jb.dd[lo*jb.n : hi*jb.n]
+func (e *gemmEngine) runZero(lo, hi int) {
+	row := e.dd[lo*e.n : hi*e.n]
 	for x := range row {
 		row[x] = 0
 	}
 }
 
-func (jb *gemmJob) runAccum(lo, hi int) {
-	gemmAccum(jb.dd, jb.ad, jb.panel, lo, hi, jb.n, jb.k, jb.j0, jb.jw, jb.p0, jb.p1)
+// runTiles accumulates destination tiles [tlo, thi) against the current
+// packed panel. A tile is MR consecutive destination rows; within it the
+// panel is swept strip by strip, dispatching the full-tile microkernel,
+// the single-row tail kernel, or the generic ragged kernel depending on
+// how much of the tile is in range.
+func (e *gemmEngine) runTiles(tlo, thi int) {
+	mr, nr := e.mr, e.nr
+	kw, lda, n := e.kw, e.lda, e.n
+	for t := tlo; t < thi; t++ {
+		i := t * mr
+		rows := e.m - i
+		if rows > mr {
+			rows = mr
+		}
+		ab := e.ad[i*lda+e.p0:]
+		for s := 0; s < e.nstrips; s++ {
+			jj := e.j0 + s*nr
+			w := e.j0 + e.jw - jj
+			if w > nr {
+				w = nr
+			}
+			bp := e.panel[s*kw*nr:]
+			cb := e.dd[i*n+jj:]
+			switch {
+			case rows == mr && w == nr && e.kern != nil:
+				e.kern(kw, &ab[0], lda, &bp[0], &cb[0], n)
+			case rows == mr && w == nr:
+				e.goFull(kw, &ab[0], lda, &bp[0], &cb[0], n)
+			case w == nr && e.kern1 != nil:
+				for r := 0; r < rows; r++ {
+					e.kern1(kw, &ab[r*lda], &bp[0], &cb[r*n])
+				}
+			default:
+				goGemmStrip(kw, ab, lda, rows, bp, nr, cb, n, w)
+			}
+		}
+	}
+}
+
+// gemmBlocked is the shared panel loop: dst[m,n] = a[m,k] @ B where B is
+// b[k,n] (transB false) or b[n,k] read transposed (transB true). dst is
+// zeroed first; each (column panel, k panel) pair is packed once and then
+// accumulated by all destination tiles.
+func gemmBlocked(dd, ad, bd []float32, m, n, k int, transB bool, gp GemmParams) {
+	kc, nc, mr, nr := gp.norm()
+	e := gemmEngines.Get().(*gemmEngine)
+	e.dd, e.ad = dd, ad
+	e.m, e.n, e.lda = m, n, k
+	e.mr, e.nr = mr, nr
+	e.kern, e.kern1 = nil, nil
+	if vecActive {
+		if nr == 16 {
+			e.kern, e.kern1 = microGemm4x16, microGemm1x16
+		} else {
+			e.kern, e.kern1 = microGemm8x8, microGemm1x8
+		}
+	}
+	if nr == 16 {
+		e.goFull = goGemm4x16
+	} else {
+		e.goFull = goGemm8x8
+	}
+	parallelFor(m, e.zero)
+	maxW := nc
+	if n < maxW {
+		maxW = n
+	}
+	maxStrips := (maxW + nr - 1) / nr
+	buf := GetBufDirty(kc * maxStrips * nr)
+	e.panel = *buf
+	ntiles := (m + mr - 1) / mr
+	for j0 := 0; j0 < n; j0 += nc {
+		jw := min(nc, n-j0)
+		for p0 := 0; p0 < k; p0 += kc {
+			kw := min(kc, k-p0)
+			if transB {
+				packPanelBT(e.panel, bd, k, j0, jw, p0, kw, nr)
+			} else {
+				packPanelB(e.panel, bd, n, j0, jw, p0, kw, nr)
+			}
+			e.j0, e.jw, e.p0, e.kw = j0, jw, p0, kw
+			e.nstrips = (jw + nr - 1) / nr
+			parallelFor(ntiles, e.tiles)
+		}
+	}
+	PutBuf(buf)
+	e.dd, e.ad, e.panel = nil, nil, nil
+	gemmEngines.Put(e)
+}
+
+// packPanelB packs B[p0:p0+kw, j0:j0+jw] of a row-major [*, n] matrix into
+// NR-wide column strips: strip s holds columns j0+s*nr onward, row p of the
+// strip at panel[(s*kw+p)*nr:]. The last strip is zero-padded to nr so the
+// microkernels always read full vector rows.
+func packPanelB(panel, bd []float32, n, j0, jw, p0, kw, nr int) {
+	nstrips := (jw + nr - 1) / nr
+	for s := 0; s < nstrips; s++ {
+		js := j0 + s*nr
+		w := min(nr, j0+jw-js)
+		dstS := panel[s*kw*nr:][:kw*nr]
+		if w < nr {
+			for x := range dstS {
+				dstS[x] = 0
+			}
+		}
+		for p := 0; p < kw; p++ {
+			copy(dstS[p*nr:p*nr+w], bd[(p0+p)*n+js:][:w])
+		}
+	}
+}
+
+// packPanelBT packs the same strips from a transposed operand: B is [n, k]
+// row-major and strip column jj is B's row js+jj, so the pack transposes
+// on the fly (unit-stride reads from B, nr-stride writes into the strip).
+func packPanelBT(panel, bd []float32, k, j0, jw, p0, kw, nr int) {
+	nstrips := (jw + nr - 1) / nr
+	for s := 0; s < nstrips; s++ {
+		js := j0 + s*nr
+		w := min(nr, j0+jw-js)
+		dstS := panel[s*kw*nr:][:kw*nr]
+		if w < nr {
+			for x := range dstS {
+				dstS[x] = 0
+			}
+		}
+		for jj := 0; jj < w; jj++ {
+			brow := bd[(js+jj)*k+p0:][:kw]
+			for p, v := range brow {
+				dstS[p*nr+jj] = v
+			}
+		}
+	}
 }
 
 // MatMulInto computes dst = a @ b for 2-D tensors: a is [m,k], b is [k,n],
 // dst is [m,n]. dst is overwritten.
 func MatMulInto(dst, a, b *Tensor) {
+	MatMulIntoP(dst, a, b, DefaultGemmParams())
+}
+
+// MatMulIntoP is MatMulInto with explicit blocking parameters.
+func MatMulIntoP(dst, a, b *Tensor, gp GemmParams) {
 	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulInto wants rank-2 operands, got %v @ %v -> %v", a.shape, b.shape, dst.shape))
 	}
@@ -63,76 +203,7 @@ func MatMulInto(dst, a, b *Tensor) {
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %v @ %v -> %v", a.shape, b.shape, dst.shape))
 	}
-	ad, bd, dd := a.data, b.data, dst.data
-	jb := gemmJobs.Get().(*gemmJob)
-	jb.dd, jb.ad, jb.n, jb.k = dd, ad, n, k
-	parallelFor(m, jb.zero)
-	var panelBuf *[]float32
-	for j0 := 0; j0 < n; j0 += gemmNC {
-		j1 := min(j0+gemmNC, n)
-		jw := j1 - j0
-		for p0 := 0; p0 < k; p0 += gemmKC {
-			p1 := min(p0+gemmKC, k)
-			var panel []float32
-			if jw == n {
-				// The panel is full-width: B's rows are already contiguous.
-				panel = bd[p0*n : p1*n]
-			} else {
-				if panelBuf == nil {
-					panelBuf = GetBufDirty(gemmKC * gemmNC)
-				}
-				panel = (*panelBuf)[:(p1-p0)*jw]
-				for p := p0; p < p1; p++ {
-					copy(panel[(p-p0)*jw:(p-p0+1)*jw], bd[p*n+j0:p*n+j1])
-				}
-			}
-			jb.panel, jb.j0, jb.jw, jb.p0, jb.p1 = panel, j0, jw, p0, p1
-			parallelFor(m, jb.accum)
-		}
-	}
-	if panelBuf != nil {
-		PutBuf(panelBuf)
-	}
-	jb.dd, jb.ad, jb.panel = nil, nil, nil
-	gemmJobs.Put(jb)
-}
-
-// gemmAccum accumulates dst[i0:i1, j0:j0+jw] += a[i0:i1, p0:p1] @ panel,
-// where panel holds B[p0:p1, j0:j0+jw] row-major with row stride jw. The
-// inner kernel folds four k-steps into one pass over the destination row.
-func gemmAccum(dd, ad, panel []float32, i0, i1, n, k, j0, jw, p0, p1 int) {
-	kw := p1 - p0
-	for i := i0; i < i1; i++ {
-		// The [off:][:jw] two-step slicing gives every slice the symbolic
-		// length jw, which lets the compiler eliminate bounds checks in the
-		// inner loops.
-		drow := dd[i*n+j0:][:jw]
-		arow := ad[i*k+p0:][:kw]
-		p := 0
-		for ; p+3 < kw; p += 4 {
-			a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
-			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
-				continue // ReLU-sparse activations: whole group is a no-op
-			}
-			b0 := panel[p*jw:][:jw]
-			b1 := panel[(p+1)*jw:][:jw]
-			b2 := panel[(p+2)*jw:][:jw]
-			b3 := panel[(p+3)*jw:][:jw]
-			for j := range drow {
-				drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
-			}
-		}
-		for ; p < kw; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := panel[p*jw:][:jw]
-			for j := range drow {
-				drow[j] += av * brow[j]
-			}
-		}
-	}
+	gemmBlocked(dst.data, a.data, b.data, m, n, k, false, gp)
 }
 
 // MatMul returns a @ b as a new [m,n] tensor.
@@ -143,8 +214,9 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulTransAInto computes dst = aᵀ @ b where a is [k,m], b is [k,n],
-// dst is [m,n]. Used for weight gradients. Same blocked-accumulate
-// structure as MatMulInto; a is read with stride m.
+// dst is [m,n]. Used for weight gradients (training only — not a serving
+// hot path, so it keeps the scalar blocked-accumulate structure); a is
+// read with stride m.
 func MatMulTransAInto(dst, a, b *Tensor) {
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
@@ -191,67 +263,20 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 
 // MatMulTransBInto computes dst = a @ bᵀ where a is [m,k], b is [n,k],
 // dst is [m,n]. Used for the im2col convolution forward pass and input
-// gradients. Both operands stream unit-stride; four output columns are
-// produced per pass over a's row, giving four independent dot-product
-// chains.
+// gradients; the pack stage transposes B into the strip layout so the
+// same microkernels run as for MatMulInto.
 func MatMulTransBInto(dst, a, b *Tensor) {
+	MatMulTransBIntoP(dst, a, b, DefaultGemmParams())
+}
+
+// MatMulTransBIntoP is MatMulTransBInto with explicit blocking parameters.
+func MatMulTransBIntoP(dst, a, b *Tensor, gp GemmParams) {
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransBInto shape mismatch %v @ %vᵀ -> %v", a.shape, b.shape, dst.shape))
 	}
-	jb := gemmTBJobs.Get().(*gemmTBJob)
-	jb.ad, jb.bd, jb.dd, jb.k, jb.n = a.data, b.data, dst.data, k, n
-	parallelFor(m, jb.body)
-	jb.ad, jb.bd, jb.dd = nil, nil, nil
-	gemmTBJobs.Put(jb)
-}
-
-// gemmTBJob carries MatMulTransBInto's parallel-body state through the pool.
-type gemmTBJob struct {
-	ad, bd, dd []float32
-	k, n       int
-	body       func(lo, hi int)
-}
-
-var gemmTBJobs = sync.Pool{New: func() any {
-	jb := &gemmTBJob{}
-	jb.body = jb.run
-	return jb
-}}
-
-func (jb *gemmTBJob) run(lo, hi int) {
-	ad, bd, dd, k, n := jb.ad, jb.bd, jb.dd, jb.k, jb.n
-	for i := lo; i < hi; i++ {
-		arow := ad[i*k:][:k]
-		drow := dd[i*n : (i+1)*n]
-		j := 0
-		for ; j+3 < n; j += 4 {
-			b0 := bd[j*k:][:k]
-			b1 := bd[(j+1)*k:][:k]
-			b2 := bd[(j+2)*k:][:k]
-			b3 := bd[(j+3)*k:][:k]
-			var s0, s1, s2, s3 float32
-			for p, av := range arow {
-				s0 += av * b0[p]
-				s1 += av * b1[p]
-				s2 += av * b2[p]
-				s3 += av * b3[p]
-			}
-			drow[j] = s0
-			drow[j+1] = s1
-			drow[j+2] = s2
-			drow[j+3] = s3
-		}
-		for ; j < n; j++ {
-			brow := bd[j*k : (j+1)*k]
-			var s float32
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			drow[j] = s
-		}
-	}
+	gemmBlocked(dst.data, a.data, b.data, m, n, k, true, gp)
 }
 
 // Transpose2D returns the transpose of a 2-D tensor as a new tensor.

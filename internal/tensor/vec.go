@@ -1,0 +1,59 @@
+package tensor
+
+// Vector kernel dispatch. The blocked GEMM, the attention kernel, and the
+// conv epilogue all bottom out in the small set of primitives declared
+// here as function variables. The package default binds the pure-Go
+// 8-wide-lane implementations from microgo.go; on amd64 with AVX2+FMA the
+// init in vec_amd64.go rebinds them to hand-written assembly microkernels
+// (vec_amd64.s). The binding is decided once at process start, so kernel
+// selection never changes mid-run and results stay deterministic across
+// worker counts.
+//
+// Forcing the pure-Go tier:
+//
+//   - build with `-tags gmorph_novec` (vec_amd64.go and vec_amd64.s drop
+//     out of the build entirely), or
+//   - set GMORPH_NOVEC=1 in the environment (runtime opt-out, same
+//     binary).
+//
+// Parity with naive.go is enforced for both tiers by
+// kernels_parity_test.go and the fuzz harness; CI runs the suite with the
+// vector tier enabled and forced off.
+
+// microFn is an MR x NR GEMM microkernel: c[0:MR][0:NR] += a[0:MR][0:k] @
+// bp, where a rows are lda floats apart, c rows ldc floats apart, and bp
+// is a packed strip holding k rows of NR contiguous floats.
+type microFn func(k int, a *float32, lda int, bp *float32, c *float32, ldc int)
+
+// micro1Fn is the single-row variant for MR tails: c[0:NR] += a[0:k] @ bp.
+type micro1Fn func(k int, a *float32, bp *float32, c *float32)
+
+var (
+	// vecActive reports whether the assembly microkernel tier was
+	// detected and bound at init.
+	vecActive bool
+	// vecKind names the bound tier for reports and startup logs.
+	vecKind = "go8"
+
+	// GEMM microkernels; nil unless the assembly tier is active (the
+	// blocked driver falls back to the go* lane micros).
+	microGemm4x16 microFn
+	microGemm8x8  microFn
+	microGemm1x16 micro1Fn
+	microGemm1x8  micro1Fn
+
+	// Attention / epilogue primitives. Contracts: vdot requires
+	// len(b) >= len(a); vaxpy requires len(x) >= len(y).
+	vdot   func(a, b []float32) float32              = goDot
+	vaxpy  func(y []float32, a float32, x []float32) = goAxpy
+	vscale func(y []float32, a float32)              = goScale
+)
+
+// VecKind reports which kernel tier this process bound at startup: "avx2"
+// for the assembly microkernels, "go8" for the pure-Go 8-wide-lane
+// fallback (non-amd64, gmorph_novec builds, GMORPH_NOVEC=1, or a CPU
+// without AVX2+FMA).
+func VecKind() string { return vecKind }
+
+// VecActive reports whether the assembly tier is bound.
+func VecActive() bool { return vecActive }

@@ -1,0 +1,114 @@
+//go:build amd64 && !gmorph_novec
+
+package tensor
+
+import "os"
+
+// AVX2+FMA tier: CPUID feature detection and the Go-side bindings for the
+// assembly microkernels in vec_amd64.s. When the CPU qualifies (AVX2, FMA,
+// and OS-enabled YMM state) the init below rebinds the dispatch variables
+// in vec.go; otherwise the pure-Go lane tier stays in place. Set
+// GMORPH_NOVEC=1 to keep the pure-Go tier on a qualifying CPU without
+// rebuilding (CI uses the gmorph_novec build tag for the same purpose,
+// which drops this file entirely).
+
+func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbvAsm() (eax, edx uint32)
+
+//go:noescape
+func avx2Gemm4x16(k int, a *float32, lda int, bp *float32, c *float32, ldc int)
+
+//go:noescape
+func avx2Gemm8x8(k int, a *float32, lda int, bp *float32, c *float32, ldc int)
+
+//go:noescape
+func avx2Gemm1x16(k int, a *float32, bp *float32, c *float32)
+
+//go:noescape
+func avx2Gemm1x8(k int, a *float32, bp *float32, c *float32)
+
+//go:noescape
+func avx2Dot(a, b *float32, n int) float32
+
+//go:noescape
+func avx2Axpy(y, x *float32, a float32, n int)
+
+//go:noescape
+func avx2Scale(y *float32, a float32, n int)
+
+// cpuHasAVX2FMA reports whether the CPU and OS support the assembly tier:
+// AVX2 and FMA instruction sets, plus XMM/YMM state enabled in XCR0 (the
+// OSXSAVE check guards the XGETBV read).
+func cpuHasAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	xcr0, _ := xgetbvAsm()
+	if xcr0&0x6 != 0x6 { // XMM and YMM state both OS-managed
+		return false
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+func init() {
+	if os.Getenv("GMORPH_NOVEC") != "" || !cpuHasAVX2FMA() {
+		return
+	}
+	vecActive = true
+	vecKind = "avx2"
+	microGemm4x16 = avx2Gemm4x16
+	microGemm8x8 = avx2Gemm8x8
+	microGemm1x16 = avx2Gemm1x16
+	microGemm1x8 = avx2Gemm1x8
+	vdot = dotAVX2
+	vaxpy = axpyAVX2
+	vscale = scaleAVX2
+}
+
+// dotAVX2 is the slice-level dot product: the assembly runs the 8-aligned
+// prefix, Go finishes the tail. len(b) must be >= len(a).
+func dotAVX2(a, b []float32) float32 {
+	n := len(a) &^ 7
+	var s float32
+	if n > 0 {
+		s = avx2Dot(&a[0], &b[0], n)
+	}
+	for p := n; p < len(a); p++ {
+		s += a[p] * b[p]
+	}
+	return s
+}
+
+// axpyAVX2 computes y += a * x. len(x) must be >= len(y).
+func axpyAVX2(y []float32, a float32, x []float32) {
+	n := len(y) &^ 7
+	if n > 0 {
+		avx2Axpy(&y[0], &x[0], a, n)
+	}
+	for p := n; p < len(y); p++ {
+		y[p] += a * x[p]
+	}
+}
+
+// scaleAVX2 computes y *= a in place.
+func scaleAVX2(y []float32, a float32) {
+	n := len(y) &^ 7
+	if n > 0 {
+		avx2Scale(&y[0], a, n)
+	}
+	for p := n; p < len(y); p++ {
+		y[p] *= a
+	}
+}

@@ -1,0 +1,358 @@
+//go:build amd64 && !gmorph_novec
+
+#include "textflag.h"
+
+// AVX2+FMA microkernels. Layout contract (shared with microgo.go): bp is a
+// packed strip of k rows x NR contiguous floats; a rows are lda floats
+// apart; c rows are ldc floats apart. Every kernel loads the destination
+// tile into YMM accumulators, runs the k loop in strictly ascending p
+// order (so accumulation order per element matches the pure-Go strip
+// kernel's panel ordering and stays deterministic across worker counts),
+// and stores the tile back once.
+
+// func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func avx2Gemm4x16(k int, a *float32, lda int, bp *float32, c *float32, ldc int)
+//
+// C[4][16] += A[4][k] @ BP. Eight YMM accumulators (two 8-lane halves per
+// row), k unrolled by two: per pair, four row broadcasts feed eight FMAs
+// against the two B halves.
+TEXT ·avx2Gemm4x16(SB), NOSPLIT, $0-48
+	MOVQ k+0(FP), CX
+	MOVQ a+8(FP), AX
+	MOVQ lda+16(FP), R8
+	MOVQ bp+24(FP), BX
+	MOVQ c+32(FP), DI
+	MOVQ ldc+40(FP), R9
+	SHLQ $2, R8                 // strides in bytes
+	SHLQ $2, R9
+
+	// A row pointers.
+	MOVQ AX, R10
+	LEAQ (AX)(R8*1), R11
+	LEAQ (AX)(R8*2), R12
+	LEAQ (R11)(R8*2), R13
+
+	// Load the C tile.
+	MOVQ    DI, DX
+	VMOVUPS (DX), Y0
+	VMOVUPS 32(DX), Y1
+	ADDQ    R9, DX
+	VMOVUPS (DX), Y2
+	VMOVUPS 32(DX), Y3
+	ADDQ    R9, DX
+	VMOVUPS (DX), Y4
+	VMOVUPS 32(DX), Y5
+	ADDQ    R9, DX
+	VMOVUPS (DX), Y6
+	VMOVUPS 32(DX), Y7
+
+	MOVQ CX, SI
+	ANDQ $-2, SI                // SI = number of paired k steps * 1
+	JZ   tail
+
+pair:
+	VMOVUPS      (BX), Y8
+	VMOVUPS      32(BX), Y9
+	VBROADCASTSS (R10), Y10
+	VBROADCASTSS (R11), Y11
+	VBROADCASTSS (R12), Y14
+	VBROADCASTSS (R13), Y15
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VFMADD231PS  Y8, Y11, Y2
+	VFMADD231PS  Y9, Y11, Y3
+	VFMADD231PS  Y8, Y14, Y4
+	VFMADD231PS  Y9, Y14, Y5
+	VFMADD231PS  Y8, Y15, Y6
+	VFMADD231PS  Y9, Y15, Y7
+
+	VMOVUPS      64(BX), Y12
+	VMOVUPS      96(BX), Y13
+	VBROADCASTSS 4(R10), Y10
+	VBROADCASTSS 4(R11), Y11
+	VBROADCASTSS 4(R12), Y14
+	VBROADCASTSS 4(R13), Y15
+	VFMADD231PS  Y12, Y10, Y0
+	VFMADD231PS  Y13, Y10, Y1
+	VFMADD231PS  Y12, Y11, Y2
+	VFMADD231PS  Y13, Y11, Y3
+	VFMADD231PS  Y12, Y14, Y4
+	VFMADD231PS  Y13, Y14, Y5
+	VFMADD231PS  Y12, Y15, Y6
+	VFMADD231PS  Y13, Y15, Y7
+
+	ADDQ $128, BX
+	ADDQ $8, R10
+	ADDQ $8, R11
+	ADDQ $8, R12
+	ADDQ $8, R13
+	SUBQ $2, SI
+	JNZ  pair
+
+tail:
+	TESTQ $1, CX
+	JZ    store
+	VMOVUPS      (BX), Y8
+	VMOVUPS      32(BX), Y9
+	VBROADCASTSS (R10), Y10
+	VBROADCASTSS (R11), Y11
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VFMADD231PS  Y8, Y11, Y2
+	VFMADD231PS  Y9, Y11, Y3
+	VBROADCASTSS (R12), Y10
+	VBROADCASTSS (R13), Y11
+	VFMADD231PS  Y8, Y10, Y4
+	VFMADD231PS  Y9, Y10, Y5
+	VFMADD231PS  Y8, Y11, Y6
+	VFMADD231PS  Y9, Y11, Y7
+
+store:
+	MOVQ    DI, DX
+	VMOVUPS Y0, (DX)
+	VMOVUPS Y1, 32(DX)
+	ADDQ    R9, DX
+	VMOVUPS Y2, (DX)
+	VMOVUPS Y3, 32(DX)
+	ADDQ    R9, DX
+	VMOVUPS Y4, (DX)
+	VMOVUPS Y5, 32(DX)
+	ADDQ    R9, DX
+	VMOVUPS Y6, (DX)
+	VMOVUPS Y7, 32(DX)
+	VZEROUPPER
+	RET
+
+// func avx2Gemm8x8(k int, a *float32, lda int, bp *float32, c *float32, ldc int)
+//
+// C[8][8] += A[8][k] @ BP. One YMM accumulator per row; rows addressed
+// through two bases (rows 0-3 off AX, rows 4-7 off SI) with 1x/2x/3x lda
+// index forms.
+TEXT ·avx2Gemm8x8(SB), NOSPLIT, $0-48
+	MOVQ k+0(FP), CX
+	MOVQ a+8(FP), AX
+	MOVQ lda+16(FP), R8
+	MOVQ bp+24(FP), BX
+	MOVQ c+32(FP), DI
+	MOVQ ldc+40(FP), R9
+	SHLQ $2, R8
+	SHLQ $2, R9
+	LEAQ (R8)(R8*2), R10        // 3*lda bytes
+	LEAQ (AX)(R8*4), SI         // rows 4-7 base
+
+	// Load the C tile.
+	MOVQ    DI, DX
+	VMOVUPS (DX), Y0
+	ADDQ    R9, DX
+	VMOVUPS (DX), Y1
+	ADDQ    R9, DX
+	VMOVUPS (DX), Y2
+	ADDQ    R9, DX
+	VMOVUPS (DX), Y3
+	ADDQ    R9, DX
+	VMOVUPS (DX), Y4
+	ADDQ    R9, DX
+	VMOVUPS (DX), Y5
+	ADDQ    R9, DX
+	VMOVUPS (DX), Y6
+	ADDQ    R9, DX
+	VMOVUPS (DX), Y7
+
+	TESTQ CX, CX
+	JZ    store
+
+kloop:
+	VMOVUPS      (BX), Y8
+	VBROADCASTSS (AX), Y9
+	VFMADD231PS  Y8, Y9, Y0
+	VBROADCASTSS (AX)(R8*1), Y10
+	VFMADD231PS  Y8, Y10, Y1
+	VBROADCASTSS (AX)(R8*2), Y11
+	VFMADD231PS  Y8, Y11, Y2
+	VBROADCASTSS (AX)(R10*1), Y12
+	VFMADD231PS  Y8, Y12, Y3
+	VBROADCASTSS (SI), Y9
+	VFMADD231PS  Y8, Y9, Y4
+	VBROADCASTSS (SI)(R8*1), Y10
+	VFMADD231PS  Y8, Y10, Y5
+	VBROADCASTSS (SI)(R8*2), Y11
+	VFMADD231PS  Y8, Y11, Y6
+	VBROADCASTSS (SI)(R10*1), Y12
+	VFMADD231PS  Y8, Y12, Y7
+	ADDQ         $32, BX
+	ADDQ         $4, AX
+	ADDQ         $4, SI
+	DECQ         CX
+	JNZ          kloop
+
+store:
+	MOVQ    DI, DX
+	VMOVUPS Y0, (DX)
+	ADDQ    R9, DX
+	VMOVUPS Y1, (DX)
+	ADDQ    R9, DX
+	VMOVUPS Y2, (DX)
+	ADDQ    R9, DX
+	VMOVUPS Y3, (DX)
+	ADDQ    R9, DX
+	VMOVUPS Y4, (DX)
+	ADDQ    R9, DX
+	VMOVUPS Y5, (DX)
+	ADDQ    R9, DX
+	VMOVUPS Y6, (DX)
+	ADDQ    R9, DX
+	VMOVUPS Y7, (DX)
+	VZEROUPPER
+	RET
+
+// func avx2Gemm1x16(k int, a *float32, bp *float32, c *float32)
+//
+// C[0:16] += A[0:k] @ BP: the M-tail kernel for 16-wide strips.
+TEXT ·avx2Gemm1x16(SB), NOSPLIT, $0-32
+	MOVQ    k+0(FP), CX
+	MOVQ    a+8(FP), AX
+	MOVQ    bp+16(FP), BX
+	MOVQ    c+24(FP), DI
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	TESTQ   CX, CX
+	JZ      store
+
+kloop:
+	VBROADCASTSS (AX), Y2
+	VFMADD231PS  (BX), Y2, Y0
+	VFMADD231PS  32(BX), Y2, Y1
+	ADDQ         $64, BX
+	ADDQ         $4, AX
+	DECQ         CX
+	JNZ          kloop
+
+store:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VZEROUPPER
+	RET
+
+// func avx2Gemm1x8(k int, a *float32, bp *float32, c *float32)
+//
+// C[0:8] += A[0:k] @ BP: the M-tail kernel for 8-wide strips.
+TEXT ·avx2Gemm1x8(SB), NOSPLIT, $0-32
+	MOVQ    k+0(FP), CX
+	MOVQ    a+8(FP), AX
+	MOVQ    bp+16(FP), BX
+	MOVQ    c+24(FP), DI
+	VMOVUPS (DI), Y0
+	TESTQ   CX, CX
+	JZ      store
+
+kloop:
+	VBROADCASTSS (AX), Y2
+	VFMADD231PS  (BX), Y2, Y0
+	ADDQ         $32, BX
+	ADDQ         $4, AX
+	DECQ         CX
+	JNZ          kloop
+
+store:
+	VMOVUPS Y0, (DI)
+	VZEROUPPER
+	RET
+
+// func avx2Dot(a, b *float32, n int) float32
+//
+// Dot product over n floats, n a positive multiple of 8 (the Go wrapper
+// owns the scalar tail). Two accumulators, 16 floats per main step.
+TEXT ·avx2Dot(SB), NOSPLIT, $0-28
+	MOVQ   a+0(FP), AX
+	MOVQ   b+8(FP), BX
+	MOVQ   n+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	CMPQ   CX, $16
+	JL     tail8
+
+loop16:
+	VMOVUPS     (AX), Y2
+	VMOVUPS     32(AX), Y3
+	VFMADD231PS (BX), Y2, Y0
+	VFMADD231PS 32(BX), Y3, Y1
+	ADDQ        $64, AX
+	ADDQ        $64, BX
+	SUBQ        $16, CX
+	CMPQ        CX, $16
+	JGE         loop16
+
+tail8:
+	CMPQ        CX, $8
+	JL          reduce
+	VMOVUPS     (AX), Y2
+	VFMADD231PS (BX), Y2, Y0
+	ADDQ        $32, AX
+	ADDQ        $32, BX
+	SUBQ        $8, CX
+	JMP         tail8
+
+reduce:
+	VADDPS       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VZEROUPPER
+	MOVSS        X0, ret+24(FP)
+	RET
+
+// func avx2Axpy(y, x *float32, a float32, n int)
+//
+// y += a * x over n floats, n a positive multiple of 8.
+TEXT ·avx2Axpy(SB), NOSPLIT, $0-32
+	MOVQ         y+0(FP), AX
+	MOVQ         x+8(FP), BX
+	VBROADCASTSS a+16(FP), Y2
+	MOVQ         n+24(FP), CX
+
+loop8:
+	VMOVUPS     (AX), Y0
+	VFMADD231PS (BX), Y2, Y0
+	VMOVUPS     Y0, (AX)
+	ADDQ        $32, AX
+	ADDQ        $32, BX
+	SUBQ        $8, CX
+	JG          loop8
+	VZEROUPPER
+	RET
+
+// func avx2Scale(y *float32, a float32, n int)
+//
+// y *= a over n floats, n a positive multiple of 8.
+TEXT ·avx2Scale(SB), NOSPLIT, $0-24
+	MOVQ         y+0(FP), AX
+	VBROADCASTSS a+8(FP), Y1
+	MOVQ         n+16(FP), CX
+
+loop8:
+	VMULPS  (AX), Y1, Y0
+	VMOVUPS Y0, (AX)
+	ADDQ    $32, AX
+	SUBQ    $8, CX
+	JG      loop8
+	VZEROUPPER
+	RET
