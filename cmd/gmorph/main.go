@@ -31,6 +31,15 @@
 // When "benchmark" is set, the teachers are built and pre-trained from the
 // built-in benchmark spec; otherwise "teachers" must point at a checkpoint
 // and "dataset" describes the stream it was trained on.
+//
+// Distributed search: start workers over the same config, then point the
+// coordinator at them —
+//
+//	gmorph -config fusion.json -worker :7070          # terminal 1
+//	gmorph -config fusion.json -workers 127.0.0.1:7070  # terminal 2
+//
+// The coordinator owns all search state; workers are stateless evaluators,
+// and the result is bit-identical to a single-process run.
 package main
 
 import (
@@ -38,7 +47,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"strings"
 
 	gmorph "repro"
 	"repro/internal/bench"
@@ -73,6 +84,12 @@ type fileConfig struct {
 	WidthScale       int            `json:"width_scale"`
 	PretrainEpochs   int            `json:"pretrain_epochs"`
 	Seed             uint64         `json:"seed"`
+	Workers          []string       `json:"workers"`
+	SearchBatch      int            `json:"search_batch"`
+	Memo             string         `json:"memo"`
+	Predict          bool           `json:"predict"`
+	PredictMargin    float64        `json:"predict_margin"`
+	PredictExplore   int            `json:"predict_explore"`
 }
 
 func buildDataset(dc *datasetConfig) (*data.Dataset, error) {
@@ -104,6 +121,16 @@ func main() {
 	configPath := flag.String("config", "", "path to the JSON fusion config (required)")
 	outPath := flag.String("out", "fused.gmck", "where to write the fused model checkpoint")
 	stateDir := flag.String("state", "", "optional directory for resumable search state")
+	workerAddr := flag.String("worker", "", "serve as a stateless evaluation worker on this address (e.g. :7070) instead of searching")
+	workerSlots := flag.Int("worker-slots", 1, "evaluation concurrency in -worker mode")
+	workersCSV := flag.String("workers", "", "comma-separated worker addresses for a distributed search")
+	batch := flag.Int("batch", 0, "candidates sampled per round in the batched optimizer (0 = serial optimizer unless -workers is set)")
+	memoPath := flag.String("memo", "", "persist the search memo (outcomes, weights, latencies) to this JSON file")
+	predictFlag := flag.Bool("predict", false, "enable the learned pre-ranker (skips candidates predicted to violate the accuracy budget)")
+	predictMargin := flag.Float64("predict-margin", 0, "pre-ranker skip threshold (default 0.02)")
+	predictExplore := flag.Int("predict-explore", 0, "measure every Nth would-be-skipped candidate anyway (default 8)")
+	statsPath := flag.String("stats", "", "write the search stats (core.SearchStats) as JSON to this file, - for stdout")
+	decisionsPath := flag.String("decisions", "", "write the per-decision fusion report (for cmd/inspect -fusion) to this file")
 	verbose := flag.Bool("v", false, "log every search round")
 	flag.Parse()
 	if *configPath == "" {
@@ -187,6 +214,44 @@ func main() {
 		OptimizeFLOPs:    fc.OptimizeFLOPs,
 		Seed:             fc.Seed,
 		StateDir:         *stateDir,
+		Workers:          fc.Workers,
+		SearchBatch:      fc.SearchBatch,
+		MemoPath:         fc.Memo,
+		Predict:          fc.Predict,
+		PredictMargin:    fc.PredictMargin,
+		PredictExplore:   fc.PredictExplore,
+	}
+	if *workersCSV != "" {
+		cfg.Workers = nil
+		for _, w := range strings.Split(*workersCSV, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				cfg.Workers = append(cfg.Workers, w)
+			}
+		}
+	}
+	if *batch > 0 {
+		cfg.SearchBatch = *batch
+	}
+	if *memoPath != "" {
+		cfg.MemoPath = *memoPath
+	}
+	if *predictFlag {
+		cfg.Predict = true
+	}
+	if *predictMargin > 0 {
+		cfg.PredictMargin = *predictMargin
+	}
+	if *predictExplore > 0 {
+		cfg.PredictExplore = *predictExplore
+	}
+
+	if *workerAddr != "" {
+		w, err := gmorph.NewSearchWorker(teachers, ds, cfg, *workerSlots)
+		if err != nil {
+			log.Fatalf("building worker: %v", err)
+		}
+		log.Printf("worker serving on %s (%d slots)", *workerAddr, *workerSlots)
+		log.Fatal(http.ListenAndServe(*workerAddr, w.Handler()))
 	}
 	if *verbose {
 		cfg.OnRound = func(tr gmorph.Trace) {
@@ -211,6 +276,27 @@ func main() {
 		for id, a := range res.Accuracy {
 			log.Printf("task %-10s metric %.4f (target %.4f)", ds.Tasks[id].Name, a, res.Targets[id])
 		}
+	}
+	if *statsPath != "" {
+		payload, err := json.MarshalIndent(res.Stats, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding stats: %v", err)
+		}
+		payload = append(payload, '\n')
+		if *statsPath == "-" {
+			os.Stdout.Write(payload)
+		} else if err := os.WriteFile(*statsPath, payload, 0o644); err != nil {
+			log.Fatalf("writing stats: %v", err)
+		} else {
+			log.Printf("wrote search stats to %s", *statsPath)
+		}
+	}
+	if *decisionsPath != "" {
+		if err := gmorph.SaveFusionReport(*decisionsPath, res.Decisions); err != nil {
+			log.Fatalf("writing decisions: %v", err)
+		}
+		log.Printf("wrote %d fusion decisions to %s (view with inspect -fusion)",
+			len(res.Decisions), *decisionsPath)
 	}
 	if err := gmorph.Save(*outPath, res.Model); err != nil {
 		log.Fatalf("saving checkpoint: %v", err)

@@ -8,6 +8,12 @@
 //	inspect -model fused.gmck [-dot fused.dot] [-plan] [-quant]
 //	inspect -model fused.gmck -kernels [-tune off|load|full] [-tune-cache path]
 //	inspect -shared a.gmck b.gmck [...]
+//	inspect -fusion decisions.json
+//
+// The -fusion form renders a fusion search's per-decision report (written
+// by gmorph -decisions): for every search round, the mutation tried, which
+// filter acted (capacity rule, memo replay, learned pre-ranker), predicted
+// vs measured accuracy margin and latency, and the outcome.
 //
 // -kernels prints the compiled plan's per-layer kernel report: the kernel
 // family each op lowered onto, its tile parameters, and whether they were
@@ -31,6 +37,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/parser"
 	"repro/internal/plan"
+	"repro/internal/search/explain"
 	"repro/internal/tensor"
 	"repro/internal/tune"
 )
@@ -46,7 +53,16 @@ func main() {
 	tuneMode := flag.String("tune", "off", "kernel autotune mode: off (shipped defaults), load (replay cached winners), full (measure cache misses and persist)")
 	tuneCache := flag.String("tune-cache", "gmorph-tune.json", "autotune winner-cache path")
 	shared := flag.Bool("shared", false, "compare the positional checkpoints' stems and report shared-prefix serving potential")
+	fusionPath := flag.String("fusion", "", "render a fusion decision report written by gmorph -decisions")
 	flag.Parse()
+	if *fusionPath != "" {
+		ds, err := explain.Load(*fusionPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		explain.Render(os.Stdout, ds)
+		return
+	}
 	if *shared {
 		if flag.NArg() < 2 {
 			log.Fatal("-shared wants at least two checkpoint paths")

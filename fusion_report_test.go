@@ -1,0 +1,91 @@
+package gmorph_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	gmorph "repro"
+)
+
+// TestFuseDecisionsExplainEveryRound pins the explanation contract on the
+// facade: every search round yields one FusionDecision, every elite's
+// acceptance is marked, and the report round-trips through the decision
+// file the CLI consumes (gmorph -decisions / inspect -fusion).
+func TestFuseDecisionsExplainEveryRound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	teachers, ds, _ := buildTinyTeachers(t)
+	memoPath := filepath.Join(t.TempDir(), "memo.json")
+	cfg := gmorph.Config{
+		AccuracyDrop:    0.08,
+		Rounds:          10,
+		MaxPairsPerPass: 1,
+		FineTuneEpochs:  6,
+		LearningRate:    0.003,
+		EvalEvery:       2,
+		RandomPolicy:    true,
+		Seed:            3,
+		MemoPath:        memoPath,
+	}
+	res, err := gmorph.Fuse(teachers, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) == 0 {
+		t.Fatal("search produced no decisions")
+	}
+	if len(res.Decisions) != len(res.Traces) {
+		t.Fatalf("decisions (%d) and traces (%d) disagree", len(res.Decisions), len(res.Traces))
+	}
+	eliteDecisions := 0
+	for _, d := range res.Decisions {
+		if d.Outcome == "" || (d.Outcome != "skipped" && d.Rule == "") {
+			t.Fatalf("decision without rationale: %+v", d)
+		}
+		if d.Elite {
+			eliteDecisions++
+		}
+	}
+	if eliteDecisions != len(res.Elites) {
+		t.Fatalf("%d elite-marked decisions for %d elites", eliteDecisions, len(res.Elites))
+	}
+
+	// Round-trip through the CLI's decision file and render the report.
+	path := filepath.Join(t.TempDir(), "decisions.json")
+	if err := gmorph.SaveFusionReport(path, res.Decisions); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := gmorph.LoadFusionReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(res.Decisions) {
+		t.Fatalf("decision file round-trip lost rounds: %d vs %d", len(loaded), len(res.Decisions))
+	}
+	var b strings.Builder
+	gmorph.RenderFusionReport(&b, loaded)
+	if !strings.Contains(b.String(), "fusion decisions:") {
+		t.Fatalf("report missing summary:\n%s", b.String())
+	}
+
+	// Second search on a fresh seed: the persisted memo primes the learned
+	// pre-ranker, which must come back trained and consulted.
+	cfg2 := cfg
+	cfg2.Seed = 4
+	cfg2.Predict = true
+	res2, err := gmorph.Fuse(teachers, ds, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Predictor == nil {
+		t.Fatal("Predict run returned no predictor stats")
+	}
+	if res2.Predictor.Observed == 0 {
+		t.Fatal("predictor was not primed from the memo corpus")
+	}
+	if res2.Predictor.Assessed == 0 && res2.Stats.CacheHits == 0 {
+		t.Fatalf("predictor neither assessed nor memo replayed: %+v", res2.Predictor)
+	}
+}

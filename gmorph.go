@@ -28,6 +28,7 @@ package gmorph
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/bench"
@@ -42,6 +43,10 @@ import (
 	"repro/internal/mtl"
 	"repro/internal/parser"
 	"repro/internal/quant"
+	"repro/internal/search/coord"
+	"repro/internal/search/explain"
+	"repro/internal/search/predict"
+	"repro/internal/search/worker"
 	"repro/internal/tensor"
 )
 
@@ -67,6 +72,14 @@ type (
 	// SearchStats aggregates a search's filtering, memoization, and
 	// warm-start counters.
 	SearchStats = core.SearchStats
+	// FusionDecision explains one search round: what was mutated, which
+	// filter acted, predicted vs measured scores, and the outcome.
+	FusionDecision = explain.Decision
+	// SearchWorker is a stateless evaluation worker for the distributed
+	// search (serve its Handler, point Config.Workers at it).
+	SearchWorker = worker.Server
+	// PredictorStats summarizes the learned pre-ranker's activity.
+	PredictorStats = predict.Stats
 	// Engine runs inference for a Model.
 	Engine = engine.Engine
 )
@@ -204,6 +217,31 @@ type Config struct {
 	// the directory seeds the elite list and iteration counter, and the
 	// final state is written back after the search.
 	StateDir string
+	// Workers lists worker endpoints ("host:port" or full URLs) for a
+	// distributed search: the coordinator keeps all search state and fans
+	// fine-tune/measure jobs across the workers (see NewSearchWorker). The
+	// result is bit-identical to a local search with the same Seed.
+	Workers []string
+	// SearchBatch is the number of candidates sampled per round in the
+	// parallel/distributed optimizer (default 4). Setting it (or Workers)
+	// selects the batched optimizer; the search trajectory depends on
+	// SearchBatch but not on worker count.
+	SearchBatch int
+	// MemoPath persists the search memo (candidate outcomes, trained
+	// weights, machine-keyed latency measurements) to a JSON file: a
+	// re-run of the same search replays it with zero duplicate
+	// measurements, and the learned pre-ranker trains on the corpus.
+	MemoPath string
+	// Predict enables the learned pre-ranker: ridge models over graph
+	// features, trained on the memo corpus, skip candidates predicted to
+	// violate the accuracy budget (with periodic forced exploration).
+	Predict bool
+	// PredictMargin is the pre-ranker's skip threshold (default 0.02):
+	// skip only when the predicted margin is below -PredictMargin.
+	PredictMargin float64
+	// PredictExplore forces every Nth would-be-skipped candidate through
+	// to measurement (default 8).
+	PredictExplore int
 }
 
 // Result is the outcome of Fuse.
@@ -230,6 +268,14 @@ type Result struct {
 	// Stats aggregates the search's filtering, memoization, and warm-start
 	// counters (cache hit rates, rule skips, epochs spent, ...).
 	Stats SearchStats
+	// Evaluated counts sampled candidates (including skipped ones).
+	Evaluated int
+	// Decisions explains every search round: mutation tried, filter
+	// outcomes, predicted vs measured scores (see cmd/inspect -fusion).
+	Decisions []FusionDecision
+	// Predictor summarizes the learned pre-ranker (nil unless
+	// Config.Predict was set).
+	Predictor *PredictorStats
 }
 
 // ErrNoTasks reports a model with no task branches.
@@ -240,54 +286,12 @@ var ErrNoTasks = errors.New("gmorph: model has no task branches")
 // (knowledge distillation — no task labels are used beyond measuring the
 // test metric against the dataset).
 func Fuse(teachers *Model, ds *Dataset, cfg Config) (*Result, error) {
-	if len(teachers.Heads) == 0 {
-		return nil, ErrNoTasks
-	}
-	if err := teachers.Validate(); err != nil {
+	cfg = cfg.searchDefaults()
+	setup, err := newSearchSetup(teachers, ds, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if cfg.Rounds == 0 {
-		cfg.Rounds = 50
-	}
-	if cfg.FineTuneEpochs == 0 {
-		cfg.FineTuneEpochs = 10
-	}
-	if cfg.LearningRate == 0 {
-		cfg.LearningRate = 1e-3
-	}
-	if cfg.BatchSize == 0 {
-		cfg.BatchSize = 16
-	}
-	if cfg.EvalEvery == 0 {
-		cfg.EvalEvery = 1
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-
-	targets := cfg.Targets
-	if targets == nil {
-		eval := &distill.Evaluator{Dataset: ds}
-		measured, err := eval.Measure(teachers)
-		if err != nil {
-			return nil, fmt.Errorf("gmorph: measuring teachers: %w", err)
-		}
-		targets = make(map[int]float64, len(measured))
-		for id, a := range measured {
-			targets[id] = a - cfg.AccuracyDrop
-		}
-	}
-
-	outs := distill.ComputeTeacherOutputs(teachers, ds.Train.X, 64)
-	acc := estimator.NewAccuracyEstimator(ds, targets, outs, ds.Train.X, estimator.AccuracyOptions{
-		FineTune: distill.Config{
-			LR: cfg.LearningRate, Epochs: cfg.FineTuneEpochs,
-			Batch: cfg.BatchSize, EvalEvery: cfg.EvalEvery, Seed: cfg.Seed,
-		},
-		UseEarlyTermination: cfg.EarlyTermination || cfg.RuleFilter,
-		UseRuleFilter:       cfg.RuleFilter,
-		Slack:               0.02,
-	})
+	targets := setup.targets
 
 	coreCfg := core.Config{
 		Rounds:           cfg.Rounds,
@@ -311,7 +315,53 @@ func Fuse(teachers *Model, ds *Dataset, cfg Config) (*Result, error) {
 		}
 	}
 
-	res := core.NewOptimizer(teachers, acc, coreCfg).Run()
+	// Persistent memo: candidate outcomes and latency measurements survive
+	// across runs, so repeating a search replays instead of re-measuring.
+	var memo *core.DiskMemo
+	if cfg.MemoPath != "" {
+		if memo, err = core.NewDiskMemo(cfg.MemoPath); err != nil {
+			return nil, fmt.Errorf("gmorph: loading search memo: %w", err)
+		}
+		coreCfg.Memo = memo
+	}
+	// Learned pre-ranker, warm-started from the memo corpus when present.
+	var pred *predict.Predictor
+	if cfg.Predict {
+		pred = predict.New(predict.Options{
+			Margin: cfg.PredictMargin, ExploreEvery: cfg.PredictExplore,
+		})
+		if memo != nil {
+			core.PrimePreranker(pred, memo)
+		}
+		coreCfg.Preranker = pred
+	}
+
+	var res *core.Result
+	if len(cfg.Workers) > 0 || cfg.SearchBatch > 0 {
+		pcfg := core.ParallelConfig{Config: coreCfg, BatchSize: cfg.SearchBatch}
+		if len(cfg.Workers) > 0 {
+			sum, err := parser.Sum(teachers)
+			if err != nil {
+				return nil, fmt.Errorf("gmorph: checksumming world: %w", err)
+			}
+			pool, err := coord.NewPool(cfg.Workers, sum)
+			if err != nil {
+				return nil, err
+			}
+			pcfg.Evaluator = pool
+		}
+		res = core.NewParallelOptimizer(teachers, ds, setup.targets, setup.outs,
+			ds.Train.X, setup.accOpts, pcfg).Run()
+	} else {
+		acc := estimator.NewAccuracyEstimator(ds, setup.targets, setup.outs, ds.Train.X, setup.accOpts)
+		res = core.NewOptimizer(teachers, acc, coreCfg).Run()
+	}
+
+	if memo != nil {
+		if err := memo.Save(); err != nil {
+			return nil, fmt.Errorf("gmorph: saving search memo: %w", err)
+		}
+	}
 	if cfg.StateDir != "" {
 		last := coreCfg.StartIteration + cfg.Rounds
 		if err := core.SaveState(cfg.StateDir, res, last); err != nil {
@@ -325,7 +375,13 @@ func Fuse(teachers *Model, ds *Dataset, cfg Config) (*Result, error) {
 		Elites:     res.Elites,
 		Traces:     res.Traces,
 		Stats:      res.Stats,
+		Evaluated:  res.Evaluated,
+		Decisions:  res.Decisions,
 		Speedup:    1,
+	}
+	if pred != nil {
+		s := pred.Stats()
+		out.Predictor = &s
 	}
 	out.OriginalLatency = estimator.Latency(teachers, estimator.LatencyOptions{})
 	if res.Best != nil {
@@ -338,6 +394,117 @@ func Fuse(teachers *Model, ds *Dataset, cfg Config) (*Result, error) {
 		out.FusedLatency = out.OriginalLatency
 	}
 	return out, nil
+}
+
+// searchDefaults fills the Config defaults shared by the coordinator and
+// search workers. Workers must see identical values: the fine-tune
+// hyperparameters are part of what makes a remote evaluation bit-identical
+// to a local one.
+func (cfg Config) searchDefaults() Config {
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 50
+	}
+	if cfg.FineTuneEpochs == 0 {
+		cfg.FineTuneEpochs = 10
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 1e-3
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.EvalEvery == 0 {
+		cfg.EvalEvery = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// searchSetup holds the evaluation inputs shared by the local optimizers,
+// the coordinator, and search workers.
+type searchSetup struct {
+	targets map[int]float64
+	outs    distill.TeacherOutputs
+	accOpts estimator.AccuracyOptions
+}
+
+// newSearchSetup validates the world and derives targets, teacher outputs,
+// and estimator options. Everything here is deterministic in (teachers, ds,
+// cfg), so a coordinator and its workers — each calling this on their own
+// copy of the same world — agree on every evaluation input.
+func newSearchSetup(teachers *Model, ds *Dataset, cfg Config) (*searchSetup, error) {
+	if len(teachers.Heads) == 0 {
+		return nil, ErrNoTasks
+	}
+	if err := teachers.Validate(); err != nil {
+		return nil, err
+	}
+	targets := cfg.Targets
+	if targets == nil {
+		eval := &distill.Evaluator{Dataset: ds}
+		measured, err := eval.Measure(teachers)
+		if err != nil {
+			return nil, fmt.Errorf("gmorph: measuring teachers: %w", err)
+		}
+		targets = make(map[int]float64, len(measured))
+		for id, a := range measured {
+			targets[id] = a - cfg.AccuracyDrop
+		}
+	}
+	outs := distill.ComputeTeacherOutputs(teachers, ds.Train.X, 64)
+	return &searchSetup{
+		targets: targets,
+		outs:    outs,
+		accOpts: estimator.AccuracyOptions{
+			FineTune: distill.Config{
+				LR: cfg.LearningRate, Epochs: cfg.FineTuneEpochs,
+				Batch: cfg.BatchSize, EvalEvery: cfg.EvalEvery, Seed: cfg.Seed,
+			},
+			UseEarlyTermination: cfg.EarlyTermination || cfg.RuleFilter,
+			UseRuleFilter:       cfg.RuleFilter,
+			Slack:               0.02,
+		},
+	}, nil
+}
+
+// NewSearchWorker builds a stateless evaluation worker for the distributed
+// search. The worker must be constructed over the same world — teachers,
+// dataset, and search Config — as the coordinator; the coordinator verifies
+// the world checksum before dispatching. Serve the returned worker's
+// Handler and list its address in Config.Workers:
+//
+//	w, _ := gmorph.NewSearchWorker(teachers, ds, cfg, 2)
+//	http.ListenAndServe(":7070", w.Handler())
+func NewSearchWorker(teachers *Model, ds *Dataset, cfg Config, slots int) (*SearchWorker, error) {
+	cfg = cfg.searchDefaults()
+	setup, err := newSearchSetup(teachers, ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := parser.Sum(teachers)
+	if err != nil {
+		return nil, fmt.Errorf("gmorph: checksumming world: %w", err)
+	}
+	eval := core.NewLocalEvaluator(ds, setup.targets, setup.outs, ds.Train.X, setup.accOpts, slots)
+	return worker.NewServer(eval, sum, len(teachers.Heads)), nil
+}
+
+// RenderFusionReport writes a human-readable per-decision fusion report
+// (see also cmd/inspect -fusion over a saved decision file).
+func RenderFusionReport(w io.Writer, decisions []FusionDecision) {
+	explain.Render(w, decisions)
+}
+
+// SaveFusionReport persists a search's decisions as JSON for cmd/inspect.
+func SaveFusionReport(path string, decisions []FusionDecision) error {
+	return explain.Save(path, decisions)
+}
+
+// LoadFusionReport reads a decision file written by SaveFusionReport.
+func LoadFusionReport(path string) ([]FusionDecision, error) {
+	return explain.Load(path)
 }
 
 // QuantConfig tunes post-training quantization (see quant.Config).

@@ -10,12 +10,14 @@ package core
 
 import (
 	"math"
+	"strings"
 	"time"
 
 	"repro/internal/estimator"
 	"repro/internal/fingerprint"
 	"repro/internal/graph"
 	"repro/internal/mutation"
+	"repro/internal/search/explain"
 	"repro/internal/tensor"
 )
 
@@ -157,6 +159,14 @@ type Config struct {
 	// under the full epoch budget instead of the shrunken warm-start budget
 	// (see estimator.AccuracyOptions.WarmStartFraction).
 	DisableWarmStart bool
+	// Memo is the fingerprint-keyed result store backing the search memo
+	// (nil: a fresh in-process MemoryMemo). Pass a DiskMemo to share one
+	// corpus across processes and runs.
+	Memo MemoStore
+	// Preranker, when non-nil, is consulted for every fresh candidate and
+	// may veto fine-tuning (see Preranker). internal/search/predict
+	// provides the learned implementation.
+	Preranker Preranker
 }
 
 func (c Config) withDefaults() Config {
@@ -201,6 +211,9 @@ type Trace struct {
 	// WarmStarted is true when fine-tuning ran under the shrunken
 	// warm-start budget (inherited elite weights).
 	WarmStarted bool
+	// PredictorSkipped is true when the learned pre-ranker rejected the
+	// candidate without fine-tuning.
+	PredictorSkipped bool
 }
 
 // Result is the outcome of a search.
@@ -220,6 +233,9 @@ type Result struct {
 	Evaluated int
 	// Stats aggregates filtering, memoization, and warm-start counters.
 	Stats SearchStats
+	// Decisions records one explain.Decision per candidate: which rule
+	// fired, what the predictor guessed, what measurement said.
+	Decisions []explain.Decision
 }
 
 // Optimizer runs graph mutation optimization (Algorithm 1).
@@ -258,12 +274,14 @@ func (o *Optimizer) Run() *Result {
 	// The original multi-DNN graph is the incumbent: a candidate only
 	// becomes Best if it beats the original's cost, so the search never
 	// recommends a model slower than what the user already has.
+	o.original.RefreshCapacities()
 	incumbent := &Elite{
 		Graph:   o.original,
 		Latency: estimator.Latency(o.original, cfg.Latency),
 		FLOPs:   estimator.FLOPs(o.original),
 	}
-	memo := newSearchCache(!cfg.DisableMemo)
+	origParams := o.original.Capacity().Total
+	memo := newSearchCache(!cfg.DisableMemo, cfg.Memo)
 	// The estimator may be shared across Run calls; snapshot its counters so
 	// Result.Stats reports this run's work only.
 	skip0, term0, ft0, ep0 := o.acc.SkippedByRule, o.acc.EarlyTerminated, o.acc.FineTuned, o.acc.TotalEpochs
@@ -306,76 +324,135 @@ func (o *Optimizer) Run() *Result {
 		cand := mres.Graph
 
 		// Step 2: evaluate the candidate. The rule filter decides first —
-		// same order as an uncached search — then the fingerprint cache is
-		// consulted, and only a fresh structure pays for fine-tuning.
+		// same order as an uncached search — then the fingerprint memo is
+		// consulted, then the learned pre-ranker, and only a candidate that
+		// clears all three pays for fine-tuning.
 		res.Evaluated++
 		cand.RefreshCapacities()
 		profile := cand.Capacity()
 		tr := Trace{Iteration: iter, FromElite: fromElite}
+		dec := explain.Decision{
+			Iteration: iter, FromElite: fromElite, Mutation: describePairs(chosen),
+		}
 		drop := 1.0
 		met := false
 		switch {
 		case o.acc.SkipByRule(profile):
 			tr.Skipped = true
+			dec.Outcome, dec.Rule = explain.OutcomeSkipped, explain.RuleCapacity
 
 		default:
 			fp := fingerprint.Hash(cand)
+			dec.Fingerprint = fpKey(fp)
 			if entry := memo.lookup(fp, &res.Stats); entry != nil {
 				// Replay the memoized outcome: round bookkeeping, filter
 				// history, and (for a met candidate) the trained weights all
 				// reproduce the original evaluation without re-distilling.
 				tr.CacheHit = true
-				tr.Met, tr.Terminated = entry.met, entry.terminated
-				tr.EpochsRun, tr.FineTuneTime = entry.epochsRun, entry.trainTime
-				tr.WarmStarted = entry.warmStarted
-				met = entry.met
-				if entry.met {
+				tr.Met, tr.Terminated = entry.Met, entry.Terminated
+				tr.EpochsRun, tr.FineTuneTime = entry.EpochsRun, entry.TrainTime
+				tr.WarmStarted = entry.WarmStarted
+				met = entry.Met
+				dec.CacheHit, dec.Rule = true, explain.RuleMemo
+				dec.EpochsRun, dec.Warm = entry.EpochsRun, entry.WarmStarted
+				if entry.Met {
 					g := replayGraph(cand, entry)
 					lat := memo.latency(fp, &res.Stats, func() time.Duration {
 						return estimator.Latency(g, cfg.Latency)
 					})
-					acc := copyAccuracy(entry.accuracy)
-					addElite(&Elite{
-						Graph: g, Latency: lat, FLOPs: entry.flops, Accuracy: acc,
-						FromElite: fromElite, FineTuneTime: entry.trainTime, Iteration: iter,
-					})
+					acc := copyAccuracy(entry.Accuracy)
+					el := &Elite{
+						Graph: g, Latency: lat, FLOPs: entry.FLOPs, Accuracy: acc,
+						FromElite: fromElite, FineTuneTime: entry.TrainTime, Iteration: iter,
+					}
+					addElite(el)
 					tr.Latency = lat
 					if drop = -o.acc.Eval.MinMargin(acc); drop < 0 {
 						drop = 0
 					}
+					dec.Outcome = explain.OutcomeAccepted
+					dec.Measured = &explain.Scores{Margin: entry.Margin, LatencyNS: float64(lat)}
+					dec.Accuracy = copyAccuracy(entry.Accuracy)
+					dec.Elite, dec.Best = true, res.Best == el
 				} else {
 					o.acc.RecordFailure(profile)
+					dec.Outcome = explain.OutcomeRejected
+					dec.Measured = &explain.Scores{Margin: entry.Margin}
 				}
 			} else {
-				warm := fromElite && !cfg.DisableWarmStart
-				out := o.acc.FineTuneCandidate(cand, profile, memoSeed(cfg.Seed, fp), warm)
-				met = out.Met
-				entry := &memoEntry{met: out.Met}
-				if rep := out.Report; rep != nil {
-					tr.Met, tr.Terminated = rep.Met, rep.Terminated
-					tr.FineTuneTime, tr.EpochsRun = rep.TrainTime, rep.EpochsRun
-					tr.WarmStarted = rep.WarmStarted
-					entry.terminated, entry.epochsRun = rep.Terminated, rep.EpochsRun
-					entry.trainTime = rep.TrainTime
-					entry.warmStarted, entry.warmFellBack = rep.WarmStarted, rep.WarmFellBack
-				}
-				if out.Met {
-					entry.trained = cand
-					entry.flops = estimator.FLOPs(cand)
-					entry.accuracy = copyAccuracy(out.Report.Final)
-					lat := memo.latency(fp, &res.Stats, func() time.Duration {
-						return estimator.Latency(cand, cfg.Latency)
-					})
-					addElite(&Elite{
-						Graph: cand, Latency: lat, FLOPs: entry.flops, Accuracy: out.Report.Final,
-						FromElite: fromElite, FineTuneTime: out.Report.TrainTime, Iteration: iter,
-					})
-					tr.Latency = lat
-					if drop = -o.acc.Eval.MinMargin(out.Report.Final); drop < 0 {
-						drop = 0
+				feats := Features(cand, profile, incumbent.FLOPs, origParams)
+				var sc PrerankScore
+				if cfg.Preranker != nil {
+					sc = cfg.Preranker.Assess(feats)
+					if sc.Trained {
+						dec.Predicted = &explain.Scores{Margin: sc.Margin, LatencyNS: sc.LatencyNS}
 					}
 				}
-				memo.insert(fp, entry)
+				if sc.Skip {
+					// The pre-ranker predicts the accuracy budget is violated
+					// by more than the margin: reject without fine-tuning. The
+					// candidate is not memoized, so forced exploration (or a
+					// retrained model) can still measure the structure later.
+					res.Stats.PredictorSkipped++
+					tr.PredictorSkipped = true
+					dec.Outcome, dec.Rule = explain.OutcomeSkipped, explain.RulePredictor
+					if drop = -sc.Margin; drop < 0 {
+						drop = 0
+					}
+				} else {
+					if sc.Forced {
+						res.Stats.PredictorForced++
+						dec.Forced = true
+					}
+					warm := fromElite && !cfg.DisableWarmStart
+					out := o.acc.FineTuneCandidate(cand, profile, memoSeed(cfg.Seed, fp), warm)
+					met = out.Met
+					entry := &MemoEntry{Met: out.Met, Margin: -1, Features: feats}
+					if rep := out.Report; rep != nil {
+						tr.Met, tr.Terminated = rep.Met, rep.Terminated
+						tr.FineTuneTime, tr.EpochsRun = rep.TrainTime, rep.EpochsRun
+						tr.WarmStarted = rep.WarmStarted
+						entry.Terminated, entry.EpochsRun = rep.Terminated, rep.EpochsRun
+						entry.TrainTime = rep.TrainTime
+						entry.WarmStarted, entry.WarmFellBack = rep.WarmStarted, rep.WarmFellBack
+						if len(rep.Final) > 0 {
+							entry.Margin = o.acc.Eval.MinMargin(rep.Final)
+						}
+					}
+					latNS := -1.0
+					if out.Met {
+						entry.Trained = cand
+						entry.FLOPs = estimator.FLOPs(cand)
+						entry.Accuracy = copyAccuracy(out.Report.Final)
+						lat := memo.latency(fp, &res.Stats, func() time.Duration {
+							return estimator.Latency(cand, cfg.Latency)
+						})
+						latNS = float64(lat)
+						el := &Elite{
+							Graph: cand, Latency: lat, FLOPs: entry.FLOPs, Accuracy: out.Report.Final,
+							FromElite: fromElite, FineTuneTime: out.Report.TrainTime, Iteration: iter,
+						}
+						addElite(el)
+						tr.Latency = lat
+						if drop = -o.acc.Eval.MinMargin(out.Report.Final); drop < 0 {
+							drop = 0
+						}
+						dec.Outcome, dec.Rule = explain.OutcomeAccepted, explain.RuleAccuracyMet
+						dec.Accuracy = copyAccuracy(out.Report.Final)
+						dec.Elite, dec.Best = true, res.Best == el
+					} else {
+						dec.Outcome, dec.Rule = explain.OutcomeRejected, explain.RuleAccuracyBudget
+					}
+					dec.Measured = &explain.Scores{Margin: entry.Margin}
+					if latNS > 0 {
+						dec.Measured.LatencyNS = latNS
+					}
+					dec.EpochsRun, dec.Warm = tr.EpochsRun, tr.WarmStarted
+					memo.insert(fp, entry)
+					if cfg.Preranker != nil {
+						cfg.Preranker.Observe(feats, latNS, entry.Margin)
+					}
+				}
 			}
 		}
 		if res.Best != nil {
@@ -383,6 +460,7 @@ func (o *Optimizer) Run() *Result {
 		}
 		tr.Elapsed = time.Since(start)
 		res.Traces = append(res.Traces, tr)
+		res.Decisions = append(res.Decisions, dec)
 		if cfg.OnRound != nil {
 			cfg.OnRound(tr)
 		}
@@ -404,4 +482,19 @@ func (o *Optimizer) better(a, b *Elite) bool {
 		return a.FLOPs < b.FLOPs
 	}
 	return a.Latency < b.Latency
+}
+
+// describePairs renders the share-point pairs one mutation pass merged, for
+// the decision report ("which share points were tried").
+func describePairs(pairs []graph.Pair) string {
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(p.Guest.ID())
+		b.WriteString(" -> ")
+		b.WriteString(p.Host.ID())
+	}
+	return b.String()
 }

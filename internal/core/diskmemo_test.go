@@ -1,0 +1,232 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/testutil"
+)
+
+// TestDiskMemoRoundTrip persists outcomes — including a trained graph — and
+// reloads them: verdicts, margins, features, latencies, and the trained
+// weights must all survive, with the reloaded graph structurally identical
+// to the original (the lossless checkpoint encoding).
+func TestDiskMemoRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "memo.json")
+	ds := testutil.TinyFace(21, 16, 8)
+	g := testutil.TinyMultiDNN(22, ds)
+	fpTrained := fingerprint.Hash(g)
+
+	m, err := NewDiskMemo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("fresh memo has %d entries", m.Len())
+	}
+	met := &MemoEntry{
+		Met: true, EpochsRun: 4, TrainTime: 5 * time.Millisecond,
+		Accuracy: map[int]float64{0: 0.9, 1: 0.8}, Margin: 0.05,
+		FLOPs: g.FLOPs(), Features: []float64{1, 2, 3}, Trained: g,
+	}
+	m.Insert(fpTrained, met)
+	m.Insert(77, &MemoEntry{Met: false, Margin: -0.2, Features: []float64{4, 5, 6}})
+	m.SetLatency(fpTrained, 123*time.Microsecond)
+	if err := m.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := NewDiskMemo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reloaded %d entries, want 2", re.Len())
+	}
+	e := re.Lookup(fpTrained)
+	if e == nil || !e.Met || e.EpochsRun != 4 || e.Margin != 0.05 {
+		t.Fatalf("reloaded entry mismatch: %+v", e)
+	}
+	if e.Accuracy[0] != 0.9 || e.Accuracy[1] != 0.8 {
+		t.Fatalf("accuracy mismatch: %v", e.Accuracy)
+	}
+	if len(e.Features) != 3 || e.Features[2] != 3 {
+		t.Fatalf("features mismatch: %v", e.Features)
+	}
+	if e.Trained == nil || fingerprint.Hash(e.Trained) != fpTrained {
+		t.Fatal("trained graph did not round-trip")
+	}
+	if miss := re.Lookup(77); miss == nil || miss.Met || miss.Margin != -0.2 {
+		t.Fatalf("failed-candidate entry mismatch: %+v", miss)
+	}
+	if d, ok := re.Latency(fpTrained); !ok || d != 123*time.Microsecond {
+		t.Fatalf("latency did not round-trip: %v %v", d, ok)
+	}
+
+	// First insert wins: a second insert for the same fingerprint is a no-op.
+	re.Insert(fpTrained, &MemoEntry{Met: false})
+	if got := re.Lookup(fpTrained); !got.Met {
+		t.Fatal("second insert overwrote the first")
+	}
+}
+
+// TestDiskMemoCorruptFileIsError guards the failure mode: a truncated or
+// garbage memo file must refuse to load rather than silently discarding the
+// corpus.
+func TestDiskMemoCorruptFileIsError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "memo.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDiskMemo(path); err == nil {
+		t.Fatal("corrupt memo file loaded without error")
+	}
+}
+
+// TestDiskMemoMergePreservesConcurrentWrites loads two memos from the same
+// (initially empty) file, saves both, and expects the union on disk with
+// the first-written copy winning conflicts — the same discipline as the
+// autotune winner cache, so concurrent coordinators lose nothing.
+func TestDiskMemoMergePreservesConcurrentWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "memo.json")
+	a, err := NewDiskMemo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDiskMemo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Insert(1, &MemoEntry{Met: true, EpochsRun: 3, Margin: 0.1})
+	a.Insert(2, &MemoEntry{Met: false, Margin: -0.3})
+	if err := a.Save(); err != nil {
+		t.Fatal(err)
+	}
+	b.Insert(2, &MemoEntry{Met: false, Margin: -0.9}) // conflict: disk wins
+	b.Insert(3, &MemoEntry{Met: true, EpochsRun: 7, Margin: 0.2})
+	if err := b.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := NewDiskMemo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 3 {
+		t.Fatalf("merged file has %d entries, want 3", merged.Len())
+	}
+	if e := merged.Lookup(2); e.Margin != -0.3 {
+		t.Fatalf("conflicting entry: on-disk copy should win, got margin %v", e.Margin)
+	}
+	if e := merged.Lookup(3); e == nil || e.EpochsRun != 7 {
+		t.Fatal("second writer's entry lost in merge")
+	}
+}
+
+// TestDiskMemoLatencyIsMachineKeyed pins the satellite requirement: the
+// persisted latency sections are keyed by the machine signature
+// (fingerprint.Machine() + kernel tier), foreign sections survive a Save
+// untouched, and a foreign machine's measurements are never consulted.
+func TestDiskMemoLatencyIsMachineKeyed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "memo.json")
+	m, err := NewDiskMemo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Insert(5, &MemoEntry{Met: true})
+	m.SetLatency(5, time.Millisecond)
+	if err := m.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The section key must carry the machine signature.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f diskMemoFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Latencies[latencyMachineKey()]; !ok {
+		t.Fatalf("latency section keys %v missing machine key %q",
+			keys(f.Latencies), latencyMachineKey())
+	}
+
+	// Graft a foreign machine's section and re-save: it must survive, and
+	// its measurements must not leak into this machine's lookups.
+	f.Latencies["other-cpu vec=none"] = map[string]int64{fpKey(9): 42}
+	grafted, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, grafted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := NewDiskMemo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.Latency(9); ok {
+		t.Fatal("foreign machine's latency was consulted")
+	}
+	if d, ok := re.Latency(5); !ok || d != time.Millisecond {
+		t.Fatal("own machine's latency lost")
+	}
+	re.SetLatency(6, 2*time.Millisecond)
+	if err := re.Save(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after diskMemoFile
+	if err := json.Unmarshal(raw, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Latencies["other-cpu vec=none"][fpKey(9)] != 42 {
+		t.Fatal("foreign machine's latency section did not survive Save")
+	}
+}
+
+func keys(m map[string]map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestFeaturesShape pins the feature vector against its declared names and
+// checks the load-bearing columns on a real graph.
+func TestFeaturesShape(t *testing.T) {
+	ds := testutil.TinyFace(31, 16, 8)
+	g := testutil.TinyMultiDNN(32, ds)
+	g.RefreshCapacities()
+	feats := Features(g, g.Capacity(), g.FLOPs(), g.Capacity().Total)
+	names := FeatureNames()
+	if len(feats) != len(names) {
+		t.Fatalf("feature vector length %d != %d names", len(feats), len(names))
+	}
+	byName := make(map[string]float64, len(names))
+	for i, n := range names {
+		byName[n] = feats[i]
+	}
+	if byName["tasks"] != float64(len(g.Heads)) {
+		t.Fatalf("tasks feature %v, want %d", byName["tasks"], len(g.Heads))
+	}
+	// Against its own baseline the ratios are exactly 1.
+	if byName["flops_ratio"] != 1 || byName["param_ratio"] != 1 {
+		t.Fatalf("self ratios should be 1: flops %v params %v",
+			byName["flops_ratio"], byName["param_ratio"])
+	}
+	if byName["nodes"] <= 0 || byName["gflops"] <= 0 {
+		t.Fatalf("degenerate features: %v", byName)
+	}
+}

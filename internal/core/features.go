@@ -1,0 +1,85 @@
+package core
+
+import (
+	"repro/internal/fingerprint"
+	"repro/internal/graph"
+)
+
+// featureOps is the fixed op-type vocabulary of the feature vector. Types
+// outside the list fall into one shared "other" bucket, so feature vectors
+// from different model zoos stay the same length.
+var featureOps = []string{
+	"Conv2d", "ConvBlock", "ResidualBlock", "BatchNorm2d", "ReLU",
+	"MaxPool2d", "Linear", "TransformerBlock", "PatchEmbed", "Embedding",
+	"Rescale", "Head",
+}
+
+// featureTail names the non-count features appended after the op counts.
+var featureTail = []string{
+	"other_ops", "nodes", "shared_nodes", "stem_depth", "tasks",
+	"gflops", "flops_ratio", "mparams", "param_ratio", "shared_param_frac",
+}
+
+// FeatureNames returns the feature vector's column names, aligned with
+// Features' output (for reports and debugging).
+func FeatureNames() []string {
+	names := make([]string, 0, len(featureOps)+len(featureTail))
+	for _, op := range featureOps {
+		names = append(names, "n_"+op)
+	}
+	return append(names, featureTail...)
+}
+
+// Features extracts the graph-structure feature vector the learned
+// pre-ranker trains on: per-op-type counts, node/sharing/stem statistics,
+// and cost deltas against the original multi-DNN graph (origFLOPs,
+// origParams). Everything is analytic — no execution — so featurizing a
+// candidate costs microseconds against the seconds a fine-tune costs.
+func Features(g *graph.Graph, profile graph.CapacityProfile, origFLOPs, origParams int64) []float64 {
+	counts := make([]float64, len(featureOps)+1)
+	idx := make(map[string]int, len(featureOps))
+	for i, op := range featureOps {
+		idx[op] = i
+	}
+	nodes, shared := 0, 0
+	for _, n := range g.Nodes() {
+		if n.IsInput() {
+			continue
+		}
+		nodes++
+		if i, ok := idx[n.OpType]; ok {
+			counts[i]++
+		} else {
+			counts[len(featureOps)]++
+		}
+		if len(g.TaskSet(n)) > 1 {
+			shared++
+		}
+	}
+	flops := g.FLOPs()
+	flopsRatio := 1.0
+	if origFLOPs > 0 {
+		flopsRatio = float64(flops) / float64(origFLOPs)
+	}
+	paramRatio := 1.0
+	if origParams > 0 {
+		paramRatio = float64(profile.Total) / float64(origParams)
+	}
+	sharedFrac := 0.0
+	if profile.Total > 0 {
+		sharedFrac = float64(profile.Shared) / float64(profile.Total)
+	}
+	feats := counts
+	feats = append(feats,
+		float64(nodes),
+		float64(shared),
+		float64(len(fingerprint.StemNodes(g))),
+		float64(len(g.Heads)),
+		float64(flops)/1e9,
+		flopsRatio,
+		float64(profile.Total)/1e6,
+		paramRatio,
+		sharedFrac,
+	)
+	return feats
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/graph"
@@ -8,73 +9,173 @@ import (
 
 // SearchStats aggregates the search-time filtering, memoization, and
 // warm-start counters of one optimization run. The serial optimizer fills it
-// from its single estimator; the parallel optimizer sums per-slot estimator
-// counters at merge time, so the totals are identical for any Workers value.
+// from its single estimator; the parallel optimizer derives the same counters
+// from evaluation reports at merge time, so the totals are identical for any
+// Workers value.
 type SearchStats struct {
 	// CacheHits / CacheMisses count candidate-outcome cache consultations
 	// (duplicate candidates scored without re-distilling vs. fresh
 	// evaluations). Both stay 0 when memoization is disabled.
-	CacheHits   int
-	CacheMisses int
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
 	// LatencyHits / LatencyMisses count latency-memo consultations for
 	// candidates that met the targets.
-	LatencyHits   int
-	LatencyMisses int
+	LatencyHits   int `json:"latency_hits"`
+	LatencyMisses int `json:"latency_misses"`
 	// WarmStarted counts fine-tuning runs that ran under a shrunken
 	// warm-start budget; WarmFallbacks counts those whose first evaluation
 	// regressed and fell back to the full budget.
-	WarmStarted   int
-	WarmFallbacks int
+	WarmStarted   int `json:"warm_started"`
+	WarmFallbacks int `json:"warm_fallbacks"`
 	// Filtering effectiveness (the estimator counters, aggregated).
-	SkippedByRule   int
-	EarlyTerminated int
-	FineTuned       int
-	TotalEpochs     int
+	SkippedByRule   int `json:"skipped_by_rule"`
+	EarlyTerminated int `json:"early_terminated"`
+	FineTuned       int `json:"fine_tuned"`
+	TotalEpochs     int `json:"total_epochs"`
+	// PredictorSkipped counts candidates the learned pre-ranker rejected
+	// without fine-tuning; PredictorForced counts predictor-rejected
+	// candidates that periodic forced exploration measured anyway.
+	PredictorSkipped int `json:"predictor_skipped"`
+	PredictorForced  int `json:"predictor_forced"`
+	// EvalErrors counts candidates whose evaluation failed outright (e.g.
+	// a worker transport error in a distributed search). Always 0 for
+	// in-process evaluation.
+	EvalErrors int `json:"eval_errors"`
 }
 
-// memoEntry is one cached candidate outcome, keyed by structural
+// MemoEntry is one memoized candidate outcome, keyed by structural
 // fingerprint. It stores everything a replay needs to reproduce the round
-// bookkeeping of the original evaluation: the verdict, the fine-tuning
-// counters, the measured accuracy, and — for candidates that met the
-// targets — the trained graph for direct weight transfer.
-type memoEntry struct {
-	met          bool
-	terminated   bool
-	warmStarted  bool
-	warmFellBack bool
-	epochsRun    int
-	trainTime    time.Duration
-	accuracy     map[int]float64
-	flops        int64
-	trained      *graph.Graph
+// bookkeeping of the original evaluation — the verdict, the fine-tuning
+// counters, the measured accuracy, and, for candidates that met the
+// targets, the trained graph for direct weight transfer — plus the graph
+// features and accuracy margin the learned pre-ranker trains on (recorded
+// for failed candidates too: misses are exactly what the predictor must
+// learn to veto).
+type MemoEntry struct {
+	Met          bool
+	Terminated   bool
+	WarmStarted  bool
+	WarmFellBack bool
+	EpochsRun    int
+	TrainTime    time.Duration
+	Accuracy     map[int]float64
+	// Margin is the minimum per-task accuracy headroom over the targets at
+	// evaluation time (negative: the budget was violated; -1 when the run
+	// produced no final accuracy at all).
+	Margin float64
+	FLOPs  int64
+	// Features is the candidate's feature vector (see Features), the
+	// predictor's training row.
+	Features []float64
+	// Trained holds the fine-tuned graph (met candidates only).
+	Trained *graph.Graph
 }
 
-// searchCache memoizes candidate outcomes and latency measurements by
-// structural fingerprint. It is deliberately unlocked: the optimizers only
-// touch it from their serial sample/merge phases, which is what keeps the
-// search deterministic in the seed regardless of Workers (see the
-// determinism test).
-type searchCache struct {
-	enabled bool
-	entries map[uint64]*memoEntry
+// MemoStore is the pluggable fingerprint-keyed result store behind the
+// search memo: the in-process MemoryMemo, or DiskMemo when several worker
+// processes (or successive runs) must converge on one shared corpus.
+//
+// The optimizers call every method from their serial sample/merge phases
+// only, which is what keeps the search deterministic in the seed regardless
+// of evaluation concurrency; implementations therefore do not need to
+// support concurrent mutation from the search itself (DiskMemo locks anyway
+// because Save may race a concurrent process touching the same file).
+type MemoStore interface {
+	// Lookup returns the entry for a fingerprint, or nil.
+	Lookup(fp uint64) *MemoEntry
+	// Insert stores an outcome. The first insert of a fingerprint wins;
+	// later inserts are dropped, so replay behavior does not depend on
+	// evaluation order.
+	Insert(fp uint64, e *MemoEntry)
+	// Latency returns the memoized latency for a fingerprint. Persistent
+	// stores key latencies by machine signature under the hood: a latency
+	// measured on one machine must never replay on another.
+	Latency(fp uint64) (time.Duration, bool)
+	// SetLatency memoizes a latency measurement (first write wins).
+	SetLatency(fp uint64, d time.Duration)
+	// Range visits all entries in ascending fingerprint order (so corpus
+	// consumers like predictor priming are deterministic).
+	Range(fn func(fp uint64, e *MemoEntry))
+	// Len returns the number of entries.
+	Len() int
+}
+
+// MemoryMemo is the in-process MemoStore: plain maps, no locking (see the
+// MemoStore contract).
+type MemoryMemo struct {
+	entries map[uint64]*MemoEntry
 	lat     map[uint64]time.Duration
 }
 
-func newSearchCache(enabled bool) *searchCache {
-	return &searchCache{
-		enabled: enabled,
-		entries: make(map[uint64]*memoEntry),
+// NewMemoryMemo returns an empty in-process store.
+func NewMemoryMemo() *MemoryMemo {
+	return &MemoryMemo{
+		entries: make(map[uint64]*MemoEntry),
 		lat:     make(map[uint64]time.Duration),
 	}
 }
 
+// Lookup implements MemoStore.
+func (m *MemoryMemo) Lookup(fp uint64) *MemoEntry { return m.entries[fp] }
+
+// Insert implements MemoStore (first insert wins).
+func (m *MemoryMemo) Insert(fp uint64, e *MemoEntry) {
+	if _, ok := m.entries[fp]; !ok {
+		m.entries[fp] = e
+	}
+}
+
+// Latency implements MemoStore.
+func (m *MemoryMemo) Latency(fp uint64) (time.Duration, bool) {
+	d, ok := m.lat[fp]
+	return d, ok
+}
+
+// SetLatency implements MemoStore.
+func (m *MemoryMemo) SetLatency(fp uint64, d time.Duration) {
+	if _, ok := m.lat[fp]; !ok {
+		m.lat[fp] = d
+	}
+}
+
+// Range implements MemoStore, visiting entries in fingerprint order.
+func (m *MemoryMemo) Range(fn func(fp uint64, e *MemoEntry)) {
+	fps := make([]uint64, 0, len(m.entries))
+	for fp := range m.entries {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+	for _, fp := range fps {
+		fn(fp, m.entries[fp])
+	}
+}
+
+// Len implements MemoStore.
+func (m *MemoryMemo) Len() int { return len(m.entries) }
+
+// searchCache adapts a MemoStore to the optimizers: it owns the
+// enabled/disabled decision and the consultation counters, so the store
+// implementations stay policy-free.
+type searchCache struct {
+	enabled bool
+	store   MemoStore
+}
+
+// newSearchCache wraps the given store (a fresh MemoryMemo when nil).
+func newSearchCache(enabled bool, store MemoStore) *searchCache {
+	if store == nil {
+		store = NewMemoryMemo()
+	}
+	return &searchCache{enabled: enabled, store: store}
+}
+
 // lookup returns the cached outcome for a fingerprint, or nil, counting the
 // consultation. Both counters stay untouched when the cache is disabled.
-func (c *searchCache) lookup(fp uint64, st *SearchStats) *memoEntry {
+func (c *searchCache) lookup(fp uint64, st *SearchStats) *MemoEntry {
 	if !c.enabled {
 		return nil
 	}
-	if e := c.entries[fp]; e != nil {
+	if e := c.store.Lookup(fp); e != nil {
 		st.CacheHits++
 		return e
 	}
@@ -82,17 +183,12 @@ func (c *searchCache) lookup(fp uint64, st *SearchStats) *memoEntry {
 	return nil
 }
 
-// insert stores an outcome. The first evaluation of a fingerprint wins;
-// later inserts (duplicates sampled within one parallel batch, which all
-// evaluate because the cache is only written at merge time) are dropped so
-// replay behavior does not depend on batch composition.
-func (c *searchCache) insert(fp uint64, e *memoEntry) {
+// insert stores an outcome (first evaluation of a fingerprint wins).
+func (c *searchCache) insert(fp uint64, e *MemoEntry) {
 	if !c.enabled {
 		return
 	}
-	if _, ok := c.entries[fp]; !ok {
-		c.entries[fp] = e
-	}
+	c.store.Insert(fp, e)
 }
 
 // latency memoizes a latency measurement by fingerprint: structurally
@@ -102,13 +198,13 @@ func (c *searchCache) latency(fp uint64, st *SearchStats, measure func() time.Du
 	if !c.enabled {
 		return measure()
 	}
-	if d, ok := c.lat[fp]; ok {
+	if d, ok := c.store.Latency(fp); ok {
 		st.LatencyHits++
 		return d
 	}
 	st.LatencyMisses++
 	d := measure()
-	c.lat[fp] = d
+	c.store.SetLatency(fp, d)
 	return d
 }
 
@@ -117,11 +213,11 @@ func (c *searchCache) latency(fp uint64, st *SearchStats, measure func() time.Du
 // (direct weight transfer via graph.InheritWeights); if node identities do
 // not line up — the duplicate is isomorphic but was labeled differently —
 // the cached graph is cloned instead.
-func replayGraph(cand *graph.Graph, e *memoEntry) *graph.Graph {
-	if copied, total := graph.InheritWeights(cand, e.trained); copied == total {
+func replayGraph(cand *graph.Graph, e *MemoEntry) *graph.Graph {
+	if copied, total := graph.InheritWeights(cand, e.Trained); copied == total {
 		return cand
 	}
-	return e.trained.Clone()
+	return e.Trained.Clone()
 }
 
 // copyAccuracy clones a per-task accuracy map. Cache entries keep their own
@@ -140,7 +236,8 @@ func copyAccuracy(m map[int]float64) map[int]float64 {
 // candidates therefore fine-tune identically, which is what makes their
 // evaluation redundant work the cache can elide without changing the search:
 // with caching off the duplicate re-runs to the same outcome, with caching
-// on the outcome replays from the cache.
+// on the outcome replays from the cache. The same property is what lets a
+// remote worker's evaluation stand in for a local one.
 func memoSeed(seed, fp uint64) uint64 {
 	x := seed ^ (fp * 0x9e3779b97f4a7c15)
 	x ^= x >> 30

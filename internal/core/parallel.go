@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync"
 	"time"
 
 	"repro/internal/data"
@@ -11,6 +10,7 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/graph"
 	"repro/internal/mutation"
+	"repro/internal/search/explain"
 	"repro/internal/tensor"
 )
 
@@ -24,21 +24,28 @@ type ParallelConfig struct {
 	// 2). Workers only controls evaluation concurrency: for a fixed Seed
 	// the optimizer samples the same candidate sequence and returns the
 	// same Result for any Workers value (see the determinism test).
+	// Ignored when Evaluator is set (the evaluator owns its concurrency).
 	Workers int
 	// BatchSize is the number of candidates sampled per algorithmic round;
 	// elites and filter history merge between rounds. It defaults to 4 and
 	// is deliberately independent of Workers, so changing the hardware
 	// parallelism does not change the search trajectory.
 	BatchSize int
+	// Evaluator evaluates each round's candidate batch. Nil means
+	// in-process evaluation (a LocalEvaluator with Workers slots); a
+	// coord.Pool fans the batch out across worker processes. Because
+	// fine-tune seeds are a pure function of fingerprints, any evaluator
+	// produces the same outcomes, so the search trajectory is identical
+	// local or distributed.
+	Evaluator BatchEvaluator
 }
 
-// ParallelOptimizer evaluates a batch of mutations per round. Each worker
-// slot gets an independent accuracy estimator over shared immutable inputs
-// (dataset, teacher outputs), so fine-tuning runs do not contend on layer
-// caches. All stateful search machinery — candidate sampling, the
-// rule-based filter, elite merging, policy observation — runs serially
-// between the parallel evaluation phases, which makes the search
-// deterministic in the seed regardless of Workers.
+// ParallelOptimizer evaluates a batch of mutations per round. All stateful
+// search machinery — candidate sampling, the rule-based filter, the memo,
+// the pre-ranker, elite merging, policy observation — runs serially between
+// the parallel evaluation phases, which makes the search deterministic in
+// the seed regardless of evaluation concurrency (local slots or remote
+// workers).
 type ParallelOptimizer struct {
 	cfg      ParallelConfig
 	original *graph.Graph
@@ -76,6 +83,7 @@ type job struct {
 	iteration int
 	profile   graph.CapacityProfile
 	skipped   bool
+	mutation  string
 	// fp is the candidate's structural fingerprint (only set when the
 	// candidate was not rule-skipped).
 	fp uint64
@@ -84,24 +92,31 @@ type job struct {
 	warm bool
 	// entry, when non-nil, is the memoized outcome the merge phase replays
 	// instead of evaluating the candidate.
-	entry *memoEntry
+	entry *MemoEntry
+	// aliasOf, when >= 0, is the index of an earlier job in the same batch
+	// with the same fingerprint: the alias replays that job's freshly
+	// merged memo entry instead of re-evaluating, so a duplicate-heavy
+	// batch measures each structure exactly once.
+	aliasOf int
+	// feats is the candidate's feature vector (fresh candidates only).
+	feats []float64
+	// score is the pre-ranker's assessment (fresh candidates only).
+	score PrerankScore
+	// evalIdx indexes this job's EvalOutcome in the round's evaluation
+	// batch, -1 when the job does not evaluate.
+	evalIdx int
 }
 
-// outcome is the result of evaluating (or skipping) one candidate. The
-// evaluation goroutines only fill rep and met; everything derived from them
-// (elites, latency, cache entries, policy feedback) is computed serially at
-// merge time.
+// outcome is the result of merging one candidate.
 type outcome struct {
 	trace Trace
 	elite *Elite
 	drop  float64
-	met   bool
-	rep   *distill.Report
 }
 
 // Run executes the parallel search. Rounds is interpreted as the total
 // candidate budget: Rounds/BatchSize rounds are executed, each evaluating
-// up to BatchSize candidates with at most Workers in flight.
+// up to BatchSize candidates through the batch evaluator.
 func (o *ParallelOptimizer) Run() *Result {
 	cfg := o.cfg
 	rng := tensor.NewRNG(cfg.Seed)
@@ -111,33 +126,33 @@ func (o *ParallelOptimizer) Run() *Result {
 	if sa, ok := cfg.Policy.(*SAPolicy); ok {
 		maxElites = sa.MaxElites
 	}
+	o.original.RefreshCapacities()
 	incumbent := &Elite{
 		Graph:   o.original,
 		Latency: estimator.Latency(o.original, cfg.Latency),
 		FLOPs:   estimator.FLOPs(o.original),
 	}
-	// The rule-based filter lives here, not inside the estimators: skip
+	origParams := o.original.Capacity().Total
+	// The rule-based filter lives here, not inside the evaluator: skip
 	// decisions are taken serially at sampling time and failures are
 	// recorded serially at merge time, so the filter sees an identical
-	// history for any Workers value.
+	// history for any evaluation concurrency.
 	useRule := o.accOpts.UseRuleFilter
 	rule := filter.NewRuleBased()
-	slotOpts := o.accOpts
-	slotOpts.UseRuleFilter = false
-	slots := cfg.Workers
-	if slots > cfg.BatchSize {
-		slots = cfg.BatchSize
+	evaluator := cfg.Evaluator
+	if evaluator == nil {
+		slots := cfg.Workers
+		if slots > cfg.BatchSize {
+			slots = cfg.BatchSize
+		}
+		evaluator = NewLocalEvaluator(o.ds, o.targets, o.outs, o.trainX, o.accOpts, slots)
 	}
-	ests := make([]*estimator.AccuracyEstimator, slots)
-	for i := range ests {
-		ests[i] = estimator.NewAccuracyEstimator(o.ds, o.targets, o.outs, o.trainX, slotOpts)
-	}
-	// Like the filter, the memo cache is only read during serial sampling
-	// and only written during serial merging, so cache hits land on the same
-	// candidates for any Workers value. (Duplicates sampled within one batch
-	// all evaluate — the cache cannot see them yet — and first-wins insert
-	// keeps replays independent of merge order.)
-	memo := newSearchCache(!cfg.DisableMemo)
+	// Like the filter, the memo is only read during serial sampling and
+	// only written during serial merging, so cache hits land on the same
+	// candidates for any evaluation concurrency. Duplicates sampled within
+	// one batch alias the first occurrence (aliasOf) and replay its entry
+	// at merge time — zero duplicate measurements even inside a batch.
+	memo := newSearchCache(!cfg.DisableMemo, cfg.Memo)
 
 	rounds := cfg.Rounds / cfg.BatchSize
 	if rounds == 0 {
@@ -150,8 +165,11 @@ func (o *ParallelOptimizer) Run() *Result {
 		}
 		// Phase 1 (serial): sample the round's candidates. Every draw —
 		// base pick, pair choice, per-candidate mutator stream, fine-tune
-		// seed — comes from the master rng in a fixed order.
+		// seed — comes from the master rng in a fixed order, and every
+		// filter (rule, memo, batch alias, pre-ranker) decides here.
 		var jobs []job
+		var evalJobs []EvalJob
+		batchFp := make(map[uint64]int)
 		for c := 0; c < cfg.BatchSize; c++ {
 			iter++
 			base := cfg.Policy.PickBase(o.original, res.Elites, rng)
@@ -171,7 +189,8 @@ func (o *ParallelOptimizer) Run() *Result {
 			}
 			j := job{
 				cand: mres.Graph, fromElite: base != o.original,
-				iteration: iter,
+				iteration: iter, mutation: describePairs(chosen),
+				aliasOf: -1, evalIdx: -1,
 			}
 			j.cand.RefreshCapacities()
 			j.profile = j.cand.Capacity()
@@ -181,128 +200,67 @@ func (o *ParallelOptimizer) Run() *Result {
 				res.Stats.SkippedByRule++
 			default:
 				j.fp = fingerprint.Hash(j.cand)
-				if j.entry = memo.lookup(j.fp, &res.Stats); j.entry == nil {
-					// The fine-tune seed is a function of the search seed and
-					// the structural fingerprint, so duplicate candidates
-					// train identically — which is what makes replaying a
-					// memoized outcome equivalent to re-evaluating.
-					j.seed = memoSeed(cfg.Seed, j.fp)
-					j.warm = j.fromElite && !cfg.DisableWarmStart
+				if memo.enabled {
+					if j.entry = memo.store.Lookup(j.fp); j.entry != nil {
+						res.Stats.CacheHits++
+					} else if first, ok := batchFp[j.fp]; ok {
+						// An earlier candidate in this batch has the same
+						// structure; its (identically seeded) evaluation
+						// will stand in for this one.
+						res.Stats.CacheHits++
+						j.aliasOf = first
+					} else {
+						res.Stats.CacheMisses++
+					}
+				}
+				if j.entry == nil && j.aliasOf < 0 {
+					j.feats = Features(j.cand, j.profile, incumbent.FLOPs, origParams)
+					if cfg.Preranker != nil {
+						j.score = cfg.Preranker.Assess(j.feats)
+					}
+					if j.score.Skip {
+						res.Stats.PredictorSkipped++
+					} else {
+						if j.score.Forced {
+							res.Stats.PredictorForced++
+						}
+						// The fine-tune seed is a function of the search seed
+						// and the structural fingerprint, so duplicates train
+						// identically — which is what makes a memo replay (or
+						// a remote evaluation) equivalent to re-evaluating.
+						j.seed = memoSeed(cfg.Seed, j.fp)
+						j.warm = j.fromElite && !cfg.DisableWarmStart
+						if memo.enabled {
+							batchFp[j.fp] = len(jobs)
+						}
+						j.evalIdx = len(evalJobs)
+						evalJobs = append(evalJobs, EvalJob{
+							Cand: j.cand, Profile: j.profile, Seed: j.seed, Warm: j.warm,
+						})
+					}
 				}
 			}
 			jobs = append(jobs, j)
 		}
 
-		// Phase 2 (parallel): evaluate non-skipped candidates. Concurrency
-		// is bounded by handing out estimator *slots*: a goroutine owns
-		// ests[slot] exclusively from acquire to release, so two in-flight
-		// evaluations can never share an estimator (Estimate mutates its
-		// counters and embedded evaluator). A plain semaphore would not give
-		// that guarantee when Workers < BatchSize: assigning estimators by
-		// job index lets job ji and job ji+slots run concurrently on the
-		// same estimator once an unrelated job releases the semaphore.
-		// Kernel-level chunking is deterministic (see tensor.ParallelFor),
-		// so each evaluation depends only on (candidate, seed), not on
-		// scheduling.
-		outcomes := make([]outcome, len(jobs))
-		slotc := make(chan int, len(ests))
-		for i := range ests {
-			slotc <- i
+		// Phase 2 (parallel): evaluate the surviving candidates through the
+		// batch evaluator — in-process estimator slots, or remote workers.
+		var evalOuts []EvalOutcome
+		if len(evalJobs) > 0 {
+			evalOuts = evaluator.EvaluateBatch(evalJobs)
 		}
-		var wg sync.WaitGroup
-		for ji, j := range jobs {
-			oc := &outcomes[ji]
-			oc.drop = 1
-			oc.trace = Trace{Iteration: j.iteration, Skipped: j.skipped, FromElite: j.fromElite}
-			if j.skipped || j.entry != nil {
-				continue
-			}
-			wg.Add(1)
-			slot := <-slotc
-			go func(oc *outcome, j job, slot int) {
-				defer func() { slotc <- slot; wg.Done() }()
-				out := ests[slot].FineTuneCandidate(j.cand, j.profile, j.seed, j.warm)
-				oc.met = out.Met
-				oc.rep = out.Report
-			}(oc, j, slot)
-		}
-		wg.Wait()
 		// Evaluated counts every sampled candidate that reached Phase 2,
-		// including rule-skipped ones — the same semantics as the serial
-		// optimizer, whose Estimate call also short-circuits for skipped
-		// candidates (see Result.Evaluated).
+		// including skipped ones — the same semantics as the serial
+		// optimizer (see Result.Evaluated).
 		res.Evaluated += len(jobs)
 
 		// Phase 3 (serial): merge outcomes in candidate order. Everything the
 		// next round's sampling can observe — elites, filter history, the
-		// memo cache, latency measurements, policy feedback — is produced
-		// here, in a deterministic order.
-		for ji := range outcomes {
-			oc := &outcomes[ji]
-			j := jobs[ji]
-			switch {
-			case j.skipped:
-				// Rule-skipped candidates record no failure: the rule already
-				// acted on the history that produced it.
-
-			case j.entry != nil:
-				// Replay the memoized outcome.
-				e := j.entry
-				oc.trace.CacheHit = true
-				oc.trace.Met, oc.trace.Terminated = e.met, e.terminated
-				oc.trace.EpochsRun, oc.trace.FineTuneTime = e.epochsRun, e.trainTime
-				oc.trace.WarmStarted = e.warmStarted
-				oc.met = e.met
-				if e.met {
-					g := replayGraph(j.cand, e)
-					lat := memo.latency(j.fp, &res.Stats, func() time.Duration {
-						return estimator.Latency(g, cfg.Latency)
-					})
-					acc := copyAccuracy(e.accuracy)
-					oc.elite = &Elite{
-						Graph: g, Latency: lat, FLOPs: e.flops, Accuracy: acc,
-						FromElite: j.fromElite, FineTuneTime: e.trainTime, Iteration: j.iteration,
-					}
-					oc.trace.Latency = lat
-					if oc.drop = -minMargin(o.targets, acc); oc.drop < 0 {
-						oc.drop = 0
-					}
-				} else {
-					rule.RecordFailure(j.profile)
-				}
-
-			default:
-				// Freshly evaluated: publish the outcome to the cache.
-				e := &memoEntry{met: oc.met}
-				if rep := oc.rep; rep != nil {
-					oc.trace.Met, oc.trace.Terminated = rep.Met, rep.Terminated
-					oc.trace.FineTuneTime, oc.trace.EpochsRun = rep.TrainTime, rep.EpochsRun
-					oc.trace.WarmStarted = rep.WarmStarted
-					e.terminated, e.epochsRun = rep.Terminated, rep.EpochsRun
-					e.trainTime = rep.TrainTime
-					e.warmStarted, e.warmFellBack = rep.WarmStarted, rep.WarmFellBack
-				}
-				if oc.met {
-					e.trained = j.cand
-					e.flops = estimator.FLOPs(j.cand)
-					e.accuracy = copyAccuracy(oc.rep.Final)
-					lat := memo.latency(j.fp, &res.Stats, func() time.Duration {
-						return estimator.Latency(j.cand, cfg.Latency)
-					})
-					oc.elite = &Elite{
-						Graph: j.cand, Latency: lat, FLOPs: e.flops, Accuracy: oc.rep.Final,
-						FromElite: j.fromElite, FineTuneTime: oc.rep.TrainTime, Iteration: j.iteration,
-					}
-					oc.trace.Latency = lat
-					if oc.drop = -minMargin(o.targets, oc.rep.Final); oc.drop < 0 {
-						oc.drop = 0
-					}
-				} else {
-					rule.RecordFailure(j.profile)
-				}
-				memo.insert(j.fp, e)
-			}
-
+		// memo, the pre-ranker, latency measurements, policy feedback — is
+		// produced here, in a deterministic order.
+		for ji := range jobs {
+			j := &jobs[ji]
+			oc := o.merge(j, evalOuts, memo, rule, res)
 			if oc.elite != nil {
 				res.Elites = append(res.Elites, oc.elite)
 				if len(res.Elites) > maxElites {
@@ -311,6 +269,10 @@ func (o *ParallelOptimizer) Run() *Result {
 				if (res.Best == nil && better(cfg.Metric, oc.elite, incumbent)) ||
 					(res.Best != nil && better(cfg.Metric, oc.elite, res.Best)) {
 					res.Best = oc.elite
+				}
+				if len(res.Decisions) > 0 {
+					d := &res.Decisions[len(res.Decisions)-1]
+					d.Elite, d.Best = true, res.Best == oc.elite
 				}
 			}
 			tr := oc.trace
@@ -325,18 +287,159 @@ func (o *ParallelOptimizer) Run() *Result {
 			cfg.Policy.Observe(tr.Iteration, oc.drop, oc.elite != nil, len(res.Elites))
 		}
 	}
-	// Aggregate the per-slot estimator counters: the slots partition the
-	// fine-tuning work, so their sums equal a serial run's counters for any
-	// Workers value.
-	for _, est := range ests {
-		res.Stats.EarlyTerminated += est.EarlyTerminated
-		res.Stats.FineTuned += est.FineTuned
-		res.Stats.TotalEpochs += est.TotalEpochs
-		res.Stats.WarmStarted += est.WarmStarted
-		res.Stats.WarmFallbacks += est.WarmFallbacks
-	}
 	res.SearchTime = time.Since(start)
 	return res
+}
+
+// merge folds one job's outcome into the search state and appends its
+// decision. It runs in the serial phase, in candidate order.
+func (o *ParallelOptimizer) merge(j *job, evalOuts []EvalOutcome, memo *searchCache,
+	rule *filter.RuleBased, res *Result) outcome {
+	cfg := o.cfg
+	oc := outcome{drop: 1}
+	oc.trace = Trace{Iteration: j.iteration, Skipped: j.skipped, FromElite: j.fromElite}
+	dec := explain.Decision{
+		Iteration: j.iteration, FromElite: j.fromElite, Mutation: j.mutation,
+	}
+	if !j.skipped {
+		dec.Fingerprint = fpKey(j.fp)
+	}
+	if j.score.Trained {
+		dec.Predicted = &explain.Scores{Margin: j.score.Margin, LatencyNS: j.score.LatencyNS}
+	}
+
+	// replay folds a memoized (or batch-aliased) entry into the round.
+	replay := func(e *MemoEntry, detail string) {
+		oc.trace.CacheHit = true
+		oc.trace.Met, oc.trace.Terminated = e.Met, e.Terminated
+		oc.trace.EpochsRun, oc.trace.FineTuneTime = e.EpochsRun, e.TrainTime
+		oc.trace.WarmStarted = e.WarmStarted
+		dec.CacheHit, dec.Rule = true, explain.RuleMemo
+		dec.EpochsRun, dec.Warm, dec.Detail = e.EpochsRun, e.WarmStarted, detail
+		if e.Met {
+			g := replayGraph(j.cand, e)
+			lat := memo.latency(j.fp, &res.Stats, func() time.Duration {
+				return estimator.Latency(g, cfg.Latency)
+			})
+			acc := copyAccuracy(e.Accuracy)
+			oc.elite = &Elite{
+				Graph: g, Latency: lat, FLOPs: e.FLOPs, Accuracy: acc,
+				FromElite: j.fromElite, FineTuneTime: e.TrainTime, Iteration: j.iteration,
+			}
+			oc.trace.Latency = lat
+			if oc.drop = -minMargin(o.targets, acc); oc.drop < 0 {
+				oc.drop = 0
+			}
+			dec.Outcome = explain.OutcomeAccepted
+			dec.Measured = &explain.Scores{Margin: e.Margin, LatencyNS: float64(lat)}
+			dec.Accuracy = copyAccuracy(e.Accuracy)
+		} else {
+			rule.RecordFailure(j.profile)
+			dec.Outcome = explain.OutcomeRejected
+			dec.Measured = &explain.Scores{Margin: e.Margin}
+		}
+	}
+
+	switch {
+	case j.skipped:
+		// Rule-skipped candidates record no failure: the rule already
+		// acted on the history that produced it.
+		dec.Outcome, dec.Rule = explain.OutcomeSkipped, explain.RuleCapacity
+
+	case j.entry != nil:
+		replay(j.entry, "")
+
+	case j.aliasOf >= 0:
+		// The first occurrence of this fingerprint merged earlier in this
+		// batch; replay the entry it just published.
+		if e := memo.store.Lookup(j.fp); e != nil {
+			replay(e, "replayed a duplicate evaluated earlier in the same batch")
+		} else {
+			// The original evaluation errored and was not memoized.
+			res.Stats.EvalErrors++
+			dec.Outcome, dec.Rule = explain.OutcomeRejected, explain.RuleEvalError
+			dec.Detail = "duplicate of a candidate whose evaluation failed"
+		}
+
+	case j.score.Skip:
+		// Counted in Stats at sampling time.
+		oc.trace.PredictorSkipped = true
+		dec.Outcome, dec.Rule = explain.OutcomeSkipped, explain.RulePredictor
+		if oc.drop = -j.score.Margin; oc.drop < 0 {
+			oc.drop = 0
+		}
+
+	default:
+		out := evalOuts[j.evalIdx]
+		if out.Err != nil {
+			res.Stats.EvalErrors++
+			dec.Outcome, dec.Rule = explain.OutcomeRejected, explain.RuleEvalError
+			dec.Detail = out.Err.Error()
+			break
+		}
+		dec.Forced = j.score.Forced
+		res.Stats.FineTuned++
+		e := &MemoEntry{Met: out.Met, Margin: -1, Features: j.feats}
+		if rep := out.Report; rep != nil {
+			oc.trace.Met, oc.trace.Terminated = rep.Met, rep.Terminated
+			oc.trace.FineTuneTime, oc.trace.EpochsRun = rep.TrainTime, rep.EpochsRun
+			oc.trace.WarmStarted = rep.WarmStarted
+			e.Terminated, e.EpochsRun = rep.Terminated, rep.EpochsRun
+			e.TrainTime = rep.TrainTime
+			e.WarmStarted, e.WarmFellBack = rep.WarmStarted, rep.WarmFellBack
+			res.Stats.TotalEpochs += rep.EpochsRun
+			if rep.Terminated {
+				res.Stats.EarlyTerminated++
+			}
+			if rep.WarmStarted {
+				res.Stats.WarmStarted++
+			}
+			if rep.WarmFellBack {
+				res.Stats.WarmFallbacks++
+			}
+			if len(rep.Final) > 0 {
+				e.Margin = minMargin(o.targets, rep.Final)
+			}
+		}
+		latNS := -1.0
+		if out.Met {
+			trained := out.Trained
+			if trained == nil {
+				trained = j.cand
+			}
+			e.Trained = trained
+			e.FLOPs = estimator.FLOPs(trained)
+			e.Accuracy = copyAccuracy(out.Report.Final)
+			lat := memo.latency(j.fp, &res.Stats, func() time.Duration {
+				return estimator.Latency(trained, cfg.Latency)
+			})
+			latNS = float64(lat)
+			oc.elite = &Elite{
+				Graph: trained, Latency: lat, FLOPs: e.FLOPs, Accuracy: out.Report.Final,
+				FromElite: j.fromElite, FineTuneTime: out.Report.TrainTime, Iteration: j.iteration,
+			}
+			oc.trace.Latency = lat
+			if oc.drop = -minMargin(o.targets, out.Report.Final); oc.drop < 0 {
+				oc.drop = 0
+			}
+			dec.Outcome, dec.Rule = explain.OutcomeAccepted, explain.RuleAccuracyMet
+			dec.Accuracy = copyAccuracy(out.Report.Final)
+		} else {
+			rule.RecordFailure(j.profile)
+			dec.Outcome, dec.Rule = explain.OutcomeRejected, explain.RuleAccuracyBudget
+		}
+		dec.Measured = &explain.Scores{Margin: e.Margin}
+		if latNS > 0 {
+			dec.Measured.LatencyNS = latNS
+		}
+		dec.EpochsRun, dec.Warm = oc.trace.EpochsRun, oc.trace.WarmStarted
+		memo.insert(j.fp, e)
+		if cfg.Preranker != nil {
+			cfg.Preranker.Observe(j.feats, latNS, e.Margin)
+		}
+	}
+	res.Decisions = append(res.Decisions, dec)
+	return oc
 }
 
 func better(metric Metric, a, b *Elite) bool {

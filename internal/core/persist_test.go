@@ -1,0 +1,103 @@
+package core_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distill"
+	"repro/internal/estimator"
+	"repro/internal/testutil"
+)
+
+// TestDiskMemoReplayEliminatesDuplicateMeasurements is the persistence
+// contract behind the distributed search: re-running the same search over a
+// persisted memo must replay every outcome — zero fine-tuning runs, zero
+// fresh latency measurements — while producing an identical search
+// trajectory (traces, elites, accuracies).
+func TestDiskMemoReplayEliminatesDuplicateMeasurements(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "memo.json")
+	run := func() *core.Result {
+		ds := testutil.TinyFace(141, 64, 32)
+		teacher := testutil.TinyMultiDNN(142, ds)
+		teach := testutil.PretrainTeachers(teacher, ds, 6, 0.004, 143)
+		outs := distill.ComputeTeacherOutputs(teacher, ds.Train.X, 32)
+		targets := map[int]float64{}
+		for id, a := range teach {
+			targets[id] = a - 0.15
+		}
+		accOpts := estimator.AccuracyOptions{
+			FineTune:      distill.Config{LR: 0.003, Epochs: 6, Batch: 16, EvalEvery: 2},
+			UseRuleFilter: true,
+		}
+		memo, err := core.NewDiskMemo(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := core.NewParallelOptimizer(teacher, ds, targets, outs, ds.Train.X, accOpts,
+			core.ParallelConfig{
+				Config: core.Config{
+					Rounds:          16,
+					MaxPairsPerPass: 1,
+					Seed:            7,
+					Memo:            memo,
+					Latency:         estimator.LatencyOptions{Batch: 2, Warmup: 1, Runs: 2},
+				},
+				BatchSize: 4,
+			})
+		res := opt.Run()
+		if err := memo.Save(); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	first := run()
+	if first.Stats.FineTuned == 0 {
+		t.Fatal("first run fine-tuned nothing; fixture is degenerate")
+	}
+	second := run()
+
+	if second.Stats.FineTuned != 0 {
+		t.Fatalf("second run over a warm memo fine-tuned %d candidates, want 0",
+			second.Stats.FineTuned)
+	}
+	if second.Stats.LatencyMisses != 0 {
+		t.Fatalf("second run measured %d latencies, want 0 (persisted, machine-keyed)",
+			second.Stats.LatencyMisses)
+	}
+	if second.Stats.CacheHits != first.Stats.CacheHits+first.Stats.FineTuned {
+		t.Fatalf("second run hits %d, want first run's hits+finetunes %d+%d",
+			second.Stats.CacheHits, first.Stats.CacheHits, first.Stats.FineTuned)
+	}
+
+	// The replayed search must retrace the original exactly.
+	if first.Evaluated != second.Evaluated {
+		t.Fatalf("Evaluated differs: %d vs %d", first.Evaluated, second.Evaluated)
+	}
+	if len(first.Traces) != len(second.Traces) {
+		t.Fatalf("trace count differs: %d vs %d", len(first.Traces), len(second.Traces))
+	}
+	for i := range first.Traces {
+		a, b := first.Traces[i], second.Traces[i]
+		if a.Iteration != b.Iteration || a.Skipped != b.Skipped || a.FromElite != b.FromElite ||
+			a.Met != b.Met || a.EpochsRun != b.EpochsRun {
+			t.Fatalf("trace %d differs:\nfirst:  %+v\nsecond: %+v", i, a, b)
+		}
+	}
+	if len(first.Elites) != len(second.Elites) {
+		t.Fatalf("elite count differs: %d vs %d", len(first.Elites), len(second.Elites))
+	}
+	for i := range first.Elites {
+		a, b := first.Elites[i], second.Elites[i]
+		if a.Iteration != b.Iteration || a.FLOPs != b.FLOPs {
+			t.Fatalf("elite %d differs: iter %d/%d flops %d/%d",
+				i, a.Iteration, b.Iteration, a.FLOPs, b.FLOPs)
+		}
+		for id, acc := range a.Accuracy {
+			if d := acc - b.Accuracy[id]; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("elite %d task %d accuracy differs: %v vs %v", i, id, acc, b.Accuracy[id])
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package explain_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/search/explain"
+)
+
+func sample() []explain.Decision {
+	return []explain.Decision{
+		{
+			Iteration: 1, Fingerprint: "00000000deadbeef",
+			Mutation: "t1/op3/ConvBlock -> t0/op2/ConvBlock",
+			Outcome:  explain.OutcomeAccepted, Rule: explain.RuleAccuracyMet,
+			Predicted: &explain.Scores{Margin: 0.031, LatencyNS: 1.2e6},
+			Measured:  &explain.Scores{Margin: 0.027, LatencyNS: 1.1e6},
+			Accuracy:  map[int]float64{0: 0.91, 1: 0.84},
+			EpochsRun: 6, Elite: true, Best: true,
+		},
+		{
+			Iteration: 2, Fingerprint: "00000000cafef00d",
+			Mutation: "t1/op5/Linear -> t0/op4/Linear",
+			Outcome:  explain.OutcomeSkipped, Rule: explain.RulePredictor,
+			Predicted: &explain.Scores{Margin: -0.12},
+		},
+		{
+			Iteration: 3, FromElite: true, CacheHit: true, Warm: true,
+			Fingerprint: "00000000deadbeef",
+			Outcome:     explain.OutcomeRejected, Rule: explain.RuleMemo,
+			Measured: &explain.Scores{Margin: -0.04},
+			Detail:   "replayed a duplicate evaluated earlier in the same batch",
+		},
+	}
+}
+
+// TestSaveLoadRoundTrip pins the decision file format.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.json")
+	ds := sample()
+	if err := explain.Save(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := explain.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds) {
+		t.Fatalf("loaded %d decisions, want %d", len(got), len(ds))
+	}
+	for i := range ds {
+		w, g := ds[i], got[i]
+		if g.Iteration != w.Iteration || g.Outcome != w.Outcome || g.Rule != w.Rule ||
+			g.Fingerprint != w.Fingerprint || g.Mutation != w.Mutation ||
+			g.CacheHit != w.CacheHit || g.Warm != w.Warm || g.Elite != w.Elite ||
+			g.Best != w.Best || g.Detail != w.Detail {
+			t.Fatalf("decision %d mismatch:\nwant %+v\ngot  %+v", i, w, g)
+		}
+		if (w.Predicted == nil) != (g.Predicted == nil) ||
+			(w.Predicted != nil && *w.Predicted != *g.Predicted) {
+			t.Fatalf("decision %d predicted scores mismatch", i)
+		}
+		if (w.Measured == nil) != (g.Measured == nil) ||
+			(w.Measured != nil && *w.Measured != *g.Measured) {
+			t.Fatalf("decision %d measured scores mismatch", i)
+		}
+		for id, a := range w.Accuracy {
+			if g.Accuracy[id] != a {
+				t.Fatalf("decision %d accuracy mismatch", i)
+			}
+		}
+	}
+}
+
+// TestLoadMissingOrCorrupt pins the failure modes.
+func TestLoadMissingOrCorrupt(t *testing.T) {
+	if _, err := explain.Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("loading a missing file should error")
+	}
+}
+
+// TestRenderMentionsEveryDecision checks the human-readable report carries
+// the load-bearing content: one block per decision, the rule that acted,
+// predicted-vs-measured lines, and provenance markers.
+func TestRenderMentionsEveryDecision(t *testing.T) {
+	var b strings.Builder
+	explain.Render(&b, sample())
+	out := b.String()
+	for _, want := range []string{
+		"3 candidates", "accepted", "rejected", "skipped",
+		explain.RuleAccuracyMet, explain.RulePredictor, explain.RuleMemo,
+		"t1/op3/ConvBlock -> t0/op2/ConvBlock",
+		"elite", "best",
+		"00000000deadbeef",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

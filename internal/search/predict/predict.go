@@ -1,0 +1,229 @@
+package predict
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Options tunes the pre-ranker.
+type Options struct {
+	// Margin is the skip threshold: a candidate is skipped only when its
+	// predicted accuracy margin is below -Margin, i.e. the model predicts a
+	// budget violation with this much room to be wrong. Default 0.02.
+	Margin float64
+	// ExploreEvery forces every Nth would-be-skipped candidate through to
+	// measurement anyway, keeping the training corpus honest where the
+	// model is most confident. Default 8; 0 disables forced exploration.
+	ExploreEvery int
+	// MinCorpus is the number of observed rows required before the model
+	// fits (and therefore before anything can be skipped). Default 8.
+	MinCorpus int
+	// Ridge is the L2 penalty for the linear fit. Default 1.0.
+	Ridge float64
+	// RetrainEvery refits the models after this many new observations once
+	// past MinCorpus. Default 8.
+	RetrainEvery int
+	// MaxResiduals bounds the retained predicted-vs-measured residual
+	// records. Default 256.
+	MaxResiduals int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Margin <= 0 {
+		o.Margin = 0.02
+	}
+	if o.ExploreEvery < 0 {
+		o.ExploreEvery = 0
+	} else if o.ExploreEvery == 0 {
+		o.ExploreEvery = 8
+	}
+	if o.MinCorpus <= 0 {
+		o.MinCorpus = 8
+	}
+	if o.Ridge <= 0 {
+		o.Ridge = 1.0
+	}
+	if o.RetrainEvery <= 0 {
+		o.RetrainEvery = 8
+	}
+	if o.MaxResiduals <= 0 {
+		o.MaxResiduals = 256
+	}
+	return o
+}
+
+// Residual is one predicted-vs-measured pair, recorded whenever a candidate
+// the model scored goes on to be measured.
+type Residual struct {
+	PredictedMargin float64 `json:"predicted_margin"`
+	MeasuredMargin  float64 `json:"measured_margin"`
+	// PredictedLatencyNS / MeasuredLatencyNS are 0 / negative when the
+	// latency model had not yet trained or the candidate missed the
+	// accuracy bar (latency is only measured for accepted candidates).
+	PredictedLatencyNS float64 `json:"predicted_latency_ns"`
+	MeasuredLatencyNS  float64 `json:"measured_latency_ns"`
+}
+
+// Stats summarizes the pre-ranker's activity.
+type Stats struct {
+	Observed   int `json:"observed"`
+	Refits     int `json:"refits"`
+	Assessed   int `json:"assessed"`
+	WouldSkip  int `json:"would_skip"`
+	Forced     int `json:"forced"`
+	MAEMilli   int `json:"margin_mae_milli"` // mean |margin residual| ×1000
+	LatencyFit int `json:"latency_rows"`     // rows backing the latency model
+}
+
+// Predictor is the ridge-model pre-ranker. It implements core.Preranker.
+// Per that interface's contract it is only called from the optimizer's
+// serial phases, so it needs no locking and its forced-exploration counter
+// advances deterministically.
+type Predictor struct {
+	opts Options
+
+	margin  Model
+	latency Model
+
+	feats   [][]float64
+	margins []float64
+	latNS   []float64 // negative when unmeasured
+
+	sinceFit  int
+	wouldSkip int
+
+	pending   map[string]pendingScore // keyed by feature identity
+	residuals []Residual
+	stats     Stats
+}
+
+type pendingScore struct {
+	margin float64
+	latNS  float64
+	scored bool
+}
+
+// New builds a predictor.
+func New(opts Options) *Predictor {
+	return &Predictor{opts: opts.withDefaults(), pending: make(map[string]pendingScore)}
+}
+
+// Assess implements core.Preranker.
+func (p *Predictor) Assess(features []float64) core.PrerankScore {
+	p.stats.Assessed++
+	if !p.margin.Trained() {
+		return core.PrerankScore{}
+	}
+	sc := core.PrerankScore{
+		Trained: true,
+		Margin:  p.margin.Predict(features),
+	}
+	if p.latency.Trained() {
+		sc.LatencyNS = p.latency.Predict(features)
+	}
+	if sc.Margin < -p.opts.Margin {
+		p.wouldSkip++
+		p.stats.WouldSkip++
+		if p.opts.ExploreEvery > 0 && p.wouldSkip%p.opts.ExploreEvery == 0 {
+			sc.Forced = true
+			p.stats.Forced++
+		} else {
+			sc.Skip = true
+		}
+	}
+	if !sc.Skip {
+		p.pending[featKey(features)] = pendingScore{margin: sc.Margin, latNS: sc.LatencyNS, scored: true}
+	}
+	return sc
+}
+
+// Observe implements core.Preranker: it grows the corpus, records a
+// residual when the candidate had been scored, and periodically refits.
+func (p *Predictor) Observe(features []float64, latencyNS, margin float64) {
+	p.stats.Observed++
+	p.feats = append(p.feats, append([]float64(nil), features...))
+	p.margins = append(p.margins, margin)
+	p.latNS = append(p.latNS, latencyNS)
+
+	key := featKey(features)
+	if ps, ok := p.pending[key]; ok && ps.scored {
+		delete(p.pending, key)
+		if len(p.residuals) < p.opts.MaxResiduals {
+			p.residuals = append(p.residuals, Residual{
+				PredictedMargin:    ps.margin,
+				MeasuredMargin:     margin,
+				PredictedLatencyNS: ps.latNS,
+				MeasuredLatencyNS:  latencyNS,
+			})
+		}
+	}
+
+	p.sinceFit++
+	if len(p.feats) >= p.opts.MinCorpus &&
+		(!p.margin.Trained() || p.sinceFit >= p.opts.RetrainEvery) {
+		p.refit()
+	}
+}
+
+func (p *Predictor) refit() {
+	p.sinceFit = 0
+	p.margin.Fit(p.feats, p.margins, p.opts.Ridge)
+	// The latency model only sees rows with a measurement (candidates that
+	// met the accuracy targets).
+	var lf [][]float64
+	var ly []float64
+	for i, l := range p.latNS {
+		if l >= 0 {
+			lf = append(lf, p.feats[i])
+			ly = append(ly, l)
+		}
+	}
+	p.stats.LatencyFit = len(lf)
+	if len(lf) >= 2 {
+		p.latency.Fit(lf, ly, p.opts.Ridge)
+	}
+	if p.margin.Trained() {
+		p.stats.Refits++
+	}
+}
+
+// Residuals returns the recorded predicted-vs-measured pairs.
+func (p *Predictor) Residuals() []Residual { return p.residuals }
+
+// Stats returns a snapshot of the pre-ranker's counters, with the margin
+// mean absolute error computed over the recorded residuals.
+func (p *Predictor) Stats() Stats {
+	s := p.stats
+	if len(p.residuals) > 0 {
+		var sum float64
+		for _, r := range p.residuals {
+			sum += math.Abs(r.PredictedMargin - r.MeasuredMargin)
+		}
+		s.MAEMilli = int(sum / float64(len(p.residuals)) * 1000)
+	}
+	return s
+}
+
+// PredictMargin exposes the margin model for tests and reports (0, false
+// when untrained).
+func (p *Predictor) PredictMargin(features []float64) (float64, bool) {
+	if !p.margin.Trained() {
+		return 0, false
+	}
+	return p.margin.Predict(features), true
+}
+
+// featKey builds a map key from a feature vector's exact values. Feature
+// vectors are pure functions of graph structure, so two candidates with
+// equal features are (for the model) the same point.
+func featKey(features []float64) string {
+	b := make([]byte, 0, len(features)*8)
+	for _, f := range features {
+		u := math.Float64bits(f)
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(u>>s))
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,175 @@
+package predict_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/search/predict"
+)
+
+// lcg is a tiny deterministic generator for synthetic corpora.
+type lcg struct{ s uint64 }
+
+func (l *lcg) next() float64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return float64(l.s>>11) / float64(1<<53)
+}
+
+// trueMargin is the synthetic ground truth the ridge model should recover:
+// a linear function of the features plus small deterministic "noise".
+func trueMargin(x []float64, noise float64) float64 {
+	return 0.3*x[0] - 0.5*x[1] + 0.2*x[2] - 0.1*x[3] + noise
+}
+
+func makeRow(r *lcg) []float64 {
+	x := make([]float64, 5)
+	for j := range x {
+		x[j] = r.next()
+	}
+	return x
+}
+
+// spearman computes the Spearman rank correlation of two equal-length
+// series (no tie handling — the synthetic data is continuous).
+func spearman(a, b []float64) float64 {
+	ra, rb := ranks(a), ranks(b)
+	n := float64(len(a))
+	var d2 float64
+	for i := range ra {
+		d := ra[i] - rb[i]
+		d2 += d * d
+	}
+	return 1 - 6*d2/(n*(n*n-1))
+}
+
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
+	out := make([]float64, len(xs))
+	for rank, i := range idx {
+		out[i] = float64(rank)
+	}
+	return out
+}
+
+// TestRidgeRecoversLinearSignal pins the regression core: on noiseless
+// linear data the model's predictions match the generator closely.
+func TestRidgeRecoversLinearSignal(t *testing.T) {
+	r := &lcg{s: 9}
+	var m predict.Model
+	var rows [][]float64
+	var ys []float64
+	for i := 0; i < 64; i++ {
+		x := makeRow(r)
+		rows = append(rows, x)
+		ys = append(ys, 2*x[0]-x[1]+0.5)
+	}
+	m.Fit(rows, ys, 1e-4)
+	if !m.Trained() {
+		t.Fatal("model did not train")
+	}
+	for i := 0; i < 16; i++ {
+		x := makeRow(r)
+		want := 2*x[0] - x[1] + 0.5
+		if got := m.Predict(x); math.Abs(got-want) > 0.05 {
+			t.Fatalf("prediction %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPredictorRankCorrelation is the residual quality gate: trained on a
+// memo-like corpus (margins for every candidate, latencies only for
+// accepted ones), the predictor's margin ranking must correlate with ground
+// truth above a pinned threshold on held-out candidates, and recorded
+// residuals must be small in aggregate.
+func TestPredictorRankCorrelation(t *testing.T) {
+	const pinnedRho = 0.85
+	p := predict.New(predict.Options{MinCorpus: 16, RetrainEvery: 4, Ridge: 1e-3})
+	r := &lcg{s: 33}
+	for i := 0; i < 80; i++ {
+		x := makeRow(r)
+		noise := 0.02 * (r.next() - 0.5)
+		margin := trueMargin(x, noise)
+		lat := -1.0
+		if margin >= 0 {
+			lat = 1e6 * (1 + x[0] + 2*x[4])
+		}
+		p.Observe(x, lat, margin)
+	}
+
+	var predicted, truth []float64
+	for i := 0; i < 40; i++ {
+		x := makeRow(r)
+		sc := p.Assess(x)
+		if !sc.Trained {
+			t.Fatal("predictor not trained after 80 observations")
+		}
+		predicted = append(predicted, sc.Margin)
+		truth = append(truth, trueMargin(x, 0))
+		// Close the loop so residuals are recorded for scored candidates.
+		if !sc.Skip {
+			p.Observe(x, -1, trueMargin(x, 0))
+		}
+	}
+	if rho := spearman(predicted, truth); rho < pinnedRho {
+		t.Fatalf("rank correlation %.3f below pinned threshold %.2f", rho, pinnedRho)
+	}
+	res := p.Residuals()
+	if len(res) == 0 {
+		t.Fatal("no residuals recorded")
+	}
+	var mae float64
+	for _, rr := range res {
+		mae += math.Abs(rr.PredictedMargin - rr.MeasuredMargin)
+	}
+	mae /= float64(len(res))
+	if mae > 0.05 {
+		t.Fatalf("margin residual MAE %.4f too large for a linear world", mae)
+	}
+}
+
+// TestForcedExplorationRate pins the exploration contract: of every
+// ExploreEvery consecutive would-skip candidates, exactly one is forced
+// through to measurement.
+func TestForcedExplorationRate(t *testing.T) {
+	p := predict.New(predict.Options{MinCorpus: 8, ExploreEvery: 4, Ridge: 1e-3})
+	r := &lcg{s: 77}
+	// A corpus whose margins are all far below the budget teaches the model
+	// to predict "violates" everywhere.
+	for i := 0; i < 16; i++ {
+		p.Observe(makeRow(r), -1, -0.5)
+	}
+	skips, forced := 0, 0
+	for i := 0; i < 32; i++ {
+		sc := p.Assess(makeRow(r))
+		if !sc.Trained {
+			t.Fatal("predictor not trained")
+		}
+		if sc.Margin >= 0 {
+			t.Fatalf("assess %d: predicted margin %v, want negative on an all-bad corpus", i, sc.Margin)
+		}
+		if sc.Skip {
+			skips++
+		}
+		if sc.Forced {
+			forced++
+		}
+		if sc.Skip && sc.Forced {
+			t.Fatal("a candidate cannot be both skipped and forced")
+		}
+	}
+	if skips+forced != 32 {
+		t.Fatalf("every candidate should be skip-or-forced: %d + %d != 32", skips, forced)
+	}
+	if forced != 8 {
+		t.Fatalf("forced %d of 32 would-skips, want exactly 1 in 4", forced)
+	}
+	st := p.Stats()
+	if st.WouldSkip != 32 || st.Forced != 8 {
+		t.Fatalf("stats disagree: %+v", st)
+	}
+}

@@ -1,0 +1,138 @@
+// Package predict implements the learned pre-ranker for the fusion search:
+// ridge-regression models over graph-structure features, trained on the
+// search memo corpus, that predict a candidate's accuracy margin and
+// latency before any fine-tuning cost is paid. The optimizer uses the
+// predictions to skip candidates that are confidently predicted to violate
+// the accuracy budget, with periodic forced exploration so a wrong model
+// cannot wedge the search.
+package predict
+
+import "math"
+
+// Model is a ridge-regularized linear model fit by the normal equations on
+// standardized features. Everything is deterministic: same rows in, same
+// coefficients out.
+type Model struct {
+	mean  []float64
+	scale []float64
+	beta  []float64 // coefficients over standardized features
+	bias  float64
+	ok    bool
+}
+
+// Trained reports whether the model has been fit.
+func (m *Model) Trained() bool { return m.ok }
+
+// Fit solves (XᵀX + λI)β = Xᵀy over standardized columns. It needs at
+// least two rows; with fewer (or a degenerate system) the model stays
+// untrained and Predict returns 0.
+func (m *Model) Fit(rows [][]float64, ys []float64, ridge float64) {
+	m.ok = false
+	if len(rows) < 2 || len(rows) != len(ys) {
+		return
+	}
+	d := len(rows[0])
+	if d == 0 {
+		return
+	}
+	// Standardize columns so one ridge penalty suits features on very
+	// different scales (counts vs GFLOPs vs fractions).
+	m.mean = make([]float64, d)
+	m.scale = make([]float64, d)
+	for j := 0; j < d; j++ {
+		var sum float64
+		for _, r := range rows {
+			sum += r[j]
+		}
+		mu := sum / float64(len(rows))
+		var ss float64
+		for _, r := range rows {
+			dv := r[j] - mu
+			ss += dv * dv
+		}
+		sd := math.Sqrt(ss / float64(len(rows)))
+		if sd < 1e-12 {
+			sd = 1 // constant column: standardizes to zero, carries no signal
+		}
+		m.mean[j], m.scale[j] = mu, sd
+	}
+	var ybar float64
+	for _, y := range ys {
+		ybar += y
+	}
+	ybar /= float64(len(ys))
+
+	// Normal equations on the standardized, centered system.
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d+1)
+	}
+	z := make([]float64, d)
+	for ri, r := range rows {
+		for j := 0; j < d; j++ {
+			z[j] = (r[j] - m.mean[j]) / m.scale[j]
+		}
+		yc := ys[ri] - ybar
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				a[i][j] += z[i] * z[j]
+			}
+			a[i][d] += z[i] * yc
+		}
+	}
+	if ridge <= 0 {
+		ridge = 1e-6
+	}
+	for i := 0; i < d; i++ {
+		a[i][i] += ridge
+	}
+	beta, ok := solve(a)
+	if !ok {
+		return
+	}
+	m.beta, m.bias, m.ok = beta, ybar, true
+}
+
+// Predict evaluates the model on one feature vector (0 when untrained).
+func (m *Model) Predict(x []float64) float64 {
+	if !m.ok || len(x) != len(m.beta) {
+		return 0
+	}
+	y := m.bias
+	for j, b := range m.beta {
+		y += b * (x[j] - m.mean[j]) / m.scale[j]
+	}
+	return y
+}
+
+// solve runs Gaussian elimination with partial pivoting on the augmented
+// system a (d rows, d+1 columns), returning the solution vector.
+func solve(a [][]float64) ([]float64, bool) {
+	d := len(a)
+	for col := 0; col < d; col++ {
+		piv := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		for r := 0; r < d; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c <= d; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	x := make([]float64, d)
+	for i := 0; i < d; i++ {
+		x[i] = a[i][d] / a[i][i]
+	}
+	return x, true
+}
